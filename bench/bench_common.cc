@@ -1,0 +1,77 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace amici {
+namespace bench {
+
+EngineBundle BuildEngine(const DatasetConfig& config,
+                         SocialSearchEngine::Options options) {
+  Stopwatch watch;
+  auto dataset = GenerateDataset(config);
+  AMICI_CHECK(dataset.ok()) << dataset.status().ToString();
+  auto view = GenerateDataset(config);
+  AMICI_CHECK(view.ok()) << view.status().ToString();
+  const double generate_ms = watch.ElapsedMillis();
+
+  watch.Restart();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.value().graph),
+                                          std::move(dataset.value().store),
+                                          std::move(options));
+  AMICI_CHECK(engine.ok()) << engine.status().ToString();
+  std::fprintf(stderr,
+               "[bench] dataset '%s': %zu users, %zu items "
+               "(gen %.0f ms, build %.0f ms)\n",
+               config.name.c_str(), view.value().graph.num_users(),
+               view.value().store.num_items(), generate_ms,
+               watch.ElapsedMillis());
+
+  EngineBundle bundle;
+  bundle.engine = std::move(engine).value();
+  bundle.workload_view = std::move(view).value();
+  return bundle;
+}
+
+LatencySummary RunQueries(SocialSearchEngine* engine,
+                          const std::vector<SocialQuery>& queries,
+                          AlgorithmId algorithm, int repeats) {
+  LatencyRecorder recorder;
+  for (int r = 0; r < repeats; ++r) {
+    for (const SocialQuery& query : queries) {
+      Stopwatch watch;
+      const auto result = engine->Query(query, algorithm);
+      AMICI_CHECK(result.ok())
+          << AlgorithmName(algorithm) << ": " << result.status().ToString();
+      recorder.Record(watch.ElapsedMillis());
+    }
+  }
+  return recorder.Summarize();
+}
+
+void WarmProximityCache(SocialSearchEngine* engine,
+                        const std::vector<SocialQuery>& queries) {
+  for (const SocialQuery& query : queries) {
+    (void)engine->proximity_cache().Get(engine->graph(), query.user);
+  }
+}
+
+void PrintBanner(const std::string& experiment, const std::string& claim) {
+  std::printf(
+      "================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim under test: %s\n", claim.c_str());
+  std::printf(
+      "================================================================\n");
+}
+
+std::string Ms(double milliseconds) {
+  return StringPrintf("%.3f", milliseconds);
+}
+
+}  // namespace bench
+}  // namespace amici

@@ -1,0 +1,77 @@
+// Fig 10 — concurrent read-only throughput: queries per second as client
+// threads scale, exercising the engine's internal synchronization
+// (proximity cache + stats) under contention.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace amici;
+
+int main() {
+  bench::PrintBanner(
+      "Fig 10: hybrid query throughput vs client threads "
+      "[medium dataset, alpha=0.5, k=10]",
+      "read-only throughput scales near-linearly until memory bandwidth "
+      "saturates; the shared proximity cache helps rather than hurts");
+
+  bench::EngineBundle bundle = bench::BuildEngine(MediumDataset());
+  QueryWorkloadConfig workload;
+  workload.num_queries = 256;
+  workload.k = 10;
+  workload.alpha = 0.5;
+  workload.seed = 99;
+  const auto queries = GenerateQueries(bundle.workload_view, workload);
+  if (!queries.ok()) return 1;
+
+  // Warm the proximity cache once so every configuration sees the same
+  // steady state.
+  for (const SocialQuery& query : queries.value()) {
+    (void)bundle.engine->Query(query, AlgorithmId::kHybrid);
+  }
+
+  TablePrinter table({"threads", "total queries", "elapsed s", "QPS",
+                      "speedup"});
+  double baseline_qps = 0.0;
+  for (const int threads : {1, 2, 4, 8, 16}) {
+    const int queries_per_thread = 2000;
+    std::atomic<int> errors{0};
+    Stopwatch watch;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < queries_per_thread; ++i) {
+          const SocialQuery& query =
+              queries.value()[(static_cast<size_t>(t) * 37 + i) %
+                              queries.value().size()];
+          if (!bundle.engine->Query(query, AlgorithmId::kHybrid).ok()) {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double elapsed = watch.ElapsedSeconds();
+    const double total =
+        static_cast<double>(threads) * queries_per_thread;
+    const double qps = total / elapsed;
+    if (baseline_qps == 0.0) baseline_qps = qps;
+    if (errors.load() != 0) {
+      std::fprintf(stderr, "[bench] %d errors!\n", errors.load());
+      return 1;
+    }
+    table.AddRow({std::to_string(threads),
+                  StringPrintf("%.0f", total),
+                  StringPrintf("%.2f", elapsed), StringPrintf("%.0f", qps),
+                  StringPrintf("%.2fx", qps / baseline_qps)});
+    std::fprintf(stderr, "[bench] %d threads done\n", threads);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 4 — the headline crossover: latency vs the social/content blend
+// alpha. ContentFirst degrades as alpha rises, SocialFirst mirrors it,
+// and the adaptive hybrid tracks the lower envelope without tuning.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+using namespace amici;
+
+int main() {
+  bench::PrintBanner(
+      "Fig 4: mean query latency (ms) vs alpha  [medium dataset, k=10]",
+      "content-first cheap at alpha~0 and degrades towards 1; social-first "
+      "mirror-image; a crossover exists inside (0,1); hybrid tracks the "
+      "lower envelope");
+
+  bench::EngineBundle bundle = bench::BuildEngine(MediumDataset());
+
+  TablePrinter table({"alpha", "content-first", "social-first", "hybrid",
+                      "merge-scan"});
+  for (int step = 0; step <= 10; ++step) {
+    const double alpha = static_cast<double>(step) / 10.0;
+    QueryWorkloadConfig workload;
+    workload.num_queries = 60;
+    workload.k = 10;
+    workload.alpha = alpha;
+    workload.seed = 44;
+    const auto queries = GenerateQueries(bundle.workload_view, workload);
+    if (!queries.ok()) return 1;
+    bench::WarmProximityCache(bundle.engine.get(), queries.value());
+
+    std::vector<std::string> row{bench::Ms(alpha)};
+    for (const AlgorithmId id :
+         {AlgorithmId::kContentFirst, AlgorithmId::kSocialFirst,
+          AlgorithmId::kHybrid, AlgorithmId::kMergeScan}) {
+      row.push_back(bench::Ms(
+          bench::RunQueries(bundle.engine.get(), queries.value(), id).mean));
+    }
+    table.AddRow(row);
+    std::fprintf(stderr, "[bench] alpha=%.1f done\n", alpha);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

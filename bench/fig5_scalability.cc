@@ -1,0 +1,48 @@
+// Fig 5 — scalability: latency vs graph size. The exhaustive baseline
+// grows linearly with the catalogue; the index-driven strategies grow
+// sublinearly (bounded by the query's neighbourhood and posting-list
+// prefixes, not the corpus).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace amici;
+
+int main() {
+  bench::PrintBanner(
+      "Fig 5: mean query latency (ms) vs users  [alpha=0.5, k=10]",
+      "exhaustive grows linearly with corpus size; hybrid grows "
+      "sublinearly");
+
+  TablePrinter table({"users", "items", "exhaustive", "merge-scan",
+                      "hybrid"});
+  for (const size_t users : {10000, 20000, 40000, 80000, 160000, 320000}) {
+    bench::EngineBundle bundle = bench::BuildEngine(ScaledDataset(users));
+    QueryWorkloadConfig workload;
+    workload.num_queries = users >= 160000 ? 25 : 50;
+    workload.k = 10;
+    workload.alpha = 0.5;
+    workload.seed = 55;
+    const auto queries = GenerateQueries(bundle.workload_view, workload);
+    if (!queries.ok()) return 1;
+    bench::WarmProximityCache(bundle.engine.get(), queries.value());
+
+    std::vector<std::string> row{
+        WithThousandsSeparators(users),
+        WithThousandsSeparators(bundle.engine->store().num_items())};
+    for (const AlgorithmId id :
+         {AlgorithmId::kExhaustive, AlgorithmId::kMergeScan,
+          AlgorithmId::kHybrid}) {
+      row.push_back(bench::Ms(
+          bench::RunQueries(bundle.engine.get(), queries.value(), id).mean));
+    }
+    table.AddRow(row);
+    std::fprintf(stderr, "[bench] %zu users done\n", users);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Micro benchmarks (google-benchmark) for the performance-critical
+// primitives underneath the query algorithms: varint codecs, posting-list
+// traversal, top-k heap maintenance, Zipf sampling, proximity kernels,
+// and the rank-aggregation engine itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_generators.h"
+#include "index/disk_inverted_index.h"
+#include "proximity/ppr_forward_push.h"
+#include "storage/posting_list.h"
+#include "topk/threshold_algorithm.h"
+#include "topk/topk_heap.h"
+#include "util/rng.h"
+#include "util/varint.h"
+#include "util/zipf.h"
+
+namespace amici {
+namespace {
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) v = rng.NextUint64() >> rng.UniformIndex(64);
+  for (auto _ : state) {
+    std::string buffer;
+    buffer.reserve(values.size() * 10);
+    for (const uint64_t v : values) PutVarint64(v, &buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  Rng rng(2);
+  std::string buffer;
+  const size_t count = 1024;
+  for (size_t i = 0; i < count; ++i) {
+    PutVarint64(rng.NextUint64() >> rng.UniformIndex(64), &buffer);
+  }
+  for (auto _ : state) {
+    size_t offset = 0;
+    uint64_t value = 0;
+    for (size_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize(GetVarint64(buffer, &offset, &value));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+}
+BENCHMARK(BM_VarintDecode);
+
+PostingList MakeList(size_t count, bool skips) {
+  Rng rng(3);
+  std::vector<ScoredItem> postings;
+  uint32_t doc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.UniformIndex(8));
+    postings.push_back({doc, static_cast<float>(rng.UniformDouble())});
+  }
+  PostingList::Options options;
+  options.enable_skips = skips;
+  return PostingList::Build(postings, options).value();
+}
+
+void BM_PostingListIterate(benchmark::State& state) {
+  const PostingList list = MakeList(100000, true);
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+      checksum += it.Doc();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PostingListIterate);
+
+void BM_PostingListSeek(benchmark::State& state) {
+  const bool skips = state.range(0) != 0;
+  const PostingList list = MakeList(100000, skips);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto it = list.NewIterator();
+    // Strided forward seeks across the whole list.
+    for (ItemId target = 1000; it.Valid() && target < 450000;
+         target += 9000) {
+      it.SeekGeq(target);
+    }
+    benchmark::DoNotOptimize(it.Valid());
+  }
+}
+BENCHMARK(BM_PostingListSeek)->Arg(1)->Arg(0);
+
+void BM_TopKHeapPush(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> scores(100000);
+  for (auto& s : scores) s = rng.UniformDouble();
+  for (auto _ : state) {
+    TopKHeap heap(10);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      heap.Push(static_cast<ItemId>(i), scores[i]);
+    }
+    benchmark::DoNotOptimize(heap.KthScore());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(scores.size()));
+}
+BENCHMARK(BM_TopKHeapPush);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(6);
+  const ZipfSampler zipf(1000000, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_PprForwardPush(benchmark::State& state) {
+  Rng rng(7);
+  const SocialGraph graph = GenerateBarabasiAlbert(20000, 6, &rng);
+  const PprForwardPush push(0.15, 1e-4);
+  UserId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(push.Compute(graph, source));
+    source = (source + 97) % static_cast<UserId>(graph.num_users());
+  }
+}
+BENCHMARK(BM_PprForwardPush);
+
+class VectorSource final : public SortedSource {
+ public:
+  explicit VectorSource(std::vector<ScoredItem> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  ScoredItem Current() const override { return entries_[pos_]; }
+  void Next() override { ++pos_; }
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::vector<ScoredItem> entries_;
+  size_t pos_ = 0;
+};
+
+void BM_DiskPostingRead(benchmark::State& state) {
+  // Build a small on-disk index once; measure posting reads through the
+  // buffer pool (hot after the first sweep).
+  const std::string path = "/tmp/amici_micro_disk_index.amii";
+  {
+    Rng rng(9);
+    ItemStore store;
+    for (int i = 0; i < 20000; ++i) {
+      Item item;
+      item.owner = static_cast<UserId>(rng.UniformIndex(100));
+      item.tags = {static_cast<TagId>(rng.UniformIndex(50))};
+      item.quality = static_cast<float>(rng.UniformDouble());
+      (void)store.Add(item);
+    }
+    const auto index = InvertedIndex::Build(store);
+    if (!index.ok() ||
+        !DiskInvertedIndex::Write(index.value(), path).ok()) {
+      state.SkipWithError("disk index setup failed");
+      return;
+    }
+  }
+  auto disk = DiskInvertedIndex::Open(path, 128);
+  if (!disk.ok()) {
+    state.SkipWithError("disk index open failed");
+    return;
+  }
+  TagId tag = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.value()->ReadPostings(tag));
+    tag = (tag + 7) % 50;
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DiskPostingRead);
+
+void BM_ThresholdAlgorithm(benchmark::State& state) {
+  Rng rng(8);
+  const size_t num_lists = 3;
+  std::vector<std::vector<ScoredItem>> lists(num_lists);
+  std::vector<double> totals(50000, 0.0);
+  for (auto& list : lists) {
+    for (ItemId item = 0; item < 50000; ++item) {
+      if (!rng.Bernoulli(0.3)) continue;
+      const float partial = static_cast<float>(rng.UniformDouble());
+      list.push_back({item, partial});
+      totals[item] += partial;
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                return a.score > b.score;
+              });
+  }
+  auto score_of = [&totals](ItemId item) { return totals[item]; };
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<VectorSource>> owned;
+    std::vector<SortedSource*> sources;
+    for (const auto& list : lists) {
+      owned.push_back(std::make_unique<VectorSource>(list));
+      sources.push_back(owned.back().get());
+    }
+    auto result = RunThresholdAlgorithm(
+        std::span<SortedSource* const>(sources.data(), sources.size()),
+        score_of, 10, MaxBoundPull, nullptr, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ThresholdAlgorithm);
+
+}  // namespace
+}  // namespace amici
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table 2 — index construction cost: build time and memory footprint of
+// the inverted index (both representations), the social index, and the
+// geo grid, per dataset scale.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace amici;
+
+int main() {
+  bench::PrintBanner(
+      "Table 2: index construction (time and memory)",
+      "index build scales near-linearly with the catalogue; memory stays "
+      "a small multiple of the raw data");
+
+  TablePrinter table({"dataset", "items", "inverted ms", "inverted mem",
+                      "social ms", "social mem", "grid mem", "store mem"});
+  for (const DatasetConfig& config :
+       {SmallDataset(), MediumDataset(), LargeDataset()}) {
+    bench::EngineBundle bundle = bench::BuildEngine(config);
+    const IndexBuildStats& stats = bundle.engine->last_build_stats();
+    table.AddRow(
+        {config.name,
+         WithThousandsSeparators(bundle.engine->store().num_items()),
+         bench::Ms(stats.inverted_build_ms), HumanBytes(stats.inverted_bytes),
+         bench::Ms(stats.social_build_ms), HumanBytes(stats.social_bytes),
+         HumanBytes(bundle.engine->grid_index().MemoryBytes()),
+         HumanBytes(bundle.engine->store().MemoryBytes())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a tiny social network by hand, index a handful of
+// items, and run one social top-k query end to end.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "graph/graph_builder.h"
+#include "storage/tag_dictionary.h"
+
+using amici::AlgorithmId;
+using amici::GraphBuilder;
+using amici::Item;
+using amici::ItemStore;
+using amici::SocialQuery;
+using amici::SocialSearchEngine;
+using amici::TagDictionary;
+using amici::UserId;
+
+int main() {
+  // --- 1. The social graph: alice(0) - bob(1) - carol(2), dave(3) apart.
+  const char* names[] = {"alice", "bob", "carol", "dave"};
+  GraphBuilder graph_builder(4);
+  (void)graph_builder.AddEdge(0, 1);  // alice - bob
+  (void)graph_builder.AddEdge(1, 2);  // bob - carol
+  (void)graph_builder.AddEdge(2, 3);  // carol - dave
+
+  // --- 2. The catalogue: photos described by tags.
+  TagDictionary tags;
+  ItemStore store;
+  auto post = [&](UserId owner, std::initializer_list<const char*> words,
+                  float quality) {
+    Item item;
+    item.owner = owner;
+    for (const char* w : words) item.tags.push_back(tags.Intern(w));
+    item.quality = quality;
+    const auto id = store.Add(item);
+    if (!id.ok()) std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+  };
+  post(1, {"sunset", "beach"}, 0.9f);   // item 0, bob
+  post(2, {"sunset", "city"}, 0.8f);    // item 1, carol
+  post(3, {"sunset", "mountain"}, 0.95f);  // item 2, dave
+  post(0, {"coffee"}, 0.7f);            // item 3, alice herself
+  post(1, {"beach", "surf"}, 0.6f);     // item 4, bob
+
+  // --- 3. Build the engine (indexes + proximity model + cache).
+  auto engine = SocialSearchEngine::Build(graph_builder.Build(),
+                                          std::move(store), {});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 4. Alice searches "sunset", blending content with friendship.
+  SocialQuery query;
+  query.user = 0;  // alice
+  query.tags = {tags.Lookup("sunset")};
+  query.k = 3;
+  query.alpha = 0.6;  // lean social: friends' photos first
+
+  const auto result = engine.value()->Query(query, AlgorithmId::kHybrid);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("alice searches \"sunset\" (k=%zu, alpha=%.1f):\n", query.k,
+              query.alpha);
+  for (const auto& entry : result.value().items) {
+    const UserId owner = engine.value()->store().owner(entry.item);
+    std::printf("  item %u by %-6s score %.3f  tags:", entry.item,
+                names[owner], entry.score);
+    for (const auto tag : engine.value()->store().tags(entry.item)) {
+      std::printf(" %s", tags.Name(tag).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpectation: bob (direct friend) outranks carol (2 hops), and\n"
+      "dave's higher-quality photo (3 hops away) does not even place;\n"
+      "alice's own unrelated post sneaks in purely through self-proximity.\n");
+  return 0;
+}

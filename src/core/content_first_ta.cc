@@ -1,0 +1,12 @@
+#include "core/content_first_ta.h"
+
+#include "core/ta_runner.h"
+
+namespace amici {
+
+Result<std::vector<ScoredItem>> ContentFirstTa::Search(
+    const QueryContext& ctx, SearchStats* stats) const {
+  return RunBlendedTa(ctx, PullBias::kContent, stats);
+}
+
+}  // namespace amici

@@ -1,0 +1,29 @@
+#ifndef AMICI_CORE_CONTENT_FIRST_TA_H_
+#define AMICI_CORE_CONTENT_FIRST_TA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+
+namespace amici {
+
+/// Threshold Algorithm biased towards the content dimension: sorted access
+/// drains the impact-ordered tag lists aggressively and touches the social
+/// stream only occasionally. Exact for every alpha, but its early
+/// termination bites fastest when alpha is small (content dominates the
+/// blended score), degrading as alpha -> 1 — the left side of the Fig 4
+/// crossover.
+class ContentFirstTa final : public SearchAlgorithm {
+ public:
+  ContentFirstTa() = default;
+
+  std::string_view name() const override { return "content-first"; }
+
+  Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                         SearchStats* stats) const override;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_CONTENT_FIRST_TA_H_

@@ -1,0 +1,294 @@
+#include "core/engine.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/content_first_ta.h"
+#include "graph/graph_builder.h"
+#include "core/exhaustive_scan.h"
+#include "core/hybrid_adaptive.h"
+#include "core/merge_scan.h"
+#include "core/nra_search.h"
+#include "core/scorer.h"
+#include "core/social_first.h"
+#include "geo/geo_point.h"
+#include "geo/geo_social.h"
+#include "proximity/ppr_forward_push.h"
+#include "topk/topk_heap.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace amici {
+
+std::string_view AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kExhaustive:
+      return "exhaustive";
+    case AlgorithmId::kMergeScan:
+      return "merge-scan";
+    case AlgorithmId::kContentFirst:
+      return "content-first";
+    case AlgorithmId::kSocialFirst:
+      return "social-first";
+    case AlgorithmId::kHybrid:
+      return "hybrid";
+    case AlgorithmId::kGeoGrid:
+      return "geo-grid";
+    case AlgorithmId::kNra:
+      return "nra";
+  }
+  return "unknown";
+}
+
+SocialSearchEngine::SocialSearchEngine(SocialGraph graph, ItemStore store,
+                                       Options options)
+    : graph_(std::move(graph)),
+      store_(std::move(store)),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
+    SocialGraph graph, ItemStore store, Options options) {
+  if (options.proximity_model == nullptr) {
+    options.proximity_model = std::make_shared<PprForwardPush>(
+        /*restart_prob=*/0.15, /*epsilon=*/1e-4);
+  }
+  // Private constructor: cannot use make_unique.
+  std::unique_ptr<SocialSearchEngine> engine(new SocialSearchEngine(
+      std::move(graph), std::move(store), std::move(options)));
+
+  AMICI_RETURN_IF_ERROR(engine->BuildIndexesInternal());
+
+  engine->proximity_model_ = engine->options_.proximity_model;
+  engine->proximity_cache_ = std::make_unique<ProximityCache>(
+      engine->proximity_model_.get(),
+      std::max<size_t>(1, engine->options_.proximity_cache_capacity));
+
+  engine->algorithms_.resize(7);
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kExhaustive)] =
+      std::make_unique<ExhaustiveScan>();
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kMergeScan)] =
+      std::make_unique<MergeScan>();
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kContentFirst)] =
+      std::make_unique<ContentFirstTa>();
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kSocialFirst)] =
+      std::make_unique<SocialFirst>();
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kHybrid)] =
+      std::make_unique<HybridAdaptive>();
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kGeoGrid)] =
+      std::make_unique<GeoGridScan>(&engine->grid_);
+  engine->algorithms_[static_cast<size_t>(AlgorithmId::kNra)] =
+      std::make_unique<NraSearch>();
+  return engine;
+}
+
+Status SocialSearchEngine::BuildIndexesInternal() {
+  AMICI_ASSIGN_OR_RETURN(
+      indexes_,
+      BuildIndexes(store_, graph_.num_users(), options_.index_options));
+  index_horizon_ = static_cast<ItemId>(store_.num_items());
+
+  has_geo_items_ = false;
+  for (size_t i = 0; i < store_.num_items(); ++i) {
+    if (store_.has_geo(static_cast<ItemId>(i))) {
+      has_geo_items_ = true;
+      break;
+    }
+  }
+  if (has_geo_items_) {
+    grid_ = GridIndex::Build(store_, options_.geo_cell_size_deg);
+  }
+  return Status::Ok();
+}
+
+const SearchAlgorithm* SocialSearchEngine::AlgorithmFor(
+    AlgorithmId id) const {
+  const size_t index = static_cast<size_t>(id);
+  AMICI_CHECK(index < algorithms_.size());
+  return algorithms_[index].get();
+}
+
+Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query) {
+  return Query(query, AlgorithmId::kHybrid);
+}
+
+Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
+                                              AlgorithmId algorithm) {
+  AMICI_RETURN_IF_ERROR(ValidateQuery(query, graph_.num_users()));
+  if (algorithm == AlgorithmId::kGeoGrid && !has_geo_items_) {
+    return Status::FailedPrecondition(
+        "geo-grid requires geo-tagged items in the store");
+  }
+
+  Stopwatch watch;
+  const std::shared_ptr<const ProximityVector> proximity =
+      proximity_cache_->Get(graph_, query.user);
+
+  QueryContext ctx;
+  ctx.graph = &graph_;
+  ctx.store = &store_;
+  ctx.inverted = &indexes_.inverted;
+  ctx.social = &indexes_.social;
+  ctx.proximity = proximity.get();
+  ctx.query = &query;
+  ctx.index_horizon = index_horizon_;
+  if (query.has_geo_filter) {
+    const GeoPoint center{query.latitude, query.longitude};
+    const ItemStore* store = &store_;
+    const double radius = query.radius_km;
+    ctx.filter = [store, center, radius](ItemId item) {
+      if (!store->has_geo(item)) return false;
+      const GeoPoint p{store->latitude(item), store->longitude(item)};
+      return DistanceKm(center, p) <= radius;
+    };
+  }
+
+  QueryResult result;
+  result.algorithm = AlgorithmName(algorithm);
+  AMICI_ASSIGN_OR_RETURN(result.items,
+                         AlgorithmFor(algorithm)->Search(ctx, &result.stats));
+
+  // Fold in the un-indexed tail: exhaustively score items the indexes do
+  // not cover yet, merging with the algorithm's (exact) indexed top-k.
+  if (index_horizon_ < store_.num_items()) {
+    Scorer scorer(&store_, proximity.get(), &query);
+    TopKHeap heap(query.k);
+    for (const ScoredItem& item : result.items) {
+      heap.Push(item.item, item.score);
+    }
+    for (ItemId item = index_horizon_;
+         item < static_cast<ItemId>(store_.num_items()); ++item) {
+      ++result.stats.items_considered;
+      if (!scorer.Eligible(item)) continue;
+      if (ctx.filter != nullptr && !ctx.filter(item)) continue;
+      const double score = scorer.Score(item);
+      if (score > 0.0) heap.Push(item, score);
+    }
+    result.items = heap.TakeSorted();
+  }
+
+  result.elapsed_ms = watch.ElapsedMillis();
+  stats_.RecordQuery(result.algorithm, result.elapsed_ms, result.stats);
+  return result;
+}
+
+Result<QueryResult> SocialSearchEngine::QueryDiverse(
+    const SocialQuery& query, size_t max_per_owner, AlgorithmId algorithm) {
+  if (max_per_owner == 0) {
+    return Status::InvalidArgument("max_per_owner must be >= 1");
+  }
+  // Iterative deepening: greedy per-owner selection over the top-N is
+  // exact as soon as it either fills k slots or exhausts the positive-
+  // score corpus (N returned < N requested).
+  SocialQuery fetch_query = query;
+  size_t fetch_k = query.k;
+  while (true) {
+    fetch_query.k = fetch_k;
+    AMICI_ASSIGN_OR_RETURN(QueryResult fetched,
+                           Query(fetch_query, algorithm));
+    std::unordered_map<UserId, size_t> taken;
+    std::vector<ScoredItem> diverse;
+    for (const ScoredItem& entry : fetched.items) {
+      size_t& count = taken[store_.owner(entry.item)];
+      if (count >= max_per_owner) continue;
+      ++count;
+      diverse.push_back(entry);
+      if (diverse.size() == query.k) break;
+    }
+    const bool corpus_exhausted = fetched.items.size() < fetch_k;
+    if (diverse.size() == query.k || corpus_exhausted) {
+      fetched.items = std::move(diverse);
+      return fetched;
+    }
+    fetch_k *= 2;
+  }
+}
+
+std::vector<Result<QueryResult>> SocialSearchEngine::QueryBatch(
+    std::span<const SocialQuery> queries, AlgorithmId algorithm,
+    ThreadPool* pool) {
+  std::vector<Result<QueryResult>> results(
+      queries.size(), Status::Internal("batch slot never executed"));
+  if (pool == nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Query(queries[i], algorithm);
+    }
+    return results;
+  }
+  pool->ParallelFor(queries.size(), [&](size_t i) {
+    results[i] = Query(queries[i], algorithm);
+  });
+  return results;
+}
+
+Result<std::vector<TagSuggestion>> SocialSearchEngine::SuggestTags(
+    UserId user, std::span<const TagId> seed_tags,
+    const QueryExpansionOptions& options) {
+  if (user >= graph_.num_users()) {
+    return Status::InvalidArgument("user outside the social graph");
+  }
+  const std::shared_ptr<const ProximityVector> proximity =
+      proximity_cache_->Get(graph_, user);
+  return SuggestQueryTags(store_, indexes_.social, *proximity, user,
+                          seed_tags, options);
+}
+
+Result<ItemId> SocialSearchEngine::AddItem(const Item& item) {
+  if (item.owner >= graph_.num_users()) {
+    return Status::InvalidArgument("item owner outside the social graph");
+  }
+  return store_.Add(item);
+}
+
+namespace {
+
+/// Rebuilds a CSR graph with one edge toggled. `insert` adds {u, v};
+/// otherwise the edge is dropped.
+SocialGraph RebuildWithEdge(const SocialGraph& graph, UserId u, UserId v,
+                            bool insert) {
+  GraphBuilder builder(graph.num_users());
+  for (size_t a = 0; a < graph.num_users(); ++a) {
+    for (const UserId b : graph.Friends(static_cast<UserId>(a))) {
+      if (b <= a) continue;  // each undirected edge once
+      if (!insert && ((a == u && b == v) || (a == v && b == u))) continue;
+      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(a), b));
+    }
+  }
+  if (insert) AMICI_CHECK_OK(builder.AddEdge(u, v));
+  return builder.Build();
+}
+
+}  // namespace
+
+Status SocialSearchEngine::AddFriendship(UserId u, UserId v) {
+  if (u >= graph_.num_users() || v >= graph_.num_users()) {
+    return Status::InvalidArgument("friendship endpoint outside the graph");
+  }
+  if (u == v) return Status::InvalidArgument("self-friendship is not a thing");
+  if (graph_.HasEdge(u, v)) {
+    return Status::AlreadyExists("friendship already present");
+  }
+  graph_ = RebuildWithEdge(graph_, u, v, /*insert=*/true);
+  proximity_cache_->Clear();  // proximities are stale graph-wide
+  return Status::Ok();
+}
+
+Status SocialSearchEngine::RemoveFriendship(UserId u, UserId v) {
+  if (u >= graph_.num_users() || v >= graph_.num_users()) {
+    return Status::InvalidArgument("friendship endpoint outside the graph");
+  }
+  if (!graph_.HasEdge(u, v)) {
+    return Status::NotFound("no such friendship");
+  }
+  graph_ = RebuildWithEdge(graph_, u, v, /*insert=*/false);
+  proximity_cache_->Clear();
+  return Status::Ok();
+}
+
+Status SocialSearchEngine::Compact() {
+  AMICI_RETURN_IF_ERROR(BuildIndexesInternal());
+  AMICI_LOG(kInfo) << "compacted: indexes now cover " << index_horizon_
+                   << " items";
+  return Status::Ok();
+}
+
+}  // namespace amici

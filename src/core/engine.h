@@ -1,0 +1,161 @@
+#ifndef AMICI_CORE_ENGINE_H_
+#define AMICI_CORE_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/engine_stats.h"
+#include "core/query_expansion.h"
+#include "core/search_algorithm.h"
+#include "core/social_query.h"
+#include "geo/grid_index.h"
+#include "graph/social_graph.h"
+#include "index/index_builder.h"
+#include "proximity/proximity_cache.h"
+#include "proximity/proximity_model.h"
+#include "storage/item_store.h"
+#include "storage/tag_dictionary.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace amici {
+
+/// Names the execution strategy for one query.
+enum class AlgorithmId {
+  kExhaustive,
+  kMergeScan,
+  kContentFirst,
+  kSocialFirst,
+  kHybrid,
+  kGeoGrid,
+  kNra,
+};
+
+/// Stable display name of `id` ("hybrid", "merge-scan", ...).
+std::string_view AlgorithmName(AlgorithmId id);
+
+/// The outcome of one engine query.
+struct QueryResult {
+  /// Best-first (score-descending) results, at most k entries.
+  std::vector<ScoredItem> items;
+  /// Work counters from the executing algorithm (plus the tail merge).
+  SearchStats stats;
+  /// End-to-end latency, including proximity computation on cache miss.
+  double elapsed_ms = 0.0;
+  /// Which algorithm executed.
+  std::string_view algorithm;
+};
+
+/// The public facade: owns the social graph, the item catalogue, both
+/// indexes, the proximity model + cache, and the algorithm suite.
+///
+/// Thread-safety: concurrent Query() calls are safe (internal
+/// synchronization covers the proximity cache and stats); AddItem() and
+/// Compact() require external exclusion against queries.
+///
+/// Incremental ingest follows the main-index + tail design: AddItem
+/// appends to an un-indexed tail that queries scan exhaustively (exactness
+/// is never sacrificed); Compact() folds the tail into the indexes.
+class SocialSearchEngine {
+ public:
+  struct Options {
+    /// Social proximity model; defaults to forward-push PPR
+    /// (restart 0.15, epsilon 1e-4) when null.
+    std::shared_ptr<const ProximityModel> proximity_model;
+    /// LRU capacity of the per-user proximity cache. 0 disables caching.
+    size_t proximity_cache_capacity = 4096;
+    /// Posting-list / impact-list knobs (ablation surface).
+    InvertedIndex::Options index_options;
+    /// Geo grid cell size in degrees (used when the store has geo items).
+    double geo_cell_size_deg = 0.25;
+  };
+
+  /// Builds an engine over `graph` and `store` (both consumed).
+  static Result<std::unique_ptr<SocialSearchEngine>> Build(SocialGraph graph,
+                                                           ItemStore store,
+                                                           Options options);
+
+  /// Executes `query` with the default (hybrid) strategy.
+  Result<QueryResult> Query(const SocialQuery& query);
+
+  /// Executes `query` with a specific strategy. kGeoGrid requires a geo
+  /// filter on the query and geo items in the store.
+  Result<QueryResult> Query(const SocialQuery& query, AlgorithmId algorithm);
+
+  /// Executes a batch concurrently on `pool` (inline when pool is null).
+  /// Results are positionally aligned with `queries`. Queries are
+  /// thread-safe, so the batch only needs the pool for parallelism.
+  std::vector<Result<QueryResult>> QueryBatch(
+      std::span<const SocialQuery> queries, AlgorithmId algorithm,
+      ThreadPool* pool);
+
+  /// Owner-diversified top-k: at most `max_per_owner` results from any
+  /// single owner, selected greedily in score order over the whole
+  /// eligible corpus (exact — implemented by iterative deepening of the
+  /// fetch size, so a feed cannot be monopolized by one prolific friend).
+  Result<QueryResult> QueryDiverse(const SocialQuery& query,
+                                   size_t max_per_owner,
+                                   AlgorithmId algorithm);
+
+  /// Suggests expansion tags for `seed_tags` (sorted, unique) from the
+  /// user's social neighbourhood — the personalized-thesaurus feature
+  /// (see query_expansion.h). Thread-safe alongside queries.
+  Result<std::vector<TagSuggestion>> SuggestTags(
+      UserId user, std::span<const TagId> seed_tags,
+      const QueryExpansionOptions& options = QueryExpansionOptions());
+
+  /// Appends a new item to the un-indexed tail. Requires external
+  /// exclusion against concurrent queries.
+  Result<ItemId> AddItem(const Item& item);
+
+  /// Adds / removes a friendship edge. The CSR graph is rebuilt (O(E))
+  /// and the proximity cache invalidated — adequate for the low edge-churn
+  /// typical of social workloads. Requires external exclusion against
+  /// concurrent queries. RemoveFriendship returns NotFound when the edge
+  /// does not exist; AddFriendship returns AlreadyExists for duplicates.
+  Status AddFriendship(UserId u, UserId v);
+  Status RemoveFriendship(UserId u, UserId v);
+
+  /// Folds the tail into freshly rebuilt indexes.
+  Status Compact();
+
+  /// Items not yet covered by the indexes.
+  size_t unindexed_items() const {
+    return store_.num_items() - index_horizon_;
+  }
+
+  const SocialGraph& graph() const { return graph_; }
+  const ItemStore& store() const { return store_; }
+  const InvertedIndex& inverted_index() const { return indexes_.inverted; }
+  const SocialIndex& social_index() const { return indexes_.social; }
+  const GridIndex& grid_index() const { return grid_; }
+  const IndexBuildStats& last_build_stats() const { return indexes_.stats; }
+  const ProximityModel& proximity_model() const { return *proximity_model_; }
+  ProximityCache& proximity_cache() { return *proximity_cache_; }
+  EngineStats& stats() { return stats_; }
+
+ private:
+  SocialSearchEngine(SocialGraph graph, ItemStore store, Options options);
+
+  Status BuildIndexesInternal();
+  const SearchAlgorithm* AlgorithmFor(AlgorithmId id) const;
+
+  SocialGraph graph_;
+  ItemStore store_;
+  Options options_;
+  BuiltIndexes indexes_;
+  GridIndex grid_;
+  bool has_geo_items_ = false;
+  ItemId index_horizon_ = 0;
+
+  std::shared_ptr<const ProximityModel> proximity_model_;
+  std::unique_ptr<ProximityCache> proximity_cache_;
+  std::vector<std::unique_ptr<SearchAlgorithm>> algorithms_;  // by AlgorithmId
+  EngineStats stats_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_ENGINE_H_

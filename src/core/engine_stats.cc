@@ -1,0 +1,63 @@
+#include "core/engine_stats.h"
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace amici {
+
+void EngineStats::RecordQuery(std::string_view algorithm, double elapsed_ms,
+                              const SearchStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_algorithm_.find(algorithm);
+  if (it == per_algorithm_.end()) {
+    it = per_algorithm_.emplace(std::string(algorithm), PerAlgorithm{}).first;
+  }
+  PerAlgorithm& agg = it->second;
+  agg.latency_ms.Add(elapsed_ms);
+  agg.sorted_accesses += stats.aggregation.sorted_accesses;
+  agg.random_accesses += stats.aggregation.random_accesses;
+  agg.items_considered += stats.items_considered;
+}
+
+uint64_t EngineStats::total_queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, agg] : per_algorithm_) {
+    total += agg.latency_ms.count();
+  }
+  return total;
+}
+
+uint64_t EngineStats::QueriesFor(std::string_view algorithm) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = per_algorithm_.find(algorithm);
+  return it == per_algorithm_.end() ? 0 : it->second.latency_ms.count();
+}
+
+double EngineStats::MeanLatencyMsFor(std::string_view algorithm) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = per_algorithm_.find(algorithm);
+  return it == per_algorithm_.end() ? 0.0 : it->second.latency_ms.mean();
+}
+
+std::string EngineStats::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TablePrinter table({"algorithm", "queries", "mean ms", "max ms",
+                      "sorted acc", "random acc", "items scanned"});
+  for (const auto& [name, agg] : per_algorithm_) {
+    table.AddRow({name, std::to_string(agg.latency_ms.count()),
+                  StringPrintf("%.3f", agg.latency_ms.mean()),
+                  StringPrintf("%.3f", agg.latency_ms.max()),
+                  std::to_string(agg.sorted_accesses),
+                  std::to_string(agg.random_accesses),
+                  std::to_string(agg.items_considered)});
+  }
+  return table.ToString();
+}
+
+void EngineStats::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  per_algorithm_.clear();
+}
+
+}  // namespace amici

@@ -1,0 +1,58 @@
+#ifndef AMICI_CORE_ENGINE_STATS_H_
+#define AMICI_CORE_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/search_algorithm.h"
+#include "util/stats.h"
+
+namespace amici {
+
+/// Aggregate, thread-safe counters for one engine instance — the
+/// "Statistics" surface a production storage engine exposes. Benches and
+/// examples dump this after their runs.
+class EngineStats {
+ public:
+  EngineStats() = default;
+
+  EngineStats(const EngineStats&) = delete;
+  EngineStats& operator=(const EngineStats&) = delete;
+
+  /// Folds one executed query into the per-algorithm aggregates.
+  void RecordQuery(std::string_view algorithm, double elapsed_ms,
+                   const SearchStats& stats);
+
+  /// Total queries across all algorithms.
+  uint64_t total_queries() const;
+
+  /// Queries recorded for one algorithm (0 if never used).
+  uint64_t QueriesFor(std::string_view algorithm) const;
+
+  /// Mean latency for one algorithm in milliseconds (0 if never used).
+  double MeanLatencyMsFor(std::string_view algorithm) const;
+
+  /// Multi-line human-readable dump (one row per algorithm).
+  std::string ToString() const;
+
+  /// Clears all aggregates.
+  void Reset();
+
+ private:
+  struct PerAlgorithm {
+    OnlineStats latency_ms;
+    uint64_t sorted_accesses = 0;
+    uint64_t random_accesses = 0;
+    uint64_t items_considered = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PerAlgorithm, std::less<>> per_algorithm_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_ENGINE_STATS_H_

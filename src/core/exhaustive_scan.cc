@@ -1,0 +1,26 @@
+#include "core/exhaustive_scan.h"
+
+#include "core/scorer.h"
+#include "topk/topk_heap.h"
+
+namespace amici {
+
+Result<std::vector<ScoredItem>> ExhaustiveScan::Search(
+    const QueryContext& ctx, SearchStats* stats) const {
+  const SocialQuery& query = *ctx.query;
+  Scorer scorer(ctx.store, ctx.proximity, &query);
+  TopKHeap heap(query.k);
+  SearchStats local;
+
+  for (ItemId item = 0; item < ctx.index_horizon; ++item) {
+    ++local.items_considered;
+    if (!scorer.Eligible(item)) continue;
+    if (ctx.filter != nullptr && !ctx.filter(item)) continue;
+    const double score = scorer.Score(item);
+    if (score > 0.0) heap.Push(item, score);
+  }
+  if (stats != nullptr) *stats = local;
+  return heap.TakeSorted();
+}
+
+}  // namespace amici

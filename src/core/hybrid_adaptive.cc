@@ -1,0 +1,12 @@
+#include "core/hybrid_adaptive.h"
+
+#include "core/ta_runner.h"
+
+namespace amici {
+
+Result<std::vector<ScoredItem>> HybridAdaptive::Search(
+    const QueryContext& ctx, SearchStats* stats) const {
+  return RunBlendedTa(ctx, PullBias::kAdaptive, stats);
+}
+
+}  // namespace amici

@@ -1,0 +1,30 @@
+#ifndef AMICI_CORE_HYBRID_ADAPTIVE_H_
+#define AMICI_CORE_HYBRID_ADAPTIVE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+
+namespace amici {
+
+/// The headline algorithm: Threshold Algorithm with *adaptive* scheduling.
+/// Every sorted access goes to the source currently holding the largest
+/// upper bound, i.e. the greedy choice that shrinks the termination
+/// threshold fastest. The pull distribution therefore re-balances itself
+/// with alpha, query tags, and the local shape of the user's neighbourhood
+/// — no planner knob to tune — and tracks the lower envelope of
+/// ContentFirstTa and SocialFirst across the whole alpha range (Fig 4).
+class HybridAdaptive final : public SearchAlgorithm {
+ public:
+  HybridAdaptive() = default;
+
+  std::string_view name() const override { return "hybrid"; }
+
+  Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                         SearchStats* stats) const override;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_HYBRID_ADAPTIVE_H_

@@ -1,0 +1,112 @@
+#include "core/merge_scan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/scorer.h"
+#include "storage/posting_list.h"
+#include "topk/topk_heap.h"
+
+namespace amici {
+namespace {
+
+/// kAll: leapfrog intersection over doc-ordered lists; SeekGeq exploits
+/// skip pointers. Lists are visited smallest-first so the rarest tag
+/// drives the probes.
+void IntersectAndScore(const QueryContext& ctx, const Scorer& scorer,
+                       TopKHeap* heap, SearchStats* stats) {
+  const SocialQuery& query = *ctx.query;
+  std::vector<PostingList::Iterator> iters;
+  iters.reserve(query.tags.size());
+  std::vector<size_t> order(query.tags.size());
+  for (size_t i = 0; i < query.tags.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ctx.inverted->DocumentFrequency(query.tags[a]) <
+           ctx.inverted->DocumentFrequency(query.tags[b]);
+  });
+  for (const size_t i : order) {
+    iters.push_back(ctx.inverted->Postings(query.tags[i]).NewIterator());
+    if (!iters.back().Valid()) return;  // some tag matches nothing
+  }
+
+  while (true) {
+    // Propose the current doc of the rarest list; ask every other list to
+    // catch up. Restart whenever someone overshoots.
+    ItemId candidate = iters[0].Doc();
+    bool agreed = true;
+    for (size_t i = 1; i < iters.size(); ++i) {
+      iters[i].SeekGeq(candidate);
+      if (!iters[i].Valid()) return;
+      if (iters[i].Doc() != candidate) {
+        iters[0].SeekGeq(iters[i].Doc());
+        if (!iters[0].Valid()) return;
+        agreed = false;
+        break;
+      }
+    }
+    if (!agreed) continue;
+
+    ++stats->items_considered;
+    if (candidate < ctx.index_horizon &&
+        (ctx.filter == nullptr || ctx.filter(candidate))) {
+      const double score = scorer.Score(candidate);
+      if (score > 0.0) heap->Push(candidate, score);
+    }
+    iters[0].Next();
+    if (!iters[0].Valid()) return;
+  }
+}
+
+/// kAny: union of the tag lists plus social candidates.
+void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
+                   TopKHeap* heap, SearchStats* stats) {
+  const SocialQuery& query = *ctx.query;
+  std::unordered_set<ItemId> seen;
+
+  auto consider = [&](ItemId item) {
+    if (item >= ctx.index_horizon) return;
+    if (!seen.insert(item).second) return;
+    ++stats->items_considered;
+    if (ctx.filter != nullptr && !ctx.filter(item)) return;
+    const double score = scorer.Score(item);
+    if (score > 0.0) heap->Push(item, score);
+  };
+
+  for (const TagId tag : query.tags) {
+    for (auto it = ctx.inverted->Postings(tag).NewIterator(); it.Valid();
+         it.Next()) {
+      consider(it.Doc());
+    }
+  }
+  // Social candidates: the querying user's own items, then every user with
+  // positive proximity.
+  for (const ScoredItem& own : ctx.social->ItemsOf(query.user)) {
+    consider(own.item);
+  }
+  for (const ProximityEntry& entry : ctx.proximity->ranked()) {
+    if (entry.user == query.user) continue;
+    for (const ScoredItem& item : ctx.social->ItemsOf(entry.user)) {
+      consider(item.item);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ScoredItem>> MergeScan::Search(const QueryContext& ctx,
+                                                  SearchStats* stats) const {
+  const SocialQuery& query = *ctx.query;
+  Scorer scorer(ctx.store, ctx.proximity, &query);
+  TopKHeap heap(query.k);
+  SearchStats local;
+
+  if (query.mode == MatchMode::kAll) {
+    IntersectAndScore(ctx, scorer, &heap, &local);
+  } else {
+    UnionAndScore(ctx, scorer, &heap, &local);
+  }
+  if (stats != nullptr) *stats = local;
+  return heap.TakeSorted();
+}
+
+}  // namespace amici

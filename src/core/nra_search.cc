@@ -1,0 +1,87 @@
+#include "core/nra_search.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/scorer.h"
+#include "core/ta_runner.h"
+#include "topk/nra.h"
+#include "util/logging.h"
+
+namespace amici {
+namespace {
+
+/// Skips entries that fail a predicate, preserving sorted order.
+class FilteringSource final : public SortedSource {
+ public:
+  FilteringSource(SortedSource* inner, const std::function<bool(ItemId)>* keep)
+      : inner_(inner), keep_(keep) {
+    SkipRejected();
+  }
+
+  bool Valid() const override { return inner_->Valid(); }
+  ScoredItem Current() const override { return inner_->Current(); }
+  void Next() override {
+    inner_->Next();
+    SkipRejected();
+  }
+
+ private:
+  void SkipRejected() {
+    if (*keep_ == nullptr) return;
+    while (inner_->Valid() && !(*keep_)(inner_->Current().item)) {
+      inner_->Next();
+    }
+  }
+
+  SortedSource* inner_;
+  const std::function<bool(ItemId)>* keep_;
+};
+
+}  // namespace
+
+Result<std::vector<ScoredItem>> NraSearch::Search(const QueryContext& ctx,
+                                                  SearchStats* stats) const {
+  const SocialQuery& query = *ctx.query;
+  AMICI_ASSIGN_OR_RETURN(BlendedSources blended, BuildBlendedSources(ctx));
+  if (blended.owned.empty()) return std::vector<ScoredItem>{};
+
+  Scorer scorer(ctx.store, ctx.proximity, &query);
+  const std::function<bool(ItemId)> keep =
+      BuildEligibilityFilter(ctx, &scorer);
+
+  std::vector<std::unique_ptr<FilteringSource>> filtered;
+  std::vector<SortedSource*> sources;
+  filtered.reserve(blended.owned.size());
+  for (const auto& source : blended.owned) {
+    filtered.push_back(std::make_unique<FilteringSource>(source.get(), &keep));
+    sources.push_back(filtered.back().get());
+  }
+
+  SearchStats local;
+  AMICI_ASSIGN_OR_RETURN(
+      std::vector<ScoredItem> members,
+      RunNra(std::span<SortedSource* const>(sources.data(), sources.size()),
+             query.k, &local.aggregation));
+
+  // Exact rescore of the members; drop zero scores per the engine-wide
+  // contract, order best-first with the deterministic tie-break.
+  std::vector<ScoredItem> results;
+  results.reserve(members.size());
+  for (const ScoredItem& member : members) {
+    const double score = scorer.Score(member.item);
+    ++local.aggregation.random_accesses;
+    if (score > 0.0) {
+      results.push_back({member.item, static_cast<float>(score)});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace amici

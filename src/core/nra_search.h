@@ -1,0 +1,33 @@
+#ifndef AMICI_CORE_NRA_SEARCH_H_
+#define AMICI_CORE_NRA_SEARCH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+
+namespace amici {
+
+/// No-Random-Access execution + exact rescore: runs Fagin's NRA over the
+/// same blended sources as the TA family to determine top-k *membership*
+/// without probing the store during aggregation, then rescores the k
+/// members exactly. The classical alternative when random accesses are
+/// expensive (e.g. the store is remote); here it serves as the comparison
+/// operator the literature always includes.
+///
+/// Filtering (geo circles, AND-mode tag matching) is applied at the
+/// source level: entries failing the predicate never enter the
+/// aggregation, so exactness holds w.r.t. the filtered corpus.
+class NraSearch final : public SearchAlgorithm {
+ public:
+  NraSearch() = default;
+
+  std::string_view name() const override { return "nra"; }
+
+  Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                         SearchStats* stats) const override;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_NRA_SEARCH_H_

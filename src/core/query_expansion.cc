@@ -1,0 +1,86 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace amici {
+namespace {
+
+bool IsSeed(std::span<const TagId> seeds, TagId tag) {
+  return std::binary_search(seeds.begin(), seeds.end(), tag);
+}
+
+}  // namespace
+
+Result<std::vector<TagSuggestion>> SuggestQueryTags(
+    const ItemStore& store, const SocialIndex& social,
+    const ProximityVector& proximity, UserId user,
+    std::span<const TagId> seed_tags, const QueryExpansionOptions& options) {
+  if (seed_tags.empty()) {
+    return Status::InvalidArgument("query expansion needs seed tags");
+  }
+  if (!std::is_sorted(seed_tags.begin(), seed_tags.end()) ||
+      std::adjacent_find(seed_tags.begin(), seed_tags.end()) !=
+          seed_tags.end()) {
+    return Status::InvalidArgument("seed tags must be sorted and unique");
+  }
+  if (options.max_suggestions == 0) {
+    return Status::InvalidArgument("max_suggestions must be >= 1");
+  }
+  if (user >= social.num_users()) {
+    return Status::InvalidArgument("user outside the social index");
+  }
+
+  struct Evidence {
+    double weight = 0.0;
+    uint32_t cooccurrences = 0;
+  };
+  std::unordered_map<TagId, Evidence> evidence;
+
+  auto harvest = [&](UserId owner, double owner_weight) {
+    for (const ScoredItem& entry : social.ItemsOf(owner)) {
+      const auto tags = store.tags(entry.item);
+      bool has_seed = false;
+      for (const TagId tag : tags) {
+        if (IsSeed(seed_tags, tag)) {
+          has_seed = true;
+          break;
+        }
+      }
+      if (!has_seed) continue;
+      for (const TagId tag : tags) {
+        if (IsSeed(seed_tags, tag)) continue;
+        Evidence& e = evidence[tag];
+        e.weight += owner_weight;
+        ++e.cooccurrences;
+      }
+    }
+  };
+
+  harvest(user, 1.0);
+  size_t users_used = 1;
+  for (const ProximityEntry& entry : proximity.ranked()) {
+    if (users_used >= options.max_users) break;
+    if (entry.user == user) continue;
+    harvest(entry.user, static_cast<double>(entry.score));
+    ++users_used;
+  }
+
+  std::vector<TagSuggestion> suggestions;
+  suggestions.reserve(evidence.size());
+  for (const auto& [tag, e] : evidence) {
+    if (e.cooccurrences < options.min_cooccurrence) continue;
+    suggestions.push_back({tag, static_cast<float>(e.weight)});
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const TagSuggestion& a, const TagSuggestion& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.tag < b.tag;
+            });
+  if (suggestions.size() > options.max_suggestions) {
+    suggestions.resize(options.max_suggestions);
+  }
+  return suggestions;
+}
+
+}  // namespace amici

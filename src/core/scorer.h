@@ -1,0 +1,58 @@
+#ifndef AMICI_CORE_SCORER_H_
+#define AMICI_CORE_SCORER_H_
+
+#include <vector>
+
+#include "core/social_query.h"
+#include "proximity/proximity_model.h"
+#include "storage/item_store.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Computes the exact blended score of items for one (query, proximity
+/// vector) pair. Every algorithm rescoring a candidate goes through this
+/// class, so all algorithms agree bit-for-bit on item scores.
+///
+/// Conventions:
+///  * the querying user's own items have social score 1.0 (you are closest
+///    to yourself);
+///  * other owners score their normalized proximity (0 when not in the
+///    proximity vector);
+///  * content under kAny is quality * (matched tags / |query tags|);
+///    content under kAll is quality when all tags match (eligibility is a
+///    separate predicate — see Eligible()).
+class Scorer {
+ public:
+  /// All pointers must outlive the Scorer; `query` must be validated.
+  Scorer(const ItemStore* store, const ProximityVector* proximity,
+         const SocialQuery* query);
+
+  /// alpha * social + (1 - alpha) * content.
+  double Score(ItemId item) const {
+    return query_->alpha * SocialScore(item) +
+           (1.0 - query_->alpha) * ContentScore(item);
+  }
+
+  /// Social component in [0, 1].
+  double SocialScore(ItemId item) const;
+
+  /// Content component in [0, 1] (see class comment for mode semantics).
+  double ContentScore(ItemId item) const;
+
+  /// Number of query tags the item carries.
+  size_t MatchedTags(ItemId item) const;
+
+  /// Mode-level eligibility: under kAll, items missing any query tag are
+  /// excluded outright; under kAny every item is eligible.
+  bool Eligible(ItemId item) const;
+
+ private:
+  const ItemStore* store_;
+  const ProximityVector* proximity_;
+  const SocialQuery* query_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_SCORER_H_

@@ -1,0 +1,67 @@
+#ifndef AMICI_CORE_SEARCH_ALGORITHM_H_
+#define AMICI_CORE_SEARCH_ALGORITHM_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/social_query.h"
+#include "graph/social_graph.h"
+#include "index/inverted_index.h"
+#include "index/social_index.h"
+#include "proximity/proximity_model.h"
+#include "storage/item_store.h"
+#include "storage/posting_list.h"
+#include "topk/threshold_algorithm.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Everything a query algorithm may touch, assembled by the engine per
+/// query. All pointers outlive the call; `proximity` is the (cached)
+/// vector for query->user; `filter`, when set, restricts the eligible
+/// corpus (geo restriction and/or AND-mode tag matching).
+struct QueryContext {
+  const SocialGraph* graph = nullptr;
+  const ItemStore* store = nullptr;
+  const InvertedIndex* inverted = nullptr;
+  const SocialIndex* social = nullptr;
+  const ProximityVector* proximity = nullptr;
+  const SocialQuery* query = nullptr;
+  std::function<bool(ItemId)> filter;  // empty = accept everything
+  /// Items with id >= index_horizon are not covered by the indexes (they
+  /// arrived after the last compaction); the engine scores them separately.
+  ItemId index_horizon = 0;
+};
+
+/// Work counters one query execution produces.
+struct SearchStats {
+  AggregationStats aggregation;
+  /// Candidates examined outside the aggregation engine (scans/merges).
+  uint64_t items_considered = 0;
+};
+
+/// A top-k retrieval strategy. Implementations must be stateless and
+/// thread-safe: all per-query state lives on the stack of Search().
+///
+/// Contract: returns the exact top-k (score-descending; ties on score may
+/// order arbitrarily) of the *eligible* items with id < index_horizon,
+/// where eligible means passing ctx.filter. Scores must equal
+/// Scorer::Score bit-for-bit. Items with zero blended score are never
+/// returned — the result may therefore hold fewer than k entries when the
+/// corpus has fewer than k positive-score matches.
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+
+  /// Stable identifier used in benches and engine stats.
+  virtual std::string_view name() const = 0;
+
+  /// Executes the query described by `ctx`.
+  virtual Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                                 SearchStats* stats) const = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_SEARCH_ALGORITHM_H_

@@ -1,0 +1,12 @@
+#include "core/social_first.h"
+
+#include "core/ta_runner.h"
+
+namespace amici {
+
+Result<std::vector<ScoredItem>> SocialFirst::Search(const QueryContext& ctx,
+                                                    SearchStats* stats) const {
+  return RunBlendedTa(ctx, PullBias::kSocial, stats);
+}
+
+}  // namespace amici

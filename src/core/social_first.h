@@ -1,0 +1,30 @@
+#ifndef AMICI_CORE_SOCIAL_FIRST_H_
+#define AMICI_CORE_SOCIAL_FIRST_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+
+namespace amici {
+
+/// Threshold Algorithm biased towards the social dimension: expands the
+/// querying user's neighbourhood in decreasing-proximity order (own items,
+/// then closest friends' items, ...), probing the content lists only
+/// occasionally. Mirrors ContentFirstTa: cheapest at large alpha, where a
+/// handful of close friends already pins the threshold below the k-th
+/// score — the right side of the Fig 4 crossover, and the algorithm whose
+/// advantage grows with social locality (Fig 9).
+class SocialFirst final : public SearchAlgorithm {
+ public:
+  SocialFirst() = default;
+
+  std::string_view name() const override { return "social-first"; }
+
+  Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                         SearchStats* stats) const override;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_SOCIAL_FIRST_H_

@@ -1,0 +1,43 @@
+#include "core/social_query.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace amici {
+
+void NormalizeQuery(SocialQuery* query) {
+  std::sort(query->tags.begin(), query->tags.end());
+  query->tags.erase(std::unique(query->tags.begin(), query->tags.end()),
+                    query->tags.end());
+}
+
+Status ValidateQuery(const SocialQuery& query, size_t num_users) {
+  if (query.user >= num_users) {
+    return Status::InvalidArgument(
+        StringPrintf("query user %u out of range (%zu users)", query.user,
+                     num_users));
+  }
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (!(query.alpha >= 0.0 && query.alpha <= 1.0)) {
+    return Status::InvalidArgument(
+        StringPrintf("alpha %.3f outside [0, 1]", query.alpha));
+  }
+  if (query.tags.empty()) {
+    return Status::InvalidArgument("query must have at least one tag");
+  }
+  if (!std::is_sorted(query.tags.begin(), query.tags.end()) ||
+      std::adjacent_find(query.tags.begin(), query.tags.end()) !=
+          query.tags.end()) {
+    return Status::InvalidArgument(
+        "query tags must be sorted and unique (use NormalizeQuery)");
+  }
+  if (query.has_geo_filter && !(query.radius_km > 0.0f)) {
+    return Status::InvalidArgument("geo filter needs a positive radius");
+  }
+  return Status::Ok();
+}
+
+}  // namespace amici

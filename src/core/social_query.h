@@ -1,0 +1,63 @@
+#ifndef AMICI_CORE_SOCIAL_QUERY_H_
+#define AMICI_CORE_SOCIAL_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// How query tags combine.
+enum class MatchMode {
+  /// OR semantics: any matching tag contributes; content score scales with
+  /// the fraction of query tags matched. Items matching no tag are still
+  /// eligible through their social score.
+  kAny,
+  /// AND semantics: only items carrying *every* query tag are eligible
+  /// (hard filter); content score is then the item quality.
+  kAll,
+};
+
+/// A social top-k query: "as `user`, find the `k` best items about `tags`,
+/// blending how relevant an item is with how close its owner is to me".
+///
+///   score(item) = alpha * social(user, owner)
+///               + (1 - alpha) * content(tags, item)
+///
+/// alpha = 0 is classical content search; alpha = 1 ranks purely by
+/// social proximity ("show me my friends' stuff").
+struct SocialQuery {
+  /// The querying user (the personalization anchor).
+  UserId user = 0;
+  /// Query tags; must be non-empty. Duplicates are rejected by
+  /// ValidateQuery — use NormalizeQuery to sort & dedupe first.
+  std::vector<TagId> tags;
+  /// Result size; >= 1.
+  size_t k = 10;
+  /// Social/content blend in [0, 1].
+  double alpha = 0.5;
+  /// Tag combination semantics.
+  MatchMode mode = MatchMode::kAny;
+
+  /// Optional geo restriction: only items within `radius_km` of
+  /// (latitude, longitude) are eligible. Items without a geo position
+  /// never pass the filter.
+  bool has_geo_filter = false;
+  float latitude = 0.0f;
+  float longitude = 0.0f;
+  float radius_km = 0.0f;
+};
+
+/// Sorts and deduplicates the tag list in place.
+void NormalizeQuery(SocialQuery* query);
+
+/// Validates `query` against a universe of `num_users` users: user in
+/// range, k >= 1, alpha in [0, 1], tags non-empty / sorted / unique, and a
+/// positive radius when the geo filter is enabled.
+Status ValidateQuery(const SocialQuery& query, size_t num_users);
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_SOCIAL_QUERY_H_

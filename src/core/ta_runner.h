@@ -1,0 +1,53 @@
+#ifndef AMICI_CORE_TA_RUNNER_H_
+#define AMICI_CORE_TA_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "storage/posting_list.h"
+#include "topk/threshold_algorithm.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Which class of sources a pull policy should favour.
+enum class PullBias {
+  kContent,   // ContentFirst: drain tag lists, touch the social stream rarely
+  kSocial,    // SocialFirst: drain the social stream, touch tag lists rarely
+  kAdaptive,  // Hybrid: greedy max-bound pulls
+};
+
+/// The sorted sources of one blended query: per-tag impact-ordered lists
+/// (weight (1-alpha)/|tags|) followed by the social stream (weight alpha).
+/// Zero-weight sources are omitted.
+struct BlendedSources {
+  std::vector<std::unique_ptr<SortedSource>> owned;
+  /// Parallel to `owned`: true for tag-list sources.
+  std::vector<bool> is_content;
+};
+
+/// Assembles the sorted sources for `ctx`. Requires impact-ordered lists
+/// when alpha < 1; returns FailedPrecondition otherwise.
+Result<BlendedSources> BuildBlendedSources(const QueryContext& ctx);
+
+/// The eligibility predicate of `ctx`: combines the engine filter with
+/// kAll tag matching. May be empty (accept everything). `scorer` must
+/// outlive the returned function.
+std::function<bool(ItemId)> BuildEligibilityFilter(const QueryContext& ctx,
+                                                   const class Scorer* scorer);
+
+/// Shared implementation of the three blended TA algorithms. Assembles the
+/// sources, combines eligibility filters, and runs the TA engine with a
+/// policy matching `bias`.
+///
+/// Requires the inverted index to have impact-ordered lists materialized;
+/// returns FailedPrecondition otherwise.
+Result<std::vector<ScoredItem>> RunBlendedTa(const QueryContext& ctx,
+                                             PullBias bias,
+                                             SearchStats* stats);
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_TA_RUNNER_H_

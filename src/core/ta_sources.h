@@ -1,0 +1,142 @@
+#ifndef AMICI_CORE_TA_SOURCES_H_
+#define AMICI_CORE_TA_SOURCES_H_
+
+#include <span>
+#include <vector>
+
+#include "index/social_index.h"
+#include "proximity/proximity_model.h"
+#include "storage/posting_list.h"
+#include "topk/threshold_algorithm.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Sorted-access adapter over one impact-ordered posting list. The partial
+/// score of an entry is weight * quality — i.e. the per-tag contribution
+/// (1 - alpha) / |query tags| * quality to the blended score.
+///
+/// Entries with id >= horizon (un-indexed tail items) are skipped so the
+/// stream matches the algorithm contract.
+class ImpactListSource final : public SortedSource {
+ public:
+  ImpactListSource(std::span<const ScoredItem> entries, double weight,
+                   ItemId horizon)
+      : entries_(entries), weight_(weight), horizon_(horizon) {
+    SkipInvisible();
+  }
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+
+  ScoredItem Current() const override {
+    return {entries_[pos_].item,
+            static_cast<float>(weight_ * entries_[pos_].score)};
+  }
+
+  void Next() override {
+    ++pos_;
+    SkipInvisible();
+  }
+
+ private:
+  void SkipInvisible() {
+    while (pos_ < entries_.size() && entries_[pos_].item >= horizon_) ++pos_;
+  }
+
+  std::span<const ScoredItem> entries_;
+  double weight_;
+  ItemId horizon_;
+  size_t pos_ = 0;
+};
+
+/// Sorted-access adapter over the social dimension: emits the querying
+/// user's own items first (proximity 1.0), then every proximate user's
+/// items in decreasing proximity order. The partial score of an item is
+/// weight * proximity(owner) — the alpha * social contribution. Within one
+/// owner the partial is constant, so the stream is globally non-increasing.
+class SocialStreamSource final : public SortedSource {
+ public:
+  /// `weight` is the query's alpha. Pass weight 0 to create an immediately
+  /// useless (but valid) stream — callers usually skip building it instead.
+  SocialStreamSource(const ProximityVector* proximity,
+                     const SocialIndex* social, UserId self, double weight,
+                     ItemId horizon)
+      : proximity_(proximity),
+        social_(social),
+        self_(self),
+        weight_(weight),
+        horizon_(horizon) {
+    AdvanceToNextItem();
+  }
+
+  bool Valid() const override { return current_owner_valid_; }
+
+  ScoredItem Current() const override {
+    const auto items = social_->ItemsOf(CurrentOwner());
+    return {items[item_pos_].item,
+            static_cast<float>(weight_ * CurrentProximity())};
+  }
+
+  void Next() override {
+    ++item_pos_;
+    AdvanceToNextItem();
+  }
+
+ private:
+  /// rank_ == -1 addresses the querying user; rank_ >= 0 indexes the
+  /// proximity vector.
+  UserId CurrentOwner() const {
+    return rank_ < 0 ? self_
+                     : proximity_->ranked()[static_cast<size_t>(rank_)].user;
+  }
+
+  double CurrentProximity() const {
+    return rank_ < 0
+               ? 1.0
+               : static_cast<double>(
+                     proximity_->ranked()[static_cast<size_t>(rank_)].score);
+  }
+
+  /// Establishes the invariant: either current (rank_, item_pos_) points at
+  /// a visible item, or the stream is exhausted.
+  void AdvanceToNextItem() {
+    while (true) {
+      const size_t num_ranked = proximity_->ranked().size();
+      if (rank_ >= static_cast<ptrdiff_t>(num_ranked)) {
+        current_owner_valid_ = false;
+        return;
+      }
+      const UserId owner = CurrentOwner();
+      // The self row may also appear in the proximity vector of some
+      // models; skip it the second time to avoid duplicate emission.
+      if (rank_ >= 0 && owner == self_) {
+        ++rank_;
+        item_pos_ = 0;
+        continue;
+      }
+      const auto items = social_->ItemsOf(owner);
+      while (item_pos_ < items.size() && items[item_pos_].item >= horizon_) {
+        ++item_pos_;
+      }
+      if (item_pos_ < items.size()) {
+        current_owner_valid_ = true;
+        return;
+      }
+      ++rank_;
+      item_pos_ = 0;
+    }
+  }
+
+  const ProximityVector* proximity_;
+  const SocialIndex* social_;
+  UserId self_;
+  double weight_;
+  ItemId horizon_;
+  ptrdiff_t rank_ = -1;
+  size_t item_pos_ = 0;
+  bool current_owner_valid_ = false;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_CORE_TA_SOURCES_H_

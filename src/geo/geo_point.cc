@@ -1,0 +1,38 @@
+#include "geo/geo_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amici {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double Radians(double degrees) { return degrees * kPi / 180.0; }
+
+}  // namespace
+
+double DistanceKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = Radians(a.latitude);
+  const double lat2 = Radians(b.latitude);
+  const double dlat = lat2 - lat1;
+  const double dlon = Radians(static_cast<double>(b.longitude) -
+                              static_cast<double>(a.longitude));
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double KmToLatitudeDegrees(double km) {
+  return km / (kPi * kEarthRadiusKm / 180.0);
+}
+
+double KmToLongitudeDegrees(double km, double at_latitude) {
+  const double cos_lat = std::cos(Radians(at_latitude));
+  if (cos_lat < 1e-6) return 360.0;
+  return std::min(360.0, km / (kPi * kEarthRadiusKm / 180.0 * cos_lat));
+}
+
+}  // namespace amici

@@ -1,0 +1,30 @@
+#ifndef AMICI_GEO_GEO_POINT_H_
+#define AMICI_GEO_GEO_POINT_H_
+
+namespace amici {
+
+/// A WGS84-ish coordinate. Latitude in [-90, 90], longitude in
+/// [-180, 180]. The geo subsystem does not handle anti-meridian wrap —
+/// synthetic workloads keep away from it (documented substitution;
+/// DESIGN.md §5).
+struct GeoPoint {
+  float latitude = 0.0f;
+  float longitude = 0.0f;
+};
+
+/// Mean Earth radius used throughout the geo subsystem (kilometres).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Great-circle distance between `a` and `b` in kilometres (haversine).
+double DistanceKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Degrees of latitude spanning `km` kilometres (constant on a sphere).
+double KmToLatitudeDegrees(double km);
+
+/// Degrees of longitude spanning `km` kilometres at latitude `at_latitude`.
+/// Grows towards the poles; clamped to 360 near them.
+double KmToLongitudeDegrees(double km, double at_latitude);
+
+}  // namespace amici
+
+#endif  // AMICI_GEO_GEO_POINT_H_

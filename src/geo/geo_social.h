@@ -1,0 +1,37 @@
+#ifndef AMICI_GEO_GEO_SOCIAL_H_
+#define AMICI_GEO_GEO_SOCIAL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "geo/grid_index.h"
+
+namespace amici {
+
+/// Geo-driven execution of geo-social queries: instead of filtering a
+/// content- or social-ordered stream by the radius predicate, enumerate
+/// the radius via the grid index first and score only those candidates.
+/// Wins when the radius is selective (few items inside), loses to the
+/// filtered TA algorithms as the radius grows — the Fig 8 crossover.
+///
+/// Requires the query to carry a geo filter; returns FailedPrecondition
+/// otherwise.
+class GeoGridScan final : public SearchAlgorithm {
+ public:
+  /// `grid` must outlive the algorithm and be built over the same store
+  /// the engine queries.
+  explicit GeoGridScan(const GridIndex* grid);
+
+  std::string_view name() const override { return "geo-grid"; }
+
+  Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
+                                         SearchStats* stats) const override;
+
+ private:
+  const GridIndex* grid_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_GEO_GEO_SOCIAL_H_

@@ -1,0 +1,87 @@
+#include "geo/grid_index.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace amici {
+
+GridIndex::CellKey GridIndex::KeyFor(float latitude, float longitude) const {
+  // Shift into non-negative cell coordinates; 1e6 cells per axis is far
+  // more than 360/cell_size for any sane cell size.
+  const auto lat_cell = static_cast<int64_t>(
+      std::floor((static_cast<double>(latitude) + 90.0) / cell_size_deg_));
+  const auto lon_cell = static_cast<int64_t>(
+      std::floor((static_cast<double>(longitude) + 180.0) / cell_size_deg_));
+  return ComposeKey(lat_cell, lon_cell);
+}
+
+GridIndex::CellKey GridIndex::ComposeKey(int64_t lat_cell, int64_t lon_cell) {
+  return static_cast<CellKey>(lat_cell) * 1000000ULL +
+         static_cast<CellKey>(lon_cell);
+}
+
+GridIndex GridIndex::Build(const ItemStore& store, double cell_size_deg) {
+  AMICI_CHECK(cell_size_deg > 0.0);
+  GridIndex index;
+  index.cell_size_deg_ = cell_size_deg;
+  index.store_ = &store;
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    if (!store.has_geo(item)) continue;
+    index.cells_[index.KeyFor(store.latitude(item), store.longitude(item))]
+        .push_back(item);
+    ++index.num_items_;
+  }
+  return index;
+}
+
+void GridIndex::ForEachInRadius(const GeoPoint& center, double radius_km,
+                                const std::function<void(ItemId)>& fn) const {
+  if (store_ == nullptr || radius_km <= 0.0) return;
+  const double lat_span = KmToLatitudeDegrees(radius_km);
+  const double lon_span = KmToLongitudeDegrees(radius_km, center.latitude);
+
+  // Integer cell coordinates guarantee each cell is visited exactly once.
+  const auto cell_of = [this](double shifted) {
+    return static_cast<int64_t>(std::floor(shifted / cell_size_deg_));
+  };
+  const int64_t lat_lo =
+      cell_of(static_cast<double>(center.latitude) - lat_span + 90.0);
+  const int64_t lat_hi =
+      cell_of(static_cast<double>(center.latitude) + lat_span + 90.0);
+  const int64_t lon_lo =
+      cell_of(static_cast<double>(center.longitude) - lon_span + 180.0);
+  const int64_t lon_hi =
+      cell_of(static_cast<double>(center.longitude) + lon_span + 180.0);
+
+  for (int64_t lat = lat_lo; lat <= lat_hi; ++lat) {
+    for (int64_t lon = lon_lo; lon <= lon_hi; ++lon) {
+      const auto it = cells_.find(ComposeKey(lat, lon));
+      if (it == cells_.end()) continue;
+      for (const ItemId item : it->second) {
+        const GeoPoint p{store_->latitude(item), store_->longitude(item)};
+        if (DistanceKm(center, p) <= radius_km) fn(item);
+      }
+    }
+  }
+}
+
+std::vector<ItemId> GridIndex::ItemsInRadius(const GeoPoint& center,
+                                             double radius_km) const {
+  std::vector<ItemId> out;
+  ForEachInRadius(center, radius_km, [&out](ItemId item) {
+    out.push_back(item);
+  });
+  return out;
+}
+
+size_t GridIndex::MemoryBytes() const {
+  size_t bytes = cells_.size() * (sizeof(CellKey) + sizeof(void*) * 2);
+  for (const auto& [key, items] : cells_) {
+    bytes += items.capacity() * sizeof(ItemId);
+  }
+  return bytes;
+}
+
+}  // namespace amici

@@ -1,0 +1,58 @@
+#ifndef AMICI_GEO_GRID_INDEX_H_
+#define AMICI_GEO_GRID_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "storage/item_store.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Uniform lat/lon grid over the geo-tagged items of an ItemStore. Cells
+/// are `cell_size_deg` degrees on each side; a radius query scans the
+/// bounding box of cells and verifies each candidate with the exact
+/// haversine distance. Simple, cache-friendly, and adequate for the
+/// city-scale extents the geo-social experiments use.
+class GridIndex {
+ public:
+  /// Builds the grid over every item in `store` that has a geo position.
+  /// `cell_size_deg` > 0.
+  static GridIndex Build(const ItemStore& store, double cell_size_deg);
+
+  GridIndex() = default;
+
+  /// Invokes `fn` for every item within `radius_km` of the centre.
+  /// Exact (post-filtered); items without geo positions never appear.
+  void ForEachInRadius(const GeoPoint& center, double radius_km,
+                       const std::function<void(ItemId)>& fn) const;
+
+  /// Convenience wrapper collecting the ids.
+  std::vector<ItemId> ItemsInRadius(const GeoPoint& center,
+                                    double radius_km) const;
+
+  size_t num_indexed_items() const { return num_items_; }
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  using CellKey = uint64_t;
+
+  CellKey KeyFor(float latitude, float longitude) const;
+  static CellKey ComposeKey(int64_t lat_cell, int64_t lon_cell);
+
+  double cell_size_deg_ = 1.0;
+  std::unordered_map<CellKey, std::vector<ItemId>> cells_;
+  const ItemStore* store_ = nullptr;
+  size_t num_items_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_GEO_GRID_INDEX_H_

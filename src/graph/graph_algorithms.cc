@@ -1,0 +1,117 @@
+#include "graph/graph_algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace amici {
+
+std::vector<uint16_t> BfsDistances(const SocialGraph& graph, UserId source,
+                                   uint16_t max_hops) {
+  AMICI_CHECK(source < graph.num_users());
+  std::vector<uint16_t> dist(graph.num_users(), kUnreachable);
+  dist[source] = 0;
+  std::deque<UserId> frontier{source};
+  while (!frontier.empty()) {
+    const UserId u = frontier.front();
+    frontier.pop_front();
+    if (dist[u] >= max_hops) continue;
+    const uint16_t next = static_cast<uint16_t>(dist[u] + 1);
+    for (const UserId v : graph.Friends(u)) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = next;
+      frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+std::vector<HopNeighbor> KHopNeighborhood(const SocialGraph& graph,
+                                          UserId source, uint16_t max_hops) {
+  const std::vector<uint16_t> dist = BfsDistances(graph, source, max_hops);
+  std::vector<HopNeighbor> out;
+  for (size_t u = 0; u < dist.size(); ++u) {
+    if (u == source || dist[u] == kUnreachable) continue;
+    out.push_back({static_cast<UserId>(u), dist[u]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HopNeighbor& a, const HopNeighbor& b) {
+              if (a.hops != b.hops) return a.hops < b.hops;
+              return a.user < b.user;
+            });
+  return out;
+}
+
+ComponentInfo ConnectedComponents(const SocialGraph& graph) {
+  ComponentInfo info;
+  info.label.assign(graph.num_users(), UINT32_MAX);
+  std::vector<UserId> stack;
+  for (size_t start = 0; start < graph.num_users(); ++start) {
+    if (info.label[start] != UINT32_MAX) continue;
+    const uint32_t component = static_cast<uint32_t>(info.num_components++);
+    size_t size = 0;
+    stack.push_back(static_cast<UserId>(start));
+    info.label[start] = component;
+    while (!stack.empty()) {
+      const UserId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const UserId v : graph.Friends(u)) {
+        if (info.label[v] != UINT32_MAX) continue;
+        info.label[v] = component;
+        stack.push_back(v);
+      }
+    }
+    info.largest_size = std::max(info.largest_size, size);
+  }
+  return info;
+}
+
+uint64_t CountTriangles(const SocialGraph& graph) {
+  // Forward counting: for each edge (u, v) with u < v, intersect the
+  // higher-id halves of their (sorted) adjacency lists. Each triangle
+  // {a < b < c} is found exactly once, at edge (a, b) via c.
+  uint64_t triangles = 0;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const auto friends_u = graph.Friends(static_cast<UserId>(u));
+    for (const UserId v : friends_u) {
+      if (v <= u) continue;
+      const auto friends_v = graph.Friends(v);
+      auto it_u = std::lower_bound(friends_u.begin(), friends_u.end(),
+                                   static_cast<UserId>(v + 1));
+      auto it_v = std::lower_bound(friends_v.begin(), friends_v.end(),
+                                   static_cast<UserId>(v + 1));
+      while (it_u != friends_u.end() && it_v != friends_v.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          ++triangles;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+uint64_t CountWedges(const SocialGraph& graph) {
+  uint64_t wedges = 0;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const uint64_t d = graph.Degree(static_cast<UserId>(u));
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double GlobalClusteringCoefficient(const SocialGraph& graph) {
+  const uint64_t wedges = CountWedges(graph);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace amici

@@ -1,0 +1,50 @@
+#ifndef AMICI_GRAPH_GRAPH_ALGORITHMS_H_
+#define AMICI_GRAPH_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Hop distance used by BfsDistances for unreachable users.
+inline constexpr uint16_t kUnreachable = UINT16_MAX;
+
+/// Breadth-first hop distances from `source`, truncated at `max_hops`
+/// (users farther away get kUnreachable). The result has one entry per
+/// user.
+std::vector<uint16_t> BfsDistances(const SocialGraph& graph, UserId source,
+                                   uint16_t max_hops);
+
+/// Users within `max_hops` hops of `source` (excluding `source` itself),
+/// paired with their hop distance, in increasing-distance order.
+struct HopNeighbor {
+  UserId user;
+  uint16_t hops;
+};
+std::vector<HopNeighbor> KHopNeighborhood(const SocialGraph& graph,
+                                          UserId source, uint16_t max_hops);
+
+/// Component label per user (labels are 0-based and dense).
+struct ComponentInfo {
+  std::vector<uint32_t> label;   // per user
+  size_t num_components = 0;
+  size_t largest_size = 0;
+};
+ComponentInfo ConnectedComponents(const SocialGraph& graph);
+
+/// Number of triangles in the graph (each counted once).
+uint64_t CountTriangles(const SocialGraph& graph);
+
+/// Global clustering coefficient: 3 * triangles / open-or-closed wedges.
+/// Returns 0 when the graph has no wedge.
+double GlobalClusteringCoefficient(const SocialGraph& graph);
+
+/// Number of length-2 paths (wedges), i.e. sum over users of C(degree, 2).
+uint64_t CountWedges(const SocialGraph& graph);
+
+}  // namespace amici
+
+#endif  // AMICI_GRAPH_GRAPH_ALGORITHMS_H_

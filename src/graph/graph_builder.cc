@@ -1,0 +1,48 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace amici {
+
+GraphBuilder::GraphBuilder(size_t num_users) : num_users_(num_users) {}
+
+Status GraphBuilder::AddEdge(UserId u, UserId v) {
+  if (u >= num_users_ || v >= num_users_) {
+    return Status::InvalidArgument(StringPrintf(
+        "edge (%u, %u) out of range for %zu users", u, v, num_users_));
+  }
+  if (u == v) return Status::Ok();  // Friendship is irreflexive.
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  return Status::Ok();
+}
+
+SocialGraph GraphBuilder::Build() const {
+  std::vector<std::pair<UserId, UserId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<uint64_t> offsets(num_users_ + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<UserId> neighbors(edges.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Each row was filled in ascending order of the opposite endpoint only
+  // for the "min" side; sort every row to guarantee the invariant.
+  for (size_t u = 0; u < num_users_; ++u) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[u]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[u + 1]));
+  }
+  return SocialGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace amici

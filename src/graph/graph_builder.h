@@ -1,0 +1,40 @@
+#ifndef AMICI_GRAPH_GRAPH_BUILDER_H_
+#define AMICI_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Accumulates undirected friendship edges and produces a canonical
+/// SocialGraph: self-loops dropped, duplicate edges collapsed, adjacency
+/// sorted. The builder is reusable after Build().
+class GraphBuilder {
+ public:
+  /// `num_users` fixes the vertex set {0, ..., num_users-1}.
+  explicit GraphBuilder(size_t num_users);
+
+  /// Records the undirected edge {u, v}. Self-loops are ignored.
+  /// Returns InvalidArgument if either endpoint is out of range.
+  Status AddEdge(UserId u, UserId v);
+
+  /// Number of edge insertions accepted so far (before deduplication).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the CSR graph. Duplicate insertions of the same undirected edge
+  /// are collapsed.
+  SocialGraph Build() const;
+
+ private:
+  size_t num_users_;
+  std::vector<std::pair<UserId, UserId>> edges_;  // canonical (min, max)
+};
+
+}  // namespace amici
+
+#endif  // AMICI_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,165 @@
+#include "graph/graph_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/ids.h"
+#include "util/logging.h"
+
+namespace amici {
+
+SocialGraph GenerateErdosRenyi(size_t num_users, double expected_avg_degree,
+                               Rng* rng) {
+  AMICI_CHECK(num_users >= 1);
+  GraphBuilder builder(num_users);
+  if (num_users < 2) return builder.Build();
+  const double p = std::clamp(
+      expected_avg_degree / static_cast<double>(num_users - 1), 0.0, 1.0);
+  if (p <= 0.0) return builder.Build();
+
+  // Iterate the C(n,2) possible edges implicitly, skipping ahead by
+  // geometric gaps; expected cost is O(#edges).
+  const double log_1mp = std::log1p(-p);
+  const uint64_t total_pairs =
+      static_cast<uint64_t>(num_users) * (num_users - 1) / 2;
+  uint64_t position = 0;
+  while (true) {
+    double u = rng->UniformDouble();
+    if (u >= 1.0) u = 0.999999999;  // guard the log
+    const uint64_t skip =
+        p >= 1.0 ? 0
+                 : static_cast<uint64_t>(std::log1p(-u) / log_1mp);
+    position += skip;
+    if (position >= total_pairs) break;
+    // Map linear pair index back to (row, col) of the upper triangle.
+    // Row r starts at offset r*n - r*(r+1)/2 (0-based, col > row).
+    const double n = static_cast<double>(num_users);
+    size_t row = static_cast<size_t>(
+        n - 0.5 -
+        std::sqrt((n - 0.5) * (n - 0.5) - 2.0 * static_cast<double>(position)));
+    // Numerical guard: adjust row so that position lies inside its range.
+    auto row_start = [num_users](size_t r) {
+      return static_cast<uint64_t>(r) * num_users -
+             static_cast<uint64_t>(r) * (r + 1) / 2;
+    };
+    while (row > 0 && row_start(row) > position) --row;
+    while (row + 1 < num_users && row_start(row + 1) <= position) ++row;
+    const size_t col = row + 1 + static_cast<size_t>(position - row_start(row));
+    AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(row),
+                                   static_cast<UserId>(col)));
+    ++position;
+  }
+  return builder.Build();
+}
+
+SocialGraph GenerateBarabasiAlbert(size_t num_users, size_t edges_per_user,
+                                   Rng* rng) {
+  AMICI_CHECK(num_users >= 1);
+  const size_t m = std::max<size_t>(1, edges_per_user);
+  GraphBuilder builder(num_users);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes preferential attachment.
+  std::vector<UserId> endpoint_pool;
+  endpoint_pool.reserve(num_users * m * 2);
+
+  const size_t seed_size = std::min(num_users, m + 1);
+  // Seed clique keeps the early graph connected.
+  for (size_t u = 0; u < seed_size; ++u) {
+    for (size_t v = u + 1; v < seed_size; ++v) {
+      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(u),
+                                     static_cast<UserId>(v)));
+      endpoint_pool.push_back(static_cast<UserId>(u));
+      endpoint_pool.push_back(static_cast<UserId>(v));
+    }
+  }
+  std::vector<UserId> chosen;
+  for (size_t u = seed_size; u < num_users; ++u) {
+    chosen.clear();
+    // Sample m distinct targets by degree-proportional draws.
+    size_t attempts = 0;
+    while (chosen.size() < m && attempts < 50 * m) {
+      ++attempts;
+      const UserId candidate = endpoint_pool.empty()
+          ? static_cast<UserId>(rng->UniformIndex(u))
+          : endpoint_pool[rng->UniformIndex(endpoint_pool.size())];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const UserId v : chosen) {
+      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(u), v));
+      endpoint_pool.push_back(static_cast<UserId>(u));
+      endpoint_pool.push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+SocialGraph GenerateWattsStrogatz(size_t num_users, size_t ring_degree,
+                                  double rewire_prob, Rng* rng) {
+  AMICI_CHECK(num_users >= 1);
+  GraphBuilder builder(num_users);
+  if (num_users < 3) {
+    if (num_users == 2) AMICI_CHECK_OK(builder.AddEdge(0, 1));
+    return builder.Build();
+  }
+  const size_t half = std::max<size_t>(1, ring_degree / 2);
+  for (size_t u = 0; u < num_users; ++u) {
+    for (size_t j = 1; j <= half; ++j) {
+      UserId v = static_cast<UserId>((u + j) % num_users);
+      if (rng->Bernoulli(rewire_prob)) {
+        // Rewire to a uniform random non-self target; duplicates collapse
+        // in the builder, matching the classic construction closely enough.
+        UserId w = static_cast<UserId>(rng->UniformIndex(num_users));
+        int guard = 0;
+        while (w == u && guard++ < 16) {
+          w = static_cast<UserId>(rng->UniformIndex(num_users));
+        }
+        if (w != u) v = w;
+      }
+      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(u), v));
+    }
+  }
+  return builder.Build();
+}
+
+SocialGraph GeneratePlantedPartition(size_t num_users, size_t num_communities,
+                                     double intra_degree, double inter_degree,
+                                     Rng* rng) {
+  AMICI_CHECK(num_users >= 1);
+  AMICI_CHECK(num_communities >= 1);
+  GraphBuilder builder(num_users);
+  const size_t community_size =
+      (num_users + num_communities - 1) / num_communities;
+
+  // Expected-degree model: for each user draw Poisson-ish counts of intra
+  // and inter partners (binomial approximated by fixed count + Bernoulli
+  // remainder keeps it simple and fast).
+  auto add_partners = [&](UserId u, double expected, bool intra) {
+    const size_t community = u / community_size;
+    const size_t base = static_cast<size_t>(expected / 2.0);
+    const double frac = expected / 2.0 - static_cast<double>(base);
+    const size_t count = base + (rng->Bernoulli(frac) ? 1 : 0);
+    for (size_t i = 0; i < count; ++i) {
+      UserId v;
+      if (intra) {
+        const size_t begin = community * community_size;
+        const size_t end = std::min(begin + community_size, num_users);
+        if (end - begin < 2) return;
+        v = static_cast<UserId>(begin + rng->UniformIndex(end - begin));
+      } else {
+        v = static_cast<UserId>(rng->UniformIndex(num_users));
+      }
+      if (v != u) AMICI_CHECK_OK(builder.AddEdge(u, v));
+    }
+  };
+  for (size_t u = 0; u < num_users; ++u) {
+    add_partners(static_cast<UserId>(u), intra_degree, /*intra=*/true);
+    add_partners(static_cast<UserId>(u), inter_degree, /*intra=*/false);
+  }
+  return builder.Build();
+}
+
+}  // namespace amici

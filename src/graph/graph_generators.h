@@ -1,0 +1,45 @@
+#ifndef AMICI_GRAPH_GRAPH_GENERATORS_H_
+#define AMICI_GRAPH_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace amici {
+
+/// Synthetic social-network generators. These are the data substitution for
+/// the crawled networks used by the paper class (see DESIGN.md §5): they
+/// reproduce the structural properties the algorithms depend on —
+/// heavy-tailed degrees (BA), high clustering (WS), community structure
+/// (planted partition) — with controllable scale.
+
+/// Erdős–Rényi G(n, p) with p chosen to hit `expected_avg_degree`.
+/// Uses geometric edge skipping, so generation is O(edges).
+SocialGraph GenerateErdosRenyi(size_t num_users, double expected_avg_degree,
+                               Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new user attaches to
+/// `edges_per_user` existing users with probability proportional to degree.
+/// Produces a power-law degree distribution (the hallmark of real social
+/// graphs).
+SocialGraph GenerateBarabasiAlbert(size_t num_users, size_t edges_per_user,
+                                   Rng* rng);
+
+/// Watts–Strogatz small world: ring lattice with `ring_degree` (even)
+/// neighbours, each edge rewired with probability `rewire_prob`. High
+/// clustering, short paths.
+SocialGraph GenerateWattsStrogatz(size_t num_users, size_t ring_degree,
+                                  double rewire_prob, Rng* rng);
+
+/// Planted-partition community graph: `num_communities` equal-size blocks;
+/// expected `intra_degree` within-block and `inter_degree` cross-block
+/// friends per user. Models the community structure that makes
+/// social-first search effective.
+SocialGraph GeneratePlantedPartition(size_t num_users, size_t num_communities,
+                                     double intra_degree, double inter_degree,
+                                     Rng* rng);
+
+}  // namespace amici
+
+#endif  // AMICI_GRAPH_GRAPH_GENERATORS_H_

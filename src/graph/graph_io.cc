@@ -1,0 +1,167 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace amici {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'I', 'G'};
+constexpr uint32_t kVersion = 1;
+
+void PutFixed32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+bool GetFixed32(const std::string& data, size_t* offset, uint32_t* value) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 4;
+  *value = v;
+  return true;
+}
+
+bool GetFixed64(const std::string& data, size_t* offset, uint64_t* value) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeGraph(const SocialGraph& graph) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(kVersion, &out);
+  PutFixed64(graph.num_users(), &out);
+  PutFixed64(graph.neighbors().size(), &out);
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const auto friends = graph.Friends(static_cast<UserId>(u));
+    PutVarint64(friends.size(), &out);
+    UserId previous = 0;
+    for (size_t i = 0; i < friends.size(); ++i) {
+      // Rows are sorted & unique, so gaps are >= 1 after the first entry.
+      const uint32_t gap = i == 0 ? friends[0] : friends[i] - previous;
+      PutVarint32(gap, &out);
+      previous = friends[i];
+    }
+  }
+  PutFixed64(Fnv1a64(out), &out);
+  return out;
+}
+
+Result<SocialGraph> DeserializeGraph(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8 + 8 + 8) {
+    return Status::Corruption("graph blob too small");
+  }
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic; not an AMIG graph file");
+  }
+  // Verify trailer checksum over everything preceding it.
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+  size_t tail = bytes.size() - 8;
+  uint64_t stored_checksum = 0;
+  if (!GetFixed64(bytes, &tail, &stored_checksum) ||
+      stored_checksum != Fnv1a64(body)) {
+    return Status::Corruption("graph checksum mismatch");
+  }
+
+  size_t offset = sizeof(kMagic);
+  uint32_t version = 0;
+  if (!GetFixed32(bytes, &offset, &version)) {
+    return Status::Corruption("truncated header");
+  }
+  if (version != kVersion) {
+    return Status::Corruption(
+        StringPrintf("unsupported graph version %u", version));
+  }
+  uint64_t num_users = 0;
+  uint64_t num_directed = 0;
+  if (!GetFixed64(bytes, &offset, &num_users) ||
+      !GetFixed64(bytes, &offset, &num_directed)) {
+    return Status::Corruption("truncated header");
+  }
+
+  std::vector<uint64_t> offsets;
+  offsets.reserve(num_users + 1);
+  offsets.push_back(0);
+  std::vector<UserId> neighbors;
+  neighbors.reserve(num_directed);
+  for (uint64_t u = 0; u < num_users; ++u) {
+    uint64_t count = 0;
+    if (!GetVarint64(body, &offset, &count)) {
+      return Status::Corruption("truncated adjacency row");
+    }
+    uint64_t current = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t gap = 0;
+      if (!GetVarint32(body, &offset, &gap)) {
+        return Status::Corruption("truncated adjacency row");
+      }
+      current = i == 0 ? gap : current + gap;
+      if (current >= num_users) {
+        return Status::Corruption("neighbour id out of range");
+      }
+      neighbors.push_back(static_cast<UserId>(current));
+    }
+    offsets.push_back(neighbors.size());
+  }
+  if (neighbors.size() != num_directed) {
+    return Status::Corruption("edge count mismatch");
+  }
+  return SocialGraph(std::move(offsets), std::move(neighbors));
+}
+
+Status SaveGraph(const SocialGraph& graph, const std::string& path) {
+  const std::string bytes = SerializeGraph(graph);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StringPrintf("cannot open %s for writing",
+                                        path.c_str()));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != bytes.size() || close_err != 0) {
+    return Status::IoError(StringPrintf("short write to %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<SocialGraph> LoadGraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StringPrintf("cannot open %s", path.c_str()));
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  std::fclose(f);
+  return DeserializeGraph(bytes);
+}
+
+}  // namespace amici

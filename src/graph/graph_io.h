@@ -1,0 +1,33 @@
+#ifndef AMICI_GRAPH_GRAPH_IO_H_
+#define AMICI_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Binary on-disk format for social graphs:
+///
+///   magic "AMIG" | version u32 | num_users u64 | num_directed u64
+///   | adjacency (per user: varint count, then varint-delta neighbour ids)
+///   | fnv64 checksum of everything before it
+///
+/// The format is self-validating: LoadGraph verifies magic, version,
+/// structural invariants, and the checksum, returning Corruption on any
+/// mismatch.
+
+/// Serializes `graph` to `path`, overwriting any existing file.
+Status SaveGraph(const SocialGraph& graph, const std::string& path);
+
+/// Loads a graph previously written by SaveGraph.
+Result<SocialGraph> LoadGraph(const std::string& path);
+
+/// In-memory (de)serialization used by the file functions and tests.
+std::string SerializeGraph(const SocialGraph& graph);
+Result<SocialGraph> DeserializeGraph(const std::string& bytes);
+
+}  // namespace amici
+
+#endif  // AMICI_GRAPH_GRAPH_IO_H_

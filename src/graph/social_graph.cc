@@ -1,0 +1,41 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amici {
+
+SocialGraph::SocialGraph(std::vector<uint64_t> offsets,
+                         std::vector<UserId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  AMICI_CHECK(!offsets_.empty()) << "offsets must have num_users + 1 entries";
+  AMICI_CHECK(offsets_.front() == 0);
+  AMICI_CHECK(offsets_.back() == neighbors_.size());
+}
+
+bool SocialGraph::HasEdge(UserId u, UserId v) const {
+  const auto friends = Friends(u);
+  return std::binary_search(friends.begin(), friends.end(), v);
+}
+
+double SocialGraph::AverageDegree() const {
+  if (num_users() == 0) return 0.0;
+  return static_cast<double>(neighbors_.size()) /
+         static_cast<double>(num_users());
+}
+
+size_t SocialGraph::MaxDegree() const {
+  size_t best = 0;
+  for (size_t u = 0; u < num_users(); ++u) {
+    best = std::max(best, Degree(static_cast<UserId>(u)));
+  }
+  return best;
+}
+
+size_t SocialGraph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) +
+         neighbors_.capacity() * sizeof(UserId);
+}
+
+}  // namespace amici

@@ -1,0 +1,77 @@
+#ifndef AMICI_GRAPH_SOCIAL_GRAPH_H_
+#define AMICI_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace amici {
+
+/// Immutable, undirected friendship graph in compressed sparse row (CSR)
+/// form. Adjacency lists are sorted, enabling O(log d) edge probes and
+/// linear-merge neighbourhood intersection. Each undirected edge {u, v} is
+/// stored twice (once per endpoint).
+///
+/// Construction goes through GraphBuilder (which deduplicates edges and
+/// strips self-loops) or a generator in graph_generators.h.
+class SocialGraph {
+ public:
+  /// An empty graph with no users.
+  SocialGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `offsets` has num_users + 1
+  /// entries; neighbours within each row must be sorted and unique.
+  /// Callers normally use GraphBuilder instead.
+  SocialGraph(std::vector<uint64_t> offsets, std::vector<UserId> neighbors);
+
+  SocialGraph(const SocialGraph&) = default;
+  SocialGraph& operator=(const SocialGraph&) = default;
+  SocialGraph(SocialGraph&&) noexcept = default;
+  SocialGraph& operator=(SocialGraph&&) noexcept = default;
+
+  /// Number of users (vertices).
+  size_t num_users() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges.
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Degree (friend count) of `u`.
+  size_t Degree(UserId u) const {
+    return static_cast<size_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted friends of `u`; the span stays valid while the graph lives.
+  std::span<const UserId> Friends(UserId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// True iff u and v are friends. O(log Degree(u)).
+  bool HasEdge(UserId u, UserId v) const;
+
+  /// Mean degree; 0 for an empty graph.
+  double AverageDegree() const;
+
+  /// Maximum degree over all users; 0 for an empty graph.
+  size_t MaxDegree() const;
+
+  /// Approximate heap footprint of the CSR arrays, in bytes.
+  size_t MemoryBytes() const;
+
+  /// Raw CSR access for serialization and algorithms.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<UserId>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<uint64_t> offsets_{0};
+  std::vector<UserId> neighbors_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_GRAPH_SOCIAL_GRAPH_H_

@@ -1,0 +1,179 @@
+#include "index/disk_inverted_index.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace amici {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'I', 'I'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kBlock = BlockFile::kBlockSize;
+
+struct Header {
+  uint64_t num_tags;
+  uint64_t toc_offset;       // byte offset of the TOC inside the payload
+  uint64_t payload_length;   // total logical payload bytes
+  uint64_t payload_checksum; // FNV-64 of the logical payload
+};
+
+void EncodeHeader(const Header& header, char* block) {
+  std::memset(block, 0, kBlock);
+  std::memcpy(block, kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  std::memcpy(block + 4, &version, sizeof(version));
+  std::memcpy(block + 8, &header.num_tags, 8);
+  std::memcpy(block + 16, &header.toc_offset, 8);
+  std::memcpy(block + 24, &header.payload_length, 8);
+  std::memcpy(block + 32, &header.payload_checksum, 8);
+}
+
+Status DecodeHeader(const char* block, Header* header) {
+  if (std::memcmp(block, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad disk-index magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, block + 4, sizeof(version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported disk-index version");
+  }
+  std::memcpy(&header->num_tags, block + 8, 8);
+  std::memcpy(&header->toc_offset, block + 16, 8);
+  std::memcpy(&header->payload_length, block + 24, 8);
+  std::memcpy(&header->payload_checksum, block + 32, 8);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DiskInvertedIndex::Write(const InvertedIndex& index,
+                                const std::string& path) {
+  // Build the logical payload: every list image, then the TOC.
+  std::string payload;
+  std::vector<TocEntry> toc(index.num_tags());
+  for (size_t tag = 0; tag < index.num_tags(); ++tag) {
+    toc[tag].offset = payload.size();
+    index.Postings(static_cast<TagId>(tag)).SerializeTo(&payload);
+    toc[tag].length = payload.size() - toc[tag].offset;
+    toc[tag].count = index.Postings(static_cast<TagId>(tag)).size();
+  }
+  Header header;
+  header.num_tags = index.num_tags();
+  header.toc_offset = payload.size();
+  for (const TocEntry& entry : toc) {
+    PutVarint64(entry.offset, &payload);
+    PutVarint64(entry.length, &payload);
+    PutVarint64(entry.count, &payload);
+  }
+  header.payload_length = payload.size();
+  header.payload_checksum = Fnv1a64(payload);
+
+  AMICI_ASSIGN_OR_RETURN(BlockFile file, BlockFile::Create(path));
+  char block[kBlock];
+  EncodeHeader(header, block);
+  AMICI_RETURN_IF_ERROR(file.AppendBlock(block).status());
+  for (size_t offset = 0; offset < payload.size(); offset += kBlock) {
+    const size_t chunk = std::min(kBlock, payload.size() - offset);
+    std::memset(block, 0, kBlock);
+    std::memcpy(block, payload.data() + offset, chunk);
+    AMICI_RETURN_IF_ERROR(file.AppendBlock(block).status());
+  }
+  return file.Sync();
+}
+
+DiskInvertedIndex::DiskInvertedIndex(BlockFile file, size_t pool_blocks,
+                                     std::vector<TocEntry> toc)
+    : file_(std::move(file)),
+      pool_(std::make_unique<BufferPool>(&file_, pool_blocks)),
+      toc_(std::move(toc)) {}
+
+Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
+    const std::string& path, size_t pool_blocks) {
+  AMICI_ASSIGN_OR_RETURN(BlockFile file, BlockFile::Open(path));
+  if (file.num_blocks() == 0) {
+    return Status::Corruption("disk index has no header block");
+  }
+  char block[kBlock];
+  AMICI_RETURN_IF_ERROR(file.ReadBlock(0, block));
+  Header header;
+  AMICI_RETURN_IF_ERROR(DecodeHeader(block, &header));
+  if (header.toc_offset > header.payload_length ||
+      1 + (header.payload_length + kBlock - 1) / kBlock !=
+          file.num_blocks()) {
+    return Status::Corruption("disk index geometry mismatch");
+  }
+
+  // Read and verify the full payload once at open; steady-state reads go
+  // through the pool afterwards.
+  std::string payload;
+  payload.reserve(header.payload_length);
+  for (uint64_t b = 1; b < file.num_blocks(); ++b) {
+    AMICI_RETURN_IF_ERROR(file.ReadBlock(b, block));
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kBlock, header.payload_length - payload.size()));
+    payload.append(block, want);
+  }
+  if (Fnv1a64(payload) != header.payload_checksum) {
+    return Status::Corruption("disk index checksum mismatch");
+  }
+
+  std::vector<TocEntry> toc(header.num_tags);
+  size_t offset = header.toc_offset;
+  for (uint64_t tag = 0; tag < header.num_tags; ++tag) {
+    if (!GetVarint64(payload, &offset, &toc[tag].offset) ||
+        !GetVarint64(payload, &offset, &toc[tag].length) ||
+        !GetVarint64(payload, &offset, &toc[tag].count)) {
+      return Status::Corruption("truncated disk-index TOC");
+    }
+    if (toc[tag].offset + toc[tag].length > header.toc_offset) {
+      return Status::Corruption("disk-index TOC entry out of range");
+    }
+  }
+  return std::unique_ptr<DiskInvertedIndex>(new DiskInvertedIndex(
+      std::move(file), pool_blocks, std::move(toc)));
+}
+
+size_t DiskInvertedIndex::DocumentFrequency(TagId tag) const {
+  if (tag >= toc_.size()) return 0;
+  return toc_[tag].count;
+}
+
+Result<std::string> DiskInvertedIndex::ReadPayload(uint64_t offset,
+                                                   uint64_t length) const {
+  std::string out;
+  out.reserve(length);
+  // Payload byte p lives in file block 1 + p / kBlock at p % kBlock.
+  uint64_t remaining = length;
+  uint64_t position = offset;
+  while (remaining > 0) {
+    const uint64_t block_id = 1 + position / kBlock;
+    const size_t in_block = static_cast<size_t>(position % kBlock);
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(remaining, kBlock - in_block));
+    AMICI_ASSIGN_OR_RETURN(const auto cached, pool_->Fetch(block_id));
+    out.append(cached->data() + in_block, take);
+    position += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+Result<PostingList> DiskInvertedIndex::ReadPostings(TagId tag) const {
+  if (tag >= toc_.size()) return PostingList();
+  AMICI_ASSIGN_OR_RETURN(
+      const std::string bytes,
+      ReadPayload(toc_[tag].offset, toc_[tag].length));
+  size_t offset = 0;
+  AMICI_ASSIGN_OR_RETURN(PostingList list,
+                         PostingList::DeserializeFrom(bytes, &offset));
+  if (offset != bytes.size() || list.size() != toc_[tag].count) {
+    return Status::Corruption("disk posting list inconsistent with TOC");
+  }
+  return list;
+}
+
+}  // namespace amici

@@ -1,0 +1,77 @@
+#ifndef AMICI_INDEX_DISK_INVERTED_INDEX_H_
+#define AMICI_INDEX_DISK_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/posting_list.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Immutable on-disk image of the document-ordered side of an
+/// InvertedIndex, read through a buffer pool — how the index works when
+/// the corpus outgrows memory.
+///
+/// File layout (4 KiB blocks):
+///   block 0:        header (magic "AMII", version, num_tags,
+///                   toc_offset_bytes, payload_byte_length, checksum of
+///                   the logical payload)
+///   blocks 1..N:    payload: the concatenated PostingList images,
+///                   then the TOC (per tag: byte offset + byte length
+///                   into the payload), padded to a block boundary
+///
+/// Readers materialize one PostingList at a time via ReadPostings();
+/// block-granular caching in the BufferPool makes repeated and
+/// neighbouring reads cheap. The file is self-validating (checksum over
+/// the payload verified lazily per read via per-list parsing, and fully
+/// during Open for the TOC).
+class DiskInvertedIndex {
+ public:
+  /// Serializes the doc-ordered lists of `index` to `path`.
+  static Status Write(const InvertedIndex& index, const std::string& path);
+
+  /// Opens an index written by Write with a pool of `pool_blocks` cached
+  /// blocks.
+  static Result<std::unique_ptr<DiskInvertedIndex>> Open(
+      const std::string& path, size_t pool_blocks);
+
+  /// Number of tags covered.
+  size_t num_tags() const { return toc_.size(); }
+
+  /// Document frequency without touching the payload.
+  size_t DocumentFrequency(TagId tag) const;
+
+  /// Reads and decodes the posting list of `tag` (empty list for
+  /// out-of-range tags). Thread-safe.
+  Result<PostingList> ReadPostings(TagId tag) const;
+
+  const BufferPool& pool() const { return *pool_; }
+
+ private:
+  struct TocEntry {
+    uint64_t offset;  // into the logical payload byte stream
+    uint64_t length;
+    uint64_t count;  // postings (document frequency)
+  };
+
+  DiskInvertedIndex(BlockFile file, size_t pool_blocks,
+                    std::vector<TocEntry> toc);
+
+  /// Copies payload bytes [offset, offset+length) via the pool.
+  Result<std::string> ReadPayload(uint64_t offset, uint64_t length) const;
+
+  BlockFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<TocEntry> toc_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_INDEX_DISK_INVERTED_INDEX_H_

@@ -1,0 +1,24 @@
+#include "index/index_builder.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace amici {
+
+Result<BuiltIndexes> BuildIndexes(const ItemStore& store, size_t num_users,
+                                  const InvertedIndex::Options& options) {
+  BuiltIndexes built;
+  Stopwatch watch;
+  AMICI_ASSIGN_OR_RETURN(built.inverted, InvertedIndex::Build(store, options));
+  built.stats.inverted_build_ms = watch.ElapsedMillis();
+  built.stats.inverted_bytes = built.inverted.MemoryBytes();
+
+  watch.Restart();
+  built.social = SocialIndex::Build(store, num_users);
+  built.stats.social_build_ms = watch.ElapsedMillis();
+  built.stats.social_bytes = built.social.MemoryBytes();
+  return built;
+}
+
+}  // namespace amici

@@ -1,0 +1,36 @@
+#ifndef AMICI_INDEX_INDEX_BUILDER_H_
+#define AMICI_INDEX_INDEX_BUILDER_H_
+
+#include <cstddef>
+
+#include "index/inverted_index.h"
+#include "index/social_index.h"
+#include "storage/item_store.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Timings and footprints reported by Table 2 (index construction).
+struct IndexBuildStats {
+  double inverted_build_ms = 0.0;
+  double social_build_ms = 0.0;
+  size_t inverted_bytes = 0;
+  size_t social_bytes = 0;
+};
+
+/// Everything the query engine needs, built in one shot from the catalogue.
+struct BuiltIndexes {
+  InvertedIndex inverted;
+  SocialIndex social;
+  IndexBuildStats stats;
+};
+
+/// Builds the inverted and social indexes over `store` for a graph of
+/// `num_users` users, timing each phase.
+Result<BuiltIndexes> BuildIndexes(
+    const ItemStore& store, size_t num_users,
+    const InvertedIndex::Options& options = InvertedIndex::Options());
+
+}  // namespace amici
+
+#endif  // AMICI_INDEX_INDEX_BUILDER_H_

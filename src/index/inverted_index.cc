@@ -1,0 +1,74 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace amici {
+
+Result<InvertedIndex> InvertedIndex::Build(const ItemStore& store) {
+  return Build(store, Options());
+}
+
+Result<InvertedIndex> InvertedIndex::Build(const ItemStore& store,
+                                           const Options& options) {
+  InvertedIndex index;
+  const size_t num_tags = store.TagUniverseSize();
+
+  // Bucket postings per tag in one pass over the store; items are visited
+  // in ascending id order, so each bucket is already document-ordered.
+  std::vector<std::vector<ScoredItem>> buckets(num_tags);
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    const float quality = store.quality(item);
+    for (const TagId tag : store.tags(item)) {
+      buckets[tag].push_back({item, quality});
+    }
+  }
+
+  index.doc_ordered_.reserve(num_tags);
+  for (size_t tag = 0; tag < num_tags; ++tag) {
+    AMICI_ASSIGN_OR_RETURN(
+        PostingList list,
+        PostingList::Build(buckets[tag], options.posting_options));
+    index.doc_ordered_.push_back(std::move(list));
+  }
+
+  index.has_impact_ordered_ = options.build_impact_ordered;
+  if (options.build_impact_ordered) {
+    index.impact_ordered_ = std::move(buckets);
+    for (auto& list : index.impact_ordered_) {
+      std::sort(list.begin(), list.end(),
+                [](const ScoredItem& a, const ScoredItem& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.item < b.item;
+                });
+      list.shrink_to_fit();
+    }
+  }
+  return index;
+}
+
+size_t InvertedIndex::DocumentFrequency(TagId tag) const {
+  if (tag >= doc_ordered_.size()) return 0;
+  return doc_ordered_[tag].size();
+}
+
+const PostingList& InvertedIndex::Postings(TagId tag) const {
+  if (tag >= doc_ordered_.size()) return empty_list_;
+  return doc_ordered_[tag];
+}
+
+std::span<const ScoredItem> InvertedIndex::ImpactOrdered(TagId tag) const {
+  if (!has_impact_ordered_ || tag >= impact_ordered_.size()) return {};
+  return impact_ordered_[tag];
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& list : doc_ordered_) bytes += list.SizeBytes();
+  for (const auto& list : impact_ordered_) {
+    bytes += list.capacity() * sizeof(ScoredItem);
+  }
+  return bytes;
+}
+
+}  // namespace amici

@@ -1,0 +1,70 @@
+#ifndef AMICI_INDEX_INVERTED_INDEX_H_
+#define AMICI_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "storage/item_store.h"
+#include "storage/posting_list.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Dual-representation inverted tag index:
+///
+///  * a compressed, document-ordered PostingList per tag — candidate
+///    enumeration and conjunctive merging (ExhaustiveScan, NRA);
+///  * an impact-ordered array per tag (items sorted by decreasing static
+///    quality) — the sorted-access stream consumed by ContentFirstTa.
+///
+/// The impact order is by item quality, which is exactly the per-tag
+/// contribution to the content score (see Scorer), so impact-ordered
+/// traversal yields monotonically non-increasing score bounds.
+class InvertedIndex {
+ public:
+  struct Options {
+    PostingList::Options posting_options;
+    /// When false, the impact-ordered arrays are not materialized
+    /// (Table 3 ablation: TA then falls back to doc-ordered traversal).
+    bool build_impact_ordered = true;
+  };
+
+  InvertedIndex() = default;
+
+  /// Builds the index over every item in `store`. Tag universe size is
+  /// taken from the store.
+  static Result<InvertedIndex> Build(const ItemStore& store,
+                                     const Options& options);
+  static Result<InvertedIndex> Build(const ItemStore& store);
+
+  /// Number of distinct tags covered (= tag universe size at build).
+  size_t num_tags() const { return doc_ordered_.size(); }
+
+  /// Number of items carrying `tag` (0 for out-of-range tags).
+  size_t DocumentFrequency(TagId tag) const;
+
+  /// Document-ordered compressed postings of `tag`; empty list for
+  /// out-of-range tags.
+  const PostingList& Postings(TagId tag) const;
+
+  /// Impact-ordered (quality-descending) postings of `tag`; empty span if
+  /// not materialized or out of range.
+  std::span<const ScoredItem> ImpactOrdered(TagId tag) const;
+
+  bool has_impact_ordered() const { return has_impact_ordered_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<PostingList> doc_ordered_;
+  std::vector<std::vector<ScoredItem>> impact_ordered_;
+  bool has_impact_ordered_ = false;
+  PostingList empty_list_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,39 @@
+#include "index/social_index.h"
+
+#include <algorithm>
+
+namespace amici {
+
+SocialIndex SocialIndex::Build(const ItemStore& store, size_t num_users) {
+  SocialIndex index;
+  std::vector<uint64_t> counts(num_users + 1, 0);
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const UserId owner = store.owner(static_cast<ItemId>(i));
+    if (owner < num_users) ++counts[owner + 1];
+  }
+  for (size_t u = 1; u < counts.size(); ++u) counts[u] += counts[u - 1];
+  index.offsets_ = counts;
+
+  index.items_.resize(index.offsets_.back());
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    const UserId owner = store.owner(item);
+    if (owner >= num_users) continue;
+    index.items_[cursor[owner]++] = {item, store.quality(item)};
+  }
+  for (size_t u = 0; u < num_users; ++u) {
+    auto begin = index.items_.begin() +
+                 static_cast<ptrdiff_t>(index.offsets_[u]);
+    auto end = index.items_.begin() +
+               static_cast<ptrdiff_t>(index.offsets_[u + 1]);
+    std::sort(begin, end, [](const ScoredItem& a, const ScoredItem& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.item < b.item;
+    });
+  }
+  return index;
+}
+
+}  // namespace amici

@@ -1,0 +1,60 @@
+#ifndef AMICI_INDEX_SOCIAL_INDEX_H_
+#define AMICI_INDEX_SOCIAL_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "storage/item_store.h"
+#include "storage/posting_list.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Owner-to-items index: for every user, their items sorted by decreasing
+/// quality. This is the access path of SocialFirst — walk friends in
+/// proximity order, and within a friend take items best-first, so the
+/// combined bound (proximity, per-user best quality) decreases
+/// monotonically.
+class SocialIndex {
+ public:
+  SocialIndex() = default;
+
+  /// Builds the index for `num_users` users over every item in `store`.
+  /// Items owned by users >= num_users are ignored (they cannot be reached
+  /// by any social query).
+  static SocialIndex Build(const ItemStore& store, size_t num_users);
+
+  size_t num_users() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Items of `user`, quality-descending. Valid while the index lives.
+  std::span<const ScoredItem> ItemsOf(UserId user) const {
+    return {items_.data() + offsets_[user],
+            items_.data() + offsets_[user + 1]};
+  }
+
+  /// Highest item quality of `user` (0 if the user owns nothing).
+  float BestQuality(UserId user) const {
+    const auto items = ItemsOf(user);
+    return items.empty() ? 0.0f : items[0].score;
+  }
+
+  /// Total number of (user, item) entries.
+  size_t num_entries() const { return items_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           items_.capacity() * sizeof(ScoredItem);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_{0};
+  std::vector<ScoredItem> items_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_INDEX_SOCIAL_INDEX_H_

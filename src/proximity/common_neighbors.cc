@@ -1,0 +1,42 @@
+#include "proximity/common_neighbors.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace amici {
+
+CommonNeighborsProximity::CommonNeighborsProximity(Weighting weighting)
+    : weighting_(weighting) {}
+
+ProximityVector CommonNeighborsProximity::Compute(const SocialGraph& graph,
+                                                  UserId source) const {
+  // Accumulate witness weight for every user reachable through one
+  // intermediate friend; candidates are therefore the 1- and 2-hop
+  // neighbourhood.
+  std::unordered_map<UserId, double> weight;
+  for (const UserId friend_id : graph.Friends(source)) {
+    const double witness =
+        weighting_ == Weighting::kCount
+            ? 1.0
+            : 1.0 / std::log(1.0 + static_cast<double>(
+                                       graph.Degree(friend_id)));
+    for (const UserId two_hop : graph.Friends(friend_id)) {
+      if (two_hop == source) continue;
+      weight[two_hop] += witness;
+    }
+  }
+  // Edge bonus: being a direct friend is itself one unit of evidence.
+  for (const UserId friend_id : graph.Friends(source)) {
+    weight[friend_id] += 1.0;
+  }
+
+  std::vector<ProximityEntry> entries;
+  entries.reserve(weight.size());
+  for (const auto& [user, w] : weight) {
+    entries.push_back({user, static_cast<float>(w)});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

@@ -1,0 +1,37 @@
+#ifndef AMICI_PROXIMITY_COMMON_NEIGHBORS_H_
+#define AMICI_PROXIMITY_COMMON_NEIGHBORS_H_
+
+#include <string_view>
+
+#include "proximity/proximity_model.h"
+
+namespace amici {
+
+/// Structural-overlap proximity over the 2-hop neighbourhood. Two flavours:
+///
+///  * kCount       — raw common-neighbour count |N(u) ∩ N(v)|
+///  * kAdamicAdar  — Σ_{w ∈ N(u) ∩ N(v)} 1 / ln(1 + deg(w)), which
+///                   down-weights hub-mediated overlap
+///
+/// Direct friends additionally receive a +1 edge bonus (resp. the maximal
+/// single-witness weight) so that friendship itself counts as evidence.
+class CommonNeighborsProximity : public ProximityModel {
+ public:
+  enum class Weighting { kCount, kAdamicAdar };
+
+  explicit CommonNeighborsProximity(Weighting weighting = Weighting::kCount);
+
+  std::string_view name() const override {
+    return weighting_ == Weighting::kCount ? "common-neighbors"
+                                           : "adamic-adar";
+  }
+  ProximityVector Compute(const SocialGraph& graph,
+                          UserId source) const override;
+
+ private:
+  Weighting weighting_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_COMMON_NEIGHBORS_H_

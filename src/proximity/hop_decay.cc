@@ -1,0 +1,30 @@
+#include "proximity/hop_decay.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_algorithms.h"
+#include "util/logging.h"
+
+namespace amici {
+
+HopDecayProximity::HopDecayProximity(double decay, uint16_t max_hops)
+    : decay_(decay), max_hops_(max_hops) {
+  AMICI_CHECK(decay > 0.0 && decay <= 1.0);
+  AMICI_CHECK(max_hops >= 1);
+}
+
+ProximityVector HopDecayProximity::Compute(const SocialGraph& graph,
+                                           UserId source) const {
+  const std::vector<uint16_t> dist = BfsDistances(graph, source, max_hops_);
+  std::vector<ProximityEntry> entries;
+  for (size_t u = 0; u < dist.size(); ++u) {
+    if (u == source || dist[u] == kUnreachable || dist[u] == 0) continue;
+    const float score =
+        static_cast<float>(std::pow(decay_, dist[u] - 1));
+    entries.push_back({static_cast<UserId>(u), score});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

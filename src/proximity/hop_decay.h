@@ -1,0 +1,33 @@
+#ifndef AMICI_PROXIMITY_HOP_DECAY_H_
+#define AMICI_PROXIMITY_HOP_DECAY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "proximity/proximity_model.h"
+
+namespace amici {
+
+/// The simplest proximity model: direct friends have proximity 1, users at
+/// hop distance h have decay^(h-1), users beyond `max_hops` have 0. Cheap
+/// (one truncated BFS) but coarse — every friend looks equally close.
+class HopDecayProximity : public ProximityModel {
+ public:
+  /// `decay` in (0, 1]; `max_hops` >= 1.
+  explicit HopDecayProximity(double decay = 0.5, uint16_t max_hops = 2);
+
+  std::string_view name() const override { return "hop-decay"; }
+  ProximityVector Compute(const SocialGraph& graph,
+                          UserId source) const override;
+
+  double decay() const { return decay_; }
+  uint16_t max_hops() const { return max_hops_; }
+
+ private:
+  double decay_;
+  uint16_t max_hops_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_HOP_DECAY_H_

@@ -1,0 +1,48 @@
+#include "proximity/katz.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace amici {
+
+KatzProximity::KatzProximity(double beta, uint16_t max_length)
+    : beta_(beta), max_length_(max_length) {
+  AMICI_CHECK(beta > 0.0 && beta < 1.0);
+  AMICI_CHECK(max_length >= 1);
+}
+
+ProximityVector KatzProximity::Compute(const SocialGraph& graph,
+                                       UserId source) const {
+  // walk_count[v] = number of length-ℓ walks source → v, advanced one ℓ at
+  // a time over the sparse frontier.
+  std::unordered_map<UserId, double> walk_count{{source, 1.0}};
+  std::unordered_map<UserId, double> katz;
+  double beta_power = 1.0;
+  for (uint16_t step = 1; step <= max_length_; ++step) {
+    beta_power *= beta_;
+    std::unordered_map<UserId, double> next;
+    next.reserve(walk_count.size() * 4);
+    for (const auto& [u, count] : walk_count) {
+      for (const UserId v : graph.Friends(u)) {
+        next[v] += count;
+      }
+    }
+    for (const auto& [v, count] : next) {
+      if (v == source) continue;
+      katz[v] += beta_power * count;
+    }
+    walk_count = std::move(next);
+    if (walk_count.empty()) break;
+  }
+
+  std::vector<ProximityEntry> entries;
+  entries.reserve(katz.size());
+  for (const auto& [user, score] : katz) {
+    entries.push_back({user, static_cast<float>(score)});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

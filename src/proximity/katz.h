@@ -1,0 +1,34 @@
+#ifndef AMICI_PROXIMITY_KATZ_H_
+#define AMICI_PROXIMITY_KATZ_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "proximity/proximity_model.h"
+
+namespace amici {
+
+/// Truncated Katz proximity: score(v) = Σ_{ℓ=1..L} β^ℓ · paths_ℓ(u → v),
+/// where paths_ℓ counts walks of length ℓ. Computed by L rounds of sparse
+/// frontier expansion, so cost is bounded by the L-hop ball around the
+/// source. β must satisfy β < 1/deg_max for the untruncated series to
+/// converge; the truncated form is always finite but small β keeps long
+/// walks from dominating.
+class KatzProximity : public ProximityModel {
+ public:
+  /// `beta` in (0, 1); `max_length` >= 1 (values above 4 get expensive on
+  /// dense graphs).
+  explicit KatzProximity(double beta = 0.05, uint16_t max_length = 3);
+
+  std::string_view name() const override { return "katz"; }
+  ProximityVector Compute(const SocialGraph& graph,
+                          UserId source) const override;
+
+ private:
+  double beta_;
+  uint16_t max_length_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_KATZ_H_

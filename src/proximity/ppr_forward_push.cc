@@ -1,0 +1,70 @@
+#include "proximity/ppr_forward_push.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace amici {
+
+PprForwardPush::PprForwardPush(double restart_prob, double epsilon)
+    : restart_prob_(restart_prob), epsilon_(epsilon) {
+  AMICI_CHECK(restart_prob > 0.0 && restart_prob < 1.0);
+  AMICI_CHECK(epsilon > 0.0);
+}
+
+ProximityVector PprForwardPush::Compute(const SocialGraph& graph,
+                                        UserId source) const {
+  AMICI_CHECK(source < graph.num_users());
+  std::unordered_map<UserId, double> estimate;
+  std::unordered_map<UserId, double> residual;
+  residual[source] = 1.0;
+  std::deque<UserId> queue{source};
+  std::unordered_map<UserId, bool> queued;
+  queued[source] = true;
+
+  while (!queue.empty()) {
+    const UserId u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+    const double r = residual[u];
+    const size_t degree = graph.Degree(u);
+    const double threshold =
+        epsilon_ * static_cast<double>(degree == 0 ? 1 : degree);
+    if (r < threshold) continue;
+
+    residual[u] = 0.0;
+    estimate[u] += restart_prob_ * r;
+    if (degree == 0) {
+      // Dangling user: the walk restarts, residual returns to the source.
+      residual[source] += (1.0 - restart_prob_) * r;
+      if (!queued[source]) {
+        queue.push_back(source);
+        queued[source] = true;
+      }
+      continue;
+    }
+    const double share =
+        (1.0 - restart_prob_) * r / static_cast<double>(degree);
+    for (const UserId v : graph.Friends(u)) {
+      residual[v] += share;
+      const size_t deg_v = graph.Degree(v);
+      if (residual[v] >= epsilon_ * static_cast<double>(deg_v == 0 ? 1 : deg_v)
+          && !queued[v]) {
+        queue.push_back(v);
+        queued[v] = true;
+      }
+    }
+  }
+
+  std::vector<ProximityEntry> entries;
+  entries.reserve(estimate.size());
+  for (const auto& [user, score] : estimate) {
+    if (user == source) continue;
+    entries.push_back({user, static_cast<float>(score)});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

@@ -1,0 +1,51 @@
+#include "proximity/ppr_monte_carlo.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace amici {
+
+PprMonteCarlo::PprMonteCarlo(double restart_prob, uint32_t num_walks,
+                             uint64_t seed)
+    : restart_prob_(restart_prob), num_walks_(num_walks), seed_(seed) {
+  AMICI_CHECK(restart_prob > 0.0 && restart_prob < 1.0);
+  AMICI_CHECK(num_walks >= 1);
+}
+
+ProximityVector PprMonteCarlo::Compute(const SocialGraph& graph,
+                                       UserId source) const {
+  AMICI_CHECK(source < graph.num_users());
+  Rng rng(HashCombine(seed_, source));
+  std::unordered_map<UserId, uint64_t> visits;
+  uint64_t total_visits = 0;
+
+  for (uint32_t w = 0; w < num_walks_; ++w) {
+    UserId current = source;
+    // Visit-count estimator: every position of the walk (including the
+    // source) is a sample of the stationary distribution.
+    while (true) {
+      ++visits[current];
+      ++total_visits;
+      if (rng.Bernoulli(restart_prob_)) break;
+      const auto friends = graph.Friends(current);
+      if (friends.empty()) break;  // dangling: walk restarts
+      current = friends[rng.UniformIndex(friends.size())];
+    }
+  }
+
+  std::vector<ProximityEntry> entries;
+  entries.reserve(visits.size());
+  for (const auto& [user, count] : visits) {
+    if (user == source) continue;
+    entries.push_back({user, static_cast<float>(static_cast<double>(count) /
+                                                static_cast<double>(
+                                                    total_visits))});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

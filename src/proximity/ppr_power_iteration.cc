@@ -1,0 +1,67 @@
+#include "proximity/ppr_power_iteration.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace amici {
+
+PprPowerIteration::PprPowerIteration(double restart_prob,
+                                     uint32_t max_iterations, double tolerance,
+                                     double min_score)
+    : restart_prob_(restart_prob),
+      max_iterations_(max_iterations),
+      tolerance_(tolerance),
+      min_score_(min_score) {
+  AMICI_CHECK(restart_prob > 0.0 && restart_prob < 1.0);
+  AMICI_CHECK(max_iterations >= 1);
+}
+
+ProximityVector PprPowerIteration::Compute(const SocialGraph& graph,
+                                           UserId source) const {
+  const size_t n = graph.num_users();
+  AMICI_CHECK(source < n);
+  std::vector<double> pi(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  pi[source] = 1.0;
+
+  for (uint32_t iter = 0; iter < max_iterations_; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (pi[u] == 0.0) continue;
+      const auto friends = graph.Friends(static_cast<UserId>(u));
+      if (friends.empty()) {
+        // Dangling users restart; mass returns to the source.
+        dangling_mass += pi[u];
+        continue;
+      }
+      const double share =
+          (1.0 - restart_prob_) * pi[u] / static_cast<double>(friends.size());
+      for (const UserId v : friends) next[v] += share;
+    }
+    next[source] += restart_prob_ + (1.0 - restart_prob_) * dangling_mass;
+    // Note: restart mass is Σ_u restart_prob·π[u] = restart_prob because π
+    // sums to 1.
+    double mass = 0.0;
+    for (const double x : next) mass += x;
+    // Renormalize against drift (restart bookkeeping above keeps mass ≈ 1).
+    if (mass > 0) {
+      for (double& x : next) x /= mass;
+    }
+    double l1_change = 0.0;
+    for (size_t u = 0; u < n; ++u) l1_change += std::abs(next[u] - pi[u]);
+    pi.swap(next);
+    if (l1_change < tolerance_) break;
+  }
+
+  std::vector<ProximityEntry> entries;
+  for (size_t u = 0; u < n; ++u) {
+    if (u == source || pi[u] < min_score_) continue;
+    entries.push_back({static_cast<UserId>(u), static_cast<float>(pi[u])});
+  }
+  return ProximityVector::FromUnnormalized(std::move(entries));
+}
+
+}  // namespace amici

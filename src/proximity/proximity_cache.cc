@@ -1,0 +1,61 @@
+#include "proximity/proximity_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace amici {
+
+ProximityCache::ProximityCache(const ProximityModel* model, size_t capacity)
+    : model_(model), capacity_(capacity) {
+  AMICI_CHECK(model != nullptr);
+  AMICI_CHECK(capacity >= 1);
+}
+
+std::shared_ptr<const ProximityVector> ProximityCache::Get(
+    const SocialGraph& graph, UserId source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(source);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return it->second.vector;
+    }
+    ++misses_;
+  }
+
+  // Compute outside the lock: concurrent misses may duplicate work for the
+  // same user, but never block each other on a long PPR computation.
+  auto vector = std::make_shared<const ProximityVector>(
+      model_->Compute(graph, source));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(source);
+  if (it != entries_.end()) {
+    // Another thread inserted while we computed; reuse its entry.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return it->second.vector;
+  }
+  lru_.push_front(source);
+  entries_.emplace(source, Entry{vector, lru_.begin()});
+  if (entries_.size() > capacity_) {
+    const UserId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  return vector;
+}
+
+void ProximityCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  entries_.clear();
+}
+
+size_t ProximityCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace amici

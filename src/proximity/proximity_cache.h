@@ -1,0 +1,63 @@
+#ifndef AMICI_PROXIMITY_PROXIMITY_CACHE_H_
+#define AMICI_PROXIMITY_PROXIMITY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/social_graph.h"
+#include "proximity/proximity_model.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Thread-safe LRU cache of proximity vectors keyed by source user. Query
+/// workloads are heavily skewed towards active users, so caching the
+/// per-user proximity vector amortizes the dominant query-time cost; the
+/// ablation in Table 3 quantifies the effect.
+class ProximityCache {
+ public:
+  /// Wraps `model` (not owned; must outlive the cache). Holds at most
+  /// `capacity` vectors.
+  ProximityCache(const ProximityModel* model, size_t capacity);
+
+  ProximityCache(const ProximityCache&) = delete;
+  ProximityCache& operator=(const ProximityCache&) = delete;
+
+  /// Returns the (possibly cached) proximity vector of `source`. The
+  /// shared_ptr keeps the vector alive even if it is evicted while in use.
+  std::shared_ptr<const ProximityVector> Get(const SocialGraph& graph,
+                                             UserId source);
+
+  /// Drops all cached entries.
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<UserId>;
+
+  struct Entry {
+    std::shared_ptr<const ProximityVector> vector;
+    LruList::iterator lru_position;
+  };
+
+  const ProximityModel* model_;
+  size_t capacity_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<UserId, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_PROXIMITY_CACHE_H_

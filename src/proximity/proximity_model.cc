@@ -1,0 +1,32 @@
+#include "proximity/proximity_model.h"
+
+#include <algorithm>
+
+namespace amici {
+
+ProximityVector ProximityVector::FromUnnormalized(
+    std::vector<ProximityEntry> entries) {
+  ProximityVector out;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const ProximityEntry& e) {
+                                 return !(e.score > 0.0f);
+                               }),
+                entries.end());
+  if (entries.empty()) return out;
+
+  float max_score = 0.0f;
+  for (const auto& e : entries) max_score = std::max(max_score, e.score);
+  for (auto& e : entries) e.score /= max_score;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const ProximityEntry& a, const ProximityEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  out.lookup_.reserve(entries.size() * 2);
+  for (const auto& e : entries) out.lookup_.emplace(e.user, e.score);
+  out.ranked_ = std::move(entries);
+  return out;
+}
+
+}  // namespace amici

@@ -1,0 +1,93 @@
+#include "storage/block_file.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace amici {
+
+BlockFile::BlockFile(std::FILE* file, uint64_t num_blocks, bool writable)
+    : file_(file), num_blocks_(num_blocks), writable_(writable) {}
+
+BlockFile::BlockFile(BlockFile&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      num_blocks_(other.num_blocks_),
+      writable_(other.writable_) {}
+
+BlockFile& BlockFile::operator=(BlockFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    num_blocks_ = other.num_blocks_;
+    writable_ = other.writable_;
+  }
+  return *this;
+}
+
+BlockFile::~BlockFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<BlockFile> BlockFile::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return Status::IoError(StringPrintf("cannot create %s", path.c_str()));
+  }
+  return BlockFile(file, 0, /*writable=*/true);
+}
+
+Result<BlockFile> BlockFile::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError(StringPrintf("cannot open %s", path.c_str()));
+  }
+  struct stat info;
+  if (fstat(fileno(file), &info) != 0) {
+    std::fclose(file);
+    return Status::IoError(StringPrintf("cannot stat %s", path.c_str()));
+  }
+  if (static_cast<uint64_t>(info.st_size) % kBlockSize != 0) {
+    std::fclose(file);
+    return Status::Corruption(
+        StringPrintf("%s is not block-aligned", path.c_str()));
+  }
+  return BlockFile(file, static_cast<uint64_t>(info.st_size) / kBlockSize,
+                   /*writable=*/false);
+}
+
+Result<uint64_t> BlockFile::AppendBlock(const char* data) {
+  if (!writable_) return Status::FailedPrecondition("file opened read-only");
+  if (std::fseek(file_, 0, SEEK_END) != 0 ||
+      std::fwrite(data, 1, kBlockSize, file_) != kBlockSize) {
+    return Status::IoError("block append failed");
+  }
+  return num_blocks_++;
+}
+
+Status BlockFile::ReadBlock(uint64_t block_id, char* out) const {
+  if (block_id >= num_blocks_) {
+    return Status::OutOfRange(
+        StringPrintf("block %llu beyond end (%llu blocks)",
+                     static_cast<unsigned long long>(block_id),
+                     static_cast<unsigned long long>(num_blocks_)));
+  }
+  // pread keeps concurrent readers from racing on the shared file offset.
+  const ssize_t got =
+      pread(fileno(file_), out, kBlockSize,
+            static_cast<off_t>(block_id * kBlockSize));
+  if (got != static_cast<ssize_t>(kBlockSize)) {
+    return Status::IoError("short block read");
+  }
+  return Status::Ok();
+}
+
+Status BlockFile::Sync() {
+  if (!writable_) return Status::Ok();
+  if (std::fflush(file_) != 0) return Status::IoError("fflush failed");
+  return Status::Ok();
+}
+
+}  // namespace amici

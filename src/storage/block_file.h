@@ -1,0 +1,55 @@
+#ifndef AMICI_STORAGE_BLOCK_FILE_H_
+#define AMICI_STORAGE_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace amici {
+
+/// Fixed-size-block random-access file — the raw device abstraction under
+/// the buffer pool. Blocks are 4 KiB; the file is either being written
+/// (Create + AppendBlock + Sync) or being read (Open + ReadBlock), never
+/// both.
+class BlockFile {
+ public:
+  static constexpr size_t kBlockSize = 4096;
+
+  /// Creates/truncates `path` for writing.
+  static Result<BlockFile> Create(const std::string& path);
+
+  /// Opens an existing file read-only. Fails unless the size is a whole
+  /// number of blocks.
+  static Result<BlockFile> Open(const std::string& path);
+
+  BlockFile(BlockFile&& other) noexcept;
+  BlockFile& operator=(BlockFile&& other) noexcept;
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+  ~BlockFile();
+
+  /// Appends one block (exactly kBlockSize bytes); returns its id.
+  Result<uint64_t> AppendBlock(const char* data);
+
+  /// Reads block `block_id` into `out` (>= kBlockSize bytes).
+  /// Thread-safe for concurrent readers.
+  Status ReadBlock(uint64_t block_id, char* out) const;
+
+  /// Flushes buffered writes to the OS.
+  Status Sync();
+
+  uint64_t num_blocks() const { return num_blocks_; }
+
+ private:
+  BlockFile(std::FILE* file, uint64_t num_blocks, bool writable);
+
+  std::FILE* file_ = nullptr;
+  uint64_t num_blocks_ = 0;
+  bool writable_ = false;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_BLOCK_FILE_H_

@@ -1,0 +1,63 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+
+namespace amici {
+
+BufferPool::BufferPool(const BlockFile* file, size_t capacity_blocks)
+    : file_(file), capacity_(capacity_blocks) {
+  AMICI_CHECK(file != nullptr);
+  AMICI_CHECK(capacity_blocks >= 1);
+}
+
+Result<std::shared_ptr<const CachedBlock>> BufferPool::Fetch(
+    uint64_t block_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(block_id);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return it->second.block;
+    }
+    ++misses_;
+  }
+
+  // Read outside the lock so a slow disk doesn't serialize all readers.
+  auto block = std::make_shared<CachedBlock>();
+  AMICI_RETURN_IF_ERROR(file_->ReadBlock(block_id, block->bytes_));
+  std::shared_ptr<const CachedBlock> const_block = std::move(block);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(block_id);
+  if (it != entries_.end()) {
+    // Raced with another miss; keep the incumbent.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return it->second.block;
+  }
+  lru_.push_front(block_id);
+  entries_.emplace(block_id, Entry{const_block, lru_.begin()});
+  if (entries_.size() > capacity_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  return const_block;
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+size_t BufferPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace amici

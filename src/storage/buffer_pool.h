@@ -1,0 +1,67 @@
+#ifndef AMICI_STORAGE_BUFFER_POOL_H_
+#define AMICI_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/block_file.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// One cached 4 KiB block. Obtained from BufferPool::Fetch; the shared
+/// ownership keeps the bytes valid even if the pool evicts the block
+/// while a reader still holds the handle.
+class CachedBlock {
+ public:
+  const char* data() const { return bytes_; }
+  static constexpr size_t size() { return BlockFile::kBlockSize; }
+
+ private:
+  friend class BufferPool;
+  char bytes_[BlockFile::kBlockSize];
+};
+
+/// Thread-safe LRU page cache over one BlockFile — the classical database
+/// buffer manager, scoped to read-only workloads (the on-disk index is
+/// immutable once written, so there is no dirty-page machinery).
+class BufferPool {
+ public:
+  /// `file` must outlive the pool; `capacity_blocks` >= 1.
+  BufferPool(const BlockFile* file, size_t capacity_blocks);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the (possibly cached) block. Concurrent misses on the same
+  /// block may read it twice; both readers get valid data.
+  Result<std::shared_ptr<const CachedBlock>> Fetch(uint64_t block_id);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<uint64_t>;
+  struct Entry {
+    std::shared_ptr<const CachedBlock> block;
+    LruList::iterator lru_position;
+  };
+
+  const BlockFile* file_;
+  size_t capacity_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,53 @@
+#include "storage/item_store.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace amici {
+
+Result<ItemId> ItemStore::Add(const Item& item) {
+  if (item.owner == kInvalidUserId) {
+    return Status::InvalidArgument("item owner must be a valid user");
+  }
+  if (item.tags.empty()) {
+    return Status::InvalidArgument("item must carry at least one tag");
+  }
+  if (item.quality < 0.0f || item.quality > 1.0f) {
+    return Status::InvalidArgument(
+        StringPrintf("quality %.3f outside [0, 1]", item.quality));
+  }
+  std::vector<TagId> tags = item.tags;
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+
+  const ItemId id = static_cast<ItemId>(owner_.size());
+  owner_.push_back(item.owner);
+  quality_.push_back(item.quality);
+  has_geo_.push_back(item.has_geo ? 1 : 0);
+  latitude_.push_back(item.latitude);
+  longitude_.push_back(item.longitude);
+  for (const TagId tag : tags) {
+    tag_ids_.push_back(tag);
+    max_tag_plus_one_ = std::max(max_tag_plus_one_, static_cast<size_t>(tag) + 1);
+  }
+  tag_offsets_.push_back(tag_ids_.size());
+  return id;
+}
+
+bool ItemStore::HasTag(ItemId item, TagId tag) const {
+  const auto item_tags = tags(item);
+  return std::binary_search(item_tags.begin(), item_tags.end(), tag);
+}
+
+size_t ItemStore::MemoryBytes() const {
+  return owner_.capacity() * sizeof(UserId) +
+         quality_.capacity() * sizeof(float) +
+         has_geo_.capacity() * sizeof(uint8_t) +
+         latitude_.capacity() * sizeof(float) +
+         longitude_.capacity() * sizeof(float) +
+         tag_offsets_.capacity() * sizeof(uint64_t) +
+         tag_ids_.capacity() * sizeof(TagId);
+}
+
+}  // namespace amici

@@ -1,0 +1,76 @@
+#ifndef AMICI_STORAGE_ITEM_STORE_H_
+#define AMICI_STORAGE_ITEM_STORE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// A single catalogue entry at ingest time: something a user posted
+/// (a photo, bookmark, review, ...) described by tags, with an intrinsic
+/// quality score and an optional geo position.
+struct Item {
+  UserId owner = kInvalidUserId;
+  std::vector<TagId> tags;
+  /// Static quality/popularity prior in [0, 1].
+  float quality = 0.0f;
+  /// Geo position; only meaningful when has_geo is true.
+  bool has_geo = false;
+  float latitude = 0.0f;
+  float longitude = 0.0f;
+};
+
+/// Columnar, append-only item catalogue. Item ids are assigned densely in
+/// insertion order. Tag sets are stored CSR-style (deduplicated, sorted);
+/// all per-item lookups are O(1) array reads, which keeps the random-access
+/// ("rescore from the store") path of the query algorithms cheap.
+class ItemStore {
+ public:
+  ItemStore() = default;
+
+  /// Appends `item` and returns its id. Fails if owner is invalid, quality
+  /// is outside [0, 1], or the tag list is empty.
+  Result<ItemId> Add(const Item& item);
+
+  size_t num_items() const { return owner_.size(); }
+
+  UserId owner(ItemId item) const { return owner_[item]; }
+  float quality(ItemId item) const { return quality_[item]; }
+  bool has_geo(ItemId item) const { return has_geo_[item] != 0; }
+  float latitude(ItemId item) const { return latitude_[item]; }
+  float longitude(ItemId item) const { return longitude_[item]; }
+
+  /// Sorted, unique tags of `item`.
+  std::span<const TagId> tags(ItemId item) const {
+    return {tag_ids_.data() + tag_offsets_[item],
+            tag_ids_.data() + tag_offsets_[item + 1]};
+  }
+
+  /// True iff `item` carries `tag`. O(log #tags).
+  bool HasTag(ItemId item, TagId tag) const;
+
+  /// Largest tag id stored plus one (0 if empty); the tag-universe size
+  /// indexes need.
+  size_t TagUniverseSize() const { return max_tag_plus_one_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<UserId> owner_;
+  std::vector<float> quality_;
+  std::vector<uint8_t> has_geo_;
+  std::vector<float> latitude_;
+  std::vector<float> longitude_;
+  std::vector<uint64_t> tag_offsets_{0};
+  std::vector<TagId> tag_ids_;
+  size_t max_tag_plus_one_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_ITEM_STORE_H_

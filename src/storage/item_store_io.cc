@@ -1,0 +1,231 @@
+#include "storage/item_store_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/file_util.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace amici {
+namespace {
+
+constexpr char kStoreMagic[4] = {'A', 'M', 'I', 'S'};
+constexpr char kDictMagic[4] = {'A', 'M', 'I', 'D'};
+constexpr uint32_t kVersion = 1;
+
+void PutFixed32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+bool GetFixed32(const std::string& data, size_t* offset, uint32_t* value) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 4;
+  *value = v;
+  return true;
+}
+
+bool GetFixed64(const std::string& data, size_t* offset, uint64_t* value) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  *value = v;
+  return true;
+}
+
+void PutFloat(float value, std::string* out) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed32(bits, out);
+}
+
+bool GetFloat(const std::string& data, size_t* offset, float* value) {
+  uint32_t bits = 0;
+  if (!GetFixed32(data, offset, &bits)) return false;
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
+
+/// Verifies magic + trailer checksum; on success strips them, returning
+/// the payload region [header_end, checksum_begin) via offsets.
+Status CheckEnvelope(const std::string& bytes, const char* magic,
+                     size_t* offset) {
+  if (bytes.size() < 4 + 4 + 8) {
+    return Status::Corruption("blob too small");
+  }
+  if (bytes.compare(0, 4, magic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+  size_t tail = bytes.size() - 8;
+  uint64_t stored = 0;
+  if (!GetFixed64(bytes, &tail, &stored) || stored != Fnv1a64(body)) {
+    return Status::Corruption("checksum mismatch");
+  }
+  *offset = 4;
+  uint32_t version = 0;
+  if (!GetFixed32(bytes, offset, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeItemStore(const ItemStore& store) {
+  std::string out;
+  out.append(kStoreMagic, sizeof(kStoreMagic));
+  PutFixed32(kVersion, &out);
+  PutFixed64(store.num_items(), &out);
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    PutVarint32(store.owner(item), &out);
+    PutFloat(store.quality(item), &out);
+    const auto tags = store.tags(item);
+    PutVarint64(tags.size(), &out);
+    TagId previous = 0;
+    for (size_t t = 0; t < tags.size(); ++t) {
+      // Tags are sorted & unique: gap coding.
+      PutVarint32(t == 0 ? tags[0] : tags[t] - previous, &out);
+      previous = tags[t];
+    }
+    out.push_back(store.has_geo(item) ? 1 : 0);
+    if (store.has_geo(item)) {
+      PutFloat(store.latitude(item), &out);
+      PutFloat(store.longitude(item), &out);
+    }
+  }
+  PutFixed64(Fnv1a64(out), &out);
+  return out;
+}
+
+Result<ItemStore> DeserializeItemStore(const std::string& bytes) {
+  size_t offset = 0;
+  AMICI_RETURN_IF_ERROR(CheckEnvelope(bytes, kStoreMagic, &offset));
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+
+  uint64_t num_items = 0;
+  if (!GetFixed64(body, &offset, &num_items)) {
+    return Status::Corruption("truncated item count");
+  }
+  ItemStore store;
+  for (uint64_t i = 0; i < num_items; ++i) {
+    Item item;
+    uint32_t owner = 0;
+    if (!GetVarint32(body, &offset, &owner) ||
+        !GetFloat(body, &offset, &item.quality)) {
+      return Status::Corruption("truncated item header");
+    }
+    item.owner = owner;
+    uint64_t tag_count = 0;
+    if (!GetVarint64(body, &offset, &tag_count)) {
+      return Status::Corruption("truncated tag count");
+    }
+    uint64_t current = 0;
+    for (uint64_t t = 0; t < tag_count; ++t) {
+      uint32_t gap = 0;
+      if (!GetVarint32(body, &offset, &gap)) {
+        return Status::Corruption("truncated tag list");
+      }
+      current = t == 0 ? gap : current + gap;
+      if (current > UINT32_MAX) return Status::Corruption("tag overflow");
+      item.tags.push_back(static_cast<TagId>(current));
+    }
+    if (offset >= body.size()) return Status::Corruption("truncated geo flag");
+    const uint8_t has_geo = static_cast<uint8_t>(body[offset++]);
+    if (has_geo != 0) {
+      item.has_geo = true;
+      if (!GetFloat(body, &offset, &item.latitude) ||
+          !GetFloat(body, &offset, &item.longitude)) {
+        return Status::Corruption("truncated geo coordinates");
+      }
+    }
+    const auto added = store.Add(item);
+    if (!added.ok()) {
+      return Status::Corruption(
+          StringPrintf("invalid stored item %llu: %s",
+                       static_cast<unsigned long long>(i),
+                       added.status().ToString().c_str()));
+    }
+  }
+  return store;
+}
+
+Status SaveItemStore(const ItemStore& store, const std::string& path) {
+  return WriteStringToFile(SerializeItemStore(store), path);
+}
+
+Result<ItemStore> LoadItemStore(const std::string& path) {
+  AMICI_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return DeserializeItemStore(bytes);
+}
+
+std::string SerializeTagDictionary(const TagDictionary& dictionary) {
+  std::string out;
+  out.append(kDictMagic, sizeof(kDictMagic));
+  PutFixed32(kVersion, &out);
+  PutFixed64(dictionary.size(), &out);
+  for (size_t t = 0; t < dictionary.size(); ++t) {
+    const std::string& name = dictionary.Name(static_cast<TagId>(t));
+    PutVarint64(name.size(), &out);
+    out.append(name);
+  }
+  PutFixed64(Fnv1a64(out), &out);
+  return out;
+}
+
+Result<TagDictionary> DeserializeTagDictionary(const std::string& bytes) {
+  size_t offset = 0;
+  AMICI_RETURN_IF_ERROR(CheckEnvelope(bytes, kDictMagic, &offset));
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+
+  uint64_t count = 0;
+  if (!GetFixed64(body, &offset, &count)) {
+    return Status::Corruption("truncated tag count");
+  }
+  TagDictionary dictionary;
+  for (uint64_t t = 0; t < count; ++t) {
+    uint64_t length = 0;
+    if (!GetVarint64(body, &offset, &length) ||
+        offset + length > body.size()) {
+      return Status::Corruption("truncated tag name");
+    }
+    const TagId id = dictionary.Intern(body.substr(offset, length));
+    offset += length;
+    if (id != t) {
+      return Status::Corruption("duplicate tag name in dictionary");
+    }
+  }
+  return dictionary;
+}
+
+Status SaveTagDictionary(const TagDictionary& dictionary,
+                         const std::string& path) {
+  return WriteStringToFile(SerializeTagDictionary(dictionary), path);
+}
+
+Result<TagDictionary> LoadTagDictionary(const std::string& path) {
+  AMICI_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return DeserializeTagDictionary(bytes);
+}
+
+}  // namespace amici

@@ -1,0 +1,33 @@
+#ifndef AMICI_STORAGE_ITEM_STORE_IO_H_
+#define AMICI_STORAGE_ITEM_STORE_IO_H_
+
+#include <string>
+
+#include "storage/item_store.h"
+#include "storage/tag_dictionary.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Binary persistence for the item catalogue and tag dictionary,
+/// mirroring the graph format (graph_io.h): magic + version header,
+/// varint/delta-coded payload, FNV-64 trailer checksum. Loading verifies
+/// structure and checksum and returns Corruption on any mismatch.
+
+/// Item catalogue ("AMIS" format).
+std::string SerializeItemStore(const ItemStore& store);
+Result<ItemStore> DeserializeItemStore(const std::string& bytes);
+Status SaveItemStore(const ItemStore& store, const std::string& path);
+Result<ItemStore> LoadItemStore(const std::string& path);
+
+/// Tag dictionary ("AMID" format). Ids are positional, so the dictionary
+/// round-trips with identical TagId assignments.
+std::string SerializeTagDictionary(const TagDictionary& dictionary);
+Result<TagDictionary> DeserializeTagDictionary(const std::string& bytes);
+Status SaveTagDictionary(const TagDictionary& dictionary,
+                         const std::string& path);
+Result<TagDictionary> LoadTagDictionary(const std::string& path);
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_ITEM_STORE_IO_H_

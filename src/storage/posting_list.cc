@@ -1,0 +1,231 @@
+#include "storage/posting_list.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace amici {
+namespace {
+
+constexpr int kQuantLevels = 255;
+
+// Conservative 8-bit quantization: bound >= score guaranteed by ceiling.
+uint8_t QuantizeUp(float score, float max_score) {
+  if (max_score <= 0.0f) return 0;
+  const double q = std::ceil(static_cast<double>(score) /
+                             static_cast<double>(max_score) * kQuantLevels);
+  return static_cast<uint8_t>(std::min(q, static_cast<double>(kQuantLevels)));
+}
+
+}  // namespace
+
+Result<PostingList> PostingList::Build(
+    const std::vector<ScoredItem>& postings) {
+  return Build(postings, Options());
+}
+
+Result<PostingList> PostingList::Build(const std::vector<ScoredItem>& postings,
+                                       const Options& options) {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  PostingList list;
+  list.options_ = options;
+  list.count_ = postings.size();
+  for (size_t i = 0; i < postings.size(); ++i) {
+    if (postings[i].score < 0.0f) {
+      return Status::InvalidArgument("posting scores must be non-negative");
+    }
+    if (i > 0 && postings[i].item <= postings[i - 1].item) {
+      return Status::InvalidArgument(
+          "postings must be strictly ascending by item id");
+    }
+    list.max_score_ = std::max(list.max_score_, postings[i].score);
+  }
+
+  for (size_t begin = 0; begin < postings.size();
+       begin += options.block_size) {
+    const size_t end = std::min(begin + options.block_size, postings.size());
+    SkipEntry skip;
+    skip.offset = list.data_.size();
+    skip.last_item = postings[end - 1].item;
+    skip.num_postings = static_cast<uint32_t>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t delta =
+          i == begin ? postings[i].item : postings[i].item -
+                                          postings[i - 1].item;
+      PutVarint32(delta, &list.data_);
+      list.data_.push_back(static_cast<char>(
+          QuantizeUp(postings[i].score, list.max_score_)));
+    }
+    list.skips_.push_back(skip);
+  }
+  return list;
+}
+
+size_t PostingList::SizeBytes() const {
+  return data_.size() +
+         (options_.enable_skips ? skips_.size() * sizeof(SkipEntry) : 0) +
+         sizeof(PostingList);
+}
+
+void PostingList::SerializeTo(std::string* out) const {
+  PutVarint64(count_, out);
+  uint32_t score_bits = 0;
+  std::memcpy(&score_bits, &max_score_, sizeof(score_bits));
+  PutVarint32(score_bits, out);
+  PutVarint64(options_.block_size, out);
+  out->push_back(options_.enable_skips ? 1 : 0);
+  PutVarint64(skips_.size(), out);
+  for (const SkipEntry& skip : skips_) {
+    PutVarint32(skip.last_item, out);
+    PutVarint64(skip.offset, out);
+    PutVarint32(skip.num_postings, out);
+  }
+  PutVarint64(data_.size(), out);
+  out->append(data_);
+}
+
+Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
+                                                 size_t* offset) {
+  PostingList list;
+  uint64_t count = 0;
+  uint32_t score_bits = 0;
+  uint64_t block_size = 0;
+  if (!GetVarint64(data, offset, &count) ||
+      !GetVarint32(data, offset, &score_bits) ||
+      !GetVarint64(data, offset, &block_size) || block_size == 0) {
+    return Status::Corruption("malformed posting-list header");
+  }
+  list.count_ = count;
+  std::memcpy(&list.max_score_, &score_bits, sizeof(score_bits));
+  list.options_.block_size = block_size;
+  if (*offset >= data.size()) {
+    return Status::Corruption("truncated posting-list flags");
+  }
+  list.options_.enable_skips = data[(*offset)++] != 0;
+
+  uint64_t num_skips = 0;
+  if (!GetVarint64(data, offset, &num_skips)) {
+    return Status::Corruption("truncated skip count");
+  }
+  list.skips_.reserve(num_skips);
+  for (uint64_t i = 0; i < num_skips; ++i) {
+    SkipEntry skip;
+    uint64_t byte_offset = 0;
+    if (!GetVarint32(data, offset, &skip.last_item) ||
+        !GetVarint64(data, offset, &byte_offset) ||
+        !GetVarint32(data, offset, &skip.num_postings)) {
+      return Status::Corruption("truncated skip entry");
+    }
+    skip.offset = byte_offset;
+    list.skips_.push_back(skip);
+  }
+  uint64_t payload_size = 0;
+  if (!GetVarint64(data, offset, &payload_size) ||
+      *offset + payload_size > data.size()) {
+    return Status::Corruption("truncated posting payload");
+  }
+  list.data_ = data.substr(*offset, payload_size);
+  *offset += payload_size;
+
+  // Structural sanity: skip offsets must lie inside the payload and
+  // posting counts must add up.
+  uint64_t total = 0;
+  for (const SkipEntry& skip : list.skips_) {
+    if (skip.offset > list.data_.size()) {
+      return Status::Corruption("skip offset out of range");
+    }
+    total += skip.num_postings;
+  }
+  if (total != list.count_) {
+    return Status::Corruption("posting count mismatch");
+  }
+  return list;
+}
+
+PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
+  AMICI_CHECK(list != nullptr);
+  block_docs_.reserve(list->options_.block_size);
+  block_impacts_.reserve(list->options_.block_size);
+  if (!list_->skips_.empty()) {
+    LoadBlock(0);
+    valid_ = true;
+  }
+}
+
+float PostingList::Iterator::ImpactBound() const {
+  return static_cast<float>(block_impacts_[index_in_block_]) /
+         static_cast<float>(kQuantLevels) * list_->max_score_;
+}
+
+void PostingList::Iterator::LoadBlock(size_t block) {
+  block_ = block;
+  index_in_block_ = 0;
+  block_docs_.clear();
+  block_impacts_.clear();
+  const SkipEntry& skip = list_->skips_[block];
+  size_t offset = skip.offset;
+  uint32_t doc = 0;
+  for (uint32_t i = 0; i < skip.num_postings; ++i) {
+    uint32_t delta = 0;
+    const bool ok = GetVarint32(list_->data_, &offset, &delta);
+    AMICI_CHECK(ok) << "corrupt posting block";
+    doc = i == 0 ? delta : doc + delta;
+    block_docs_.push_back(doc);
+    AMICI_CHECK(offset < list_->data_.size());
+    block_impacts_.push_back(static_cast<uint8_t>(list_->data_[offset]));
+    ++offset;
+  }
+}
+
+void PostingList::Iterator::Next() {
+  AMICI_CHECK(valid_);
+  ++index_in_block_;
+  if (index_in_block_ < block_docs_.size()) return;
+  if (block_ + 1 < list_->skips_.size()) {
+    LoadBlock(block_ + 1);
+  } else {
+    valid_ = false;
+  }
+}
+
+void PostingList::Iterator::SeekGeq(ItemId target) {
+  if (!valid_) return;
+  if (Doc() >= target) return;
+
+  if (list_->options_.enable_skips) {
+    // Find the first block whose last item reaches the target.
+    if (list_->skips_[block_].last_item < target) {
+      size_t lo = block_ + 1;
+      size_t hi = list_->skips_.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (list_->skips_[mid].last_item < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == list_->skips_.size()) {
+        valid_ = false;
+        return;
+      }
+      LoadBlock(lo);
+    }
+    while (index_in_block_ < block_docs_.size() &&
+           block_docs_[index_in_block_] < target) {
+      ++index_in_block_;
+    }
+    AMICI_CHECK(index_in_block_ < block_docs_.size());
+    return;
+  }
+
+  // Skip-free fallback: linear scan (the ablation path).
+  while (valid_ && Doc() < target) Next();
+}
+
+}  // namespace amici

@@ -1,0 +1,123 @@
+#ifndef AMICI_STORAGE_POSTING_LIST_H_
+#define AMICI_STORAGE_POSTING_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// An (item, score) pair — the unit of every ranked list in the system.
+struct ScoredItem {
+  ItemId item;
+  float score;
+};
+
+/// Compressed, document-ordered posting list with per-block skip pointers.
+///
+/// Layout: postings are grouped into blocks of `block_size`. Within a
+/// block, item ids are delta-varint coded and each carries an 8-bit
+/// quantized impact. A skip table holds (last_item, byte offset, block max
+/// impact) per block, enabling SeekGeq to jump over blocks.
+///
+/// Impact quantization is *conservative*: the decoded bound is always >=
+/// the true score (rounding up), so traversal decisions based on it never
+/// miss a result; exact scores are re-read from the ItemStore at scoring
+/// time. This mirrors the classic compressed-index + exact-rescore design.
+class PostingList {
+ public:
+  struct Options {
+    /// Postings per block; also the skip granularity.
+    size_t block_size = 128;
+    /// When false, no skip table is built and SeekGeq degrades to linear
+    /// scanning — the Table 3 ablation knob.
+    bool enable_skips = true;
+  };
+
+  /// Streaming decoder over one PostingList. Forward-only.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList* list);
+
+    /// False once the list is exhausted.
+    bool Valid() const { return valid_; }
+
+    /// Current item id; requires Valid().
+    ItemId Doc() const { return block_docs_[index_in_block_]; }
+
+    /// Conservative impact bound for the current posting (>= true score).
+    float ImpactBound() const;
+
+    /// Advances by one posting.
+    void Next();
+
+    /// Advances to the first posting with item id >= target (no-op if
+    /// already there). Uses the skip table when available.
+    void SeekGeq(ItemId target);
+
+   private:
+    void LoadBlock(size_t block);
+
+    const PostingList* list_;
+    size_t block_ = 0;
+    size_t index_in_block_ = 0;
+    bool valid_ = false;
+    std::vector<ItemId> block_docs_;
+    std::vector<uint8_t> block_impacts_;
+  };
+
+  PostingList() = default;
+
+  /// Builds a list from postings sorted strictly ascending by item id with
+  /// non-negative scores; violations yield InvalidArgument.
+  static Result<PostingList> Build(const std::vector<ScoredItem>& postings,
+                                   const Options& options);
+  static Result<PostingList> Build(const std::vector<ScoredItem>& postings);
+
+  /// Number of postings.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Largest true score over the list (0 for an empty list).
+  float max_score() const { return max_score_; }
+
+  /// Compressed footprint: payload plus skip table.
+  size_t SizeBytes() const;
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  const Options& options() const { return options_; }
+
+  /// Appends a self-contained binary image (payload + skip table +
+  /// options) to `out`; DeserializeFrom reconstructs an identical list.
+  /// Used by the on-disk index format.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses a list written by SerializeTo starting at data[*offset];
+  /// advances *offset past it. Corruption on malformed input.
+  static Result<PostingList> DeserializeFrom(const std::string& data,
+                                             size_t* offset);
+
+ private:
+  friend class Iterator;
+
+  struct SkipEntry {
+    ItemId last_item;     // largest item id in the block
+    uint64_t offset;      // byte offset of the block in data_
+    uint32_t num_postings;  // postings in this block
+  };
+
+  std::string data_;
+  std::vector<SkipEntry> skips_;
+  size_t count_ = 0;
+  float max_score_ = 0.0f;
+  Options options_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_POSTING_LIST_H_

@@ -1,0 +1,34 @@
+#include "storage/tag_dictionary.h"
+
+#include "util/logging.h"
+
+namespace amici {
+
+TagId TagDictionary::Intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDictionary::Lookup(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidTagId : it->second;
+}
+
+const std::string& TagDictionary::Name(TagId tag) const {
+  AMICI_CHECK(tag < names_.size()) << "unknown tag id " << tag;
+  return names_[tag];
+}
+
+size_t TagDictionary::MemoryBytes() const {
+  size_t bytes = names_.capacity() * sizeof(std::string) +
+                 ids_.size() * (sizeof(std::string) + sizeof(TagId) +
+                                sizeof(void*) * 2);
+  for (const auto& name : names_) bytes += name.capacity() * 2;
+  return bytes;
+}
+
+}  // namespace amici

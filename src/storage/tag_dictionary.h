@@ -1,0 +1,41 @@
+#ifndef AMICI_STORAGE_TAG_DICTIONARY_H_
+#define AMICI_STORAGE_TAG_DICTIONARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace amici {
+
+/// Bidirectional mapping between tag strings and dense TagIds. Interning
+/// happens at ingest; all indexes and queries operate on TagIds only.
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+
+  /// Returns the id of `name`, assigning the next free id on first sight.
+  TagId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidTagId if it was never interned.
+  TagId Lookup(std::string_view name) const;
+
+  /// The string for `tag`; tag must be a valid id from this dictionary.
+  const std::string& Name(TagId tag) const;
+
+  size_t size() const { return names_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, TagId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_TAG_DICTIONARY_H_

@@ -1,0 +1,34 @@
+#ifndef AMICI_TOPK_NRA_H_
+#define AMICI_TOPK_NRA_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "storage/posting_list.h"
+#include "topk/threshold_algorithm.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// No-Random-Access rank aggregation (Fagin, Lotem & Naor). Consumes the
+/// same SortedSource streams as the TA engine but never probes the store:
+/// it maintains [lower, upper] score bounds per seen item and stops when
+/// the k-th best lower bound dominates every other item's upper bound (and
+/// the bound on wholly-unseen items).
+///
+/// Returned scores are the accumulated lower bounds: exact for items that
+/// surfaced in every source containing them, conservative otherwise; the
+/// *membership* of the top-k set is exact (ties may resolve arbitrarily).
+///
+/// NRA trades random accesses for much heavier bookkeeping — it exists as
+/// the classical baseline operator (micro benches; DESIGN.md §4).
+///
+/// Supports at most 32 sources.
+Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
+                                       size_t k, AggregationStats* stats);
+
+}  // namespace amici
+
+#endif  // AMICI_TOPK_NRA_H_

@@ -1,0 +1,153 @@
+#include "topk/threshold_algorithm.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "topk/topk_heap.h"
+#include "util/logging.h"
+
+namespace amici {
+namespace {
+
+/// Slack absorbing floating-point reordering between the threshold sum and
+/// score_of's own summation; keeps termination conservative.
+constexpr double kThresholdSlack = 1e-12;
+
+}  // namespace
+
+size_t MaxBoundPull(std::span<const double> bounds) {
+  size_t best = 0;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] > bounds[best]) best = i;
+  }
+  return best;
+}
+
+PullPolicy MakeBoundProportionalPull() {
+  // Stride scheduling: per-source credit grows by the source's bound each
+  // step; the source with the most credit is pulled and pays the total.
+  // Pull frequency therefore converges to bound_i / sum(bounds), and
+  // re-balances automatically as the bounds drain.
+  auto credits = std::make_shared<std::vector<double>>();
+  return [credits](std::span<const double> bounds) -> size_t {
+    if (credits->size() != bounds.size()) {
+      credits->assign(bounds.size(), 0.0);
+    }
+    double total = 0.0;
+    for (const double b : bounds) total += b;
+    size_t best = bounds.size();
+    double best_credit = 0.0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (!(bounds[i] > 0.0)) {
+        (*credits)[i] = 0.0;  // exhausted sources drop out
+        continue;
+      }
+      (*credits)[i] += bounds[i];
+      if (best == bounds.size() || (*credits)[i] > best_credit) {
+        best = i;
+        best_credit = (*credits)[i];
+      }
+    }
+    if (best == bounds.size()) return 0;  // engine falls back if invalid
+    (*credits)[best] -= total;
+    return best;
+  };
+}
+
+PullPolicy MakeBiasedPull(std::vector<bool> preferred, uint32_t weight) {
+  AMICI_CHECK(weight >= 1);
+  // State shared across invocations: a round counter and rotating cursors.
+  struct State {
+    std::vector<bool> preferred;
+    uint32_t weight;
+    uint64_t tick = 0;
+    size_t preferred_cursor = 0;
+    size_t other_cursor = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->preferred = std::move(preferred);
+  state->weight = weight;
+
+  return [state](std::span<const double> bounds) -> size_t {
+    const size_t n = bounds.size();
+    AMICI_CHECK(state->preferred.size() == n);
+    const bool pull_preferred =
+        (state->tick++ % (state->weight + 1)) != state->weight;
+    // Two rotating scans: first over the favoured class, then the other;
+    // skip exhausted sources (bound 0 with no better option handled by
+    // the engine fallback).
+    auto next_in_class = [&](bool want_preferred,
+                             size_t* cursor) -> ptrdiff_t {
+      for (size_t step = 0; step < n; ++step) {
+        const size_t i = (*cursor + step) % n;
+        if (state->preferred[i] == want_preferred && bounds[i] > 0.0) {
+          *cursor = (i + 1) % n;
+          return static_cast<ptrdiff_t>(i);
+        }
+      }
+      return -1;
+    };
+    ptrdiff_t choice = pull_preferred
+                           ? next_in_class(true, &state->preferred_cursor)
+                           : next_in_class(false, &state->other_cursor);
+    if (choice < 0) {
+      choice = pull_preferred ? next_in_class(false, &state->other_cursor)
+                              : next_in_class(true, &state->preferred_cursor);
+    }
+    return choice < 0 ? 0 : static_cast<size_t>(choice);
+  };
+}
+
+Result<std::vector<ScoredItem>> RunThresholdAlgorithm(
+    std::span<SortedSource* const> sources,
+    const std::function<double(ItemId)>& score_of, size_t k,
+    const PullPolicy& pull_policy, const std::function<bool(ItemId)>& filter,
+    AggregationStats* stats) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (score_of == nullptr) {
+    return Status::InvalidArgument("score_of must be provided");
+  }
+  AggregationStats local_stats;
+  TopKHeap heap(k);
+  std::unordered_set<ItemId> seen;
+  std::vector<double> bounds(sources.size(), 0.0);
+
+  while (true) {
+    // Refresh bounds and the termination threshold.
+    double threshold = 0.0;
+    bool any_valid = false;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i]->Valid()) {
+        bounds[i] = sources[i]->Current().score;
+        threshold += bounds[i];
+        any_valid = true;
+      } else {
+        bounds[i] = 0.0;
+      }
+    }
+    if (!any_valid) break;
+    if (heap.full() && heap.KthScore() >= threshold - kThresholdSlack) break;
+
+    size_t choice = pull_policy(std::span<const double>(bounds));
+    if (choice >= sources.size() || !sources[choice]->Valid()) {
+      choice = MaxBoundPull(bounds);
+      if (!sources[choice]->Valid()) break;  // defensive; any_valid said no
+    }
+
+    const ScoredItem entry = sources[choice]->Current();
+    sources[choice]->Next();
+    ++local_stats.sorted_accesses;
+    if (!seen.insert(entry.item).second) continue;
+    if (filter != nullptr && !filter(entry.item)) continue;
+    ++local_stats.random_accesses;
+    const double score = score_of(entry.item);
+    ++local_stats.candidates_scored;
+    // Zero-score items are never results (engine-wide contract).
+    if (score > 0.0) heap.Push(entry.item, score);
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return heap.TakeSorted();
+}
+
+}  // namespace amici

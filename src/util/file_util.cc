@@ -1,0 +1,42 @@
+#include "util/file_util.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace amici {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StringPrintf("cannot open %s", path.c_str()));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IoError(StringPrintf("read error on %s", path.c_str()));
+  }
+  return data;
+}
+
+Status WriteStringToFile(const std::string& data, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StringPrintf("cannot open %s for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const int close_error = std::fclose(f);
+  if (written != data.size() || close_error != 0) {
+    return Status::IoError(StringPrintf("short write to %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace amici

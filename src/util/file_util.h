@@ -1,0 +1,19 @@
+#ifndef AMICI_UTIL_FILE_UTIL_H_
+#define AMICI_UTIL_FILE_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace amici {
+
+/// Reads the whole file at `path`. IoError if it cannot be opened/read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing file. IoError on a
+/// short write or close failure.
+Status WriteStringToFile(const std::string& data, const std::string& path);
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_FILE_UTIL_H_

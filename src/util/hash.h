@@ -1,0 +1,40 @@
+#ifndef AMICI_UTIL_HASH_H_
+#define AMICI_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace amici {
+
+/// 64-bit FNV-1a over arbitrary bytes; stable across platforms, used for
+/// dictionary hashing and checksums in the binary formats.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Strong 64-bit finalizer (MurmurHash3 fmix64); good avalanche for integer
+/// keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Boost-style combiner for composing hashes of struct fields.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_HASH_H_

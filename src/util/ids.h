@@ -1,0 +1,23 @@
+#ifndef AMICI_UTIL_IDS_H_
+#define AMICI_UTIL_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace amici {
+
+/// Dense identifiers shared across subsystems. Users, items, and tags are
+/// each numbered contiguously from 0, which lets every index use flat
+/// arrays instead of hash maps.
+using UserId = uint32_t;
+using ItemId = uint32_t;
+using TagId = uint32_t;
+
+/// Sentinels for "no such entity".
+inline constexpr UserId kInvalidUserId = std::numeric_limits<UserId>::max();
+inline constexpr ItemId kInvalidItemId = std::numeric_limits<ItemId>::max();
+inline constexpr TagId kInvalidTagId = std::numeric_limits<TagId>::max();
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_IDS_H_

@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace amici {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&tt, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+  std::fprintf(stderr, "%s %s %s:%d] %s\n", LevelTag(level), ts,
+               Basename(file), line, msg.c_str());
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  Emit(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace amici

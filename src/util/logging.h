@@ -1,0 +1,93 @@
+#ifndef AMICI_UTIL_LOGGING_H_
+#define AMICI_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace amici {
+
+/// Log severities, in increasing order of urgency.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+/// Thread-safe. Defaults to kInfo.
+void SetMinLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel MinLogLevel();
+
+namespace internal {
+
+/// Stream-collecting helper behind AMICI_LOG; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Aborts after streaming the failure context; used by AMICI_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace amici
+
+/// Streams a message at the given severity:
+///   AMICI_LOG(kInfo) << "built index in " << secs << "s";
+#define AMICI_LOG(severity)                                              \
+  if (::amici::LogLevel::severity < ::amici::MinLogLevel()) {            \
+  } else                                                                 \
+    ::amici::internal::LogMessage(::amici::LogLevel::severity, __FILE__, \
+                                  __LINE__)                              \
+        .stream()
+
+/// Aborts the process with a diagnostic when `condition` is false. Active in
+/// all build modes: these guard invariants whose violation means memory
+/// corruption or an unrecoverable logic bug.
+#define AMICI_CHECK(condition)                                             \
+  if (condition) {                                                         \
+  } else                                                                   \
+    ::amici::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+/// AMICI_CHECK for Status values; prints the status on failure.
+#define AMICI_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::amici::Status amici_check_status_ = (expr);                       \
+    AMICI_CHECK(amici_check_status_.ok())                               \
+        << "status: " << amici_check_status_.ToString();                \
+  } while (false)
+
+/// Debug-only check; compiles away in NDEBUG builds.
+#ifdef NDEBUG
+#define AMICI_DCHECK(condition) AMICI_CHECK(true)
+#else
+#define AMICI_DCHECK(condition) AMICI_CHECK(condition)
+#endif
+
+#endif  // AMICI_UTIL_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef AMICI_UTIL_RNG_H_
+#define AMICI_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace amici {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**),
+/// seeded through SplitMix64. Not cryptographically secure; intended for
+/// workload generation, sampling, and randomized tests where run-to-run
+/// reproducibility from a single seed matters.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream on every
+  /// platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64 random bits.
+  uint64_t NextUint64();
+
+  /// Next 32 random bits.
+  uint32_t NextUint32() { return static_cast<uint32_t>(NextUint64() >> 32); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t UniformIndex(uint64_t n);
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (caches the spare deviate).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Geometric-ish exponential deviate with the given rate (> 0).
+  double Exponential(double rate);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformIndex(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly; returns fewer than
+  /// `k` only when k > n. Output is in sampling order (not sorted).
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Forks an independent generator deterministically derived from this
+  /// stream; handy for giving each thread its own RNG.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_RNG_H_

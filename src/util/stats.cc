@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace amici {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  AMICI_DCHECK(q >= 0.0 && q <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary summary;
+  if (samples_.empty()) return summary;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  summary.count = sorted.size();
+  double sum = 0.0;
+  for (const double s : sorted) sum += s;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  summary.p50 = PercentileOfSorted(sorted, 50.0);
+  summary.p90 = PercentileOfSorted(sorted, 90.0);
+  summary.p99 = PercentileOfSorted(sorted, 99.0);
+  return summary;
+}
+
+ExponentialHistogram::ExponentialHistogram(int num_buckets)
+    : buckets_(static_cast<size_t>(num_buckets), 0) {
+  AMICI_CHECK(num_buckets >= 2);
+}
+
+void ExponentialHistogram::Add(double value) {
+  ++total_;
+  if (value < 1.0) {
+    ++buckets_[0];
+    return;
+  }
+  // Bucket b >= 1 holds [2^(b-1), 2^b).
+  int b = 1 + static_cast<int>(std::log2(value));
+  if (b >= num_buckets()) b = num_buckets() - 1;
+  ++buckets_[static_cast<size_t>(b)];
+}
+
+uint64_t ExponentialHistogram::BucketCount(int b) const {
+  AMICI_CHECK(b >= 0 && b < num_buckets());
+  return buckets_[static_cast<size_t>(b)];
+}
+
+std::string ExponentialHistogram::ToString() const {
+  std::string out;
+  char buf[64];
+  for (int b = 0; b < num_buckets(); ++b) {
+    if (buckets_[static_cast<size_t>(b)] == 0) continue;
+    const double lo = b == 0 ? 0.0 : std::pow(2.0, b - 1);
+    const double hi = std::pow(2.0, b);
+    std::snprintf(buf, sizeof(buf), "[%.0f,%.0f):%llu ", lo, hi,
+                  static_cast<unsigned long long>(
+                      buckets_[static_cast<size_t>(b)]));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace amici

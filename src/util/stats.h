@@ -1,0 +1,97 @@
+#ifndef AMICI_UTIL_STATS_H_
+#define AMICI_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace amici {
+
+/// Numerically stable streaming moments (Welford). O(1) memory; used for
+/// aggregate counters where storing samples would be too costly.
+class OnlineStats {
+ public:
+  OnlineStats() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel reduction).
+  void Merge(const OnlineStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile summary of a latency (or any scalar) sample set.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Collects raw samples and produces percentile summaries. Used by the
+/// bench harnesses; stores all samples, so bound the sample count.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  void Record(double value) { samples_.push_back(value); }
+  void Clear() { samples_.clear(); }
+  size_t size() const { return samples_.size(); }
+
+  /// Computes the summary; sorts an internal copy, leaving samples intact.
+  LatencySummary Summarize() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Linear-interpolation percentile of a *sorted* sample vector,
+/// q in [0, 100].
+double PercentileOfSorted(const std::vector<double>& sorted, double q);
+
+/// Fixed-boundary histogram with exponentially growing buckets
+/// [0,1), [1,2), [2,4), [4,8)... in the recorder's unit. Compact textual
+/// rendering for engine statistics dumps.
+class ExponentialHistogram {
+ public:
+  explicit ExponentialHistogram(int num_buckets = 32);
+
+  void Add(double value);
+  uint64_t TotalCount() const { return total_; }
+
+  /// Count in bucket `b` (see class comment for boundaries).
+  uint64_t BucketCount(int b) const;
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  /// One-line rendering: "[0,1):12 [1,2):3 ...", omitting empty buckets.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_STATS_H_

@@ -1,0 +1,175 @@
+#ifndef AMICI_UTIL_STATUS_H_
+#define AMICI_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace amici {
+
+/// Canonical error space for the library. Amici does not use C++ exceptions;
+/// every fallible operation returns a Status (or a Result<T>, below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying either success (`ok()`) or an error code with
+/// a human-readable message. Modeled after absl::Status, reduced to what the
+/// library needs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers for the common error categories.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing `value()` on an
+/// error Result aborts the process (Amici treats that as a programming bug,
+/// consistent with the no-exceptions policy).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status: `return Status::NotFound(..)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process, printing `status`. Out-of-line to keep Result light.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace amici
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define AMICI_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::amici::Status amici_status_ = (expr);           \
+    if (!amici_status_.ok()) return amici_status_;    \
+  } while (false)
+
+#define AMICI_STATUS_CONCAT_INNER_(x, y) x##y
+#define AMICI_STATUS_CONCAT_(x, y) AMICI_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise assigns the value to `lhs` (which may include a declaration).
+#define AMICI_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  auto AMICI_STATUS_CONCAT_(amici_result_, __LINE__) = (rexpr);              \
+  if (!AMICI_STATUS_CONCAT_(amici_result_, __LINE__).ok())                   \
+    return AMICI_STATUS_CONCAT_(amici_result_, __LINE__).status();           \
+  lhs = std::move(AMICI_STATUS_CONCAT_(amici_result_, __LINE__)).value()
+
+#endif  // AMICI_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef AMICI_UTIL_STOPWATCH_H_
+#define AMICI_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace amici {
+
+/// Monotonic wall-clock stopwatch used by benches and engine statistics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef AMICI_UTIL_STRING_UTIL_H_
+#define AMICI_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amici {
+
+/// Splits `text` on `separator`; empty fields are preserved
+/// ("a,,b" -> {"a", "", "b"}). An empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Joins `parts` with `separator` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing (no locale).
+std::string ToLower(std::string_view text);
+
+/// "1234567" -> "1,234,567"; used by table output.
+std::string WithThousandsSeparators(uint64_t value);
+
+/// Human-readable byte size, e.g. "1.50 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_STRING_UTIL_H_

@@ -1,0 +1,79 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace amici {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool any_digit = false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      any_digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != ',' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AMICI_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  AMICI_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_cell = [&](const std::string& cell, size_t width,
+                       bool right_align) {
+    const size_t pad = width - cell.size();
+    if (right_align) os << std::string(pad, ' ') << cell;
+    else os << cell << std::string(pad, ' ');
+  };
+
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    emit_cell(headers_[c], widths[c], false);
+  }
+  os << '\n';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      emit_cell(row[c], widths[c], LooksNumeric(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amici

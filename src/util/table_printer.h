@@ -1,0 +1,41 @@
+#ifndef AMICI_UTIL_TABLE_PRINTER_H_
+#define AMICI_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amici {
+
+/// Renders aligned, plain-text tables — the output format of every bench
+/// binary, so that a table/figure from the paper corresponds to one printed
+/// block.
+///
+///   TablePrinter t({"k", "exhaustive(ms)", "hybrid(ms)"});
+///   t.AddRow({"10", "12.1", "0.42"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table: header, separator rule, then rows; columns padded to
+  /// the widest cell. Numeric-looking cells are right-aligned.
+  void Print(std::ostream& os) const;
+
+  /// The table rendered to a string (same format as Print).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,54 @@
+#ifndef AMICI_UTIL_THREAD_POOL_H_
+#define AMICI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amici {
+
+/// Fixed-size worker pool with a FIFO task queue. Used for parallel index
+/// builds and the concurrent-query throughput benchmark. The destructor
+/// drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Waits for all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for
+  /// completion. Work is chunked to limit queue traffic.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_THREAD_POOL_H_

@@ -1,0 +1,90 @@
+#include "util/varint.h"
+
+namespace amici {
+
+void PutVarint32(uint32_t value, std::string* out) {
+  PutVarint64(value, out);
+}
+
+void PutVarint64(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (pos < data.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(data[pos++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = pos;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Truncated or over-long encoding.
+}
+
+bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
+  uint64_t wide = 0;
+  if (!GetVarint64(data, offset, &wide)) return false;
+  if (wide > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(wide);
+  return true;
+}
+
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+bool DeltaEncode(const std::vector<uint32_t>& values, std::string* out) {
+  uint32_t previous = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == 0) {
+      PutVarint32(values[0], out);
+    } else {
+      if (values[i] <= previous) return false;
+      PutVarint32(values[i] - previous, out);
+    }
+    previous = values[i];
+  }
+  return true;
+}
+
+bool DeltaDecode(const std::string& data, size_t count,
+                 std::vector<uint32_t>* values) {
+  values->clear();
+  values->reserve(count);
+  size_t offset = 0;
+  uint64_t current = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    if (!GetVarint32(data, &offset, &delta)) return false;
+    current = (i == 0) ? delta : current + delta;
+    if (current > UINT32_MAX) return false;
+    values->push_back(static_cast<uint32_t>(current));
+  }
+  return true;
+}
+
+}  // namespace amici

@@ -1,0 +1,45 @@
+#ifndef AMICI_UTIL_VARINT_H_
+#define AMICI_UTIL_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amici {
+
+/// LEB128-style variable-length integer codec, plus zig-zag and delta
+/// helpers. Used by posting lists and the binary graph format.
+///
+/// Encoding: 7 payload bits per byte, high bit set on continuation bytes.
+
+/// Appends the varint encoding of `value` to `out`.
+void PutVarint32(uint32_t value, std::string* out);
+void PutVarint64(uint64_t value, std::string* out);
+
+/// Decodes a varint starting at data[*offset]; advances *offset past it.
+/// Returns false (leaving *offset unspecified) on truncated or >max-width
+/// input.
+bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value);
+bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value);
+
+/// Number of bytes PutVarint64 would write for `value`.
+size_t VarintLength(uint64_t value);
+
+/// Zig-zag mapping of signed to unsigned so small magnitudes stay short.
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+/// Delta-encodes a strictly increasing sequence: first value verbatim, then
+/// gaps (value[i] - value[i-1]). Returns false if `values` is not strictly
+/// increasing.
+bool DeltaEncode(const std::vector<uint32_t>& values, std::string* out);
+
+/// Inverse of DeltaEncode; expects exactly `count` values. Returns false on
+/// malformed input (truncation or overflow).
+bool DeltaDecode(const std::string& data, size_t count,
+                 std::vector<uint32_t>* values);
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_VARINT_H_

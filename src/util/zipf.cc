@@ -1,0 +1,48 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace amici {
+
+// Rejection-inversion sampling after Hörmann & Derflinger (1996),
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions". The integral H of the density envelope admits a closed
+// form for f(x) = x^-s, and its inverse is cheap; rejection fixes up the
+// discretization.
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  AMICI_CHECK(n >= 1) << "ZipfSampler needs a non-empty domain";
+  AMICI_CHECK(s >= 0.0) << "Zipf exponent must be non-negative";
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  spole_ = h_x1_;
+}
+
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = spole_ + rng->UniformDouble() * (h_n_ - spole_);
+    const double x = HInverse(u);
+    // Candidate rank: nearest integer, clamped to the valid domain.
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    // Accept iff u falls inside the bar of rank k.
+    if (u >= H(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+}  // namespace amici

@@ -1,0 +1,40 @@
+#ifndef AMICI_UTIL_ZIPF_H_
+#define AMICI_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace amici {
+
+/// Samples from a Zipf distribution over ranks {1, ..., n} with exponent
+/// `s >= 0`: P(rank = r) ∝ r^-s. Uses Hörmann & Derflinger's
+/// rejection-inversion method, which needs O(1) memory and O(1) expected
+/// time per sample — suitable for vocabularies of millions of tags.
+///
+/// s = 0 degenerates to the uniform distribution over {1, ..., n}.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [1, n] using `rng`.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double spole_;  // cached h(1.5) - 1 shift constant
+};
+
+}  // namespace amici
+
+#endif  // AMICI_UTIL_ZIPF_H_

@@ -1,0 +1,51 @@
+#include "workload/dataset_config.h"
+
+namespace amici {
+
+DatasetConfig SmallDataset() {
+  DatasetConfig config;
+  config.name = "small";
+  config.num_users = 2000;
+  config.degree_param = 8.0;
+  config.items_per_user = 4.0;
+  config.num_tags = 2000;
+  config.geo_fraction = 0.5;
+  config.seed = 1;
+  return config;
+}
+
+DatasetConfig MediumDataset() {
+  DatasetConfig config;
+  config.name = "medium";
+  config.num_users = 20000;
+  config.degree_param = 12.0;
+  config.items_per_user = 5.0;
+  config.num_tags = 10000;
+  config.geo_fraction = 0.5;
+  config.seed = 2;
+  return config;
+}
+
+DatasetConfig LargeDataset() {
+  DatasetConfig config;
+  config.name = "large";
+  config.num_users = 100000;
+  config.degree_param = 15.0;
+  config.items_per_user = 5.0;
+  config.num_tags = 40000;
+  config.geo_fraction = 0.5;
+  config.seed = 3;
+  return config;
+}
+
+DatasetConfig ScaledDataset(size_t num_users) {
+  DatasetConfig config = MediumDataset();
+  config.name = "scaled-" + std::to_string(num_users);
+  config.num_users = num_users;
+  // Tag vocabulary grows sub-linearly with the corpus, as in real systems.
+  config.num_tags = 2000 + num_users / 2;
+  config.seed = 7 + num_users;
+  return config;
+}
+
+}  // namespace amici

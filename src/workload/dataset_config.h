@@ -1,0 +1,75 @@
+#ifndef AMICI_WORKLOAD_DATASET_CONFIG_H_
+#define AMICI_WORKLOAD_DATASET_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace amici {
+
+/// Which synthetic network generator shapes the friendship graph.
+enum class GraphKind {
+  kErdosRenyi,
+  kBarabasiAlbert,
+  kWattsStrogatz,
+  kPlantedPartition,
+};
+
+/// Full recipe for one synthetic dataset — the substitute for the crawled
+/// social datasets of the paper class (DESIGN.md §5). Every knob that the
+/// evaluation sweeps lives here so experiments are reproducible from the
+/// config alone.
+struct DatasetConfig {
+  std::string name = "custom";
+
+  // --- social graph ---
+  size_t num_users = 10000;
+  GraphKind graph_kind = GraphKind::kBarabasiAlbert;
+  /// BA: edges per new user. ER: expected average degree. WS: ring degree.
+  double degree_param = 10.0;
+  /// WS rewiring probability; planted partition: inter-community degree.
+  double secondary_param = 0.1;
+  /// Planted partition only.
+  size_t num_communities = 50;
+
+  // --- item catalogue ---
+  /// Average items per user (owners are drawn degree-biased, so actives
+  /// post more).
+  double items_per_user = 5.0;
+  size_t num_tags = 20000;
+  /// Zipf exponent of tag popularity.
+  double tag_zipf_s = 1.1;
+  /// Tags per item drawn uniformly from [1, max_tags_per_item].
+  size_t max_tags_per_item = 5;
+  /// Social locality λ: probability that an item tag is copied from a
+  /// random friend's earlier item instead of drawn from the global Zipf.
+  /// Higher λ = friends' items are more alike = SocialFirst prunes better
+  /// (the Fig 9 axis).
+  double social_locality = 0.5;
+  /// Quality = Uniform(0,1)^quality_skew; skew > 1 pushes mass to low
+  /// quality, making high-quality items rare (realistic impact lists).
+  double quality_skew = 2.0;
+
+  // --- geo ---
+  /// Fraction of items with a geo position.
+  double geo_fraction = 0.0;
+  /// Geo positions cluster into this many Gaussian "cities".
+  size_t num_cities = 8;
+  /// City standard deviation in km.
+  double city_sigma_km = 5.0;
+
+  uint64_t seed = 42;
+};
+
+/// Preset datasets used throughout the evaluation (Table 1).
+DatasetConfig SmallDataset();
+DatasetConfig MediumDataset();
+DatasetConfig LargeDataset();
+
+/// MediumDataset rescaled to `num_users` users (items scale along);
+/// used by the Fig 5 scalability sweep.
+DatasetConfig ScaledDataset(size_t num_users);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_DATASET_CONFIG_H_

@@ -1,0 +1,144 @@
+#include "workload/dataset_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "graph/graph_generators.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace amici {
+namespace {
+
+SocialGraph GenerateGraph(const DatasetConfig& config, Rng* rng) {
+  switch (config.graph_kind) {
+    case GraphKind::kErdosRenyi:
+      return GenerateErdosRenyi(config.num_users, config.degree_param, rng);
+    case GraphKind::kBarabasiAlbert:
+      return GenerateBarabasiAlbert(
+          config.num_users,
+          static_cast<size_t>(std::max(1.0, config.degree_param / 2.0)), rng);
+    case GraphKind::kWattsStrogatz:
+      return GenerateWattsStrogatz(
+          config.num_users, static_cast<size_t>(config.degree_param),
+          config.secondary_param, rng);
+    case GraphKind::kPlantedPartition:
+      return GeneratePlantedPartition(config.num_users, config.num_communities,
+                                      config.degree_param,
+                                      config.secondary_param, rng);
+  }
+  return GenerateErdosRenyi(config.num_users, config.degree_param, rng);
+}
+
+/// Draws an item owner biased towards high-degree users by sampling a
+/// uniform edge endpoint (each user is picked with probability
+/// degree/2|E|). Falls back to uniform on edgeless graphs.
+UserId SampleOwner(const SocialGraph& graph, Rng* rng) {
+  const auto& endpoints = graph.neighbors();
+  if (endpoints.empty()) {
+    return static_cast<UserId>(rng->UniformIndex(graph.num_users()));
+  }
+  return endpoints[rng->UniformIndex(endpoints.size())];
+}
+
+/// Gaussian city centers inside one metropolitan bounding box.
+struct City {
+  float latitude;
+  float longitude;
+};
+
+std::vector<City> MakeCities(size_t count, Rng* rng) {
+  std::vector<City> cities;
+  cities.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    cities.push_back({static_cast<float>(rng->UniformDouble(37.0, 38.0)),
+                      static_cast<float>(rng->UniformDouble(-122.5, -121.5))});
+  }
+  return cities;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateDataset(const DatasetConfig& config) {
+  if (config.num_users == 0) {
+    return Status::InvalidArgument("dataset needs at least one user");
+  }
+  if (config.num_tags == 0) {
+    return Status::InvalidArgument("dataset needs a tag vocabulary");
+  }
+  if (config.social_locality < 0.0 || config.social_locality > 1.0) {
+    return Status::InvalidArgument("social_locality must lie in [0, 1]");
+  }
+  if (config.geo_fraction < 0.0 || config.geo_fraction > 1.0) {
+    return Status::InvalidArgument("geo_fraction must lie in [0, 1]");
+  }
+
+  Dataset dataset;
+  dataset.config = config;
+  Rng rng(config.seed);
+  dataset.graph = GenerateGraph(config, &rng);
+
+  // Intern the whole vocabulary so TagIds are dense and stable.
+  for (size_t t = 0; t < config.num_tags; ++t) {
+    dataset.tags.Intern(StringPrintf("tag%zu", t));
+  }
+
+  const ZipfSampler tag_sampler(config.num_tags, config.tag_zipf_s);
+  const std::vector<City> cities = MakeCities(config.num_cities, &rng);
+  const size_t num_items = static_cast<size_t>(
+      config.items_per_user * static_cast<double>(config.num_users));
+
+  // Per-user list of their items' tags, for the social-locality copies.
+  std::vector<std::vector<TagId>> user_tags(dataset.graph.num_users());
+
+  for (size_t i = 0; i < num_items; ++i) {
+    Item item;
+    item.owner = SampleOwner(dataset.graph, &rng);
+
+    const size_t tag_count =
+        1 + rng.UniformIndex(std::max<size_t>(1, config.max_tags_per_item));
+    for (size_t t = 0; t < tag_count; ++t) {
+      TagId tag = kInvalidTagId;
+      if (rng.Bernoulli(config.social_locality)) {
+        // Copy a tag from a random friend's earlier item, if any exists.
+        const auto friends = dataset.graph.Friends(item.owner);
+        if (!friends.empty()) {
+          const UserId friend_id =
+              friends[rng.UniformIndex(friends.size())];
+          const auto& pool = user_tags[friend_id];
+          if (!pool.empty()) tag = pool[rng.UniformIndex(pool.size())];
+        }
+      }
+      if (tag == kInvalidTagId) {
+        tag = static_cast<TagId>(tag_sampler.Sample(&rng) - 1);
+      }
+      item.tags.push_back(tag);
+    }
+
+    item.quality = static_cast<float>(
+        std::pow(rng.UniformDouble(), config.quality_skew));
+
+    if (rng.Bernoulli(config.geo_fraction) && !cities.empty()) {
+      const City& city = cities[rng.UniformIndex(cities.size())];
+      const double sigma_lat = KmToLatitudeDegrees(config.city_sigma_km);
+      const double sigma_lon =
+          KmToLongitudeDegrees(config.city_sigma_km, city.latitude);
+      item.has_geo = true;
+      item.latitude = static_cast<float>(
+          city.latitude + rng.Gaussian(0.0, sigma_lat));
+      item.longitude = static_cast<float>(
+          city.longitude + rng.Gaussian(0.0, sigma_lon));
+    }
+
+    AMICI_ASSIGN_OR_RETURN(const ItemId id, dataset.store.Add(item));
+    (void)id;
+    for (const TagId tag : item.tags) user_tags[item.owner].push_back(tag);
+  }
+  return dataset;
+}
+
+}  // namespace amici

@@ -1,0 +1,33 @@
+#ifndef AMICI_WORKLOAD_DATASET_GENERATOR_H_
+#define AMICI_WORKLOAD_DATASET_GENERATOR_H_
+
+#include "graph/social_graph.h"
+#include "storage/item_store.h"
+#include "storage/tag_dictionary.h"
+#include "util/status.h"
+#include "workload/dataset_config.h"
+
+namespace amici {
+
+/// A fully materialized synthetic dataset.
+struct Dataset {
+  SocialGraph graph;
+  ItemStore store;
+  TagDictionary tags;
+  DatasetConfig config;
+};
+
+/// Generates a dataset from `config`, deterministically from config.seed.
+///
+/// Pipeline: (1) friendship graph per config.graph_kind; (2) item owners
+/// drawn degree-biased (active users post more); (3) item tags drawn from
+/// a Zipf vocabulary, except that with probability `social_locality` a tag
+/// is copied from a random friend's earlier item — this plants the
+/// "friends post similar things" correlation the social algorithms
+/// exploit; (4) quality via the skewed-uniform law; (5) geo positions
+/// clustered into Gaussian cities for the configured fraction of items.
+Result<Dataset> GenerateDataset(const DatasetConfig& config);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_DATASET_GENERATOR_H_

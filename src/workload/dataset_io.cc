@@ -1,0 +1,45 @@
+#include "workload/dataset_io.h"
+
+#include "graph/graph_io.h"
+#include "storage/item_store_io.h"
+
+namespace amici {
+namespace {
+
+std::string GraphPath(const std::string& directory) {
+  return directory + "/graph.amig";
+}
+std::string ItemsPath(const std::string& directory) {
+  return directory + "/items.amis";
+}
+std::string TagsPath(const std::string& directory) {
+  return directory + "/tags.amid";
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& directory) {
+  AMICI_RETURN_IF_ERROR(SaveGraph(dataset.graph, GraphPath(directory)));
+  AMICI_RETURN_IF_ERROR(SaveItemStore(dataset.store, ItemsPath(directory)));
+  return SaveTagDictionary(dataset.tags, TagsPath(directory));
+}
+
+Result<Dataset> LoadDataset(const std::string& directory) {
+  Dataset dataset;
+  AMICI_ASSIGN_OR_RETURN(dataset.graph, LoadGraph(GraphPath(directory)));
+  AMICI_ASSIGN_OR_RETURN(dataset.store, LoadItemStore(ItemsPath(directory)));
+  AMICI_ASSIGN_OR_RETURN(dataset.tags,
+                         LoadTagDictionary(TagsPath(directory)));
+  dataset.config.name = "loaded:" + directory;
+
+  // Cross-file consistency: items must reference users inside the graph.
+  for (size_t i = 0; i < dataset.store.num_items(); ++i) {
+    if (dataset.store.owner(static_cast<ItemId>(i)) >=
+        dataset.graph.num_users()) {
+      return Status::Corruption("item owner outside the loaded graph");
+    }
+  }
+  return dataset;
+}
+
+}  // namespace amici

@@ -1,0 +1,24 @@
+#ifndef AMICI_WORKLOAD_DATASET_IO_H_
+#define AMICI_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+
+/// Persists a dataset as three files inside `directory` (which must
+/// exist): graph.amig, items.amis, tags.amid. The DatasetConfig itself is
+/// not persisted — datasets are regenerable from their config; saving is
+/// for sharing exact corpora across machines or pinning a corpus for a
+/// long experiment series.
+Status SaveDataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by SaveDataset. The returned
+/// config carries only the name hint, not the generation parameters.
+Result<Dataset> LoadDataset(const std::string& directory);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_DATASET_IO_H_

@@ -1,0 +1,113 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace amici {
+namespace {
+
+std::unordered_set<ItemId> TopSet(const std::vector<ScoredItem>& ranking,
+                                  size_t k) {
+  std::unordered_set<ItemId> out;
+  for (size_t i = 0; i < ranking.size() && i < k; ++i) {
+    out.insert(ranking[i].item);
+  }
+  return out;
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<ScoredItem>& truth,
+                    const std::vector<ScoredItem>& candidate, size_t k) {
+  const auto truth_top = TopSet(truth, k);
+  if (truth_top.empty()) return 1.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < candidate.size() && i < k; ++i) {
+    if (truth_top.count(candidate[i].item) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_top.size());
+}
+
+double RecallAtK(const std::vector<ScoredItem>& truth,
+                 const std::vector<ScoredItem>& candidate, size_t k) {
+  const auto truth_top = TopSet(truth, k);
+  if (truth_top.empty()) return 1.0;
+  std::unordered_set<ItemId> candidate_all;
+  for (const auto& entry : candidate) candidate_all.insert(entry.item);
+  size_t hits = 0;
+  for (const ItemId item : truth_top) {
+    if (candidate_all.count(item) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_top.size());
+}
+
+double KendallTau(const std::vector<ScoredItem>& truth,
+                  const std::vector<ScoredItem>& candidate) {
+  // Positions of shared items in both rankings.
+  std::unordered_map<ItemId, size_t> truth_pos;
+  for (size_t i = 0; i < truth.size(); ++i) truth_pos[truth[i].item] = i;
+  std::vector<std::pair<size_t, size_t>> shared;  // (truth pos, cand pos)
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    const auto it = truth_pos.find(candidate[i].item);
+    if (it != truth_pos.end()) shared.push_back({it->second, i});
+  }
+  if (shared.size() < 2) return 1.0;
+  std::sort(shared.begin(), shared.end());
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (size_t i = 0; i < shared.size(); ++i) {
+    for (size_t j = i + 1; j < shared.size(); ++j) {
+      if (shared[j].second > shared[i].second) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(concordant + discordant);
+  if (pairs == 0.0) return 1.0;
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) /
+         pairs;
+}
+
+double NdcgAtK(const std::vector<ScoredItem>& truth,
+               const std::vector<ScoredItem>& candidate, size_t k) {
+  if (truth.empty()) return 1.0;
+  std::unordered_map<ItemId, double> relevance;
+  for (const auto& entry : truth) {
+    relevance[entry.item] = static_cast<double>(entry.score);
+  }
+  auto discount = [](size_t rank) {
+    return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  };
+  double dcg = 0.0;
+  for (size_t i = 0; i < candidate.size() && i < k; ++i) {
+    const auto it = relevance.find(candidate[i].item);
+    if (it != relevance.end()) dcg += it->second * discount(i);
+  }
+  double ideal = 0.0;
+  for (size_t i = 0; i < truth.size() && i < k; ++i) {
+    ideal += static_cast<double>(truth[i].score) * discount(i);
+  }
+  return ideal == 0.0 ? 1.0 : dcg / ideal;
+}
+
+double MeanScoreError(const std::vector<ScoredItem>& truth,
+                      const std::vector<ScoredItem>& candidate) {
+  std::unordered_map<ItemId, float> truth_score;
+  for (const auto& entry : truth) truth_score[entry.item] = entry.score;
+  double total = 0.0;
+  size_t shared = 0;
+  for (const auto& entry : candidate) {
+    const auto it = truth_score.find(entry.item);
+    if (it == truth_score.end()) continue;
+    total += std::abs(static_cast<double>(entry.score) -
+                      static_cast<double>(it->second));
+    ++shared;
+  }
+  return shared == 0 ? 0.0 : total / static_cast<double>(shared);
+}
+
+}  // namespace amici

@@ -1,0 +1,46 @@
+#ifndef AMICI_WORKLOAD_METRICS_H_
+#define AMICI_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/posting_list.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Quality metrics comparing a candidate ranking against a ground-truth
+/// ranking (both best-first). Used by Figs 6–7 to quantify what the
+/// approximate proximity models give up.
+
+/// |top-k(candidate) ∩ top-k(truth)| / k. When truth has fewer than k
+/// entries, its size is the denominator. Empty truth yields 1.
+double PrecisionAtK(const std::vector<ScoredItem>& truth,
+                    const std::vector<ScoredItem>& candidate, size_t k);
+
+/// Fraction of the truth's top-k found anywhere in the candidate list.
+double RecallAtK(const std::vector<ScoredItem>& truth,
+                 const std::vector<ScoredItem>& candidate, size_t k);
+
+/// Kendall rank correlation over the items both rankings share, in
+/// [-1, 1]; 1 when the shared items appear in identical relative order.
+/// Returns 1 when fewer than two items are shared.
+double KendallTau(const std::vector<ScoredItem>& truth,
+                  const std::vector<ScoredItem>& candidate);
+
+/// Mean absolute difference between the scores of items present in both
+/// rankings (0 when nothing is shared).
+double MeanScoreError(const std::vector<ScoredItem>& truth,
+                      const std::vector<ScoredItem>& candidate);
+
+/// Normalized discounted cumulative gain at k. Relevance of an item is
+/// its score in `truth` (0 if absent); the candidate's DCG over its top-k
+/// is normalized by the ideal DCG of the truth's top-k. Empty truth
+/// yields 1; returns a value in [0, 1] whenever truth scores are
+/// non-negative and truth is ideally ordered.
+double NdcgAtK(const std::vector<ScoredItem>& truth,
+               const std::vector<ScoredItem>& candidate, size_t k);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_METRICS_H_

@@ -1,0 +1,111 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace amici {
+namespace {
+
+/// Degree-biased user draw (uniform edge endpoint), uniform fallback.
+UserId SampleUser(const SocialGraph& graph, bool degree_biased, Rng* rng) {
+  if (degree_biased && !graph.neighbors().empty()) {
+    return graph.neighbors()[rng->UniformIndex(graph.neighbors().size())];
+  }
+  return static_cast<UserId>(rng->UniformIndex(graph.num_users()));
+}
+
+}  // namespace
+
+Result<std::vector<SocialQuery>> GenerateQueries(
+    const Dataset& dataset, const QueryWorkloadConfig& config) {
+  if (config.num_queries == 0) {
+    return Status::InvalidArgument("workload needs at least one query");
+  }
+  if (config.tag_locality < 0.0 || config.tag_locality > 1.0) {
+    return Status::InvalidArgument("tag_locality must lie in [0, 1]");
+  }
+
+  // Pre-compute each user's posted tags and the geo item pool once.
+  std::vector<std::vector<TagId>> user_tags(dataset.graph.num_users());
+  std::vector<ItemId> geo_items;
+  for (size_t i = 0; i < dataset.store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    const UserId owner = dataset.store.owner(item);
+    for (const TagId tag : dataset.store.tags(item)) {
+      user_tags[owner].push_back(tag);
+    }
+    if (dataset.store.has_geo(item)) geo_items.push_back(item);
+  }
+  if (config.with_geo_filter && geo_items.empty()) {
+    return Status::FailedPrecondition(
+        "geo workload requires geo-tagged items in the dataset");
+  }
+
+  Rng rng(config.seed);
+  const size_t vocabulary = std::max<size_t>(1, dataset.tags.size());
+  const ZipfSampler tag_sampler(vocabulary, dataset.config.tag_zipf_s);
+
+  auto sample_local_tag = [&](UserId user) -> TagId {
+    // Own items first; otherwise a uniformly chosen friend with items.
+    if (!user_tags[user].empty() && rng.Bernoulli(0.5)) {
+      return user_tags[user][rng.UniformIndex(user_tags[user].size())];
+    }
+    const auto friends = dataset.graph.Friends(user);
+    if (!friends.empty()) {
+      const UserId f = friends[rng.UniformIndex(friends.size())];
+      if (!user_tags[f].empty()) {
+        return user_tags[f][rng.UniformIndex(user_tags[f].size())];
+      }
+    }
+    if (!user_tags[user].empty()) {
+      return user_tags[user][rng.UniformIndex(user_tags[user].size())];
+    }
+    return kInvalidTagId;
+  };
+
+  std::vector<SocialQuery> queries;
+  queries.reserve(config.num_queries);
+  while (queries.size() < config.num_queries) {
+    SocialQuery query;
+    query.user = SampleUser(dataset.graph, config.degree_biased_users, &rng);
+    query.k = config.k;
+    query.alpha = config.alpha;
+    query.mode = config.mode;
+
+    const size_t want =
+        1 + rng.UniformIndex(std::max<size_t>(1, config.max_tags_per_query));
+    size_t attempts = 0;
+    while (query.tags.size() < want && attempts < want * 8) {
+      ++attempts;
+      TagId tag = kInvalidTagId;
+      if (rng.Bernoulli(config.tag_locality)) {
+        tag = sample_local_tag(query.user);
+      }
+      if (tag == kInvalidTagId) {
+        tag = static_cast<TagId>(tag_sampler.Sample(&rng) - 1);
+      }
+      if (std::find(query.tags.begin(), query.tags.end(), tag) ==
+          query.tags.end()) {
+        query.tags.push_back(tag);
+      }
+    }
+    if (query.tags.empty()) continue;  // pathological; resample
+
+    if (config.with_geo_filter) {
+      const ItemId anchor = geo_items[rng.UniformIndex(geo_items.size())];
+      query.has_geo_filter = true;
+      query.latitude = dataset.store.latitude(anchor);
+      query.longitude = dataset.store.longitude(anchor);
+      query.radius_km = static_cast<float>(config.radius_km);
+    }
+
+    NormalizeQuery(&query);
+    AMICI_RETURN_IF_ERROR(ValidateQuery(query, dataset.graph.num_users()));
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace amici

@@ -1,0 +1,46 @@
+#ifndef AMICI_WORKLOAD_QUERY_WORKLOAD_H_
+#define AMICI_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/social_query.h"
+#include "util/status.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+
+/// Recipe for a batch of queries over one dataset.
+struct QueryWorkloadConfig {
+  size_t num_queries = 200;
+  size_t k = 10;
+  double alpha = 0.5;
+  MatchMode mode = MatchMode::kAny;
+  /// Tags per query drawn uniformly from [1, max_tags_per_query].
+  size_t max_tags_per_query = 3;
+  /// Probability that a query tag is taken from the neighbourhood's items
+  /// (own + friends') rather than the global popularity distribution —
+  /// "users search for what their circle posts".
+  double tag_locality = 0.7;
+  /// When true, querying users are drawn degree-biased (active users
+  /// query more); uniform otherwise.
+  bool degree_biased_users = true;
+
+  /// Optional geo restriction attached to every query: a circle of
+  /// `radius_km` around a random geo item's position.
+  bool with_geo_filter = false;
+  double radius_km = 10.0;
+
+  uint64_t seed = 4242;
+};
+
+/// Generates `config.num_queries` valid, normalized queries against
+/// `dataset`. Fails only on inconsistent configs (e.g. geo filters against
+/// a dataset without geo items).
+Result<std::vector<SocialQuery>> GenerateQueries(
+    const Dataset& dataset, const QueryWorkloadConfig& config);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,111 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace amici {
+namespace {
+
+Status LineError(size_t line_number, const std::string& reason) {
+  return Status::InvalidArgument(
+      StringPrintf("trace line %zu: %s",
+                   line_number, reason.c_str()));
+}
+
+}  // namespace
+
+std::string SerializeQueryTrace(std::span<const SocialQuery> queries) {
+  std::string out = "# amici query trace v1\n";
+  for (const SocialQuery& query : queries) {
+    out += StringPrintf("user=%u k=%zu alpha=%.6f mode=%s tags=", query.user,
+                        query.k, query.alpha,
+                        query.mode == MatchMode::kAll ? "all" : "any");
+    for (size_t i = 0; i < query.tags.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(query.tags[i]);
+    }
+    if (query.has_geo_filter) {
+      out += StringPrintf(" geo=%.6f,%.6f,%.3f", query.latitude,
+                          query.longitude, query.radius_km);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<SocialQuery>> ParseQueryTrace(const std::string& text) {
+  std::vector<SocialQuery> queries;
+  const std::vector<std::string> lines = Split(text, '\n');
+  for (size_t n = 0; n < lines.size(); ++n) {
+    const std::string_view line = Trim(lines[n]);
+    if (line.empty() || line.front() == '#') continue;
+
+    SocialQuery query;
+    bool saw_user = false;
+    bool saw_tags = false;
+    for (const std::string& field : Split(std::string(line), ' ')) {
+      if (field.empty()) continue;
+      const size_t equals = field.find('=');
+      if (equals == std::string::npos) {
+        return LineError(n + 1, "field without '=': " + field);
+      }
+      const std::string key = field.substr(0, equals);
+      const std::string value = field.substr(equals + 1);
+      if (key == "user") {
+        query.user = static_cast<UserId>(std::strtoul(value.c_str(),
+                                                      nullptr, 10));
+        saw_user = true;
+      } else if (key == "k") {
+        query.k = std::strtoul(value.c_str(), nullptr, 10);
+      } else if (key == "alpha") {
+        query.alpha = std::strtod(value.c_str(), nullptr);
+      } else if (key == "mode") {
+        if (value == "any") {
+          query.mode = MatchMode::kAny;
+        } else if (value == "all") {
+          query.mode = MatchMode::kAll;
+        } else {
+          return LineError(n + 1, "unknown mode: " + value);
+        }
+      } else if (key == "tags") {
+        for (const std::string& tag : Split(value, ',')) {
+          if (tag.empty()) return LineError(n + 1, "empty tag entry");
+          query.tags.push_back(static_cast<TagId>(
+              std::strtoul(tag.c_str(), nullptr, 10)));
+        }
+        saw_tags = true;
+      } else if (key == "geo") {
+        const std::vector<std::string> parts = Split(value, ',');
+        if (parts.size() != 3) {
+          return LineError(n + 1, "geo needs lat,lon,radius");
+        }
+        query.has_geo_filter = true;
+        query.latitude = std::strtof(parts[0].c_str(), nullptr);
+        query.longitude = std::strtof(parts[1].c_str(), nullptr);
+        query.radius_km = std::strtof(parts[2].c_str(), nullptr);
+      } else {
+        return LineError(n + 1, "unknown field: " + key);
+      }
+    }
+    if (!saw_user || !saw_tags) {
+      return LineError(n + 1, "missing required user=/tags= fields");
+    }
+    NormalizeQuery(&query);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+Status SaveQueryTrace(std::span<const SocialQuery> queries,
+                      const std::string& path) {
+  return WriteStringToFile(SerializeQueryTrace(queries), path);
+}
+
+Result<std::vector<SocialQuery>> LoadQueryTrace(const std::string& path) {
+  AMICI_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return ParseQueryTrace(text);
+}
+
+}  // namespace amici

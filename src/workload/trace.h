@@ -1,0 +1,36 @@
+#ifndef AMICI_WORKLOAD_TRACE_H_
+#define AMICI_WORKLOAD_TRACE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/social_query.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// Query-trace persistence (RocksDB trace/replay style): a line-oriented
+/// text format so traces can be inspected, grepped, and hand-edited.
+///
+///   # comment
+///   user=5 k=10 alpha=0.50 mode=any tags=3,17,42
+///   user=9 k=5 alpha=0.90 mode=all tags=7 geo=37.77,-122.42,5.0
+///
+/// Fields may appear in any order; `tags` values are sorted/deduplicated
+/// on parse; blank lines and '#' comments are skipped.
+
+/// Renders queries to the trace text format.
+std::string SerializeQueryTrace(std::span<const SocialQuery> queries);
+
+/// Parses a trace; fails with InvalidArgument naming the offending line.
+Result<std::vector<SocialQuery>> ParseQueryTrace(const std::string& text);
+
+/// File wrappers.
+Status SaveQueryTrace(std::span<const SocialQuery> queries,
+                      const std::string& path);
+Result<std::vector<SocialQuery>> LoadQueryTrace(const std::string& path);
+
+}  // namespace amici
+
+#endif  // AMICI_WORKLOAD_TRACE_H_

@@ -1,0 +1,135 @@
+#include <memory>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+/// World: bob(1) is prolific (5 good items); carol(2) has 2 weaker ones;
+/// dave(3) one weak one. Alice(0) queries a pure social feed.
+class DiversifyTest : public ::testing::Test {
+ protected:
+  DiversifyTest() {
+    GraphBuilder builder(4);
+    EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+    EXPECT_TRUE(builder.AddEdge(0, 2).ok());
+    EXPECT_TRUE(builder.AddEdge(0, 3).ok());
+
+    ItemStore store;
+    auto add = [&store](UserId owner, float quality) {
+      Item item;
+      item.owner = owner;
+      item.tags = {0};
+      item.quality = quality;
+      EXPECT_TRUE(store.Add(item).ok());
+    };
+    for (int i = 0; i < 5; ++i) add(1, 0.95f);  // items 0-4: bob
+    add(2, 0.6f);                               // item 5: carol
+    add(2, 0.5f);                               // item 6: carol
+    add(3, 0.3f);                               // item 7: dave
+
+    auto engine = SocialSearchEngine::Build(builder.Build(),
+                                            std::move(store), {});
+    EXPECT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+  }
+
+  SocialQuery Feed(size_t k) {
+    SocialQuery query;
+    query.user = 0;
+    query.tags = {0};
+    query.k = k;
+    query.alpha = 0.2;  // quality-dominated so bob's items rank first
+    return query;
+  }
+
+  std::unordered_map<UserId, size_t> OwnerCounts(
+      const std::vector<ScoredItem>& items) {
+    std::unordered_map<UserId, size_t> counts;
+    for (const auto& entry : items) {
+      ++counts[engine_->store().owner(entry.item)];
+    }
+    return counts;
+  }
+
+  std::unique_ptr<SocialSearchEngine> engine_;
+};
+
+TEST_F(DiversifyTest, UndiversifiedFeedIsMonopolized) {
+  const auto result = engine_->Query(Feed(4), AlgorithmId::kHybrid);
+  ASSERT_TRUE(result.ok());
+  const auto counts = OwnerCounts(result.value().items);
+  EXPECT_EQ(counts.at(1), 4u);  // all bob
+}
+
+TEST_F(DiversifyTest, CapEnforcedPerOwner) {
+  const auto result =
+      engine_->QueryDiverse(Feed(4), /*max_per_owner=*/2,
+                            AlgorithmId::kHybrid);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().items.size(), 4u);
+  const auto counts = OwnerCounts(result.value().items);
+  for (const auto& [owner, count] : counts) {
+    EXPECT_LE(count, 2u) << "owner " << owner;
+  }
+  // Greedy in score order: bob's two best, then carol's two.
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.at(2), 2u);
+}
+
+TEST_F(DiversifyTest, CapOneGivesOnePerOwner) {
+  const auto result =
+      engine_->QueryDiverse(Feed(3), 1, AlgorithmId::kHybrid);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().items.size(), 3u);
+  const auto counts = OwnerCounts(result.value().items);
+  EXPECT_EQ(counts.size(), 3u);  // bob, carol, dave each once
+}
+
+TEST_F(DiversifyTest, CorpusExhaustionReturnsFewerThanK) {
+  // cap 1 with only 3 owners: k=5 can fill at most 3 slots.
+  const auto result =
+      engine_->QueryDiverse(Feed(5), 1, AlgorithmId::kHybrid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().items.size(), 3u);
+}
+
+TEST_F(DiversifyTest, ScoresStayDescendingAndExact) {
+  const auto diverse =
+      engine_->QueryDiverse(Feed(4), 2, AlgorithmId::kHybrid);
+  const auto oracle =
+      engine_->QueryDiverse(Feed(4), 2, AlgorithmId::kExhaustive);
+  ASSERT_TRUE(diverse.ok());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_EQ(diverse.value().items.size(), oracle.value().items.size());
+  for (size_t i = 0; i < diverse.value().items.size(); ++i) {
+    EXPECT_NEAR(diverse.value().items[i].score,
+                oracle.value().items[i].score, 1e-6);
+    if (i > 0) {
+      EXPECT_GE(diverse.value().items[i - 1].score,
+                diverse.value().items[i].score);
+    }
+  }
+}
+
+TEST_F(DiversifyTest, ZeroCapRejected) {
+  EXPECT_FALSE(engine_->QueryDiverse(Feed(3), 0, AlgorithmId::kHybrid).ok());
+}
+
+TEST_F(DiversifyTest, LargeCapEqualsPlainQuery) {
+  const auto plain = engine_->Query(Feed(4), AlgorithmId::kHybrid);
+  const auto diverse =
+      engine_->QueryDiverse(Feed(4), 100, AlgorithmId::kHybrid);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(diverse.ok());
+  ASSERT_EQ(plain.value().items.size(), diverse.value().items.size());
+  for (size_t i = 0; i < plain.value().items.size(); ++i) {
+    EXPECT_EQ(plain.value().items[i].item, diverse.value().items[i].item);
+  }
+}
+
+}  // namespace
+}  // namespace amici

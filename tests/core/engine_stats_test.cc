@@ -1,0 +1,71 @@
+#include "core/engine_stats.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+SearchStats MakeStats(uint64_t sorted, uint64_t random, uint64_t items) {
+  SearchStats stats;
+  stats.aggregation.sorted_accesses = sorted;
+  stats.aggregation.random_accesses = random;
+  stats.items_considered = items;
+  return stats;
+}
+
+TEST(EngineStatsTest, EmptyStats) {
+  EngineStats stats;
+  EXPECT_EQ(stats.total_queries(), 0u);
+  EXPECT_EQ(stats.QueriesFor("hybrid"), 0u);
+  EXPECT_EQ(stats.MeanLatencyMsFor("hybrid"), 0.0);
+}
+
+TEST(EngineStatsTest, AggregatesPerAlgorithm) {
+  EngineStats stats;
+  stats.RecordQuery("hybrid", 1.0, MakeStats(10, 5, 0));
+  stats.RecordQuery("hybrid", 3.0, MakeStats(20, 15, 0));
+  stats.RecordQuery("exhaustive", 8.0, MakeStats(0, 0, 1000));
+  EXPECT_EQ(stats.total_queries(), 3u);
+  EXPECT_EQ(stats.QueriesFor("hybrid"), 2u);
+  EXPECT_EQ(stats.QueriesFor("exhaustive"), 1u);
+  EXPECT_DOUBLE_EQ(stats.MeanLatencyMsFor("hybrid"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.MeanLatencyMsFor("exhaustive"), 8.0);
+}
+
+TEST(EngineStatsTest, ToStringListsEveryAlgorithm) {
+  EngineStats stats;
+  stats.RecordQuery("hybrid", 1.0, MakeStats(1, 1, 0));
+  stats.RecordQuery("merge-scan", 2.0, MakeStats(0, 0, 50));
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("hybrid"), std::string::npos);
+  EXPECT_NE(rendered.find("merge-scan"), std::string::npos);
+  EXPECT_NE(rendered.find("50"), std::string::npos);
+}
+
+TEST(EngineStatsTest, ResetClears) {
+  EngineStats stats;
+  stats.RecordQuery("hybrid", 1.0, MakeStats(1, 1, 1));
+  stats.Reset();
+  EXPECT_EQ(stats.total_queries(), 0u);
+}
+
+TEST(EngineStatsTest, ConcurrentRecordingIsLossless) {
+  EngineStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < 500; ++i) {
+        stats.RecordQuery("hybrid", 0.5, MakeStats(1, 1, 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(stats.total_queries(), 4000u);
+  EXPECT_DOUBLE_EQ(stats.MeanLatencyMsFor("hybrid"), 0.5);
+}
+
+}  // namespace
+}  // namespace amici

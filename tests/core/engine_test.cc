@@ -1,0 +1,212 @@
+#include "core/engine.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "proximity/hop_decay.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<SocialSearchEngine> MakeEngine(
+      SocialSearchEngine::Options options = {}) {
+    DatasetConfig config = SmallDataset();
+    config.num_users = 400;
+    config.num_tags = 200;
+    config.geo_fraction = 0.4;
+    Dataset dataset = GenerateDataset(config).value();
+    auto engine = SocialSearchEngine::Build(
+        std::move(dataset.graph), std::move(dataset.store),
+        std::move(options));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    return std::move(engine).value();
+  }
+
+  static SocialQuery MakeQuery(UserId user = 3) {
+    SocialQuery query;
+    query.user = user;
+    query.tags = {0, 1};
+    query.k = 5;
+    query.alpha = 0.5;
+    return query;
+  }
+};
+
+TEST_F(EngineTest, BuildPopulatesIndexes) {
+  const auto engine = MakeEngine();
+  EXPECT_GT(engine->store().num_items(), 0u);
+  EXPECT_GT(engine->inverted_index().num_tags(), 0u);
+  EXPECT_EQ(engine->social_index().num_entries(),
+            engine->store().num_items());
+  EXPECT_GT(engine->last_build_stats().inverted_bytes, 0u);
+  EXPECT_EQ(engine->unindexed_items(), 0u);
+}
+
+TEST_F(EngineTest, DefaultProximityModelIsForwardPush) {
+  const auto engine = MakeEngine();
+  EXPECT_EQ(engine->proximity_model().name(), "ppr-push");
+}
+
+TEST_F(EngineTest, CustomProximityModelIsUsed) {
+  SocialSearchEngine::Options options;
+  options.proximity_model = std::make_shared<HopDecayProximity>(0.5, 2);
+  const auto engine = MakeEngine(std::move(options));
+  EXPECT_EQ(engine->proximity_model().name(), "hop-decay");
+}
+
+TEST_F(EngineTest, QueryReturnsScoredDescendingResults) {
+  auto engine = MakeEngine();
+  const auto result = engine->Query(MakeQuery());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result.value().items.size(), 5u);
+  EXPECT_EQ(result.value().algorithm, "hybrid");
+  EXPECT_GE(result.value().elapsed_ms, 0.0);
+  const auto& items = result.value().items;
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i - 1].score, items[i].score);
+  }
+}
+
+TEST_F(EngineTest, AllAlgorithmsAgreeThroughTheFacade) {
+  auto engine = MakeEngine();
+  const SocialQuery query = MakeQuery(7);
+  const auto expected =
+      engine->Query(query, AlgorithmId::kExhaustive);
+  ASSERT_TRUE(expected.ok());
+  for (const AlgorithmId id :
+       {AlgorithmId::kMergeScan, AlgorithmId::kContentFirst,
+        AlgorithmId::kSocialFirst, AlgorithmId::kHybrid,
+        AlgorithmId::kNra}) {
+    const auto actual = engine->Query(query, id);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(id);
+    ASSERT_EQ(actual.value().items.size(), expected.value().items.size());
+    for (size_t i = 0; i < actual.value().items.size(); ++i) {
+      EXPECT_NEAR(actual.value().items[i].score,
+                  expected.value().items[i].score, 1e-5)
+          << AlgorithmName(id) << " rank " << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, InvalidQueryIsRejected) {
+  auto engine = MakeEngine();
+  SocialQuery query = MakeQuery();
+  query.k = 0;
+  EXPECT_FALSE(engine->Query(query).ok());
+  query = MakeQuery();
+  query.user = static_cast<UserId>(engine->graph().num_users());
+  EXPECT_FALSE(engine->Query(query).ok());
+}
+
+TEST_F(EngineTest, GeoQueryFiltersByRadius) {
+  auto engine = MakeEngine();
+  // Anchor at some geo item.
+  ItemId anchor = kInvalidItemId;
+  for (ItemId i = 0; i < engine->store().num_items(); ++i) {
+    if (engine->store().has_geo(i)) {
+      anchor = i;
+      break;
+    }
+  }
+  ASSERT_NE(anchor, kInvalidItemId);
+  SocialQuery query = MakeQuery();
+  query.has_geo_filter = true;
+  query.latitude = engine->store().latitude(anchor);
+  query.longitude = engine->store().longitude(anchor);
+  query.radius_km = 15.0f;
+  query.alpha = 0.3;
+
+  const auto expected = engine->Query(query, AlgorithmId::kExhaustive);
+  ASSERT_TRUE(expected.ok());
+  for (const AlgorithmId id :
+       {AlgorithmId::kHybrid, AlgorithmId::kGeoGrid, AlgorithmId::kNra}) {
+    const auto actual = engine->Query(query, id);
+    ASSERT_TRUE(actual.ok()) << AlgorithmName(id);
+    ASSERT_EQ(actual.value().items.size(), expected.value().items.size())
+        << AlgorithmName(id);
+    for (size_t i = 0; i < actual.value().items.size(); ++i) {
+      EXPECT_NEAR(actual.value().items[i].score,
+                  expected.value().items[i].score, 1e-5)
+          << AlgorithmName(id) << " rank " << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, GeoGridWithoutGeoFilterFails) {
+  auto engine = MakeEngine();
+  const auto result = engine->Query(MakeQuery(), AlgorithmId::kGeoGrid);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, StatsAccumulateAcrossQueries) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->Query(MakeQuery(1)).ok());
+  ASSERT_TRUE(engine->Query(MakeQuery(2)).ok());
+  ASSERT_TRUE(engine->Query(MakeQuery(3), AlgorithmId::kExhaustive).ok());
+  EXPECT_EQ(engine->stats().total_queries(), 3u);
+  EXPECT_EQ(engine->stats().QueriesFor("hybrid"), 2u);
+  EXPECT_EQ(engine->stats().QueriesFor("exhaustive"), 1u);
+  EXPECT_FALSE(engine->stats().ToString().empty());
+}
+
+TEST_F(EngineTest, ProximityCacheHitsOnRepeatedUser) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->Query(MakeQuery(9)).ok());
+  ASSERT_TRUE(engine->Query(MakeQuery(9)).ok());
+  EXPECT_GE(engine->proximity_cache().hits(), 1u);
+}
+
+TEST_F(EngineTest, AddItemGoesToTailAndStaysQueryable) {
+  auto engine = MakeEngine();
+  SocialQuery query = MakeQuery(4);
+  query.alpha = 0.0;  // content only, to make the new item dominate
+  query.tags = {0};
+  query.k = 3;
+
+  Item item;
+  item.owner = 4;
+  item.tags = {0};
+  item.quality = 1.0f;  // maximal quality -> top content score
+  const auto added = engine->AddItem(item);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(engine->unindexed_items(), 1u);
+
+  const auto result = engine->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().items.empty());
+  EXPECT_EQ(result.value().items[0].item, added.value());
+
+  // Compaction folds it into the indexes; result must be unchanged.
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_EQ(engine->unindexed_items(), 0u);
+  const auto after = engine->Query(query);
+  ASSERT_TRUE(after.ok());
+  ASSERT_FALSE(after.value().items.empty());
+  EXPECT_EQ(after.value().items[0].item, added.value());
+}
+
+TEST_F(EngineTest, AddItemRejectsForeignOwner) {
+  auto engine = MakeEngine();
+  Item item;
+  item.owner = static_cast<UserId>(engine->graph().num_users() + 5);
+  item.tags = {0};
+  item.quality = 0.5f;
+  EXPECT_FALSE(engine->AddItem(item).ok());
+}
+
+TEST_F(EngineTest, AlgorithmNamesAreStable) {
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kExhaustive), "exhaustive");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kMergeScan), "merge-scan");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kContentFirst), "content-first");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kSocialFirst), "social-first");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kHybrid), "hybrid");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kGeoGrid), "geo-grid");
+  EXPECT_EQ(AlgorithmName(AlgorithmId::kNra), "nra");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,105 @@
+#include <memory>
+
+#include "core/engine.h"
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+/// World: alice(0), bob(1), carol(2). Initially only alice-bob are
+/// friends. Bob and carol each own one item tagged 0.
+class FriendshipMutationTest : public ::testing::Test {
+ protected:
+  FriendshipMutationTest() {
+    GraphBuilder builder(3);
+    EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+
+    ItemStore store;
+    auto add = [&store](UserId owner) {
+      Item item;
+      item.owner = owner;
+      item.tags = {0};
+      item.quality = 0.5f;
+      EXPECT_TRUE(store.Add(item).ok());
+    };
+    add(1);  // item 0: bob's
+    add(2);  // item 1: carol's
+
+    auto engine = SocialSearchEngine::Build(builder.Build(),
+                                            std::move(store), {});
+    EXPECT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+  }
+
+  SocialQuery SocialFeed() {
+    SocialQuery query;
+    query.user = 0;
+    query.tags = {0};
+    query.k = 5;
+    query.alpha = 1.0;  // purely social: only reachable owners count
+    return query;
+  }
+
+  std::unique_ptr<SocialSearchEngine> engine_;
+};
+
+TEST_F(FriendshipMutationTest, NewFriendshipSurfacesNewItems) {
+  const auto before = engine_->Query(SocialFeed());
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().items.size(), 1u);  // only bob's item
+  EXPECT_EQ(before.value().items[0].item, 0u);
+
+  ASSERT_TRUE(engine_->AddFriendship(0, 2).ok());
+  const auto after = engine_->Query(SocialFeed());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().items.size(), 2u);  // carol's item appears
+}
+
+TEST_F(FriendshipMutationTest, RemovalHidesItems) {
+  ASSERT_TRUE(engine_->RemoveFriendship(0, 1).ok());
+  const auto result = engine_->Query(SocialFeed());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().items.empty());  // alice is isolated now
+}
+
+TEST_F(FriendshipMutationTest, DuplicateAddIsAlreadyExists) {
+  EXPECT_EQ(engine_->AddFriendship(0, 1).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine_->AddFriendship(1, 0).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FriendshipMutationTest, RemovingMissingEdgeIsNotFound) {
+  EXPECT_EQ(engine_->RemoveFriendship(0, 2).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FriendshipMutationTest, RejectsBadEndpoints) {
+  EXPECT_EQ(engine_->AddFriendship(0, 9).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_->AddFriendship(1, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_->RemoveFriendship(9, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FriendshipMutationTest, MutationInvalidatesProximityCache) {
+  // Prime the cache.
+  ASSERT_TRUE(engine_->Query(SocialFeed()).ok());
+  EXPECT_GT(engine_->proximity_cache().size(), 0u);
+  ASSERT_TRUE(engine_->AddFriendship(1, 2).ok());
+  EXPECT_EQ(engine_->proximity_cache().size(), 0u);
+}
+
+TEST_F(FriendshipMutationTest, GraphStateReflectsMutations) {
+  ASSERT_TRUE(engine_->AddFriendship(0, 2).ok());
+  EXPECT_TRUE(engine_->graph().HasEdge(0, 2));
+  EXPECT_TRUE(engine_->graph().HasEdge(2, 0));
+  EXPECT_EQ(engine_->graph().num_edges(), 2u);
+  ASSERT_TRUE(engine_->RemoveFriendship(0, 1).ok());
+  EXPECT_FALSE(engine_->graph().HasEdge(0, 1));
+  EXPECT_EQ(engine_->graph().num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,138 @@
+#include "core/query_expansion.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "index/social_index.h"
+
+namespace amici {
+namespace {
+
+/// Fixture world: user 0 queries; user 1 is a close friend, user 2 a weak
+/// acquaintance, user 3 a stranger (no proximity).
+///   item of u0: {beach(0), coffee(5)}
+///   items of u1: {beach(0), surf(1)}, {beach(0), surf(1), sunset(2)}
+///   item of u2: {beach(0), volleyball(3)}
+///   item of u3: {beach(0), shark(4)}   <- no proximity, ignored
+class QueryExpansionTest : public ::testing::Test {
+ protected:
+  QueryExpansionTest() {
+    auto add = [this](UserId owner, std::vector<TagId> tags) {
+      Item item;
+      item.owner = owner;
+      item.tags = std::move(tags);
+      item.quality = 0.5f;
+      EXPECT_TRUE(store_.Add(item).ok());
+    };
+    add(0, {0, 5});
+    add(1, {0, 1});
+    add(1, {0, 1, 2});
+    add(2, {0, 3});
+    add(3, {0, 4});
+    social_ = SocialIndex::Build(store_, 4);
+    proximity_ = ProximityVector::FromUnnormalized(
+        {{1, 1.0f}, {2, 0.2f}});
+  }
+
+  ItemStore store_;
+  SocialIndex social_;
+  ProximityVector proximity_;
+};
+
+TEST_F(QueryExpansionTest, SuggestsProximityWeightedCooccurrences) {
+  const std::vector<TagId> seeds{0};  // "beach"
+  const auto suggestions = SuggestQueryTags(store_, social_, proximity_, 0,
+                                            seeds, QueryExpansionOptions());
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_GE(suggestions.value().size(), 3u);
+  // surf(1): 2 items × weight 1.0 = 2.0 — the top suggestion.
+  EXPECT_EQ(suggestions.value()[0].tag, 1u);
+  EXPECT_FLOAT_EQ(suggestions.value()[0].weight, 2.0f);
+  // coffee(5): own item, weight 1.0; sunset(2): friend, 1.0 — tie broken
+  // by tag id (2 before 5).
+  EXPECT_EQ(suggestions.value()[1].tag, 2u);
+  EXPECT_EQ(suggestions.value()[2].tag, 5u);
+}
+
+TEST_F(QueryExpansionTest, StrangersContributeNothing) {
+  const std::vector<TagId> seeds{0};
+  const auto suggestions = SuggestQueryTags(store_, social_, proximity_, 0,
+                                            seeds, QueryExpansionOptions());
+  ASSERT_TRUE(suggestions.ok());
+  for (const TagSuggestion& s : suggestions.value()) {
+    EXPECT_NE(s.tag, 4u) << "shark came from a zero-proximity stranger";
+  }
+}
+
+TEST_F(QueryExpansionTest, SeedTagsNeverSuggested) {
+  const std::vector<TagId> seeds{0, 1};
+  const auto suggestions = SuggestQueryTags(store_, social_, proximity_, 0,
+                                            seeds, QueryExpansionOptions());
+  ASSERT_TRUE(suggestions.ok());
+  for (const TagSuggestion& s : suggestions.value()) {
+    EXPECT_NE(s.tag, 0u);
+    EXPECT_NE(s.tag, 1u);
+  }
+}
+
+TEST_F(QueryExpansionTest, MaxSuggestionsTruncates) {
+  const std::vector<TagId> seeds{0};
+  QueryExpansionOptions options;
+  options.max_suggestions = 1;
+  const auto suggestions =
+      SuggestQueryTags(store_, social_, proximity_, 0, seeds, options);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_EQ(suggestions.value().size(), 1u);
+  EXPECT_EQ(suggestions.value()[0].tag, 1u);
+}
+
+TEST_F(QueryExpansionTest, MinCooccurrenceFilters) {
+  const std::vector<TagId> seeds{0};
+  QueryExpansionOptions options;
+  options.min_cooccurrence = 2;  // only surf has 2 witnesses
+  const auto suggestions =
+      SuggestQueryTags(store_, social_, proximity_, 0, seeds, options);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_EQ(suggestions.value().size(), 1u);
+  EXPECT_EQ(suggestions.value()[0].tag, 1u);
+}
+
+TEST_F(QueryExpansionTest, MaxUsersLimitsEvidence) {
+  const std::vector<TagId> seeds{0};
+  QueryExpansionOptions options;
+  options.max_users = 1;  // self only
+  const auto suggestions =
+      SuggestQueryTags(store_, social_, proximity_, 0, seeds, options);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_EQ(suggestions.value().size(), 1u);
+  EXPECT_EQ(suggestions.value()[0].tag, 5u);  // coffee, from the own item
+}
+
+TEST_F(QueryExpansionTest, NoSeedMatchesYieldsEmpty) {
+  const std::vector<TagId> seeds{99};
+  const auto suggestions = SuggestQueryTags(store_, social_, proximity_, 0,
+                                            seeds, QueryExpansionOptions());
+  ASSERT_TRUE(suggestions.ok());
+  EXPECT_TRUE(suggestions.value().empty());
+}
+
+TEST_F(QueryExpansionTest, RejectsBadArguments) {
+  EXPECT_FALSE(SuggestQueryTags(store_, social_, proximity_, 0, {},
+                                QueryExpansionOptions())
+                   .ok());
+  const std::vector<TagId> unsorted{3, 1};
+  EXPECT_FALSE(SuggestQueryTags(store_, social_, proximity_, 0, unsorted,
+                                QueryExpansionOptions())
+                   .ok());
+  const std::vector<TagId> seeds{0};
+  QueryExpansionOptions zero;
+  zero.max_suggestions = 0;
+  EXPECT_FALSE(
+      SuggestQueryTags(store_, social_, proximity_, 0, seeds, zero).ok());
+  EXPECT_FALSE(SuggestQueryTags(store_, social_, proximity_, 99, seeds,
+                                QueryExpansionOptions())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,103 @@
+#include "core/scorer.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+class ScorerTest : public ::testing::Test {
+ protected:
+  ScorerTest() {
+    auto add = [this](UserId owner, std::vector<TagId> tags, float quality) {
+      Item item;
+      item.owner = owner;
+      item.tags = std::move(tags);
+      item.quality = quality;
+      EXPECT_TRUE(store_.Add(item).ok());
+    };
+    add(0, {1, 2}, 0.8f);     // item 0: owned by the querying user
+    add(5, {1, 2, 3}, 0.6f);  // item 1: close friend's item, all tags
+    add(7, {9}, 1.0f);        // item 2: stranger, no matching tag
+    add(5, {2}, 0.4f);        // item 3: friend, one of two tags
+
+    proximity_ = ProximityVector::FromUnnormalized({{5, 1.0f}, {6, 0.25f}});
+
+    query_.user = 0;
+    query_.tags = {1, 2};
+    query_.alpha = 0.5;
+    query_.k = 10;
+  }
+
+  ItemStore store_;
+  ProximityVector proximity_;
+  SocialQuery query_;
+};
+
+TEST_F(ScorerTest, OwnItemsHaveSocialScoreOne) {
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_DOUBLE_EQ(scorer.SocialScore(0), 1.0);
+}
+
+TEST_F(ScorerTest, FriendProximityIsLookedUp) {
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_DOUBLE_EQ(scorer.SocialScore(1), 1.0);   // owner 5 at prox 1.0
+  EXPECT_DOUBLE_EQ(scorer.SocialScore(2), 0.0);   // owner 7 unknown
+}
+
+TEST_F(ScorerTest, MatchedTagsCountsIntersection) {
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_EQ(scorer.MatchedTags(0), 2u);
+  EXPECT_EQ(scorer.MatchedTags(1), 2u);
+  EXPECT_EQ(scorer.MatchedTags(2), 0u);
+  EXPECT_EQ(scorer.MatchedTags(3), 1u);
+}
+
+TEST_F(ScorerTest, ContentScoreAnyModeScalesWithCoverage) {
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_NEAR(scorer.ContentScore(0), 0.8, 1e-6);   // full coverage
+  EXPECT_NEAR(scorer.ContentScore(3), 0.2, 1e-6);   // half coverage
+  EXPECT_DOUBLE_EQ(scorer.ContentScore(2), 0.0);
+}
+
+TEST_F(ScorerTest, ContentScoreAllModeIsQualityOrZero) {
+  query_.mode = MatchMode::kAll;
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_NEAR(scorer.ContentScore(0), 0.8, 1e-6);
+  EXPECT_NEAR(scorer.ContentScore(1), 0.6, 1e-6);
+  EXPECT_DOUBLE_EQ(scorer.ContentScore(3), 0.0);  // misses tag 1
+}
+
+TEST_F(ScorerTest, EligibilityFollowsMode) {
+  {
+    const Scorer scorer(&store_, &proximity_, &query_);
+    EXPECT_TRUE(scorer.Eligible(2));  // kAny: everything eligible
+  }
+  query_.mode = MatchMode::kAll;
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_TRUE(scorer.Eligible(0));
+  EXPECT_TRUE(scorer.Eligible(1));
+  EXPECT_FALSE(scorer.Eligible(2));
+  EXPECT_FALSE(scorer.Eligible(3));
+}
+
+TEST_F(ScorerTest, BlendInterpolatesComponents) {
+  query_.alpha = 0.25;
+  const Scorer scorer(&store_, &proximity_, &query_);
+  const double expected =
+      0.25 * scorer.SocialScore(3) + 0.75 * scorer.ContentScore(3);
+  EXPECT_DOUBLE_EQ(scorer.Score(3), expected);
+}
+
+TEST_F(ScorerTest, AlphaExtremesIsolateComponents) {
+  query_.alpha = 0.0;
+  {
+    const Scorer scorer(&store_, &proximity_, &query_);
+    EXPECT_DOUBLE_EQ(scorer.Score(1), scorer.ContentScore(1));
+  }
+  query_.alpha = 1.0;
+  const Scorer scorer(&store_, &proximity_, &query_);
+  EXPECT_DOUBLE_EQ(scorer.Score(1), scorer.SocialScore(1));
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,84 @@
+#include "core/social_query.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+SocialQuery ValidQuery() {
+  SocialQuery query;
+  query.user = 3;
+  query.tags = {1, 5, 9};
+  query.k = 10;
+  query.alpha = 0.5;
+  return query;
+}
+
+TEST(ValidateQueryTest, AcceptsWellFormedQuery) {
+  EXPECT_TRUE(ValidateQuery(ValidQuery(), 100).ok());
+}
+
+TEST(ValidateQueryTest, RejectsUserOutOfRange) {
+  SocialQuery query = ValidQuery();
+  query.user = 100;
+  EXPECT_EQ(ValidateQuery(query, 100).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateQueryTest, RejectsZeroK) {
+  SocialQuery query = ValidQuery();
+  query.k = 0;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+}
+
+TEST(ValidateQueryTest, RejectsAlphaOutOfRange) {
+  SocialQuery query = ValidQuery();
+  query.alpha = -0.01;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  query.alpha = 1.01;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  query.alpha = 0.0;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+  query.alpha = 1.0;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+}
+
+TEST(ValidateQueryTest, RejectsEmptyTags) {
+  SocialQuery query = ValidQuery();
+  query.tags.clear();
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+}
+
+TEST(ValidateQueryTest, RejectsUnsortedOrDuplicateTags) {
+  SocialQuery query = ValidQuery();
+  query.tags = {5, 1};
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  query.tags = {1, 1, 5};
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+}
+
+TEST(ValidateQueryTest, GeoFilterNeedsPositiveRadius) {
+  SocialQuery query = ValidQuery();
+  query.has_geo_filter = true;
+  query.radius_km = 0.0f;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  query.radius_km = 5.0f;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+}
+
+TEST(NormalizeQueryTest, SortsAndDeduplicates) {
+  SocialQuery query;
+  query.tags = {9, 1, 5, 1, 9};
+  NormalizeQuery(&query);
+  EXPECT_EQ(query.tags, (std::vector<TagId>{1, 5, 9}));
+}
+
+TEST(NormalizeQueryTest, MakesRawQueryValid) {
+  SocialQuery query = ValidQuery();
+  query.tags = {7, 3, 7};
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  NormalizeQuery(&query);
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,142 @@
+#include "core/ta_sources.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(ImpactListSourceTest, AppliesWeightAndPreservesOrder) {
+  const std::vector<ScoredItem> entries{{3, 0.9f}, {1, 0.6f}, {7, 0.3f}};
+  ImpactListSource source(entries, 0.5, /*horizon=*/100);
+  std::vector<float> partials;
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    partials.push_back(source.Current().score);
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{3, 1, 7}));
+  EXPECT_FLOAT_EQ(partials[0], 0.45f);
+  EXPECT_FLOAT_EQ(partials[1], 0.30f);
+  EXPECT_FLOAT_EQ(partials[2], 0.15f);
+}
+
+TEST(ImpactListSourceTest, SkipsItemsBeyondHorizon) {
+  const std::vector<ScoredItem> entries{{3, 0.9f}, {50, 0.6f}, {7, 0.3f}};
+  ImpactListSource source(entries, 1.0, /*horizon=*/10);
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{3, 7}));
+}
+
+TEST(ImpactListSourceTest, EmptySpanIsInvalid) {
+  ImpactListSource source({}, 1.0, 100);
+  EXPECT_FALSE(source.Valid());
+}
+
+class SocialStreamSourceTest : public ::testing::Test {
+ protected:
+  SocialStreamSourceTest() {
+    auto add = [this](UserId owner, float quality) {
+      Item item;
+      item.owner = owner;
+      item.tags = {0};
+      item.quality = quality;
+      EXPECT_TRUE(store_.Add(item).ok());
+    };
+    // user 0 (self): items 0, 1; user 1: item 2; user 2: none;
+    // user 3: items 3, 4.
+    add(0, 0.9f);
+    add(0, 0.1f);
+    add(1, 0.5f);
+    add(3, 0.7f);
+    add(3, 0.2f);
+    social_ = SocialIndex::Build(store_, 4);
+  }
+
+  ItemStore store_;
+  SocialIndex social_;
+};
+
+TEST_F(SocialStreamSourceTest, SelfItemsFirstThenFriendsByProximity) {
+  const ProximityVector proximity = ProximityVector::FromUnnormalized(
+      {{1, 1.0f}, {3, 0.5f}});
+  SocialStreamSource source(&proximity, &social_, /*self=*/0,
+                            /*weight=*/1.0, /*horizon=*/100);
+  std::vector<ItemId> items;
+  std::vector<float> partials;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+    partials.push_back(source.Current().score);
+  }
+  // Self items (quality-desc: 0 then 1) at partial 1.0; then user 1's
+  // item at 1.0; then user 3's (quality-desc: 3 then 4) at 0.5.
+  EXPECT_EQ(items, (std::vector<ItemId>{0, 1, 2, 3, 4}));
+  EXPECT_FLOAT_EQ(partials[0], 1.0f);
+  EXPECT_FLOAT_EQ(partials[1], 1.0f);
+  EXPECT_FLOAT_EQ(partials[2], 1.0f);
+  EXPECT_FLOAT_EQ(partials[3], 0.5f);
+  EXPECT_FLOAT_EQ(partials[4], 0.5f);
+}
+
+TEST_F(SocialStreamSourceTest, PartialsAreNonIncreasing) {
+  const ProximityVector proximity = ProximityVector::FromUnnormalized(
+      {{1, 0.8f}, {2, 0.6f}, {3, 0.4f}});
+  SocialStreamSource source(&proximity, &social_, 0, 0.7, 100);
+  float previous = 1e9f;
+  for (; source.Valid(); source.Next()) {
+    EXPECT_LE(source.Current().score, previous + 1e-7f);
+    previous = source.Current().score;
+  }
+}
+
+TEST_F(SocialStreamSourceTest, SkipsSelfReappearingInProximityVector) {
+  // Some models include the source user; the stream must not emit the
+  // self items twice.
+  const ProximityVector proximity = ProximityVector::FromUnnormalized(
+      {{0, 1.0f}, {1, 0.5f}});
+  SocialStreamSource source(&proximity, &social_, 0, 1.0, 100);
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST_F(SocialStreamSourceTest, SkipsUsersWithNoItems) {
+  const ProximityVector proximity = ProximityVector::FromUnnormalized(
+      {{2, 1.0f}, {3, 0.5f}});  // user 2 owns nothing
+  SocialStreamSource source(&proximity, &social_, 0, 1.0, 100);
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{0, 1, 3, 4}));
+}
+
+TEST_F(SocialStreamSourceTest, HorizonHidesTailItems) {
+  const ProximityVector proximity = ProximityVector::FromUnnormalized(
+      {{1, 1.0f}, {3, 0.5f}});
+  SocialStreamSource source(&proximity, &social_, 0, 1.0, /*horizon=*/3);
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST_F(SocialStreamSourceTest, EmptyProximityEmitsOnlySelf) {
+  const ProximityVector proximity;
+  SocialStreamSource source(&proximity, &social_, 3, 1.0, 100);
+  std::vector<ItemId> items;
+  for (; source.Valid(); source.Next()) {
+    items.push_back(source.Current().item);
+  }
+  EXPECT_EQ(items, (std::vector<ItemId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace amici

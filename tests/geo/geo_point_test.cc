@@ -1,0 +1,72 @@
+#include "geo/geo_point.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(DistanceTest, ZeroForIdenticalPoints) {
+  const GeoPoint p{37.0f, -122.0f};
+  EXPECT_DOUBLE_EQ(DistanceKm(p, p), 0.0);
+}
+
+TEST(DistanceTest, Symmetric) {
+  const GeoPoint a{37.0f, -122.0f};
+  const GeoPoint b{38.5f, -120.25f};
+  EXPECT_DOUBLE_EQ(DistanceKm(a, b), DistanceKm(b, a));
+}
+
+TEST(DistanceTest, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{0.0f, 0.0f};
+  const GeoPoint b{1.0f, 0.0f};
+  EXPECT_NEAR(DistanceKm(a, b), 111.2, 0.5);
+}
+
+TEST(DistanceTest, LongitudeShrinksWithLatitude) {
+  const GeoPoint eq_a{0.0f, 0.0f};
+  const GeoPoint eq_b{0.0f, 1.0f};
+  const GeoPoint north_a{60.0f, 0.0f};
+  const GeoPoint north_b{60.0f, 1.0f};
+  const double at_equator = DistanceKm(eq_a, eq_b);
+  const double at_60 = DistanceKm(north_a, north_b);
+  EXPECT_NEAR(at_60 / at_equator, 0.5, 0.02);  // cos(60°) = 0.5
+}
+
+TEST(DistanceTest, KnownCityPair) {
+  // San Francisco to Los Angeles is roughly 560 km.
+  const GeoPoint sf{37.7749f, -122.4194f};
+  const GeoPoint la{34.0522f, -118.2437f};
+  EXPECT_NEAR(DistanceKm(sf, la), 559.0, 10.0);
+}
+
+TEST(DistanceTest, TriangleInequalityHolds) {
+  const GeoPoint a{37.0f, -122.0f};
+  const GeoPoint b{37.5f, -121.5f};
+  const GeoPoint c{38.0f, -122.5f};
+  EXPECT_LE(DistanceKm(a, c), DistanceKm(a, b) + DistanceKm(b, c) + 1e-9);
+}
+
+TEST(ConversionTest, LatitudeDegreesRoundTrip) {
+  const double degrees = KmToLatitudeDegrees(111.2);
+  EXPECT_NEAR(degrees, 1.0, 0.01);
+}
+
+TEST(ConversionTest, LongitudeDegreesGrowTowardPoles) {
+  EXPECT_GT(KmToLongitudeDegrees(100.0, 60.0),
+            KmToLongitudeDegrees(100.0, 0.0));
+  EXPECT_EQ(KmToLongitudeDegrees(100.0, 90.0), 360.0);  // clamped
+}
+
+TEST(ConversionTest, ConversionBoundsRealDistances) {
+  // A displacement of KmToLatitudeDegrees(r) north is exactly r km.
+  const GeoPoint origin{37.0f, -122.0f};
+  const double r = 25.0;
+  const GeoPoint north{
+      static_cast<float>(37.0 + KmToLatitudeDegrees(r)), -122.0f};
+  EXPECT_NEAR(DistanceKm(origin, north), r, 0.2);
+}
+
+}  // namespace
+}  // namespace amici

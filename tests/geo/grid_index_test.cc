@@ -1,0 +1,123 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+ItemStore RandomGeoStore(size_t num_items, uint64_t seed,
+                         double geo_fraction = 1.0) {
+  Rng rng(seed);
+  ItemStore store;
+  for (size_t i = 0; i < num_items; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(50));
+    item.tags = {static_cast<TagId>(rng.UniformIndex(20))};
+    item.quality = static_cast<float>(rng.UniformDouble());
+    if (rng.Bernoulli(geo_fraction)) {
+      item.has_geo = true;
+      item.latitude = static_cast<float>(rng.UniformDouble(37.0, 38.0));
+      item.longitude = static_cast<float>(rng.UniformDouble(-122.5, -121.5));
+    }
+    EXPECT_TRUE(store.Add(item).ok());
+  }
+  return store;
+}
+
+std::vector<ItemId> BruteForceRadius(const ItemStore& store,
+                                     const GeoPoint& center,
+                                     double radius_km) {
+  std::vector<ItemId> out;
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    if (!store.has_geo(item)) continue;
+    const GeoPoint p{store.latitude(item), store.longitude(item)};
+    if (DistanceKm(center, p) <= radius_km) out.push_back(item);
+  }
+  return out;
+}
+
+TEST(GridIndexTest, MatchesBruteForceAcrossRadii) {
+  const ItemStore store = RandomGeoStore(2000, 1);
+  const GridIndex grid = GridIndex::Build(store, 0.05);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GeoPoint center{
+        static_cast<float>(rng.UniformDouble(37.0, 38.0)),
+        static_cast<float>(rng.UniformDouble(-122.5, -121.5))};
+    const double radius = rng.UniformDouble(0.5, 40.0);
+    std::vector<ItemId> expected = BruteForceRadius(store, center, radius);
+    std::vector<ItemId> actual = grid.ItemsInRadius(center, radius);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(GridIndexTest, NoDuplicateResults) {
+  const ItemStore store = RandomGeoStore(500, 3);
+  const GridIndex grid = GridIndex::Build(store, 0.3);
+  const auto items =
+      grid.ItemsInRadius({37.5f, -122.0f}, 30.0);
+  const std::set<ItemId> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), items.size());
+}
+
+TEST(GridIndexTest, SkipsItemsWithoutGeo) {
+  const ItemStore store = RandomGeoStore(1000, 4, 0.5);
+  const GridIndex grid = GridIndex::Build(store, 0.1);
+  EXPECT_LT(grid.num_indexed_items(), store.num_items());
+  // A radius covering everything returns exactly the geo items.
+  const auto items = grid.ItemsInRadius({37.5f, -122.0f}, 10000.0);
+  EXPECT_EQ(items.size(), grid.num_indexed_items());
+}
+
+TEST(GridIndexTest, ZeroRadiusReturnsNothing) {
+  const ItemStore store = RandomGeoStore(100, 5);
+  const GridIndex grid = GridIndex::Build(store, 0.1);
+  EXPECT_TRUE(grid.ItemsInRadius({37.5f, -122.0f}, 0.0).empty());
+}
+
+TEST(GridIndexTest, EmptyStore) {
+  const GridIndex grid = GridIndex::Build(ItemStore(), 0.1);
+  EXPECT_EQ(grid.num_indexed_items(), 0u);
+  EXPECT_TRUE(grid.ItemsInRadius({0.0f, 0.0f}, 100.0).empty());
+}
+
+TEST(GridIndexTest, DefaultConstructedIsInert) {
+  const GridIndex grid;
+  EXPECT_TRUE(grid.ItemsInRadius({0.0f, 0.0f}, 100.0).empty());
+}
+
+TEST(GridIndexTest, CellSizeDoesNotChangeResults) {
+  const ItemStore store = RandomGeoStore(800, 6);
+  const GeoPoint center{37.4f, -122.1f};
+  const double radius = 12.0;
+  std::vector<ItemId> baseline;
+  for (const double cell : {0.01, 0.1, 0.5, 2.0}) {
+    const GridIndex grid = GridIndex::Build(store, cell);
+    auto items = grid.ItemsInRadius(center, radius);
+    std::sort(items.begin(), items.end());
+    if (baseline.empty()) {
+      baseline = items;
+    } else {
+      EXPECT_EQ(items, baseline) << "cell " << cell;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(GridIndexTest, MemoryReported) {
+  const ItemStore store = RandomGeoStore(500, 7);
+  const GridIndex grid = GridIndex::Build(store, 0.1);
+  EXPECT_GT(grid.MemoryBytes(), 0u);
+  EXPECT_GT(grid.num_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,126 @@
+#include "graph/graph_algorithms.h"
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+/// Path 0-1-2-3 plus isolated 4.
+SocialGraph PathWithIsolate() {
+  GraphBuilder builder(5);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3).ok());
+  return builder.Build();
+}
+
+TEST(BfsTest, DistancesAlongPath) {
+  const SocialGraph graph = PathWithIsolate();
+  const auto dist = BfsDistances(graph, 0, 10);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, TruncationAtMaxHops) {
+  const SocialGraph graph = PathWithIsolate();
+  const auto dist = BfsDistances(graph, 0, 2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(KHopTest, OrderedByDistance) {
+  const SocialGraph graph = PathWithIsolate();
+  const auto hood = KHopNeighborhood(graph, 1, 2);
+  ASSERT_EQ(hood.size(), 3u);
+  EXPECT_EQ(hood[0].hops, 1);
+  EXPECT_EQ(hood[1].hops, 1);
+  EXPECT_EQ(hood[2].hops, 2);
+  EXPECT_EQ(hood[2].user, 3u);
+}
+
+TEST(KHopTest, ExcludesSource) {
+  const SocialGraph graph = PathWithIsolate();
+  for (const auto& neighbor : KHopNeighborhood(graph, 0, 5)) {
+    EXPECT_NE(neighbor.user, 0u);
+  }
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  const SocialGraph graph = PathWithIsolate();
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components, 2u);
+  EXPECT_EQ(info.largest_size, 4u);
+  EXPECT_EQ(info.label[0], info.label[3]);
+  EXPECT_NE(info.label[0], info.label[4]);
+}
+
+TEST(ComponentsTest, EdgelessGraphAllSingletons) {
+  GraphBuilder builder(4);
+  const ComponentInfo info = ConnectedComponents(builder.Build());
+  EXPECT_EQ(info.num_components, 4u);
+  EXPECT_EQ(info.largest_size, 1u);
+}
+
+TEST(TriangleTest, SingleTriangle) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_EQ(CountTriangles(builder.Build()), 1u);
+}
+
+TEST(TriangleTest, PathHasNone) {
+  EXPECT_EQ(CountTriangles(PathWithIsolate()), 0u);
+}
+
+TEST(TriangleTest, CompleteGraphK5) {
+  GraphBuilder builder(5);
+  for (UserId u = 0; u < 5; ++u) {
+    for (UserId v = u + 1; v < 5; ++v) {
+      ASSERT_TRUE(builder.AddEdge(u, v).ok());
+    }
+  }
+  // C(5,3) = 10 triangles.
+  EXPECT_EQ(CountTriangles(builder.Build()), 10u);
+}
+
+TEST(WedgeTest, StarGraph) {
+  GraphBuilder builder(5);
+  for (UserId v = 1; v < 5; ++v) ASSERT_TRUE(builder.AddEdge(0, v).ok());
+  // Center has degree 4 -> C(4,2)=6 wedges; leaves contribute none.
+  EXPECT_EQ(CountWedges(builder.Build()), 6u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  GraphBuilder builder(4);
+  for (UserId u = 0; u < 4; ++u) {
+    for (UserId v = u + 1; v < 4; ++v) {
+      ASSERT_TRUE(builder.AddEdge(u, v).ok());
+    }
+  }
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(builder.Build()), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(PathWithIsolate()), 0.0);
+}
+
+TEST(ClusteringTest, WattsStrogatzBeatsErdosRenyi) {
+  // The hallmark property: a small-world lattice clusters far more than a
+  // random graph of equal density.
+  Rng rng_ws(1);
+  Rng rng_er(1);
+  const SocialGraph ws = GenerateWattsStrogatz(2000, 10, 0.05, &rng_ws);
+  const SocialGraph er = GenerateErdosRenyi(2000, 10, &rng_er);
+  EXPECT_GT(GlobalClusteringCoefficient(ws),
+            3.0 * GlobalClusteringCoefficient(er));
+}
+
+}  // namespace
+}  // namespace amici

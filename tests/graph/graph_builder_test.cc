@@ -1,0 +1,69 @@
+#include "graph/graph_builder.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder(3);
+  EXPECT_EQ(builder.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(3, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(5, 9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.num_pending_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, IgnoresSelfLoops) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(1, 1).ok());
+  EXPECT_EQ(builder.num_pending_edges(), 0u);
+  const SocialGraph graph = builder.Build();
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());  // same undirected edge
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_EQ(builder.num_pending_edges(), 3u);
+  const SocialGraph graph = builder.Build();
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_EQ(graph.Degree(0), 1u);
+  EXPECT_EQ(graph.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatable) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  const SocialGraph first = builder.Build();
+  const SocialGraph second = builder.Build();
+  EXPECT_EQ(first.num_edges(), second.num_edges());
+  EXPECT_EQ(first.neighbors(), second.neighbors());
+  EXPECT_EQ(first.offsets(), second.offsets());
+}
+
+TEST(GraphBuilderTest, EmptyBuilderYieldsEdgelessGraph) {
+  GraphBuilder builder(7);
+  const SocialGraph graph = builder.Build();
+  EXPECT_EQ(graph.num_users(), 7u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, AdjacencySortedAfterArbitraryInsertionOrder) {
+  GraphBuilder builder(6);
+  ASSERT_TRUE(builder.AddEdge(5, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 4).ok());
+  const SocialGraph graph = builder.Build();
+  const auto friends = graph.Friends(0);
+  ASSERT_EQ(friends.size(), 4u);
+  for (size_t i = 1; i < friends.size(); ++i) {
+    EXPECT_LT(friends[i - 1], friends[i]);
+  }
+}
+
+}  // namespace
+}  // namespace amici

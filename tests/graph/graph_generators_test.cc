@@ -1,0 +1,129 @@
+#include "graph/graph_generators.h"
+
+#include <vector>
+
+#include "graph/graph_algorithms.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+/// Shared structural sanity checks every generator must satisfy.
+void ExpectWellFormed(const SocialGraph& graph) {
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const auto friends = graph.Friends(static_cast<UserId>(u));
+    for (size_t i = 0; i < friends.size(); ++i) {
+      EXPECT_NE(friends[i], u) << "self-loop at " << u;
+      EXPECT_LT(friends[i], graph.num_users());
+      if (i > 0) {
+        EXPECT_LT(friends[i - 1], friends[i]) << "unsorted/dup row";
+      }
+      EXPECT_TRUE(graph.HasEdge(friends[i], static_cast<UserId>(u)))
+          << "asymmetric edge";
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, HitsTargetDegree) {
+  Rng rng(1);
+  const SocialGraph graph = GenerateErdosRenyi(5000, 12.0, &rng);
+  ExpectWellFormed(graph);
+  EXPECT_NEAR(graph.AverageDegree(), 12.0, 1.0);
+}
+
+TEST(ErdosRenyiTest, ZeroDegreeYieldsEdgeless) {
+  Rng rng(2);
+  const SocialGraph graph = GenerateErdosRenyi(100, 0.0, &rng);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, TinyGraphs) {
+  Rng rng(3);
+  EXPECT_EQ(GenerateErdosRenyi(1, 5.0, &rng).num_users(), 1u);
+  const SocialGraph pair = GenerateErdosRenyi(2, 1.0, &rng);
+  ExpectWellFormed(pair);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const SocialGraph a = GenerateErdosRenyi(1000, 8.0, &rng_a);
+  const SocialGraph b = GenerateErdosRenyi(1000, 8.0, &rng_b);
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+}
+
+TEST(BarabasiAlbertTest, WellFormedAndConnected) {
+  Rng rng(4);
+  const SocialGraph graph = GenerateBarabasiAlbert(3000, 5, &rng);
+  ExpectWellFormed(graph);
+  const ComponentInfo info = ConnectedComponents(graph);
+  EXPECT_EQ(info.num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  Rng rng(5);
+  const SocialGraph graph = GenerateBarabasiAlbert(5000, 4, &rng);
+  // Preferential attachment: the max degree should dwarf the average.
+  EXPECT_GT(static_cast<double>(graph.MaxDegree()),
+            8.0 * graph.AverageDegree());
+}
+
+TEST(BarabasiAlbertTest, AverageDegreeNearTwiceM) {
+  Rng rng(6);
+  const size_t m = 6;
+  const SocialGraph graph = GenerateBarabasiAlbert(4000, m, &rng);
+  // Each arrival adds ~m edges -> average degree ~2m.
+  EXPECT_NEAR(graph.AverageDegree(), 2.0 * static_cast<double>(m), 1.5);
+}
+
+TEST(WattsStrogatzTest, ZeroRewireIsRingLattice) {
+  Rng rng(7);
+  const SocialGraph graph = GenerateWattsStrogatz(100, 6, 0.0, &rng);
+  ExpectWellFormed(graph);
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    EXPECT_EQ(graph.Degree(static_cast<UserId>(u)), 6u);
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsDensity) {
+  Rng rng(8);
+  const SocialGraph graph = GenerateWattsStrogatz(2000, 8, 0.3, &rng);
+  ExpectWellFormed(graph);
+  EXPECT_NEAR(graph.AverageDegree(), 8.0, 0.8);
+}
+
+TEST(PlantedPartitionTest, IntraEdgesDominate) {
+  Rng rng(9);
+  const size_t num_users = 4000;
+  const size_t num_communities = 20;
+  const SocialGraph graph = GeneratePlantedPartition(
+      num_users, num_communities, 12.0, 2.0, &rng);
+  ExpectWellFormed(graph);
+  const size_t community_size =
+      (num_users + num_communities - 1) / num_communities;
+  size_t intra = 0;
+  size_t inter = 0;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    for (const UserId v : graph.Friends(static_cast<UserId>(u))) {
+      if (u / community_size == v / community_size) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 3 * inter);
+}
+
+TEST(GeneratorsTest, AllProduceRequestedUserCount) {
+  Rng rng(10);
+  EXPECT_EQ(GenerateErdosRenyi(123, 4.0, &rng).num_users(), 123u);
+  EXPECT_EQ(GenerateBarabasiAlbert(123, 3, &rng).num_users(), 123u);
+  EXPECT_EQ(GenerateWattsStrogatz(123, 4, 0.1, &rng).num_users(), 123u);
+  EXPECT_EQ(GeneratePlantedPartition(123, 5, 4.0, 1.0, &rng).num_users(),
+            123u);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,92 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, InMemoryRoundTrip) {
+  Rng rng(1);
+  const SocialGraph original = GenerateBarabasiAlbert(500, 4, &rng);
+  const std::string bytes = SerializeGraph(original);
+  const Result<SocialGraph> loaded = DeserializeGraph(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().offsets(), original.offsets());
+  EXPECT_EQ(loaded.value().neighbors(), original.neighbors());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  GraphBuilder builder(0);
+  const std::string bytes = SerializeGraph(builder.Build());
+  const Result<SocialGraph> loaded = DeserializeGraph(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_users(), 0u);
+}
+
+TEST(GraphIoTest, EdgelessGraphRoundTrip) {
+  GraphBuilder builder(42);
+  const std::string bytes = SerializeGraph(builder.Build());
+  const Result<SocialGraph> loaded = DeserializeGraph(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_users(), 42u);
+  EXPECT_EQ(loaded.value().num_edges(), 0u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(2);
+  const SocialGraph original = GenerateErdosRenyi(300, 6.0, &rng);
+  const std::string path = TempPath("graph_io_test.amig");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+  const Result<SocialGraph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().neighbors(), original.neighbors());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  const Result<SocialGraph> loaded = LoadGraph("/nonexistent/zzz.amig");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, BadMagicIsCorruption) {
+  std::string bytes = SerializeGraph(SocialGraph());
+  bytes[0] = 'X';
+  const Result<SocialGraph> loaded = DeserializeGraph(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, FlippedByteFailsChecksum) {
+  Rng rng(3);
+  std::string bytes = SerializeGraph(GenerateErdosRenyi(100, 4.0, &rng));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const Result<SocialGraph> loaded = DeserializeGraph(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, TruncationFailsCleanly) {
+  Rng rng(4);
+  const std::string bytes =
+      SerializeGraph(GenerateErdosRenyi(100, 4.0, &rng));
+  for (const size_t keep : {size_t{0}, size_t{3}, size_t{10},
+                            bytes.size() / 2, bytes.size() - 1}) {
+    const Result<SocialGraph> loaded =
+        DeserializeGraph(bytes.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,91 @@
+#include "graph/social_graph.h"
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+SocialGraph Triangle() {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2).ok());
+  return builder.Build();
+}
+
+TEST(SocialGraphTest, EmptyGraph) {
+  SocialGraph graph;
+  EXPECT_EQ(graph.num_users(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.AverageDegree(), 0.0);
+  EXPECT_EQ(graph.MaxDegree(), 0u);
+}
+
+TEST(SocialGraphTest, TriangleBasics) {
+  const SocialGraph graph = Triangle();
+  EXPECT_EQ(graph.num_users(), 3u);
+  EXPECT_EQ(graph.num_edges(), 3u);
+  EXPECT_EQ(graph.Degree(0), 2u);
+  EXPECT_EQ(graph.Degree(1), 2u);
+  EXPECT_EQ(graph.Degree(2), 2u);
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 2.0);
+  EXPECT_EQ(graph.MaxDegree(), 2u);
+}
+
+TEST(SocialGraphTest, FriendsAreSortedAndSymmetric) {
+  const SocialGraph graph = Triangle();
+  const auto friends0 = graph.Friends(0);
+  ASSERT_EQ(friends0.size(), 2u);
+  EXPECT_EQ(friends0[0], 1u);
+  EXPECT_EQ(friends0[1], 2u);
+  for (UserId u = 0; u < 3; ++u) {
+    for (const UserId v : graph.Friends(u)) {
+      EXPECT_TRUE(graph.HasEdge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(SocialGraphTest, HasEdgeNegativeCases) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  const SocialGraph graph = builder.Build();
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 3));
+  EXPECT_FALSE(graph.HasEdge(0, 0));
+}
+
+TEST(SocialGraphTest, IsolatedUsersHaveNoFriends) {
+  GraphBuilder builder(5);
+  ASSERT_TRUE(builder.AddEdge(1, 3).ok());
+  const SocialGraph graph = builder.Build();
+  EXPECT_EQ(graph.Degree(0), 0u);
+  EXPECT_TRUE(graph.Friends(0).empty());
+  EXPECT_EQ(graph.Degree(4), 0u);
+}
+
+TEST(SocialGraphTest, MemoryBytesScalesWithSize) {
+  GraphBuilder small_builder(10);
+  ASSERT_TRUE(small_builder.AddEdge(0, 1).ok());
+  const SocialGraph small = small_builder.Build();
+
+  GraphBuilder big_builder(10000);
+  for (UserId u = 0; u + 1 < 10000; ++u) {
+    ASSERT_TRUE(big_builder.AddEdge(u, u + 1).ok());
+  }
+  const SocialGraph big = big_builder.Build();
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(SocialGraphTest, RawCsrAccessorsConsistent) {
+  const SocialGraph graph = Triangle();
+  EXPECT_EQ(graph.offsets().size(), graph.num_users() + 1);
+  EXPECT_EQ(graph.offsets().back(), graph.neighbors().size());
+  EXPECT_EQ(graph.neighbors().size(), 2 * graph.num_edges());
+}
+
+}  // namespace
+}  // namespace amici

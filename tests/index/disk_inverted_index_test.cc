@@ -1,0 +1,166 @@
+#include "index/disk_inverted_index.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/file_util.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+ItemStore RandomStore(size_t num_items, size_t num_tags, uint64_t seed) {
+  Rng rng(seed);
+  ItemStore store;
+  for (size_t i = 0; i < num_items; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(64));
+    const size_t tag_count = 1 + rng.UniformIndex(4);
+    for (size_t t = 0; t < tag_count; ++t) {
+      item.tags.push_back(static_cast<TagId>(rng.UniformIndex(num_tags)));
+    }
+    item.quality = static_cast<float>(rng.UniformDouble());
+    EXPECT_TRUE(store.Add(item).ok());
+  }
+  return store;
+}
+
+void ExpectListsEqual(const PostingList& a, const PostingList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.max_score(), b.max_score());
+  auto it_a = a.NewIterator();
+  auto it_b = b.NewIterator();
+  while (it_a.Valid() && it_b.Valid()) {
+    EXPECT_EQ(it_a.Doc(), it_b.Doc());
+    EXPECT_EQ(it_a.ImpactBound(), it_b.ImpactBound());
+    it_a.Next();
+    it_b.Next();
+  }
+  EXPECT_EQ(it_a.Valid(), it_b.Valid());
+}
+
+class DiskInvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/disk_index_test.amii";
+    store_ = RandomStore(3000, 80, 11);
+    auto memory = InvertedIndex::Build(store_);
+    ASSERT_TRUE(memory.ok());
+    memory_ = std::move(memory).value();
+    ASSERT_TRUE(DiskInvertedIndex::Write(memory_, path_).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  ItemStore store_;
+  InvertedIndex memory_;
+};
+
+TEST_F(DiskInvertedIndexTest, RoundTripsEveryTag) {
+  auto disk = DiskInvertedIndex::Open(path_, 64);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_EQ(disk.value()->num_tags(), memory_.num_tags());
+  for (TagId tag = 0; tag < memory_.num_tags(); ++tag) {
+    EXPECT_EQ(disk.value()->DocumentFrequency(tag),
+              memory_.DocumentFrequency(tag));
+    const auto list = disk.value()->ReadPostings(tag);
+    ASSERT_TRUE(list.ok()) << "tag " << tag;
+    ExpectListsEqual(memory_.Postings(tag), list.value());
+  }
+}
+
+TEST_F(DiskInvertedIndexTest, OutOfRangeTagYieldsEmptyList) {
+  auto disk = DiskInvertedIndex::Open(path_, 8);
+  ASSERT_TRUE(disk.ok());
+  const auto list = disk.value()->ReadPostings(9999);
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list.value().empty());
+  EXPECT_EQ(disk.value()->DocumentFrequency(9999), 0u);
+}
+
+TEST_F(DiskInvertedIndexTest, PoolCachesRepeatedReads) {
+  auto disk = DiskInvertedIndex::Open(path_, 256);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(disk.value()->ReadPostings(3).ok());
+  const uint64_t misses_after_first = disk.value()->pool().misses();
+  ASSERT_TRUE(disk.value()->ReadPostings(3).ok());
+  EXPECT_EQ(disk.value()->pool().misses(), misses_after_first);
+  EXPECT_GT(disk.value()->pool().hits(), 0u);
+}
+
+TEST_F(DiskInvertedIndexTest, TinyPoolStillCorrect) {
+  auto disk = DiskInvertedIndex::Open(path_, 1);
+  ASSERT_TRUE(disk.ok());
+  for (TagId tag = 0; tag < 20; ++tag) {
+    const auto list = disk.value()->ReadPostings(tag);
+    ASSERT_TRUE(list.ok());
+    ExpectListsEqual(memory_.Postings(tag), list.value());
+  }
+  EXPECT_LE(disk.value()->pool().size(), 1u);
+}
+
+TEST_F(DiskInvertedIndexTest, ConcurrentReadsAgree) {
+  auto disk = DiskInvertedIndex::Open(path_, 32);
+  ASSERT_TRUE(disk.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 60; ++i) {
+        const TagId tag = static_cast<TagId>((t * 13 + i) % 80);
+        const auto list = disk.value()->ReadPostings(tag);
+        if (!list.ok() ||
+            list.value().size() != memory_.DocumentFrequency(tag)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(DiskInvertedIndexTest, CorruptPayloadDetectedAtOpen) {
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[BlockFile::kBlockSize + 100] ^= 0x01;  // inside the payload
+  const std::string bad_path =
+      std::string(::testing::TempDir()) + "/disk_index_bad.amii";
+  ASSERT_TRUE(WriteStringToFile(corrupted, bad_path).ok());
+  EXPECT_EQ(DiskInvertedIndex::Open(bad_path, 8).status().code(),
+            StatusCode::kCorruption);
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(DiskInvertedIndexTest, BadMagicDetected) {
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[0] = 'X';
+  const std::string bad_path =
+      std::string(::testing::TempDir()) + "/disk_index_magic.amii";
+  ASSERT_TRUE(WriteStringToFile(corrupted, bad_path).ok());
+  EXPECT_EQ(DiskInvertedIndex::Open(bad_path, 8).status().code(),
+            StatusCode::kCorruption);
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(DiskInvertedIndexTest, EmptyIndexRoundTrips) {
+  const std::string empty_path =
+      std::string(::testing::TempDir()) + "/disk_index_empty.amii";
+  const auto empty = InvertedIndex::Build(ItemStore());
+  ASSERT_TRUE(empty.ok());
+  ASSERT_TRUE(DiskInvertedIndex::Write(empty.value(), empty_path).ok());
+  auto disk = DiskInvertedIndex::Open(empty_path, 2);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk.value()->num_tags(), 0u);
+  std::remove(empty_path.c_str());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,71 @@
+#include "index/index_builder.h"
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+ItemStore RandomStore(size_t num_items, size_t num_users, size_t num_tags,
+                      uint64_t seed) {
+  Rng rng(seed);
+  ItemStore store;
+  for (size_t i = 0; i < num_items; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(num_users));
+    const size_t tag_count = 1 + rng.UniformIndex(4);
+    for (size_t t = 0; t < tag_count; ++t) {
+      item.tags.push_back(static_cast<TagId>(rng.UniformIndex(num_tags)));
+    }
+    item.quality = static_cast<float>(rng.UniformDouble());
+    EXPECT_TRUE(store.Add(item).ok());
+  }
+  return store;
+}
+
+TEST(IndexBuilderTest, BuildsBothIndexes) {
+  const ItemStore store = RandomStore(2000, 100, 50, 1);
+  const auto built = BuildIndexes(store, 100);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().social.num_users(), 100u);
+  EXPECT_EQ(built.value().social.num_entries(), store.num_items());
+  // Total postings across tags equals total tag occurrences.
+  size_t postings = 0;
+  for (TagId t = 0; t < 50; ++t) {
+    postings += built.value().inverted.DocumentFrequency(t);
+  }
+  size_t occurrences = 0;
+  for (size_t i = 0; i < store.num_items(); ++i) {
+    occurrences += store.tags(static_cast<ItemId>(i)).size();
+  }
+  EXPECT_EQ(postings, occurrences);
+}
+
+TEST(IndexBuilderTest, StatsArePopulated) {
+  const ItemStore store = RandomStore(5000, 200, 100, 2);
+  const auto built = BuildIndexes(store, 200);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GE(built.value().stats.inverted_build_ms, 0.0);
+  EXPECT_GE(built.value().stats.social_build_ms, 0.0);
+  EXPECT_GT(built.value().stats.inverted_bytes, 0u);
+  EXPECT_GT(built.value().stats.social_bytes, 0u);
+}
+
+TEST(IndexBuilderTest, OptionsPropagateToInvertedIndex) {
+  const ItemStore store = RandomStore(1000, 50, 20, 3);
+  InvertedIndex::Options options;
+  options.build_impact_ordered = false;
+  const auto built = BuildIndexes(store, 50, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_FALSE(built.value().inverted.has_impact_ordered());
+}
+
+TEST(IndexBuilderTest, EmptyStoreBuilds) {
+  const auto built = BuildIndexes(ItemStore(), 10);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().social.num_entries(), 0u);
+  EXPECT_EQ(built.value().inverted.num_tags(), 0u);
+}
+
+}  // namespace
+}  // namespace amici

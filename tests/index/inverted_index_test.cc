@@ -1,0 +1,104 @@
+#include "index/inverted_index.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+/// Four items over tags {0,1,2}; qualities chosen to test impact order.
+ItemStore MakeStore() {
+  ItemStore store;
+  auto add = [&store](UserId owner, std::vector<TagId> tags, float quality) {
+    Item item;
+    item.owner = owner;
+    item.tags = std::move(tags);
+    item.quality = quality;
+    EXPECT_TRUE(store.Add(item).ok());
+  };
+  add(0, {0, 1}, 0.9f);   // item 0
+  add(1, {1}, 0.2f);      // item 1
+  add(0, {1, 2}, 0.5f);   // item 2
+  add(2, {2}, 0.5f);      // item 3
+  return store;
+}
+
+TEST(InvertedIndexTest, DocumentFrequencies) {
+  const auto index = InvertedIndex::Build(MakeStore());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().DocumentFrequency(0), 1u);
+  EXPECT_EQ(index.value().DocumentFrequency(1), 3u);
+  EXPECT_EQ(index.value().DocumentFrequency(2), 2u);
+  EXPECT_EQ(index.value().DocumentFrequency(99), 0u);
+}
+
+TEST(InvertedIndexTest, PostingsAreDocOrdered) {
+  const auto index = InvertedIndex::Build(MakeStore());
+  ASSERT_TRUE(index.ok());
+  std::vector<ItemId> docs;
+  for (auto it = index.value().Postings(1).NewIterator(); it.Valid();
+       it.Next()) {
+    docs.push_back(it.Doc());
+  }
+  EXPECT_EQ(docs, (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST(InvertedIndexTest, ImpactOrderedSortsByQualityDesc) {
+  const auto index = InvertedIndex::Build(MakeStore());
+  ASSERT_TRUE(index.ok());
+  const auto impact = index.value().ImpactOrdered(1);
+  ASSERT_EQ(impact.size(), 3u);
+  EXPECT_EQ(impact[0].item, 0u);  // quality 0.9
+  EXPECT_EQ(impact[1].item, 2u);  // quality 0.5
+  EXPECT_EQ(impact[2].item, 1u);  // quality 0.2
+}
+
+TEST(InvertedIndexTest, ImpactTieBreaksByItemId) {
+  const auto index = InvertedIndex::Build(MakeStore());
+  ASSERT_TRUE(index.ok());
+  const auto impact = index.value().ImpactOrdered(2);
+  ASSERT_EQ(impact.size(), 2u);
+  // Items 2 and 3 both have quality 0.5; smaller id first.
+  EXPECT_EQ(impact[0].item, 2u);
+  EXPECT_EQ(impact[1].item, 3u);
+}
+
+TEST(InvertedIndexTest, OutOfRangeTagYieldsEmpty) {
+  const auto index = InvertedIndex::Build(MakeStore());
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().Postings(50).empty());
+  EXPECT_TRUE(index.value().ImpactOrdered(50).empty());
+}
+
+TEST(InvertedIndexTest, ImpactOrderedCanBeDisabled) {
+  InvertedIndex::Options options;
+  options.build_impact_ordered = false;
+  const auto index = InvertedIndex::Build(MakeStore(), options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index.value().has_impact_ordered());
+  EXPECT_TRUE(index.value().ImpactOrdered(1).empty());
+  // Doc-ordered side must still work.
+  EXPECT_EQ(index.value().DocumentFrequency(1), 3u);
+}
+
+TEST(InvertedIndexTest, EmptyStore) {
+  const auto index = InvertedIndex::Build(ItemStore());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().num_tags(), 0u);
+  EXPECT_TRUE(index.value().Postings(0).empty());
+}
+
+TEST(InvertedIndexTest, MemoryAccountsBothRepresentations) {
+  InvertedIndex::Options with;
+  InvertedIndex::Options without;
+  without.build_impact_ordered = false;
+  const auto full = InvertedIndex::Build(MakeStore(), with);
+  const auto lean = InvertedIndex::Build(MakeStore(), without);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lean.ok());
+  EXPECT_GT(full.value().MemoryBytes(), lean.value().MemoryBytes());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,79 @@
+#include "index/social_index.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+ItemStore MakeStore() {
+  ItemStore store;
+  auto add = [&store](UserId owner, float quality) {
+    Item item;
+    item.owner = owner;
+    item.tags = {0};
+    item.quality = quality;
+    EXPECT_TRUE(store.Add(item).ok());
+  };
+  add(0, 0.3f);  // item 0
+  add(1, 0.9f);  // item 1
+  add(0, 0.8f);  // item 2
+  add(1, 0.9f);  // item 3 (tie with 1)
+  add(0, 0.1f);  // item 4
+  return store;
+}
+
+TEST(SocialIndexTest, ItemsGroupedByOwner) {
+  const SocialIndex index = SocialIndex::Build(MakeStore(), 3);
+  EXPECT_EQ(index.num_users(), 3u);
+  EXPECT_EQ(index.ItemsOf(0).size(), 3u);
+  EXPECT_EQ(index.ItemsOf(1).size(), 2u);
+  EXPECT_EQ(index.ItemsOf(2).size(), 0u);
+  EXPECT_EQ(index.num_entries(), 5u);
+}
+
+TEST(SocialIndexTest, RowsQualityDescending) {
+  const SocialIndex index = SocialIndex::Build(MakeStore(), 3);
+  const auto items = index.ItemsOf(0);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].item, 2u);  // 0.8
+  EXPECT_EQ(items[1].item, 0u);  // 0.3
+  EXPECT_EQ(items[2].item, 4u);  // 0.1
+}
+
+TEST(SocialIndexTest, QualityTiesBreakByItemId) {
+  const SocialIndex index = SocialIndex::Build(MakeStore(), 3);
+  const auto items = index.ItemsOf(1);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].item, 1u);
+  EXPECT_EQ(items[1].item, 3u);
+}
+
+TEST(SocialIndexTest, BestQuality) {
+  const SocialIndex index = SocialIndex::Build(MakeStore(), 3);
+  EXPECT_FLOAT_EQ(index.BestQuality(0), 0.8f);
+  EXPECT_FLOAT_EQ(index.BestQuality(1), 0.9f);
+  EXPECT_FLOAT_EQ(index.BestQuality(2), 0.0f);
+}
+
+TEST(SocialIndexTest, OwnersBeyondUserUniverseIgnored) {
+  ItemStore store;
+  Item item;
+  item.owner = 99;
+  item.tags = {0};
+  item.quality = 0.5f;
+  ASSERT_TRUE(store.Add(item).ok());
+  const SocialIndex index = SocialIndex::Build(store, 3);
+  EXPECT_EQ(index.num_entries(), 0u);
+}
+
+TEST(SocialIndexTest, EmptyStore) {
+  const SocialIndex index = SocialIndex::Build(ItemStore(), 5);
+  EXPECT_EQ(index.num_users(), 5u);
+  EXPECT_EQ(index.num_entries(), 0u);
+  EXPECT_TRUE(index.ItemsOf(4).empty());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,112 @@
+// Concurrent read-only querying through the engine facade: results must be
+// identical to single-threaded execution and nothing may crash or race
+// (the proximity cache and stats are the shared mutable state).
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+
+namespace amici {
+namespace {
+
+TEST(ConcurrencyTest, ParallelQueriesMatchSerialResults) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 500;
+  config.num_tags = 200;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  Dataset dataset2 = GenerateDataset(config).value();
+  QueryWorkloadConfig workload;
+  workload.num_queries = 64;
+  workload.seed = 17;
+  const auto queries = GenerateQueries(dataset2, workload);
+  ASSERT_TRUE(queries.ok());
+
+  // Serial reference.
+  std::vector<std::vector<ScoredItem>> expected;
+  for (const SocialQuery& query : queries.value()) {
+    const auto result = engine.value()->Query(query);
+    ASSERT_TRUE(result.ok());
+    expected.push_back(result.value().items);
+  }
+
+  // Parallel execution of the same workload, several times over.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t q = static_cast<size_t>(t); q < queries.value().size();
+           q += kThreads) {
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          const auto result = engine.value()->Query(queries.value()[q]);
+          if (!result.ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          if (result.value().items.size() != expected[q].size()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (size_t i = 0; i < expected[q].size(); ++i) {
+            if (std::abs(result.value().items[i].score -
+                         expected[q][i].score) > 1e-5f) {
+              mismatches.fetch_add(1);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(engine.value()->proximity_cache().hits(), 0u);
+}
+
+TEST(ConcurrencyTest, MixedAlgorithmsInParallel) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  const AlgorithmId ids[] = {AlgorithmId::kExhaustive,
+                             AlgorithmId::kMergeScan,
+                             AlgorithmId::kContentFirst,
+                             AlgorithmId::kSocialFirst, AlgorithmId::kHybrid};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 5; ++t) {
+    threads.emplace_back([&, t] {
+      SocialQuery query;
+      query.tags = {0, 1};
+      query.k = 10;
+      query.alpha = 0.5;
+      for (int i = 0; i < 50; ++i) {
+        query.user = static_cast<UserId>((t * 50 + i) % 300);
+        if (!engine.value()->Query(query, ids[t]).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(engine.value()->stats().total_queries(), 250u);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,132 @@
+// End-to-end lifecycle: generate -> persist graph -> rebuild engine ->
+// query -> incremental ingest -> compact -> query again.
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "graph/graph_io.h"
+#include "gtest/gtest.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+
+namespace amici {
+namespace {
+
+TEST(EngineLifecycleTest, PersistRebuildQueryIngestCompact) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  config.num_tags = 150;
+  Dataset dataset = GenerateDataset(config).value();
+
+  // Persist and reload the graph through the binary format.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/lifecycle.amig";
+  ASSERT_TRUE(SaveGraph(dataset.graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  auto engine = SocialSearchEngine::Build(
+      std::move(loaded).value(), std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  // Baseline query.
+  Dataset dataset2 = GenerateDataset(config).value();
+  QueryWorkloadConfig workload;
+  workload.num_queries = 10;
+  workload.seed = 5;
+  const auto queries = GenerateQueries(dataset2, workload);
+  ASSERT_TRUE(queries.ok());
+
+  for (const SocialQuery& query : queries.value()) {
+    ASSERT_TRUE(engine.value()->Query(query).ok());
+  }
+
+  // Ingest a burst of items into the tail.
+  const size_t before = engine.value()->store().num_items();
+  for (int i = 0; i < 50; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(i % engine.value()->graph().num_users());
+    item.tags = {static_cast<TagId>(i % 20)};
+    item.quality = 0.5f;
+    ASSERT_TRUE(engine.value()->AddItem(item).ok());
+  }
+  EXPECT_EQ(engine.value()->unindexed_items(), 50u);
+  EXPECT_EQ(engine.value()->store().num_items(), before + 50);
+
+  // Tail items participate in queries before compaction; results across
+  // compaction must be identical.
+  std::vector<std::vector<ScoredItem>> pre_compaction;
+  for (const SocialQuery& query : queries.value()) {
+    const auto result = engine.value()->Query(query);
+    ASSERT_TRUE(result.ok());
+    pre_compaction.push_back(result.value().items);
+  }
+  ASSERT_TRUE(engine.value()->Compact().ok());
+  EXPECT_EQ(engine.value()->unindexed_items(), 0u);
+  for (size_t q = 0; q < queries.value().size(); ++q) {
+    const auto result = engine.value()->Query(queries.value()[q]);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().items.size(), pre_compaction[q].size());
+    for (size_t i = 0; i < pre_compaction[q].size(); ++i) {
+      EXPECT_NEAR(result.value().items[i].score,
+                  pre_compaction[q][i].score, 1e-5)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(EngineLifecycleTest, EmptyTailCompactionIsIdempotent) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 100;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->Compact().ok());
+  ASSERT_TRUE(engine.value()->Compact().ok());
+  EXPECT_EQ(engine.value()->unindexed_items(), 0u);
+}
+
+TEST(EngineLifecycleTest, ManyIngestCompactCycles) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 100;
+  config.items_per_user = 2.0;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  SocialQuery query;
+  query.user = 1;
+  query.tags = {0};
+  query.k = 5;
+  query.alpha = 0.4;
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      Item item;
+      item.owner = static_cast<UserId>((cycle * 10 + i) % 100);
+      item.tags = {static_cast<TagId>(i % 5)};
+      item.quality = 0.3f;
+      ASSERT_TRUE(engine.value()->AddItem(item).ok());
+    }
+    const auto exhaustive =
+        engine.value()->Query(query, AlgorithmId::kExhaustive);
+    const auto hybrid = engine.value()->Query(query, AlgorithmId::kHybrid);
+    ASSERT_TRUE(exhaustive.ok());
+    ASSERT_TRUE(hybrid.ok());
+    ASSERT_EQ(exhaustive.value().items.size(), hybrid.value().items.size());
+    for (size_t i = 0; i < hybrid.value().items.size(); ++i) {
+      EXPECT_NEAR(hybrid.value().items[i].score,
+                  exhaustive.value().items[i].score, 1e-5);
+    }
+    ASSERT_TRUE(engine.value()->Compact().ok());
+  }
+  EXPECT_EQ(engine.value()->store().num_items(),
+            static_cast<size_t>(100 * 2 + 50));
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,126 @@
+// Randomized lifecycle stress: interleave item ingest, friendship churn,
+// compactions, and queries, checking after every mutation batch that the
+// early-terminating strategies still agree with the exhaustive oracle.
+// This is the closest thing to a model-checking harness the engine has.
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+
+namespace amici {
+namespace {
+
+TEST(StressTest, MutationsNeverBreakExactness) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 250;
+  config.items_per_user = 3.0;
+  config.num_tags = 120;
+  config.geo_fraction = 0.3;
+  Dataset dataset = GenerateDataset(config).value();
+  Dataset workload_view = GenerateDataset(config).value();
+
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  QueryWorkloadConfig workload;
+  workload.num_queries = 8;
+  workload.seed = 404;
+  const auto queries = GenerateQueries(workload_view, workload).value();
+
+  Rng rng(2024);
+  const size_t num_users = engine.value()->graph().num_users();
+  for (int round = 0; round < 12; ++round) {
+    // --- Mutation batch: items, friendships, sometimes a compaction.
+    const size_t new_items = rng.UniformIndex(10);
+    for (size_t i = 0; i < new_items; ++i) {
+      Item item;
+      item.owner = static_cast<UserId>(rng.UniformIndex(num_users));
+      item.tags = {static_cast<TagId>(rng.UniformIndex(120))};
+      if (rng.Bernoulli(0.5)) {
+        item.tags.push_back(static_cast<TagId>(rng.UniformIndex(120)));
+      }
+      item.quality = static_cast<float>(rng.UniformDouble());
+      ASSERT_TRUE(engine.value()->AddItem(item).ok());
+    }
+    const size_t edge_flips = rng.UniformIndex(4);
+    for (size_t i = 0; i < edge_flips; ++i) {
+      const UserId u = static_cast<UserId>(rng.UniformIndex(num_users));
+      const UserId v = static_cast<UserId>(rng.UniformIndex(num_users));
+      if (u == v) continue;
+      if (engine.value()->graph().HasEdge(u, v)) {
+        ASSERT_TRUE(engine.value()->RemoveFriendship(u, v).ok());
+      } else {
+        ASSERT_TRUE(engine.value()->AddFriendship(u, v).ok());
+      }
+    }
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(engine.value()->Compact().ok());
+    }
+
+    // --- Invariant: every strategy agrees with the oracle.
+    for (const SocialQuery& base_query : queries) {
+      SocialQuery query = base_query;
+      query.alpha = rng.UniformDouble();
+      const auto expected =
+          engine.value()->Query(query, AlgorithmId::kExhaustive);
+      ASSERT_TRUE(expected.ok());
+      for (const AlgorithmId id :
+           {AlgorithmId::kMergeScan, AlgorithmId::kHybrid,
+            AlgorithmId::kNra}) {
+        const auto actual = engine.value()->Query(query, id);
+        ASSERT_TRUE(actual.ok()) << AlgorithmName(id);
+        ASSERT_EQ(actual.value().items.size(),
+                  expected.value().items.size())
+            << AlgorithmName(id) << " round " << round;
+        for (size_t i = 0; i < actual.value().items.size(); ++i) {
+          EXPECT_NEAR(actual.value().items[i].score,
+                      expected.value().items[i].score, 1e-5)
+              << AlgorithmName(id) << " round " << round << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StressTest, QueryBatchMatchesSerialExecution) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  Dataset dataset = GenerateDataset(config).value();
+  Dataset workload_view = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  QueryWorkloadConfig workload;
+  workload.num_queries = 50;
+  workload.seed = 505;
+  const auto queries = GenerateQueries(workload_view, workload).value();
+
+  const auto serial =
+      engine.value()->QueryBatch(queries, AlgorithmId::kHybrid, nullptr);
+  ThreadPool pool(8);
+  const auto parallel =
+      engine.value()->QueryBatch(queries, AlgorithmId::kHybrid, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok());
+    ASSERT_TRUE(parallel[i].ok()) << "query " << i;
+    ASSERT_EQ(serial[i].value().items.size(),
+              parallel[i].value().items.size());
+    for (size_t r = 0; r < serial[i].value().items.size(); ++r) {
+      EXPECT_EQ(serial[i].value().items[r].item,
+                parallel[i].value().items[r].item);
+      EXPECT_EQ(serial[i].value().items[r].score,
+                parallel[i].value().items[r].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amici

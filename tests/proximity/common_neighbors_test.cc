@@ -1,0 +1,90 @@
+#include "proximity/common_neighbors.h"
+
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+/// 0 and 1 share two witnesses (2, 3); 0-4 is a plain edge; 5 is two hops
+/// away through 4 only.
+SocialGraph WitnessGraph() {
+  GraphBuilder builder(6);
+  EXPECT_TRUE(builder.AddEdge(0, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 3).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 3).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 4).ok());
+  EXPECT_TRUE(builder.AddEdge(4, 5).ok());
+  return builder.Build();
+}
+
+TEST(CommonNeighborsTest, TwoWitnessesBeatOne) {
+  const CommonNeighborsProximity model;
+  const ProximityVector vector = model.Compute(WitnessGraph(), 0);
+  // User 1: two common neighbours (2, 3), no direct edge -> raw 2.
+  // User 5: one witness (4), no edge -> raw 1.
+  EXPECT_GT(vector.Proximity(1), vector.Proximity(5));
+  EXPECT_GT(vector.Proximity(5), 0.0f);
+}
+
+TEST(CommonNeighborsTest, DirectEdgeGetsBonus) {
+  const CommonNeighborsProximity model;
+  const ProximityVector vector = model.Compute(WitnessGraph(), 0);
+  // Users 2 and 3 are direct friends of 0 and also share witnesses with 0
+  // (through 1? no - through each other? 2's friends = {0,1}; 0's = {2,3,4};
+  // no overlap) -> raw 1 (edge bonus). User 5 raw 1 as well.
+  EXPECT_GT(vector.Proximity(2), 0.0f);
+  EXPECT_FLOAT_EQ(vector.Proximity(2), vector.Proximity(5));
+}
+
+TEST(CommonNeighborsTest, SourceExcluded) {
+  const CommonNeighborsProximity model;
+  EXPECT_EQ(model.Compute(WitnessGraph(), 0).Proximity(0), 0.0f);
+}
+
+TEST(CommonNeighborsTest, BeyondTwoHopsIsZero) {
+  GraphBuilder builder(4);  // path 0-1-2-3
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  const CommonNeighborsProximity model;
+  const ProximityVector vector = model.Compute(builder.Build(), 0);
+  EXPECT_EQ(vector.Proximity(3), 0.0f);
+}
+
+TEST(AdamicAdarTest, DownWeightsHubWitnesses) {
+  // 0-1 share hub 2 (high degree); 0-3 share leaf-ish witness 4.
+  GraphBuilder builder(10);
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  // Inflate 2's degree.
+  for (UserId v = 5; v < 10; ++v) ASSERT_TRUE(builder.AddEdge(2, v).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 4).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 4).ok());
+  const SocialGraph graph = builder.Build();
+
+  const CommonNeighborsProximity adamic(
+      CommonNeighborsProximity::Weighting::kAdamicAdar);
+  const ProximityVector vector = adamic.Compute(graph, 0);
+  // Same witness count, but 4 has lower degree -> 3 closer than 1.
+  EXPECT_GT(vector.Proximity(3), vector.Proximity(1));
+}
+
+TEST(AdamicAdarTest, NamesDifferByWeighting) {
+  EXPECT_EQ(CommonNeighborsProximity().name(), "common-neighbors");
+  EXPECT_EQ(CommonNeighborsProximity(
+                CommonNeighborsProximity::Weighting::kAdamicAdar)
+                .name(),
+            "adamic-adar");
+}
+
+TEST(CommonNeighborsTest, IsolatedSourceEmpty) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  const CommonNeighborsProximity model;
+  EXPECT_TRUE(model.Compute(builder.Build(), 0).empty());
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,73 @@
+#include "proximity/hop_decay.h"
+
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+/// Path 0-1-2-3.
+SocialGraph Path4() {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3).ok());
+  return builder.Build();
+}
+
+TEST(HopDecayTest, DirectFriendsScoreOne) {
+  const SocialGraph graph = Path4();
+  const HopDecayProximity model(0.5, 3);
+  const ProximityVector vector = model.Compute(graph, 0);
+  EXPECT_FLOAT_EQ(vector.Proximity(1), 1.0f);
+}
+
+TEST(HopDecayTest, GeometricDecayByHop) {
+  const SocialGraph graph = Path4();
+  const HopDecayProximity model(0.5, 3);
+  const ProximityVector vector = model.Compute(graph, 0);
+  EXPECT_FLOAT_EQ(vector.Proximity(2), 0.5f);
+  EXPECT_FLOAT_EQ(vector.Proximity(3), 0.25f);
+}
+
+TEST(HopDecayTest, TruncatesBeyondMaxHops) {
+  const SocialGraph graph = Path4();
+  const HopDecayProximity model(0.5, 2);
+  const ProximityVector vector = model.Compute(graph, 0);
+  EXPECT_GT(vector.Proximity(2), 0.0f);
+  EXPECT_EQ(vector.Proximity(3), 0.0f);
+}
+
+TEST(HopDecayTest, ExcludesSourceItself) {
+  const SocialGraph graph = Path4();
+  const HopDecayProximity model;
+  EXPECT_EQ(model.Compute(graph, 1).Proximity(1), 0.0f);
+}
+
+TEST(HopDecayTest, IsolatedUserHasEmptyVector) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  const HopDecayProximity model;
+  EXPECT_TRUE(model.Compute(builder.Build(), 0).empty());
+}
+
+TEST(HopDecayTest, DecayOneKeepsAllEqual) {
+  const SocialGraph graph = Path4();
+  const HopDecayProximity model(1.0, 3);
+  const ProximityVector vector = model.Compute(graph, 0);
+  EXPECT_FLOAT_EQ(vector.Proximity(1), 1.0f);
+  EXPECT_FLOAT_EQ(vector.Proximity(3), 1.0f);
+}
+
+TEST(HopDecayTest, NameIsStable) {
+  EXPECT_EQ(HopDecayProximity().name(), "hop-decay");
+}
+
+TEST(HopDecayDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(HopDecayProximity(0.0, 2), "");
+  EXPECT_DEATH(HopDecayProximity(1.5, 2), "");
+  EXPECT_DEATH(HopDecayProximity(0.5, 0), "");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,66 @@
+#include "proximity/katz.h"
+
+#include "graph/graph_builder.h"
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+SocialGraph Path4() {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3).ok());
+  return builder.Build();
+}
+
+TEST(KatzTest, CloserUsersScoreHigher) {
+  const KatzProximity model(0.1, 3);
+  const ProximityVector vector = model.Compute(Path4(), 0);
+  EXPECT_GT(vector.Proximity(1), vector.Proximity(2));
+  EXPECT_GT(vector.Proximity(2), vector.Proximity(3));
+  EXPECT_GT(vector.Proximity(3), 0.0f);
+}
+
+TEST(KatzTest, TruncationLimitsReach) {
+  const KatzProximity model(0.1, 2);
+  const ProximityVector vector = model.Compute(Path4(), 0);
+  EXPECT_GT(vector.Proximity(2), 0.0f);
+  EXPECT_EQ(vector.Proximity(3), 0.0f);
+}
+
+TEST(KatzTest, MultiplePathsBeatSinglePath) {
+  // Two disjoint 2-paths 0->a->3 versus one 2-path 0->b->4.
+  GraphBuilder builder(6);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(5, 4).ok());
+  const KatzProximity model(0.05, 2);
+  const ProximityVector vector = model.Compute(builder.Build(), 0);
+  EXPECT_GT(vector.Proximity(3), vector.Proximity(4));
+}
+
+TEST(KatzTest, SourceExcluded) {
+  const KatzProximity model(0.1, 3);
+  EXPECT_EQ(model.Compute(Path4(), 1).Proximity(1), 0.0f);
+}
+
+TEST(KatzTest, IsolatedSourceEmpty) {
+  GraphBuilder builder(2);
+  const KatzProximity model(0.1, 3);
+  EXPECT_TRUE(model.Compute(builder.Build(), 0).empty());
+}
+
+TEST(KatzTest, NameIsStable) { EXPECT_EQ(KatzProximity().name(), "katz"); }
+
+TEST(KatzDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(KatzProximity(0.0, 2), "");
+  EXPECT_DEATH(KatzProximity(1.0, 2), "");
+  EXPECT_DEATH(KatzProximity(0.1, 0), "");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "gtest/gtest.h"
+#include "proximity/ppr_forward_push.h"
+#include "proximity/ppr_monte_carlo.h"
+#include "proximity/ppr_power_iteration.h"
+#include "util/rng.h"
+#include "workload/metrics.h"
+
+namespace amici {
+namespace {
+
+SocialGraph SmallWorld(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateWattsStrogatz(n, 8, 0.2, &rng);
+}
+
+TEST(PprExactTest, DirectFriendBeatsStranger) {
+  const SocialGraph graph = SmallWorld(200, 1);
+  const PprPowerIteration model;
+  const ProximityVector vector = model.Compute(graph, 0);
+  const auto friends = graph.Friends(0);
+  ASSERT_FALSE(friends.empty());
+  // Every direct friend must outrank the median far user.
+  float min_friend = 1.0f;
+  for (const UserId f : friends) {
+    min_friend = std::min(min_friend, vector.Proximity(f));
+  }
+  EXPECT_GT(min_friend, 0.0f);
+}
+
+TEST(PprExactTest, StarCenterSymmetric) {
+  GraphBuilder builder(5);
+  for (UserId v = 1; v < 5; ++v) ASSERT_TRUE(builder.AddEdge(0, v).ok());
+  const PprPowerIteration model;
+  const ProximityVector vector = model.Compute(builder.Build(), 0);
+  // All leaves are symmetric -> identical normalized proximity 1.
+  for (UserId v = 1; v < 5; ++v) {
+    EXPECT_FLOAT_EQ(vector.Proximity(v), 1.0f);
+  }
+}
+
+TEST(PprExactTest, DisconnectedComponentUnreachable) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  const PprPowerIteration model;
+  const ProximityVector vector = model.Compute(builder.Build(), 0);
+  EXPECT_EQ(vector.Proximity(2), 0.0f);
+  EXPECT_EQ(vector.Proximity(3), 0.0f);
+  EXPECT_GT(vector.Proximity(1), 0.0f);
+}
+
+TEST(PprPushTest, ApproximatesExactTopK) {
+  const SocialGraph graph = SmallWorld(500, 2);
+  const PprPowerIteration exact;
+  const PprForwardPush push(0.15, 1e-6);
+  for (const UserId source : {0u, 17u, 99u}) {
+    const ProximityVector exact_vector = exact.Compute(graph, source);
+    const ProximityVector push_vector = push.Compute(graph, source);
+    // Compare the top-10 neighbour sets.
+    std::vector<ScoredItem> exact_top;
+    std::vector<ScoredItem> push_top;
+    for (size_t i = 0; i < 10 && i < exact_vector.ranked().size(); ++i) {
+      exact_top.push_back({exact_vector.ranked()[i].user,
+                           exact_vector.ranked()[i].score});
+    }
+    for (size_t i = 0; i < 10 && i < push_vector.ranked().size(); ++i) {
+      push_top.push_back({push_vector.ranked()[i].user,
+                          push_vector.ranked()[i].score});
+    }
+    EXPECT_GE(PrecisionAtK(exact_top, push_top, 10), 0.8)
+        << "source " << source;
+  }
+}
+
+TEST(PprPushTest, SmallerEpsilonNeverWorse) {
+  const SocialGraph graph = SmallWorld(300, 3);
+  const PprPowerIteration exact;
+  const ProximityVector truth = exact.Compute(graph, 5);
+  std::vector<ScoredItem> truth_top;
+  for (size_t i = 0; i < 10 && i < truth.ranked().size(); ++i) {
+    truth_top.push_back({truth.ranked()[i].user, truth.ranked()[i].score});
+  }
+  auto precision_for = [&](double epsilon) {
+    const PprForwardPush push(0.15, epsilon);
+    const ProximityVector approx = push.Compute(graph, 5);
+    std::vector<ScoredItem> top;
+    for (size_t i = 0; i < 10 && i < approx.ranked().size(); ++i) {
+      top.push_back({approx.ranked()[i].user, approx.ranked()[i].score});
+    }
+    return PrecisionAtK(truth_top, top, 10);
+  };
+  EXPECT_GE(precision_for(1e-7) + 1e-9, precision_for(1e-2) - 0.3);
+  EXPECT_GE(precision_for(1e-7), 0.9);
+}
+
+TEST(PprMonteCarloTest, DeterministicPerSeed) {
+  const SocialGraph graph = SmallWorld(200, 4);
+  const PprMonteCarlo model(0.15, 512, 77);
+  const ProximityVector a = model.Compute(graph, 3);
+  const ProximityVector b = model.Compute(graph, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.ranked().size(); ++i) {
+    EXPECT_EQ(a.ranked()[i].user, b.ranked()[i].user);
+    EXPECT_FLOAT_EQ(a.ranked()[i].score, b.ranked()[i].score);
+  }
+}
+
+TEST(PprMonteCarloTest, MoreWalksTrackExactBetter) {
+  const SocialGraph graph = SmallWorld(300, 5);
+  const PprPowerIteration exact;
+  const ProximityVector truth = exact.Compute(graph, 11);
+  std::vector<ScoredItem> truth_top;
+  for (size_t i = 0; i < 10 && i < truth.ranked().size(); ++i) {
+    truth_top.push_back({truth.ranked()[i].user, truth.ranked()[i].score});
+  }
+  auto precision_for = [&](uint32_t walks) {
+    const PprMonteCarlo mc(0.15, walks, 123);
+    const ProximityVector approx = mc.Compute(graph, 11);
+    std::vector<ScoredItem> top;
+    for (size_t i = 0; i < 10 && i < approx.ranked().size(); ++i) {
+      top.push_back({approx.ranked()[i].user, approx.ranked()[i].score});
+    }
+    return PrecisionAtK(truth_top, top, 10);
+  };
+  EXPECT_GE(precision_for(16384), 0.7);
+  // Weak monotonicity with generous slack (Monte-Carlo noise).
+  EXPECT_GE(precision_for(16384) + 0.25, precision_for(64));
+}
+
+TEST(PprAllModelsTest, IsolatedSourceYieldsEmptyVector) {
+  GraphBuilder builder(5);
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  const SocialGraph graph = builder.Build();
+  EXPECT_TRUE(PprPowerIteration().Compute(graph, 0).empty());
+  EXPECT_TRUE(PprForwardPush().Compute(graph, 0).empty());
+  EXPECT_TRUE(PprMonteCarlo().Compute(graph, 0).empty());
+}
+
+TEST(PprNamesTest, Stable) {
+  EXPECT_EQ(PprPowerIteration().name(), "ppr-exact");
+  EXPECT_EQ(PprForwardPush().name(), "ppr-push");
+  EXPECT_EQ(PprMonteCarlo().name(), "ppr-mc");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,114 @@
+#include "proximity/proximity_cache.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_generators.h"
+#include "gtest/gtest.h"
+#include "proximity/hop_decay.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+class CountingModel : public ProximityModel {
+ public:
+  explicit CountingModel(const ProximityModel* inner) : inner_(inner) {}
+  std::string_view name() const override { return "counting"; }
+  ProximityVector Compute(const SocialGraph& graph,
+                          UserId source) const override {
+    computations_.fetch_add(1);
+    return inner_->Compute(graph, source);
+  }
+  int computations() const { return computations_.load(); }
+
+ private:
+  const ProximityModel* inner_;
+  mutable std::atomic<int> computations_{0};
+};
+
+class ProximityCacheTest : public ::testing::Test {
+ protected:
+  ProximityCacheTest() : inner_(), model_(&inner_) {
+    Rng rng(9);
+    graph_ = GenerateErdosRenyi(200, 6.0, &rng);
+  }
+
+  HopDecayProximity inner_;
+  CountingModel model_;
+  SocialGraph graph_;
+};
+
+TEST_F(ProximityCacheTest, HitAvoidsRecomputation) {
+  ProximityCache cache(&model_, 10);
+  const auto first = cache.Get(graph_, 5);
+  const auto second = cache.Get(graph_, 5);
+  EXPECT_EQ(model_.computations(), 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(ProximityCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  ProximityCache cache(&model_, 2);
+  cache.Get(graph_, 1);
+  cache.Get(graph_, 2);
+  cache.Get(graph_, 1);  // 1 is now most recent
+  cache.Get(graph_, 3);  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Get(graph_, 1);  // hit
+  EXPECT_EQ(cache.hits(), 2u);
+  cache.Get(graph_, 2);  // miss again (was evicted)
+  EXPECT_EQ(model_.computations(), 4);
+}
+
+TEST_F(ProximityCacheTest, EvictedVectorSurvivesViaSharedPtr) {
+  ProximityCache cache(&model_, 1);
+  const auto kept = cache.Get(graph_, 1);
+  cache.Get(graph_, 2);  // evicts 1
+  // The shared_ptr must still be usable.
+  EXPECT_GE(kept->size(), 0u);
+}
+
+TEST_F(ProximityCacheTest, ClearDropsEverything) {
+  ProximityCache cache(&model_, 10);
+  cache.Get(graph_, 1);
+  cache.Get(graph_, 2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Get(graph_, 1);
+  EXPECT_EQ(model_.computations(), 3);
+}
+
+TEST_F(ProximityCacheTest, ConcurrentAccessIsSafeAndCoherent) {
+  ProximityCache cache(&model_, 64);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, &cache, &failures, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 200; ++i) {
+        const UserId user = static_cast<UserId>(rng.UniformIndex(32));
+        const auto vector = cache.Get(graph_, user);
+        if (vector == nullptr) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.size(), 64u);
+  // Far fewer computations than lookups proves the cache works under
+  // concurrency (duplicate computation on racing misses is permitted).
+  EXPECT_LT(model_.computations(), 200);
+}
+
+TEST(ProximityCacheDeathTest, RequiresModelAndCapacity) {
+  HopDecayProximity model;
+  EXPECT_DEATH(ProximityCache(nullptr, 4), "");
+  EXPECT_DEATH(ProximityCache(&model, 0), "");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,57 @@
+#include "proximity/proximity_model.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(ProximityVectorTest, EmptyVector) {
+  const ProximityVector vector = ProximityVector::FromUnnormalized({});
+  EXPECT_TRUE(vector.empty());
+  EXPECT_EQ(vector.size(), 0u);
+  EXPECT_EQ(vector.MaxScore(), 0.0f);
+  EXPECT_EQ(vector.Proximity(7), 0.0f);
+}
+
+TEST(ProximityVectorTest, NormalizesMaxToOne) {
+  const ProximityVector vector = ProximityVector::FromUnnormalized(
+      {{1, 0.2f}, {2, 0.4f}, {3, 0.1f}});
+  EXPECT_FLOAT_EQ(vector.MaxScore(), 1.0f);
+  EXPECT_FLOAT_EQ(vector.Proximity(2), 1.0f);
+  EXPECT_FLOAT_EQ(vector.Proximity(1), 0.5f);
+  EXPECT_FLOAT_EQ(vector.Proximity(3), 0.25f);
+}
+
+TEST(ProximityVectorTest, RankedIsDescendingWithIdTieBreak) {
+  const ProximityVector vector = ProximityVector::FromUnnormalized(
+      {{5, 0.3f}, {1, 0.3f}, {9, 0.6f}, {2, 0.1f}});
+  const auto& ranked = vector.ranked();
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].user, 9u);
+  EXPECT_EQ(ranked[1].user, 1u);  // ties by ascending id
+  EXPECT_EQ(ranked[2].user, 5u);
+  EXPECT_EQ(ranked[3].user, 2u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST(ProximityVectorTest, DropsNonPositiveScores) {
+  const ProximityVector vector = ProximityVector::FromUnnormalized(
+      {{1, 0.0f}, {2, -0.5f}, {3, 0.25f}});
+  EXPECT_EQ(vector.size(), 1u);
+  EXPECT_EQ(vector.Proximity(1), 0.0f);
+  EXPECT_EQ(vector.Proximity(2), 0.0f);
+  EXPECT_FLOAT_EQ(vector.Proximity(3), 1.0f);
+}
+
+TEST(ProximityVectorTest, LookupMatchesRanked) {
+  const ProximityVector vector = ProximityVector::FromUnnormalized(
+      {{10, 1.0f}, {20, 2.0f}, {30, 3.0f}});
+  for (const auto& entry : vector.ranked()) {
+    EXPECT_FLOAT_EQ(vector.Proximity(entry.user), entry.score);
+  }
+}
+
+}  // namespace
+}  // namespace amici

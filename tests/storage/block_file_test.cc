@@ -1,0 +1,145 @@
+#include "storage/block_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/file_util.h"
+
+namespace amici {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void FillBlock(char* block, char value) {
+  std::memset(block, value, BlockFile::kBlockSize);
+}
+
+TEST(BlockFileTest, AppendThenReadBack) {
+  const std::string path = TempPath("block_file_rw.blk");
+  {
+    auto file = BlockFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    char block[BlockFile::kBlockSize];
+    for (char v : {'a', 'b', 'c'}) {
+      FillBlock(block, v);
+      const auto id = file.value().AppendBlock(block);
+      ASSERT_TRUE(id.ok());
+    }
+    ASSERT_TRUE(file.value().Sync().ok());
+    EXPECT_EQ(file.value().num_blocks(), 3u);
+  }
+  auto reader = BlockFile::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().num_blocks(), 3u);
+  char block[BlockFile::kBlockSize];
+  ASSERT_TRUE(reader.value().ReadBlock(1, block).ok());
+  EXPECT_EQ(block[0], 'b');
+  EXPECT_EQ(block[BlockFile::kBlockSize - 1], 'b');
+  std::remove(path.c_str());
+}
+
+TEST(BlockFileTest, AppendAssignsSequentialIds) {
+  const std::string path = TempPath("block_file_ids.blk");
+  auto file = BlockFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  char block[BlockFile::kBlockSize];
+  FillBlock(block, 'x');
+  for (uint64_t expected = 0; expected < 5; ++expected) {
+    const auto id = file.value().AppendBlock(block);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), expected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BlockFileTest, ReadBeyondEndIsOutOfRange) {
+  const std::string path = TempPath("block_file_oob.blk");
+  {
+    auto file = BlockFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    char block[BlockFile::kBlockSize];
+    FillBlock(block, 'x');
+    ASSERT_TRUE(file.value().AppendBlock(block).ok());
+    ASSERT_TRUE(file.value().Sync().ok());
+  }
+  auto reader = BlockFile::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char block[BlockFile::kBlockSize];
+  EXPECT_EQ(reader.value().ReadBlock(1, block).code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFileTest, OpenMissingFileFails) {
+  EXPECT_EQ(BlockFile::Open("/nonexistent/file.blk").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(BlockFileTest, OpenMisalignedFileIsCorruption) {
+  const std::string path = TempPath("block_file_misaligned.blk");
+  ASSERT_TRUE(WriteStringToFile("not a whole block", path).ok());
+  EXPECT_EQ(BlockFile::Open(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFileTest, ReadOnlyFileRejectsAppends) {
+  const std::string path = TempPath("block_file_ro.blk");
+  {
+    auto file = BlockFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    char block[BlockFile::kBlockSize];
+    FillBlock(block, 'x');
+    ASSERT_TRUE(file.value().AppendBlock(block).ok());
+  }
+  auto reader = BlockFile::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char block[BlockFile::kBlockSize];
+  FillBlock(block, 'y');
+  EXPECT_EQ(reader.value().AppendBlock(block).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(BlockFileTest, ConcurrentReadersSeeConsistentBlocks) {
+  const std::string path = TempPath("block_file_concurrent.blk");
+  const int kBlocks = 64;
+  {
+    auto file = BlockFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    char block[BlockFile::kBlockSize];
+    for (int i = 0; i < kBlocks; ++i) {
+      FillBlock(block, static_cast<char>('A' + (i % 26)));
+      ASSERT_TRUE(file.value().AppendBlock(block).ok());
+    }
+    ASSERT_TRUE(file.value().Sync().ok());
+  }
+  auto reader = BlockFile::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reader, &failures, t] {
+      char block[BlockFile::kBlockSize];
+      for (int i = 0; i < 200; ++i) {
+        const uint64_t id = static_cast<uint64_t>((t * 31 + i) % kBlocks);
+        if (!reader.value().ReadBlock(id, block).ok() ||
+            block[0] != static_cast<char>('A' + (id % 26)) ||
+            block[BlockFile::kBlockSize - 1] != block[0]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace amici

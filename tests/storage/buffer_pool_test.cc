@@ -1,0 +1,110 @@
+#include "storage/buffer_pool.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "/buffer_pool_test.blk";
+    auto writer = BlockFile::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    char block[BlockFile::kBlockSize];
+    for (int i = 0; i < 16; ++i) {
+      std::memset(block, 'a' + i, sizeof(block));
+      ASSERT_TRUE(writer.value().AppendBlock(block).ok());
+    }
+    ASSERT_TRUE(writer.value().Sync().ok());
+    auto reader = BlockFile::Open(path_);
+    ASSERT_TRUE(reader.ok());
+    file_ = std::make_unique<BlockFile>(std::move(reader).value());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::unique_ptr<BlockFile> file_;
+};
+
+TEST_F(BufferPoolTest, FetchReturnsBlockContent) {
+  BufferPool pool(file_.get(), 4);
+  const auto block = pool.Fetch(3);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value()->data()[0], 'a' + 3);
+  EXPECT_EQ(block.value()->data()[BlockFile::kBlockSize - 1], 'a' + 3);
+}
+
+TEST_F(BufferPoolTest, SecondFetchHits) {
+  BufferPool pool(file_.get(), 4);
+  ASSERT_TRUE(pool.Fetch(5).ok());
+  ASSERT_TRUE(pool.Fetch(5).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityEnforcedWithLruEviction) {
+  BufferPool pool(file_.get(), 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // 0 most recent
+  ASSERT_TRUE(pool.Fetch(2).ok());  // evicts 1
+  EXPECT_EQ(pool.size(), 2u);
+  ASSERT_TRUE(pool.Fetch(0).ok());  // still cached
+  EXPECT_EQ(pool.hits(), 2u);
+  ASSERT_TRUE(pool.Fetch(1).ok());  // miss again
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST_F(BufferPoolTest, EvictedBlockSurvivesViaHandle) {
+  BufferPool pool(file_.get(), 1);
+  const auto kept = pool.Fetch(7);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(pool.Fetch(8).ok());  // evicts 7
+  EXPECT_EQ(kept.value()->data()[0], 'a' + 7);  // handle still valid
+}
+
+TEST_F(BufferPoolTest, OutOfRangeBlockPropagatesError) {
+  BufferPool pool(file_.get(), 2);
+  const auto block = pool.Fetch(999);
+  ASSERT_FALSE(block.ok());
+  EXPECT_EQ(block.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BufferPoolTest, ConcurrentFetchesAreCoherent) {
+  BufferPool pool(file_.get(), 8);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, &failures, t] {
+      for (int i = 0; i < 300; ++i) {
+        const uint64_t id = static_cast<uint64_t>((t + i) % 16);
+        const auto block = pool.Fetch(id);
+        if (!block.ok() ||
+            block.value()->data()[100] != static_cast<char>('a' + id)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(pool.size(), 8u);
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+TEST_F(BufferPoolTest, RejectsBadConstruction) {
+  EXPECT_DEATH(BufferPool(nullptr, 2), "");
+  EXPECT_DEATH(BufferPool(file_.get(), 0), "");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,153 @@
+#include "storage/item_store_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+ItemStore RandomStore(size_t num_items, uint64_t seed) {
+  Rng rng(seed);
+  ItemStore store;
+  for (size_t i = 0; i < num_items; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(100));
+    const size_t tag_count = 1 + rng.UniformIndex(5);
+    for (size_t t = 0; t < tag_count; ++t) {
+      item.tags.push_back(static_cast<TagId>(rng.UniformIndex(500)));
+    }
+    item.quality = static_cast<float>(rng.UniformDouble());
+    if (rng.Bernoulli(0.5)) {
+      item.has_geo = true;
+      item.latitude = static_cast<float>(rng.UniformDouble(-80, 80));
+      item.longitude = static_cast<float>(rng.UniformDouble(-170, 170));
+    }
+    EXPECT_TRUE(store.Add(item).ok());
+  }
+  return store;
+}
+
+void ExpectStoresEqual(const ItemStore& a, const ItemStore& b) {
+  ASSERT_EQ(a.num_items(), b.num_items());
+  for (ItemId i = 0; i < a.num_items(); ++i) {
+    EXPECT_EQ(a.owner(i), b.owner(i));
+    EXPECT_EQ(a.quality(i), b.quality(i));
+    EXPECT_EQ(a.has_geo(i), b.has_geo(i));
+    if (a.has_geo(i)) {
+      EXPECT_EQ(a.latitude(i), b.latitude(i));
+      EXPECT_EQ(a.longitude(i), b.longitude(i));
+    }
+    const auto tags_a = a.tags(i);
+    const auto tags_b = b.tags(i);
+    ASSERT_EQ(tags_a.size(), tags_b.size());
+    for (size_t t = 0; t < tags_a.size(); ++t) {
+      EXPECT_EQ(tags_a[t], tags_b[t]);
+    }
+  }
+}
+
+TEST(ItemStoreIoTest, RoundTripsRandomStore) {
+  const ItemStore original = RandomStore(500, 1);
+  const auto loaded = DeserializeItemStore(SerializeItemStore(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectStoresEqual(original, loaded.value());
+}
+
+TEST(ItemStoreIoTest, RoundTripsEmptyStore) {
+  const auto loaded = DeserializeItemStore(SerializeItemStore(ItemStore()));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_items(), 0u);
+}
+
+TEST(ItemStoreIoTest, FileRoundTrip) {
+  const ItemStore original = RandomStore(200, 2);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/store_io_test.amis";
+  ASSERT_TRUE(SaveItemStore(original, path).ok());
+  const auto loaded = LoadItemStore(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectStoresEqual(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(ItemStoreIoTest, DetectsCorruption) {
+  std::string bytes = SerializeItemStore(RandomStore(100, 3));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  const auto loaded = DeserializeItemStore(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ItemStoreIoTest, DetectsTruncation) {
+  const std::string bytes = SerializeItemStore(RandomStore(50, 4));
+  for (const size_t keep : {size_t{0}, size_t{5}, bytes.size() / 2,
+                            bytes.size() - 1}) {
+    EXPECT_FALSE(DeserializeItemStore(bytes.substr(0, keep)).ok())
+        << "kept " << keep;
+  }
+}
+
+TEST(ItemStoreIoTest, RejectsWrongMagic) {
+  std::string bytes = SerializeItemStore(RandomStore(10, 5));
+  bytes[0] = 'X';
+  EXPECT_EQ(DeserializeItemStore(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TagDictionaryIoTest, RoundTripsWithStableIds) {
+  TagDictionary original;
+  for (int i = 0; i < 300; ++i) {
+    original.Intern("tag-" + std::to_string(i * 7));
+  }
+  const auto loaded =
+      DeserializeTagDictionary(SerializeTagDictionary(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(loaded.value().Name(static_cast<TagId>(t)),
+              original.Name(static_cast<TagId>(t)));
+    EXPECT_EQ(loaded.value().Lookup(original.Name(static_cast<TagId>(t))),
+              static_cast<TagId>(t));
+  }
+}
+
+TEST(TagDictionaryIoTest, RoundTripsEmptyAndUnicodeNames) {
+  TagDictionary original;
+  original.Intern("");
+  original.Intern("caf\xc3\xa9");
+  original.Intern(std::string("nul\0byte", 8));
+  const auto loaded =
+      DeserializeTagDictionary(SerializeTagDictionary(original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value().Name(2), std::string("nul\0byte", 8));
+}
+
+TEST(TagDictionaryIoTest, DetectsCorruption) {
+  TagDictionary original;
+  original.Intern("alpha");
+  original.Intern("beta");
+  std::string bytes = SerializeTagDictionary(original);
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  EXPECT_EQ(DeserializeTagDictionary(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TagDictionaryIoTest, FileRoundTrip) {
+  TagDictionary original;
+  original.Intern("x");
+  const std::string path =
+      std::string(::testing::TempDir()) + "/dict_io_test.amid";
+  ASSERT_TRUE(SaveTagDictionary(original, path).ok());
+  const auto loaded = LoadTagDictionary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().Lookup("x"), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace amici

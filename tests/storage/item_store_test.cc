@@ -1,0 +1,116 @@
+#include "storage/item_store.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+Item MakeItem(UserId owner, std::vector<TagId> tags, float quality) {
+  Item item;
+  item.owner = owner;
+  item.tags = std::move(tags);
+  item.quality = quality;
+  return item;
+}
+
+TEST(ItemStoreTest, AddAssignsSequentialIds) {
+  ItemStore store;
+  const auto a = store.Add(MakeItem(1, {0}, 0.5f));
+  const auto b = store.Add(MakeItem(2, {1}, 0.6f));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(store.num_items(), 2u);
+}
+
+TEST(ItemStoreTest, ColumnsRoundTrip) {
+  ItemStore store;
+  Item item = MakeItem(7, {3, 1, 2}, 0.75f);
+  item.has_geo = true;
+  item.latitude = 37.5f;
+  item.longitude = -122.0f;
+  const auto id = store.Add(item);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store.owner(id.value()), 7u);
+  EXPECT_FLOAT_EQ(store.quality(id.value()), 0.75f);
+  EXPECT_TRUE(store.has_geo(id.value()));
+  EXPECT_FLOAT_EQ(store.latitude(id.value()), 37.5f);
+  EXPECT_FLOAT_EQ(store.longitude(id.value()), -122.0f);
+}
+
+TEST(ItemStoreTest, TagsSortedAndDeduplicated) {
+  ItemStore store;
+  const auto id = store.Add(MakeItem(1, {5, 2, 5, 9, 2}, 0.1f));
+  ASSERT_TRUE(id.ok());
+  const auto tags = store.tags(id.value());
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], 2u);
+  EXPECT_EQ(tags[1], 5u);
+  EXPECT_EQ(tags[2], 9u);
+}
+
+TEST(ItemStoreTest, HasTagBinarySearch) {
+  ItemStore store;
+  const auto id = store.Add(MakeItem(1, {10, 20, 30}, 0.2f));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.HasTag(id.value(), 10));
+  EXPECT_TRUE(store.HasTag(id.value(), 30));
+  EXPECT_FALSE(store.HasTag(id.value(), 15));
+  EXPECT_FALSE(store.HasTag(id.value(), 31));
+}
+
+TEST(ItemStoreTest, RejectsInvalidOwner) {
+  ItemStore store;
+  Item item = MakeItem(kInvalidUserId, {1}, 0.5f);
+  EXPECT_EQ(store.Add(item).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ItemStoreTest, RejectsEmptyTagList) {
+  ItemStore store;
+  EXPECT_EQ(store.Add(MakeItem(1, {}, 0.5f)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ItemStoreTest, RejectsQualityOutOfRange) {
+  ItemStore store;
+  EXPECT_FALSE(store.Add(MakeItem(1, {0}, -0.1f)).ok());
+  EXPECT_FALSE(store.Add(MakeItem(1, {0}, 1.1f)).ok());
+  EXPECT_TRUE(store.Add(MakeItem(1, {0}, 0.0f)).ok());
+  EXPECT_TRUE(store.Add(MakeItem(1, {0}, 1.0f)).ok());
+}
+
+TEST(ItemStoreTest, FailedAddLeavesStoreUnchanged) {
+  ItemStore store;
+  ASSERT_TRUE(store.Add(MakeItem(1, {0}, 0.5f)).ok());
+  ASSERT_FALSE(store.Add(MakeItem(1, {}, 0.5f)).ok());
+  EXPECT_EQ(store.num_items(), 1u);
+  EXPECT_EQ(store.tags(0).size(), 1u);
+}
+
+TEST(ItemStoreTest, TagUniverseTracksMaxTag) {
+  ItemStore store;
+  EXPECT_EQ(store.TagUniverseSize(), 0u);
+  ASSERT_TRUE(store.Add(MakeItem(1, {41}, 0.5f)).ok());
+  EXPECT_EQ(store.TagUniverseSize(), 42u);
+  ASSERT_TRUE(store.Add(MakeItem(1, {7}, 0.5f)).ok());
+  EXPECT_EQ(store.TagUniverseSize(), 42u);
+}
+
+TEST(ItemStoreTest, MemoryGrowsWithItems) {
+  ItemStore small;
+  ASSERT_TRUE(small.Add(MakeItem(0, {0}, 0.1f)).ok());
+  ItemStore big;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        big.Add(MakeItem(static_cast<UserId>(i % 10),
+                         {static_cast<TagId>(i % 100)}, 0.5f))
+            .ok());
+  }
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace amici

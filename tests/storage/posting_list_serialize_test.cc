@@ -1,0 +1,120 @@
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/posting_list.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+std::vector<ScoredItem> MakePostings(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoredItem> postings;
+  uint32_t doc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.UniformIndex(7));
+    postings.push_back({doc, static_cast<float>(rng.UniformDouble())});
+  }
+  return postings;
+}
+
+void ExpectListsEqual(const PostingList& a, const PostingList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.max_score(), b.max_score());
+  EXPECT_EQ(a.options().block_size, b.options().block_size);
+  EXPECT_EQ(a.options().enable_skips, b.options().enable_skips);
+  auto it_a = a.NewIterator();
+  auto it_b = b.NewIterator();
+  while (it_a.Valid() && it_b.Valid()) {
+    EXPECT_EQ(it_a.Doc(), it_b.Doc());
+    EXPECT_EQ(it_a.ImpactBound(), it_b.ImpactBound());
+    it_a.Next();
+    it_b.Next();
+  }
+  EXPECT_EQ(it_a.Valid(), it_b.Valid());
+}
+
+TEST(PostingListSerializeTest, RoundTripsRandomLists) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const auto original = PostingList::Build(MakePostings(700, seed));
+    ASSERT_TRUE(original.ok());
+    std::string bytes;
+    original.value().SerializeTo(&bytes);
+    size_t offset = 0;
+    const auto loaded = PostingList::DeserializeFrom(bytes, &offset);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(offset, bytes.size());
+    ExpectListsEqual(original.value(), loaded.value());
+  }
+}
+
+TEST(PostingListSerializeTest, RoundTripsEmptyList) {
+  const auto original = PostingList::Build({});
+  ASSERT_TRUE(original.ok());
+  std::string bytes;
+  original.value().SerializeTo(&bytes);
+  size_t offset = 0;
+  const auto loaded = PostingList::DeserializeFrom(bytes, &offset);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(PostingListSerializeTest, RoundTripsNonDefaultOptions) {
+  PostingList::Options options;
+  options.block_size = 16;
+  options.enable_skips = false;
+  const auto original = PostingList::Build(MakePostings(100, 4), options);
+  ASSERT_TRUE(original.ok());
+  std::string bytes;
+  original.value().SerializeTo(&bytes);
+  size_t offset = 0;
+  const auto loaded = PostingList::DeserializeFrom(bytes, &offset);
+  ASSERT_TRUE(loaded.ok());
+  ExpectListsEqual(original.value(), loaded.value());
+}
+
+TEST(PostingListSerializeTest, ConsecutiveListsShareOneBuffer) {
+  const auto first = PostingList::Build(MakePostings(50, 5));
+  const auto second = PostingList::Build(MakePostings(80, 6));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  std::string bytes;
+  first.value().SerializeTo(&bytes);
+  second.value().SerializeTo(&bytes);
+  size_t offset = 0;
+  const auto loaded_first = PostingList::DeserializeFrom(bytes, &offset);
+  ASSERT_TRUE(loaded_first.ok());
+  const auto loaded_second = PostingList::DeserializeFrom(bytes, &offset);
+  ASSERT_TRUE(loaded_second.ok());
+  EXPECT_EQ(offset, bytes.size());
+  ExpectListsEqual(first.value(), loaded_first.value());
+  ExpectListsEqual(second.value(), loaded_second.value());
+}
+
+TEST(PostingListSerializeTest, TruncationFailsCleanly) {
+  const auto original = PostingList::Build(MakePostings(120, 7));
+  ASSERT_TRUE(original.ok());
+  std::string bytes;
+  original.value().SerializeTo(&bytes);
+  for (size_t keep = 0; keep < bytes.size(); keep += bytes.size() / 9 + 1) {
+    const std::string cut = bytes.substr(0, keep);
+    size_t offset = 0;
+    EXPECT_FALSE(PostingList::DeserializeFrom(cut, &offset).ok())
+        << "kept " << keep;
+  }
+}
+
+TEST(PostingListSerializeTest, CountMismatchDetected) {
+  const auto original = PostingList::Build(MakePostings(64, 8));
+  ASSERT_TRUE(original.ok());
+  std::string bytes;
+  original.value().SerializeTo(&bytes);
+  // First varint is the posting count; bump it.
+  bytes[0] = static_cast<char>(bytes[0] ^ 0x01);
+  size_t offset = 0;
+  EXPECT_FALSE(PostingList::DeserializeFrom(bytes, &offset).ok());
+}
+
+}  // namespace
+}  // namespace amici

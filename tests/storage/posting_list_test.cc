@@ -1,0 +1,175 @@
+#include "storage/posting_list.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+std::vector<ScoredItem> MakePostings(size_t count, uint32_t stride,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoredItem> postings;
+  uint32_t doc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.UniformIndex(stride));
+    postings.push_back({doc, static_cast<float>(rng.UniformDouble())});
+  }
+  return postings;
+}
+
+TEST(PostingListTest, EmptyList) {
+  const auto list = PostingList::Build({});
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list.value().empty());
+  EXPECT_EQ(list.value().max_score(), 0.0f);
+  auto it = list.value().NewIterator();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, IterationYieldsAllDocsInOrder) {
+  const auto postings = MakePostings(1000, 5, 1);
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().size(), postings.size());
+  size_t i = 0;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, postings.size());
+    EXPECT_EQ(it.Doc(), postings[i].item);
+  }
+  EXPECT_EQ(i, postings.size());
+}
+
+TEST(PostingListTest, ImpactBoundsAreConservative) {
+  const auto postings = MakePostings(500, 3, 2);
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  size_t i = 0;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next(), ++i) {
+    EXPECT_GE(it.ImpactBound() + 1e-6f, postings[i].score)
+        << "bound must never underestimate";
+    EXPECT_LE(it.ImpactBound(), list.value().max_score() + 1e-6f);
+  }
+}
+
+TEST(PostingListTest, QuantizationErrorIsBounded) {
+  const auto postings = MakePostings(500, 3, 3);
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  const float resolution = list.value().max_score() / 255.0f;
+  size_t i = 0;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next(), ++i) {
+    EXPECT_LE(it.ImpactBound() - postings[i].score, resolution + 1e-6f);
+  }
+}
+
+TEST(PostingListTest, SeekGeqFindsExactAndGaps) {
+  // Docs 10, 20, ..., 1000.
+  std::vector<ScoredItem> postings;
+  for (uint32_t d = 10; d <= 1000; d += 10) postings.push_back({d, 0.5f});
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+
+  auto it = list.value().NewIterator();
+  it.SeekGeq(10);
+  EXPECT_EQ(it.Doc(), 10u);
+  it.SeekGeq(55);  // between postings
+  EXPECT_EQ(it.Doc(), 60u);
+  it.SeekGeq(60);  // already there: no-op
+  EXPECT_EQ(it.Doc(), 60u);
+  it.SeekGeq(999);
+  EXPECT_EQ(it.Doc(), 1000u);
+  it.SeekGeq(1001);  // beyond the end
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, SeekGeqAcrossBlockBoundaries) {
+  PostingList::Options options;
+  options.block_size = 8;
+  const auto postings = MakePostings(200, 4, 4);
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+  // Seek to each posting's doc id from a fresh iterator.
+  for (size_t i = 0; i < postings.size(); i += 17) {
+    auto it = list.value().NewIterator();
+    it.SeekGeq(postings[i].item);
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.Doc(), postings[i].item);
+  }
+}
+
+TEST(PostingListTest, SkiplessSeekMatchesSkipped) {
+  const auto postings = MakePostings(300, 6, 5);
+  PostingList::Options with;
+  with.enable_skips = true;
+  with.block_size = 16;
+  PostingList::Options without;
+  without.enable_skips = false;
+  without.block_size = 16;
+  const auto fast = PostingList::Build(postings, with);
+  const auto slow = PostingList::Build(postings, without);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ItemId target = static_cast<ItemId>(
+        rng.UniformIndex(postings.back().item + 10));
+    auto fast_it = fast.value().NewIterator();
+    auto slow_it = slow.value().NewIterator();
+    fast_it.SeekGeq(target);
+    slow_it.SeekGeq(target);
+    ASSERT_EQ(fast_it.Valid(), slow_it.Valid()) << "target " << target;
+    if (fast_it.Valid()) {
+      EXPECT_EQ(fast_it.Doc(), slow_it.Doc());
+    }
+  }
+}
+
+TEST(PostingListTest, RejectsUnsortedInput) {
+  EXPECT_FALSE(PostingList::Build({{5, 0.1f}, {5, 0.2f}}).ok());
+  EXPECT_FALSE(PostingList::Build({{5, 0.1f}, {4, 0.2f}}).ok());
+}
+
+TEST(PostingListTest, RejectsNegativeScores) {
+  EXPECT_FALSE(PostingList::Build({{1, -0.5f}}).ok());
+}
+
+TEST(PostingListTest, RejectsZeroBlockSize) {
+  PostingList::Options options;
+  options.block_size = 0;
+  EXPECT_FALSE(PostingList::Build({{1, 0.5f}}, options).ok());
+}
+
+TEST(PostingListTest, CompressionBeatsRawEncoding) {
+  // Dense small-gap postings compress far below 8 bytes/posting.
+  std::vector<ScoredItem> postings;
+  for (uint32_t d = 0; d < 20000; ++d) postings.push_back({d * 2, 0.5f});
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  EXPECT_LT(list.value().SizeBytes(),
+            postings.size() * sizeof(ScoredItem) / 2);
+}
+
+TEST(PostingListTest, SingleBlockSingleEntry) {
+  const auto list = PostingList::Build({{42, 0.7f}});
+  ASSERT_TRUE(list.ok());
+  auto it = list.value().NewIterator();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Doc(), 42u);
+  EXPECT_GE(it.ImpactBound(), 0.7f - 1e-6f);
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, ZeroScoresAllowed) {
+  const auto list = PostingList::Build({{1, 0.0f}, {2, 0.0f}});
+  ASSERT_TRUE(list.ok());
+  auto it = list.value().NewIterator();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.ImpactBound(), 0.0f);
+}
+
+}  // namespace
+}  // namespace amici

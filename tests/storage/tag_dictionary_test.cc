@@ -1,0 +1,65 @@
+#include "storage/tag_dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(TagDictionaryTest, InternAssignsDenseIds) {
+  TagDictionary dict;
+  EXPECT_EQ(dict.Intern("sunset"), 0u);
+  EXPECT_EQ(dict.Intern("beach"), 1u);
+  EXPECT_EQ(dict.Intern("sunset"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TagDictionaryTest, LookupWithoutInterning) {
+  TagDictionary dict;
+  dict.Intern("a");
+  EXPECT_EQ(dict.Lookup("a"), 0u);
+  EXPECT_EQ(dict.Lookup("missing"), kInvalidTagId);
+  EXPECT_EQ(dict.size(), 1u);  // Lookup must not intern
+}
+
+TEST(TagDictionaryTest, NameRoundTrip) {
+  TagDictionary dict;
+  const TagId a = dict.Intern("alpha");
+  const TagId b = dict.Intern("beta");
+  EXPECT_EQ(dict.Name(a), "alpha");
+  EXPECT_EQ(dict.Name(b), "beta");
+}
+
+TEST(TagDictionaryTest, EmptyStringIsAValidTag) {
+  TagDictionary dict;
+  const TagId id = dict.Intern("");
+  EXPECT_EQ(dict.Lookup(""), id);
+  EXPECT_EQ(dict.Name(id), "");
+}
+
+TEST(TagDictionaryTest, ManyTagsKeepIdentity) {
+  TagDictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(dict.Intern("tag" + std::to_string(i)),
+              static_cast<TagId>(i));
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.Lookup("tag7777"), 7777u);
+  EXPECT_EQ(dict.Name(7777), "tag7777");
+}
+
+TEST(TagDictionaryTest, MemoryGrowsWithContent) {
+  TagDictionary small;
+  small.Intern("x");
+  TagDictionary big;
+  for (int i = 0; i < 1000; ++i) big.Intern("tag" + std::to_string(i));
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(TagDictionaryDeathTest, NameOfUnknownIdAborts) {
+  TagDictionary dict;
+  dict.Intern("only");
+  EXPECT_DEATH(dict.Name(5), "unknown tag");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,163 @@
+#include "topk/nra.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "topk/topk_heap.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+class VectorSource final : public SortedSource {
+ public:
+  explicit VectorSource(std::vector<ScoredItem> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  ScoredItem Current() const override { return entries_[pos_]; }
+  void Next() override { ++pos_; }
+
+ private:
+  std::vector<ScoredItem> entries_;
+  size_t pos_ = 0;
+};
+
+struct Instance {
+  std::vector<std::vector<ScoredItem>> lists;
+  std::map<ItemId, double> totals;
+};
+
+Instance MakeInstance(size_t num_lists, size_t num_items, double density,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  instance.lists.resize(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    for (ItemId item = 0; item < num_items; ++item) {
+      if (!rng.Bernoulli(density)) continue;
+      const float partial = static_cast<float>(rng.UniformDouble());
+      instance.lists[l].push_back({item, partial});
+      instance.totals[item] += partial;
+    }
+    std::sort(instance.lists[l].begin(), instance.lists[l].end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.item < b.item;
+              });
+  }
+  return instance;
+}
+
+std::vector<ScoredItem> RunNraOn(const Instance& instance, size_t k,
+                                 AggregationStats* stats = nullptr) {
+  std::vector<std::unique_ptr<VectorSource>> owned;
+  std::vector<SortedSource*> sources;
+  for (const auto& list : instance.lists) {
+    owned.push_back(std::make_unique<VectorSource>(list));
+    sources.push_back(owned.back().get());
+  }
+  const auto result = RunNra(
+      std::span<SortedSource* const>(sources.data(), sources.size()), k,
+      stats);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value_or({});
+}
+
+TEST(NraTest, SingleListPrefix) {
+  Instance instance;
+  instance.lists.push_back({{7, 0.9f}, {3, 0.8f}, {1, 0.5f}});
+  for (const auto& e : instance.lists[0]) instance.totals[e.item] = e.score;
+  const auto result = RunNraOn(instance, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].item, 7u);
+  EXPECT_EQ(result[1].item, 3u);
+}
+
+TEST(NraTest, FewerItemsThanK) {
+  const Instance instance = MakeInstance(2, 6, 0.9, 3);
+  const auto result = RunNraOn(instance, 100);
+  EXPECT_EQ(result.size(), instance.totals.size());
+}
+
+TEST(NraTest, EmptySources) {
+  Instance instance;
+  instance.lists.resize(2);
+  EXPECT_TRUE(RunNraOn(instance, 5).empty());
+}
+
+TEST(NraTest, RejectsZeroKAndTooManySources) {
+  VectorSource source({});
+  SortedSource* one[] = {&source};
+  EXPECT_FALSE(
+      RunNra(std::span<SortedSource* const>(one, 1), 0, nullptr).ok());
+
+  std::vector<std::unique_ptr<VectorSource>> owned;
+  std::vector<SortedSource*> many;
+  for (int i = 0; i < 33; ++i) {
+    owned.push_back(std::make_unique<VectorSource>(std::vector<ScoredItem>{}));
+    many.push_back(owned.back().get());
+  }
+  EXPECT_FALSE(RunNra(std::span<SortedSource* const>(many.data(), many.size()),
+                      1, nullptr)
+                   .ok());
+}
+
+TEST(NraTest, NeverPerformsRandomAccess) {
+  const Instance instance = MakeInstance(3, 200, 0.4, 5);
+  AggregationStats stats;
+  RunNraOn(instance, 10, &stats);
+  EXPECT_EQ(stats.random_accesses, 0u);
+  EXPECT_GT(stats.sorted_accesses, 0u);
+}
+
+/// Membership property: NRA's top-k set equals brute force (score ties may
+/// swap, so compare score multisets of the selected items).
+struct NraParam {
+  size_t num_lists;
+  size_t num_items;
+  double density;
+  size_t k;
+  uint64_t seed;
+};
+
+class NraPropertyTest : public ::testing::TestWithParam<NraParam> {};
+
+TEST_P(NraPropertyTest, MembershipMatchesBruteForce) {
+  const NraParam param = GetParam();
+  const Instance instance =
+      MakeInstance(param.num_lists, param.num_items, param.density,
+                   param.seed);
+  TopKHeap heap(param.k);
+  for (const auto& [item, total] : instance.totals) heap.Push(item, total);
+  const auto expected = heap.TakeSorted();
+
+  const auto actual = RunNraOn(instance, param.k);
+  ASSERT_EQ(actual.size(), expected.size());
+  // NRA guarantees set membership, not the order within the top-k (lower
+  // bounds may still be partially resolved at termination). Compare the
+  // multiset of true totals of the selected items.
+  std::vector<double> actual_totals;
+  for (const auto& entry : actual) {
+    actual_totals.push_back(instance.totals.at(entry.item));
+  }
+  std::sort(actual_totals.begin(), actual_totals.end(),
+            std::greater<double>());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual_totals[i], expected[i].score, 1e-5) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, NraPropertyTest,
+    ::testing::Values(NraParam{2, 50, 0.7, 5, 21},
+                      NraParam{3, 100, 0.4, 10, 22},
+                      NraParam{4, 200, 0.25, 8, 23},
+                      NraParam{5, 80, 0.9, 3, 24},
+                      NraParam{2, 500, 0.1, 20, 25}));
+
+}  // namespace
+}  // namespace amici

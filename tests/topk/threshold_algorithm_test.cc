@@ -1,0 +1,213 @@
+#include "topk/threshold_algorithm.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "topk/topk_heap.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+/// SortedSource over an in-memory descending vector.
+class VectorSource final : public SortedSource {
+ public:
+  explicit VectorSource(std::vector<ScoredItem> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  ScoredItem Current() const override { return entries_[pos_]; }
+  void Next() override { ++pos_; }
+
+ private:
+  std::vector<ScoredItem> entries_;
+  size_t pos_ = 0;
+};
+
+/// A random aggregation instance: `num_lists` lists over `num_items`
+/// items; each item appears in each list with probability `density`.
+struct Instance {
+  std::vector<std::vector<ScoredItem>> lists;  // descending by score
+  std::map<ItemId, double> totals;
+};
+
+Instance MakeInstance(size_t num_lists, size_t num_items, double density,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  instance.lists.resize(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    for (ItemId item = 0; item < num_items; ++item) {
+      if (!rng.Bernoulli(density)) continue;
+      const float partial = static_cast<float>(rng.UniformDouble());
+      instance.lists[l].push_back({item, partial});
+      instance.totals[item] += partial;
+    }
+    std::sort(instance.lists[l].begin(), instance.lists[l].end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.item < b.item;
+              });
+  }
+  return instance;
+}
+
+std::vector<ScoredItem> BruteForceTopK(const Instance& instance, size_t k) {
+  TopKHeap heap(k);
+  for (const auto& [item, total] : instance.totals) {
+    heap.Push(item, total);
+  }
+  return heap.TakeSorted();
+}
+
+std::vector<ScoredItem> RunTaOn(const Instance& instance, size_t k,
+                                const PullPolicy& policy,
+                                AggregationStats* stats = nullptr) {
+  std::vector<std::unique_ptr<VectorSource>> owned;
+  std::vector<SortedSource*> sources;
+  for (const auto& list : instance.lists) {
+    owned.push_back(std::make_unique<VectorSource>(list));
+    sources.push_back(owned.back().get());
+  }
+  auto score_of = [&instance](ItemId item) {
+    return instance.totals.at(item);
+  };
+  const auto result = RunThresholdAlgorithm(
+      std::span<SortedSource* const>(sources.data(), sources.size()),
+      score_of, k, policy, nullptr, stats);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value_or({});
+}
+
+void ExpectSameScores(const std::vector<ScoredItem>& expected,
+                      const std::vector<ScoredItem>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].score, actual[i].score, 1e-5)
+        << "rank " << i;
+  }
+}
+
+TEST(ThresholdAlgorithmTest, SingleListIsPrefix) {
+  Instance instance;
+  instance.lists.push_back(
+      {{7, 0.9f}, {3, 0.8f}, {1, 0.5f}, {4, 0.2f}});
+  for (const auto& e : instance.lists[0]) instance.totals[e.item] = e.score;
+  const auto result = RunTaOn(instance, 2, MaxBoundPull);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].item, 7u);
+  EXPECT_EQ(result[1].item, 3u);
+}
+
+TEST(ThresholdAlgorithmTest, FewerItemsThanK) {
+  Instance instance = MakeInstance(3, 5, 0.9, 1);
+  const auto result = RunTaOn(instance, 50, MaxBoundPull);
+  EXPECT_EQ(result.size(), instance.totals.size());
+}
+
+TEST(ThresholdAlgorithmTest, EmptySourcesYieldEmptyResult) {
+  Instance instance;
+  instance.lists.resize(3);
+  const auto result = RunTaOn(instance, 10, MaxBoundPull);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(ThresholdAlgorithmTest, RejectsZeroK) {
+  VectorSource source({});
+  SortedSource* sources[] = {&source};
+  auto score_of = [](ItemId) { return 0.0; };
+  const auto result = RunThresholdAlgorithm(
+      std::span<SortedSource* const>(sources, 1), score_of, 0, MaxBoundPull,
+      nullptr, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ThresholdAlgorithmTest, FilterExcludesItems) {
+  Instance instance;
+  instance.lists.push_back({{1, 0.9f}, {2, 0.8f}, {3, 0.7f}});
+  for (const auto& e : instance.lists[0]) instance.totals[e.item] = e.score;
+  std::vector<std::unique_ptr<VectorSource>> owned;
+  owned.push_back(std::make_unique<VectorSource>(instance.lists[0]));
+  SortedSource* sources[] = {owned[0].get()};
+  auto score_of = [&instance](ItemId item) {
+    return instance.totals.at(item);
+  };
+  auto filter = [](ItemId item) { return item != 1; };
+  const auto result = RunThresholdAlgorithm(
+      std::span<SortedSource* const>(sources, 1), score_of, 2, MaxBoundPull,
+      filter, nullptr);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[0].item, 2u);
+  EXPECT_EQ(result.value()[1].item, 3u);
+}
+
+TEST(ThresholdAlgorithmTest, EarlyTerminationDoesLessWorkThanExhaustion) {
+  // Steep score decay: the top-k is decided after a few pulls.
+  Instance instance;
+  std::vector<ScoredItem> list;
+  for (ItemId i = 0; i < 10000; ++i) {
+    list.push_back({i, static_cast<float>(1.0 / (1.0 + i))});
+    instance.totals[i] = 1.0 / (1.0 + i);
+  }
+  instance.lists.push_back(std::move(list));
+  AggregationStats stats;
+  RunTaOn(instance, 5, MaxBoundPull, &stats);
+  EXPECT_LT(stats.sorted_accesses, 100u);
+}
+
+// Property sweep: TA with every pull policy matches brute force on random
+// instances.
+struct TaPropertyParam {
+  size_t num_lists;
+  size_t num_items;
+  double density;
+  size_t k;
+  uint64_t seed;
+};
+
+class TaPropertyTest : public ::testing::TestWithParam<TaPropertyParam> {};
+
+TEST_P(TaPropertyTest, MatchesBruteForceUnderAllPolicies) {
+  const TaPropertyParam param = GetParam();
+  const Instance instance =
+      MakeInstance(param.num_lists, param.num_items, param.density,
+                   param.seed);
+  const auto expected = BruteForceTopK(instance, param.k);
+
+  // Max-bound policy.
+  ExpectSameScores(expected, RunTaOn(instance, param.k, MaxBoundPull));
+
+  // Biased policies (first list preferred / others preferred).
+  std::vector<bool> first_only(param.num_lists, false);
+  first_only[0] = true;
+  ExpectSameScores(expected,
+                   RunTaOn(instance, param.k, MakeBiasedPull(first_only, 8)));
+  std::vector<bool> rest(param.num_lists, true);
+  rest[0] = false;
+  ExpectSameScores(expected,
+                   RunTaOn(instance, param.k, MakeBiasedPull(rest, 8)));
+
+  // Adversarial policy: always returns an out-of-range index; the engine
+  // must fall back gracefully and stay exact.
+  ExpectSameScores(expected,
+                   RunTaOn(instance, param.k, [](std::span<const double>) {
+                     return size_t{9999};
+                   }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, TaPropertyTest,
+    ::testing::Values(TaPropertyParam{1, 50, 0.8, 5, 11},
+                      TaPropertyParam{2, 100, 0.5, 10, 12},
+                      TaPropertyParam{3, 200, 0.3, 7, 13},
+                      TaPropertyParam{4, 500, 0.2, 20, 14},
+                      TaPropertyParam{5, 100, 0.9, 3, 15},
+                      TaPropertyParam{8, 300, 0.1, 10, 16},
+                      TaPropertyParam{2, 1000, 0.05, 50, 17},
+                      TaPropertyParam{6, 50, 1.0, 49, 18}));
+
+}  // namespace
+}  // namespace amici

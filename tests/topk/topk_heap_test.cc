@@ -1,0 +1,114 @@
+#include "topk/topk_heap.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap heap(3);
+  for (ItemId i = 0; i < 10; ++i) {
+    heap.Push(i, static_cast<double>(i));
+  }
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].item, 9u);
+  EXPECT_EQ(sorted[1].item, 8u);
+  EXPECT_EQ(sorted[2].item, 7u);
+}
+
+TEST(TopKHeapTest, KthScoreBeforeAndAfterFull) {
+  TopKHeap heap(2);
+  EXPECT_EQ(heap.KthScore(), -std::numeric_limits<double>::infinity());
+  heap.Push(1, 5.0);
+  EXPECT_EQ(heap.KthScore(), -std::numeric_limits<double>::infinity());
+  heap.Push(2, 7.0);
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 5.0);
+  heap.Push(3, 6.0);  // replaces the 5.0 entry
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 6.0);
+}
+
+TEST(TopKHeapTest, PushReportsAcceptance) {
+  TopKHeap heap(2);
+  EXPECT_TRUE(heap.Push(1, 1.0));
+  EXPECT_TRUE(heap.Push(2, 2.0));
+  EXPECT_FALSE(heap.Push(3, 0.5));  // too small
+  EXPECT_TRUE(heap.Push(4, 3.0));
+}
+
+TEST(TopKHeapTest, TieBreakPrefersSmallerItemId) {
+  TopKHeap heap(2);
+  heap.Push(9, 1.0);
+  heap.Push(3, 1.0);
+  heap.Push(5, 1.0);
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].item, 3u);
+  EXPECT_EQ(sorted[1].item, 5u);
+}
+
+TEST(TopKHeapTest, EqualScoreLargerIdRejectedWhenFull) {
+  TopKHeap heap(1);
+  heap.Push(3, 1.0);
+  EXPECT_FALSE(heap.Push(9, 1.0));  // same score, larger id: worse
+  EXPECT_TRUE(heap.Push(1, 1.0));   // same score, smaller id: better
+  const auto sorted = heap.TakeSorted();
+  EXPECT_EQ(sorted[0].item, 1u);
+}
+
+TEST(TopKHeapTest, FewerThanKItems) {
+  TopKHeap heap(5);
+  heap.Push(1, 2.0);
+  heap.Push(2, 1.0);
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].item, 1u);
+}
+
+TEST(TopKHeapTest, TakeSortedLeavesHeapReusable) {
+  TopKHeap heap(2);
+  heap.Push(1, 1.0);
+  heap.TakeSorted();
+  EXPECT_EQ(heap.size(), 0u);
+  heap.Push(2, 2.0);
+  heap.Push(3, 3.0);
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].item, 3u);
+}
+
+TEST(TopKHeapTest, RandomizedAgainstSort) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t k = 1 + rng.UniformIndex(20);
+    TopKHeap heap(k);
+    std::vector<std::pair<double, ItemId>> all;
+    const size_t n = 1 + rng.UniformIndex(500);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse scores force plenty of ties.
+      const double score = static_cast<double>(rng.UniformIndex(17));
+      all.push_back({score, static_cast<ItemId>(i)});
+      heap.Push(static_cast<ItemId>(i), score);
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const auto got = heap.TakeSorted();
+    ASSERT_EQ(got.size(), std::min(k, n));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].item, all[i].second) << "trial " << trial;
+      EXPECT_FLOAT_EQ(got[i].score, static_cast<float>(all[i].first));
+    }
+  }
+}
+
+TEST(TopKHeapDeathTest, ZeroKRejected) { EXPECT_DEATH(TopKHeap(0), ""); }
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,70 @@
+#include "util/file_util.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(FileUtilTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("file_util_roundtrip.bin");
+  const std::string full("hello\0world\nbinary\xff", 19);
+  ASSERT_TRUE(WriteStringToFile(full, path).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), full);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, EmptyFileRoundTrips) {
+  const std::string path = TempPath("file_util_empty.bin");
+  ASSERT_TRUE(WriteStringToFile("", path).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, OverwriteReplacesContent) {
+  const std::string path = TempPath("file_util_overwrite.bin");
+  ASSERT_TRUE(WriteStringToFile("long original content", path).ok());
+  ASSERT_TRUE(WriteStringToFile("short", path).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFileIsIoError) {
+  const auto read = ReadFileToString("/nonexistent/deeply/nested/file");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(FileUtilTest, UnwritablePathIsIoError) {
+  EXPECT_EQ(WriteStringToFile("x", "/nonexistent/dir/file").code(),
+            StatusCode::kIoError);
+}
+
+TEST(FileUtilTest, LargePayloadRoundTrips) {
+  const std::string path = TempPath("file_util_large.bin");
+  std::string payload;
+  payload.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); ++i) {
+    payload.push_back(static_cast<char>(i * 31));
+  }
+  ASSERT_TRUE(WriteStringToFile(payload, path).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace amici

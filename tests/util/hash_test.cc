@@ -1,0 +1,55 @@
+#include "util/hash.h"
+
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Reference values for 64-bit FNV-1a.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, SensitiveToEveryByte) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("cba"));
+  EXPECT_NE(Fnv1a64(std::string("a\0b", 3)), Fnv1a64(std::string("ab", 2)));
+}
+
+TEST(Mix64Test, ZeroIsNotFixedPoint) { EXPECT_EQ(Mix64(0), 0u); }
+
+TEST(Mix64Test, SequentialInputsScatter) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 1; i <= 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+  // Consecutive outputs should differ in roughly half their bits.
+  int total_flips = 0;
+  for (uint64_t i = 1; i < 100; ++i) {
+    total_flips += __builtin_popcountll(Mix64(i) ^ Mix64(i + 1));
+  }
+  EXPECT_GT(total_flips / 99, 20);
+  EXPECT_LT(total_flips / 99, 44);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashCombineTest, DistinctPairsDistinctHashes) {
+  std::set<uint64_t> outputs;
+  for (uint64_t a = 0; a < 30; ++a) {
+    for (uint64_t b = 0; b < 30; ++b) {
+      outputs.insert(HashCombine(a, b));
+    }
+  }
+  EXPECT_EQ(outputs.size(), 900u);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotEvaluateCheapPath) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  // The macro must compile and run without side effects at lower levels.
+  AMICI_LOG(kDebug) << "invisible " << 1;
+  AMICI_LOG(kInfo) << "also invisible";
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  AMICI_CHECK(1 + 1 == 2) << "never shown";
+  AMICI_CHECK_OK(Status::Ok());
+  AMICI_DCHECK(true);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ AMICI_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ AMICI_CHECK_OK(Status::Internal("bad")); }, "Internal");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderRuleAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "23"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  // 2 header lines + 2 rows = 4 newline-terminated lines.
+  size_t lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TablePrinterTest, ColumnsAlignToWidestCell) {
+  TablePrinter table({"h", "x"});
+  table.AddRow({"longer-cell", "1"});
+  const std::string out = table.ToString();
+  std::istringstream stream(out);
+  std::string header_line;
+  std::string rule_line;
+  std::getline(stream, header_line);
+  std::getline(stream, rule_line);
+  // The rule under the first column must span the widest cell.
+  EXPECT_GE(rule_line.find("  "), std::string("longer-cell").size());
+}
+
+TEST(TablePrinterTest, NumericCellsRightAligned) {
+  TablePrinter table({"metric", "count"});
+  table.AddRow({"queries", "5"});
+  const std::string out = table.ToString();
+  // "count" is 5 wide; the numeric cell "5" must be right-aligned:
+  // the row therefore contains four spaces before the digit.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrintMatchesToString) {
+  TablePrinter table({"a"});
+  table.AddRow({"b"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), table.ToString());
+}
+
+TEST(TablePrinterTest, NumRowsTracksAdds) {
+  TablePrinter table({"a", "b"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowWidthAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "cells");
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,150 @@
+#include "util/varint.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+TEST(VarintTest, RoundTripSmallValues) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL}) {
+    std::string buffer;
+    PutVarint64(v, &buffer);
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(offset, buffer.size());
+  }
+}
+
+TEST(VarintTest, RoundTripBoundaryWidths) {
+  // Values at every 7-bit boundary.
+  for (int shift = 0; shift < 64; shift += 7) {
+    const uint64_t v = 1ULL << shift;
+    std::string buffer;
+    PutVarint64(v, &buffer);
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded)) << "shift " << shift;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(buffer.size(), VarintLength(v));
+  }
+}
+
+TEST(VarintTest, RoundTripMaxValues) {
+  std::string buffer;
+  PutVarint64(std::numeric_limits<uint64_t>::max(), &buffer);
+  EXPECT_EQ(buffer.size(), 10u);
+  size_t offset = 0;
+  uint64_t decoded = 0;
+  ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded));
+  EXPECT_EQ(decoded, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(VarintTest, RandomRoundTrips) {
+  Rng rng(99);
+  std::string buffer;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix widths by masking random bit counts.
+    const int bits = 1 + static_cast<int>(rng.UniformIndex(64));
+    const uint64_t v =
+        bits == 64 ? rng.NextUint64() : (rng.NextUint64() >> (64 - bits));
+    values.push_back(v);
+    PutVarint64(v, &buffer);
+  }
+  size_t offset = 0;
+  for (const uint64_t expected : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buffer, &offset, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buffer;
+  PutVarint64(1ULL << 40, &buffer);
+  for (size_t cut = 0; cut + 1 < buffer.size(); ++cut) {
+    const std::string truncated = buffer.substr(0, cut);
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    EXPECT_FALSE(GetVarint64(truncated, &offset, &decoded));
+  }
+}
+
+TEST(VarintTest, Varint32RejectsOversizedValue) {
+  std::string buffer;
+  PutVarint64(1ULL << 40, &buffer);
+  size_t offset = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buffer, &offset, &decoded));
+}
+
+TEST(VarintTest, VarintLengthMatchesEncoding) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t v = rng.NextUint64() >> rng.UniformIndex(64);
+    std::string buffer;
+    PutVarint64(v, &buffer);
+    EXPECT_EQ(buffer.size(), VarintLength(v));
+  }
+}
+
+TEST(ZigZagTest, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripsExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(DeltaTest, RoundTripsSortedSequence) {
+  const std::vector<uint32_t> values{3, 10, 11, 400, 100000, 100001};
+  std::string encoded;
+  ASSERT_TRUE(DeltaEncode(values, &encoded));
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DeltaDecode(encoded, values.size(), &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(DeltaTest, EmptySequence) {
+  std::string encoded;
+  ASSERT_TRUE(DeltaEncode({}, &encoded));
+  EXPECT_TRUE(encoded.empty());
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DeltaDecode(encoded, 0, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DeltaTest, RejectsNonIncreasingInput) {
+  std::string encoded;
+  EXPECT_FALSE(DeltaEncode({5, 5}, &encoded));
+  std::string encoded2;
+  EXPECT_FALSE(DeltaEncode({5, 4}, &encoded2));
+}
+
+TEST(DeltaTest, DecodeDetectsTruncation) {
+  const std::vector<uint32_t> values{1, 2, 3, 4, 5};
+  std::string encoded;
+  ASSERT_TRUE(DeltaEncode(values, &encoded));
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(DeltaDecode(encoded.substr(0, encoded.size() - 1),
+                           values.size(), &decoded));
+}
+
+}  // namespace
+}  // namespace amici

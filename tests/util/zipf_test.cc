@@ -1,0 +1,98 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  Rng rng(1);
+  const ZipfSampler zipf(100, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(2);
+  const ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  Rng rng(3);
+  const ZipfSampler zipf(1000, 1.1);
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 2; r <= 10; ++r) {
+    EXPECT_GE(counts[1], counts[r]) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, FrequencyRatioMatchesExponent) {
+  // P(1)/P(4) should be ~4^s for Zipf with exponent s.
+  Rng rng(5);
+  const double s = 1.0;
+  const ZipfSampler zipf(10000, s);
+  int count1 = 0;
+  int count4 = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    if (v == 1) ++count1;
+    if (v == 4) ++count4;
+  }
+  ASSERT_GT(count4, 0);
+  const double ratio = static_cast<double>(count1) / count4;
+  EXPECT_NEAR(ratio, std::pow(4.0, s), 0.8);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(7);
+  const ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, 0.1, 0.02)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ExponentOneUsesLogBranch) {
+  Rng rng(11);
+  const ZipfSampler zipf(500, 1.0);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    max_seen = std::max(max_seen, zipf.Sample(&rng));
+  }
+  // The tail must be reachable.
+  EXPECT_GT(max_seen, 50u);
+}
+
+TEST(ZipfTest, LargeDomainConstantMemory) {
+  Rng rng(13);
+  const ZipfSampler zipf(100000000ULL, 1.3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100000000ULL);
+  }
+}
+
+TEST(ZipfDeathTest, RejectsEmptyDomain) {
+  EXPECT_DEATH(ZipfSampler(0, 1.0), "non-empty");
+}
+
+TEST(ZipfDeathTest, RejectsNegativeExponent) {
+  EXPECT_DEATH(ZipfSampler(10, -0.5), "non-negative");
+}
+
+}  // namespace
+}  // namespace amici

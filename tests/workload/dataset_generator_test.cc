@@ -1,0 +1,157 @@
+#include "workload/dataset_generator.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+TEST(DatasetGeneratorTest, HonorsScaleParameters) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 500;
+  config.items_per_user = 3.0;
+  const auto dataset = GenerateDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().graph.num_users(), 500u);
+  EXPECT_EQ(dataset.value().store.num_items(), 1500u);
+  EXPECT_EQ(dataset.value().tags.size(), config.num_tags);
+}
+
+TEST(DatasetGeneratorTest, DeterministicFromSeed) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  const auto a = GenerateDataset(config);
+  const auto b = GenerateDataset(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().graph.neighbors(), b.value().graph.neighbors());
+  ASSERT_EQ(a.value().store.num_items(), b.value().store.num_items());
+  for (ItemId i = 0; i < a.value().store.num_items(); ++i) {
+    EXPECT_EQ(a.value().store.owner(i), b.value().store.owner(i));
+    EXPECT_EQ(a.value().store.quality(i), b.value().store.quality(i));
+  }
+}
+
+TEST(DatasetGeneratorTest, DifferentSeedsDiffer) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  DatasetConfig other = config;
+  other.seed = config.seed + 1;
+  const auto a = GenerateDataset(config);
+  const auto b = GenerateDataset(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().graph.neighbors(), b.value().graph.neighbors());
+}
+
+TEST(DatasetGeneratorTest, QualityWithinBounds) {
+  const auto dataset = GenerateDataset(SmallDataset());
+  ASSERT_TRUE(dataset.ok());
+  for (ItemId i = 0; i < dataset.value().store.num_items(); ++i) {
+    const float q = dataset.value().store.quality(i);
+    EXPECT_GE(q, 0.0f);
+    EXPECT_LE(q, 1.0f);
+  }
+}
+
+TEST(DatasetGeneratorTest, GeoFractionRespected) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 1000;
+  config.geo_fraction = 0.25;
+  const auto dataset = GenerateDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  size_t geo_items = 0;
+  for (ItemId i = 0; i < dataset.value().store.num_items(); ++i) {
+    if (dataset.value().store.has_geo(i)) ++geo_items;
+  }
+  const double fraction = static_cast<double>(geo_items) /
+                          static_cast<double>(dataset.value().store.num_items());
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(DatasetGeneratorTest, ZeroGeoFractionMeansNoGeo) {
+  DatasetConfig config = SmallDataset();
+  config.geo_fraction = 0.0;
+  const auto dataset = GenerateDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  for (ItemId i = 0; i < dataset.value().store.num_items(); ++i) {
+    EXPECT_FALSE(dataset.value().store.has_geo(i));
+  }
+}
+
+TEST(DatasetGeneratorTest, SocialLocalityRaisesFriendTagOverlap) {
+  // Measure: fraction of items sharing >= 1 tag with some friend's item.
+  auto overlap_for = [](double locality) {
+    DatasetConfig config = SmallDataset();
+    config.num_users = 800;
+    config.social_locality = locality;
+    config.seed = 99;  // identical structure apart from locality
+    const Dataset dataset = GenerateDataset(config).value();
+    std::vector<std::vector<TagId>> user_tags(dataset.graph.num_users());
+    for (ItemId i = 0; i < dataset.store.num_items(); ++i) {
+      for (const TagId t : dataset.store.tags(i)) {
+        user_tags[dataset.store.owner(i)].push_back(t);
+      }
+    }
+    size_t overlapping = 0;
+    for (ItemId i = 0; i < dataset.store.num_items(); ++i) {
+      const UserId owner = dataset.store.owner(i);
+      bool found = false;
+      for (const UserId f : dataset.graph.Friends(owner)) {
+        for (const TagId t : dataset.store.tags(i)) {
+          for (const TagId ft : user_tags[f]) {
+            if (t == ft) {
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        if (found) break;
+      }
+      if (found) ++overlapping;
+    }
+    return static_cast<double>(overlapping) /
+           static_cast<double>(dataset.store.num_items());
+  };
+  EXPECT_GT(overlap_for(0.9), overlap_for(0.0) + 0.05);
+}
+
+TEST(DatasetGeneratorTest, AllGraphKindsGenerate) {
+  for (const GraphKind kind :
+       {GraphKind::kErdosRenyi, GraphKind::kBarabasiAlbert,
+        GraphKind::kWattsStrogatz, GraphKind::kPlantedPartition}) {
+    DatasetConfig config = SmallDataset();
+    config.num_users = 200;
+    config.graph_kind = kind;
+    const auto dataset = GenerateDataset(config);
+    ASSERT_TRUE(dataset.ok());
+    EXPECT_EQ(dataset.value().graph.num_users(), 200u);
+    EXPECT_GT(dataset.value().graph.num_edges(), 0u);
+  }
+}
+
+TEST(DatasetGeneratorTest, RejectsBadConfigs) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config = SmallDataset();
+  config.num_tags = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config = SmallDataset();
+  config.social_locality = 1.5;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config = SmallDataset();
+  config.geo_fraction = -0.1;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+}
+
+TEST(DatasetGeneratorTest, PresetsAreConsistent) {
+  EXPECT_LT(SmallDataset().num_users, MediumDataset().num_users);
+  EXPECT_LT(MediumDataset().num_users, LargeDataset().num_users);
+  EXPECT_EQ(ScaledDataset(12345).num_users, 12345u);
+}
+
+}  // namespace
+}  // namespace amici

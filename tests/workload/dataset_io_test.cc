@@ -1,0 +1,86 @@
+#include "workload/dataset_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "gtest/gtest.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::string(::testing::TempDir()) + "/amici_dataset";
+    std::remove((directory_ + "/graph.amig").c_str());
+    std::remove((directory_ + "/items.amis").c_str());
+    std::remove((directory_ + "/tags.amid").c_str());
+    (void)std::system(("mkdir -p " + directory_).c_str());
+  }
+
+  void TearDown() override {
+    std::remove((directory_ + "/graph.amig").c_str());
+    std::remove((directory_ + "/items.amis").c_str());
+    std::remove((directory_ + "/tags.amid").c_str());
+  }
+
+  std::string directory_;
+};
+
+TEST_F(DatasetIoTest, RoundTripsGeneratedDataset) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  config.num_tags = 120;
+  const Dataset original = GenerateDataset(config).value();
+  ASSERT_TRUE(SaveDataset(original, directory_).ok());
+
+  const auto loaded = LoadDataset(directory_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().graph.neighbors(), original.graph.neighbors());
+  ASSERT_EQ(loaded.value().store.num_items(), original.store.num_items());
+  for (ItemId i = 0; i < original.store.num_items(); ++i) {
+    EXPECT_EQ(loaded.value().store.owner(i), original.store.owner(i));
+    EXPECT_EQ(loaded.value().store.quality(i), original.store.quality(i));
+  }
+  EXPECT_EQ(loaded.value().tags.size(), original.tags.size());
+}
+
+TEST_F(DatasetIoTest, MissingDirectoryFails) {
+  const auto loaded = LoadDataset("/nonexistent/amici");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DatasetIoTest, MissingComponentFileFails) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 100;
+  const Dataset original = GenerateDataset(config).value();
+  ASSERT_TRUE(SaveDataset(original, directory_).ok());
+  std::remove((directory_ + "/items.amis").c_str());
+  EXPECT_FALSE(LoadDataset(directory_).ok());
+}
+
+TEST_F(DatasetIoTest, CrossFileConsistencyChecked) {
+  // Save a dataset, then overwrite the graph with a smaller one so item
+  // owners fall outside the user universe.
+  DatasetConfig config = SmallDataset();
+  config.num_users = 200;
+  const Dataset original = GenerateDataset(config).value();
+  ASSERT_TRUE(SaveDataset(original, directory_).ok());
+
+  DatasetConfig tiny = SmallDataset();
+  tiny.num_users = 2;
+  tiny.items_per_user = 1.0;
+  const Dataset small = GenerateDataset(tiny).value();
+  ASSERT_TRUE(SaveGraph(small.graph, directory_ + "/graph.amig").ok());
+
+  const auto loaded = LoadDataset(directory_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,97 @@
+#include "workload/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+std::vector<ScoredItem> Ranking(std::vector<ItemId> items) {
+  std::vector<ScoredItem> out;
+  float score = 1.0f;
+  for (const ItemId item : items) {
+    out.push_back({item, score});
+    score -= 0.01f;
+  }
+  return out;
+}
+
+TEST(PrecisionTest, IdenticalRankingsScoreOne) {
+  const auto truth = Ranking({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(truth, truth, 5), 1.0);
+}
+
+TEST(PrecisionTest, DisjointRankingsScoreZero) {
+  EXPECT_DOUBLE_EQ(
+      PrecisionAtK(Ranking({1, 2, 3}), Ranking({4, 5, 6}), 3), 0.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(
+      PrecisionAtK(Ranking({1, 2, 3, 4}), Ranking({1, 9, 3, 8}), 4), 0.5);
+}
+
+TEST(PrecisionTest, OrderWithinTopKIrrelevant) {
+  EXPECT_DOUBLE_EQ(
+      PrecisionAtK(Ranking({1, 2, 3}), Ranking({3, 1, 2}), 3), 1.0);
+}
+
+TEST(PrecisionTest, TruthShorterThanK) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(Ranking({1, 2}), Ranking({1, 2, 3}), 10),
+                   1.0);
+}
+
+TEST(PrecisionTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, Ranking({1}), 5), 1.0);
+}
+
+TEST(RecallTest, FindsTruthAnywhereInCandidate) {
+  // Truth top-2 = {1, 2}; candidate has them at ranks 3 and 4.
+  EXPECT_DOUBLE_EQ(
+      RecallAtK(Ranking({1, 2, 9, 8}), Ranking({7, 6, 1, 2}), 2), 1.0);
+}
+
+TEST(RecallTest, MissingItemsLowerRecall) {
+  EXPECT_DOUBLE_EQ(
+      RecallAtK(Ranking({1, 2, 3, 4}), Ranking({1, 2}), 4), 0.5);
+}
+
+TEST(KendallTauTest, IdenticalOrderIsOne) {
+  const auto truth = Ranking({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(KendallTau(truth, truth), 1.0);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  EXPECT_DOUBLE_EQ(
+      KendallTau(Ranking({1, 2, 3, 4}), Ranking({4, 3, 2, 1})), -1.0);
+}
+
+TEST(KendallTauTest, SingleSwapIsFractional) {
+  // 4 shared items, one adjacent swap -> (5 - 1) / 6.
+  const double tau =
+      KendallTau(Ranking({1, 2, 3, 4}), Ranking({2, 1, 3, 4}));
+  EXPECT_NEAR(tau, 4.0 / 6.0, 1e-9);
+}
+
+TEST(KendallTauTest, FewSharedItemsDefaultsToOne) {
+  EXPECT_DOUBLE_EQ(KendallTau(Ranking({1}), Ranking({1})), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(Ranking({1, 2}), Ranking({3, 4})), 1.0);
+}
+
+TEST(MeanScoreErrorTest, ZeroForIdenticalScores) {
+  const auto truth = Ranking({1, 2, 3});
+  EXPECT_DOUBLE_EQ(MeanScoreError(truth, truth), 0.0);
+}
+
+TEST(MeanScoreErrorTest, MeasuresSharedItemGap) {
+  std::vector<ScoredItem> truth{{1, 0.9f}, {2, 0.5f}};
+  std::vector<ScoredItem> candidate{{1, 0.8f}, {3, 0.4f}};
+  EXPECT_NEAR(MeanScoreError(truth, candidate), 0.1, 1e-6);
+}
+
+TEST(MeanScoreErrorTest, NoSharedItemsIsZero) {
+  EXPECT_DOUBLE_EQ(
+      MeanScoreError(Ranking({1}), Ranking({2})), 0.0);
+}
+
+}  // namespace
+}  // namespace amici

@@ -1,0 +1,75 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/metrics.h"
+
+namespace amici {
+namespace {
+
+std::vector<ScoredItem> Ranking(
+    std::vector<std::pair<ItemId, float>> entries) {
+  std::vector<ScoredItem> out;
+  for (const auto& [item, score] : entries) out.push_back({item, score});
+  return out;
+}
+
+TEST(NdcgTest, IdenticalRankingIsOne) {
+  const auto truth =
+      Ranking({{1, 1.0f}, {2, 0.8f}, {3, 0.5f}, {4, 0.2f}});
+  EXPECT_DOUBLE_EQ(NdcgAtK(truth, truth, 4), 1.0);
+}
+
+TEST(NdcgTest, DisjointRankingIsZero) {
+  const auto truth = Ranking({{1, 1.0f}, {2, 0.5f}});
+  const auto candidate = Ranking({{8, 1.0f}, {9, 0.5f}});
+  EXPECT_DOUBLE_EQ(NdcgAtK(truth, candidate, 2), 0.0);
+}
+
+TEST(NdcgTest, SwapAtTopCostsMoreThanSwapAtBottom) {
+  const auto truth =
+      Ranking({{1, 1.0f}, {2, 0.7f}, {3, 0.4f}, {4, 0.1f}});
+  const auto top_swap =
+      Ranking({{2, 0.7f}, {1, 1.0f}, {3, 0.4f}, {4, 0.1f}});
+  const auto bottom_swap =
+      Ranking({{1, 1.0f}, {2, 0.7f}, {4, 0.1f}, {3, 0.4f}});
+  const double top = NdcgAtK(truth, top_swap, 4);
+  const double bottom = NdcgAtK(truth, bottom_swap, 4);
+  EXPECT_LT(top, bottom);
+  EXPECT_LT(bottom, 1.0);
+}
+
+TEST(NdcgTest, MissingTailLowersScore) {
+  const auto truth = Ranking({{1, 1.0f}, {2, 0.8f}, {3, 0.6f}});
+  const auto candidate = Ranking({{1, 1.0f}});
+  const double ndcg = NdcgAtK(truth, candidate, 3);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LT(ndcg, 1.0);
+}
+
+TEST(NdcgTest, KTruncatesBothSides) {
+  const auto truth = Ranking({{1, 1.0f}, {2, 0.8f}, {3, 0.6f}});
+  const auto candidate = Ranking({{1, 1.0f}, {9, 0.9f}, {3, 0.6f}});
+  // At k=1 the candidate's top item matches the ideal exactly.
+  EXPECT_DOUBLE_EQ(NdcgAtK(truth, candidate, 1), 1.0);
+  EXPECT_LT(NdcgAtK(truth, candidate, 3), 1.0);
+}
+
+TEST(NdcgTest, HandComputedValue) {
+  const auto truth = Ranking({{1, 1.0f}, {2, 0.5f}});
+  const auto candidate = Ranking({{2, 0.5f}, {1, 1.0f}});
+  const double dcg = 0.5 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  const double ideal = 1.0 / std::log2(2.0) + 0.5 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(truth, candidate, 2), dcg / ideal, 1e-12);
+}
+
+TEST(NdcgTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, Ranking({{1, 1.0f}}), 5), 1.0);
+}
+
+TEST(NdcgTest, EmptyCandidateIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK(Ranking({{1, 1.0f}}), {}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace amici

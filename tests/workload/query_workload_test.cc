@@ -1,0 +1,118 @@
+#include "workload/query_workload.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+class QueryWorkloadTest : public ::testing::Test {
+ protected:
+  QueryWorkloadTest() {
+    DatasetConfig config = SmallDataset();
+    config.num_users = 500;
+    config.num_tags = 300;
+    config.geo_fraction = 0.5;
+    dataset_ = GenerateDataset(config).value();
+  }
+
+  Dataset dataset_;
+};
+
+TEST_F(QueryWorkloadTest, GeneratesRequestedCountOfValidQueries) {
+  QueryWorkloadConfig config;
+  config.num_queries = 100;
+  const auto queries = GenerateQueries(dataset_, config);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries.value().size(), 100u);
+  for (const SocialQuery& query : queries.value()) {
+    EXPECT_TRUE(ValidateQuery(query, dataset_.graph.num_users()).ok());
+    EXPECT_EQ(query.k, config.k);
+    EXPECT_EQ(query.alpha, config.alpha);
+    EXPECT_LE(query.tags.size(), config.max_tags_per_query);
+  }
+}
+
+TEST_F(QueryWorkloadTest, DeterministicFromSeed) {
+  QueryWorkloadConfig config;
+  config.num_queries = 50;
+  const auto a = GenerateQueries(dataset_, config);
+  const auto b = GenerateQueries(dataset_, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].user, b.value()[i].user);
+    EXPECT_EQ(a.value()[i].tags, b.value()[i].tags);
+  }
+}
+
+TEST_F(QueryWorkloadTest, GeoFilterAttachesValidCircles) {
+  QueryWorkloadConfig config;
+  config.num_queries = 30;
+  config.with_geo_filter = true;
+  config.radius_km = 7.5;
+  const auto queries = GenerateQueries(dataset_, config);
+  ASSERT_TRUE(queries.ok());
+  for (const SocialQuery& query : queries.value()) {
+    EXPECT_TRUE(query.has_geo_filter);
+    EXPECT_FLOAT_EQ(query.radius_km, 7.5f);
+  }
+}
+
+TEST_F(QueryWorkloadTest, GeoWorkloadWithoutGeoItemsFails) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 100;
+  config.geo_fraction = 0.0;
+  const Dataset no_geo = GenerateDataset(config).value();
+  QueryWorkloadConfig workload;
+  workload.with_geo_filter = true;
+  EXPECT_EQ(GenerateQueries(no_geo, workload).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryWorkloadTest, DegreeBiasSkewsTowardsActiveUsers) {
+  QueryWorkloadConfig biased;
+  biased.num_queries = 400;
+  biased.degree_biased_users = true;
+  QueryWorkloadConfig uniform;
+  uniform.num_queries = 400;
+  uniform.degree_biased_users = false;
+
+  auto mean_degree = [this](const std::vector<SocialQuery>& queries) {
+    double total = 0.0;
+    for (const SocialQuery& q : queries) {
+      total += static_cast<double>(dataset_.graph.Degree(q.user));
+    }
+    return total / static_cast<double>(queries.size());
+  };
+  const auto biased_queries = GenerateQueries(dataset_, biased);
+  const auto uniform_queries = GenerateQueries(dataset_, uniform);
+  ASSERT_TRUE(biased_queries.ok());
+  ASSERT_TRUE(uniform_queries.ok());
+  EXPECT_GT(mean_degree(biased_queries.value()),
+            mean_degree(uniform_queries.value()));
+}
+
+TEST_F(QueryWorkloadTest, ModesPropagate) {
+  QueryWorkloadConfig config;
+  config.num_queries = 10;
+  config.mode = MatchMode::kAll;
+  const auto queries = GenerateQueries(dataset_, config);
+  ASSERT_TRUE(queries.ok());
+  for (const SocialQuery& query : queries.value()) {
+    EXPECT_EQ(query.mode, MatchMode::kAll);
+  }
+}
+
+TEST_F(QueryWorkloadTest, RejectsBadConfigs) {
+  QueryWorkloadConfig config;
+  config.num_queries = 0;
+  EXPECT_FALSE(GenerateQueries(dataset_, config).ok());
+  config = QueryWorkloadConfig{};
+  config.tag_locality = 2.0;
+  EXPECT_FALSE(GenerateQueries(dataset_, config).ok());
+}
+
+}  // namespace
+}  // namespace amici

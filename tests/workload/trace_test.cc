@@ -1,0 +1,123 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "workload/dataset_generator.h"
+#include "workload/query_workload.h"
+
+namespace amici {
+namespace {
+
+SocialQuery MakeQuery(UserId user, std::vector<TagId> tags, double alpha,
+                      MatchMode mode = MatchMode::kAny) {
+  SocialQuery query;
+  query.user = user;
+  query.tags = std::move(tags);
+  query.k = 10;
+  query.alpha = alpha;
+  query.mode = mode;
+  NormalizeQuery(&query);
+  return query;
+}
+
+TEST(TraceTest, RoundTripsPlainQueries) {
+  std::vector<SocialQuery> original{
+      MakeQuery(5, {3, 17, 42}, 0.5),
+      MakeQuery(9, {7}, 0.9, MatchMode::kAll),
+  };
+  const auto parsed = ParseQueryTrace(SerializeQueryTrace(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].user, 5u);
+  EXPECT_EQ(parsed.value()[0].tags, (std::vector<TagId>{3, 17, 42}));
+  EXPECT_DOUBLE_EQ(parsed.value()[0].alpha, 0.5);
+  EXPECT_EQ(parsed.value()[0].mode, MatchMode::kAny);
+  EXPECT_EQ(parsed.value()[1].mode, MatchMode::kAll);
+  EXPECT_EQ(parsed.value()[1].k, 10u);
+}
+
+TEST(TraceTest, RoundTripsGeoQueries) {
+  SocialQuery query = MakeQuery(1, {2}, 0.3);
+  query.has_geo_filter = true;
+  query.latitude = 37.77f;
+  query.longitude = -122.42f;
+  query.radius_km = 5.5f;
+  const auto parsed =
+      ParseQueryTrace(SerializeQueryTrace(std::vector<SocialQuery>{query}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_TRUE(parsed.value()[0].has_geo_filter);
+  EXPECT_NEAR(parsed.value()[0].latitude, 37.77f, 1e-4);
+  EXPECT_NEAR(parsed.value()[0].longitude, -122.42f, 1e-4);
+  EXPECT_NEAR(parsed.value()[0].radius_km, 5.5f, 1e-3);
+}
+
+TEST(TraceTest, SkipsCommentsAndBlankLines) {
+  const auto parsed = ParseQueryTrace(
+      "# header\n\n  \nuser=1 k=5 alpha=0.1 tags=9\n# trailing\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].k, 5u);
+}
+
+TEST(TraceTest, NormalizesTagsOnParse) {
+  const auto parsed =
+      ParseQueryTrace("user=1 k=3 alpha=0.5 tags=9,1,9,4\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0].tags, (std::vector<TagId>{1, 4, 9}));
+}
+
+TEST(TraceTest, ErrorsNameTheLine) {
+  const auto missing = ParseQueryTrace("user=1 k=3 alpha=0.5\n");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("line 1"), std::string::npos);
+
+  const auto bad_mode =
+      ParseQueryTrace("# ok\nuser=1 k=3 alpha=0.5 mode=never tags=1\n");
+  ASSERT_FALSE(bad_mode.ok());
+  EXPECT_NE(bad_mode.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseQueryTrace("user=1 bogus tags=1\n").ok());
+  EXPECT_FALSE(ParseQueryTrace("user=1 tags=1 what=ever\n").ok());
+  EXPECT_FALSE(ParseQueryTrace("user=1 tags=1 geo=1,2\n").ok());
+  EXPECT_FALSE(ParseQueryTrace("user=1 tags=1,,2\n").ok());
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const std::vector<SocialQuery> original{MakeQuery(3, {1, 2}, 0.7)};
+  const std::string path =
+      std::string(::testing::TempDir()) + "/trace_test.txt";
+  ASSERT_TRUE(SaveQueryTrace(original, path).ok());
+  const auto loaded = LoadQueryTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].tags, original[0].tags);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, GeneratedWorkloadSurvivesRoundTrip) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 200;
+  const Dataset dataset = GenerateDataset(config).value();
+  QueryWorkloadConfig workload;
+  workload.num_queries = 40;
+  workload.with_geo_filter = true;
+  const auto queries = GenerateQueries(dataset, workload).value();
+
+  const auto parsed = ParseQueryTrace(SerializeQueryTrace(queries));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i].user, queries[i].user);
+    EXPECT_EQ(parsed.value()[i].tags, queries[i].tags);
+    EXPECT_EQ(parsed.value()[i].k, queries[i].k);
+    EXPECT_NEAR(parsed.value()[i].alpha, queries[i].alpha, 1e-9);
+    EXPECT_TRUE(
+        ValidateQuery(parsed.value()[i], dataset.graph.num_users()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace amici
