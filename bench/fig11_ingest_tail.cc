@@ -1,18 +1,57 @@
-// Fig 11 (extension experiment) — the cost of freshness: query latency as
-// the un-indexed ingest tail grows, and the effect of Compact(). The
-// LSM-flavoured main-index + tail design keeps fresh items queryable at
-// the price of an exhaustive tail scan; this quantifies when compaction
-// pays.
+// Fig 11 (extension experiment) — the cost of freshness, in two parts.
+//
+// Part 1 (serial): query latency as the un-indexed ingest tail grows, and
+// the effect of Compact(). The LSM-flavoured main-index + tail design
+// keeps fresh items queryable at the price of an exhaustive tail scan;
+// this quantifies when compaction pays.
+//
+// Part 2 (concurrent): the snapshot read/write split at work — a writer
+// thread ingests at full speed (with a mid-stream Compact) while this
+// thread keeps querying. Reported is the query latency DURING ingest and
+// DURING compaction: no external exclusion, no stop-the-world.
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
 using namespace amici;
+
+namespace {
+
+Item RandomItem(Rng& rng, size_t num_users) {
+  Item item;
+  item.owner = static_cast<UserId>(rng.UniformIndex(num_users));
+  item.tags = {static_cast<TagId>(rng.UniformIndex(10000))};
+  item.quality = static_cast<float>(rng.UniformDouble());
+  return item;
+}
+
+/// Queries in a loop until `stop` flips, recording per-query latency.
+LatencySummary QueryUntil(SocialSearchEngine* engine,
+                          const std::vector<SocialQuery>& queries,
+                          const std::atomic<bool>& stop) {
+  LatencyRecorder recorder;
+  while (!stop.load(std::memory_order_acquire)) {
+    for (const SocialQuery& query : queries) {
+      Stopwatch watch;
+      const auto result = engine->Query(query, AlgorithmId::kHybrid);
+      AMICI_CHECK(result.ok()) << result.status().ToString();
+      recorder.Record(watch.ElapsedMillis());
+      if (stop.load(std::memory_order_acquire)) break;
+    }
+  }
+  return recorder.Summarize();
+}
+
+}  // namespace
 
 int main() {
   bench::PrintBanner(
@@ -59,5 +98,73 @@ int main() {
   table.AddRow({"after Compact()", bench::Ms(compacted.mean),
                 bench::Ms(compacted.p99)});
   std::printf("%s", table.ToString().c_str());
+
+  // ---- Part 2: concurrent ingest + compaction vs query tail latency ----
+  bench::PrintBanner(
+      "Fig 11b (extension): query latency DURING concurrent ingest and "
+      "compaction [snapshot read/write split]",
+      "ingest and compaction run concurrently with queries; the query "
+      "path never blocks on the writer");
+
+  const size_t num_users = bundle.engine->graph().num_users();
+  TablePrinter concurrent({"phase", "hybrid mean ms", "hybrid p99 ms",
+                           "writer side"});
+
+  // Baseline: quiesced engine, freshly compacted.
+  const auto baseline = bench::RunQueries(bundle.engine.get(),
+                                          queries.value(),
+                                          AlgorithmId::kHybrid);
+  concurrent.AddRow({"idle writer", bench::Ms(baseline.mean),
+                     bench::Ms(baseline.p99), "-"});
+
+  // Queries while a writer thread ingests 25k items at full speed.
+  {
+    constexpr size_t kIngest = 25000;
+    std::atomic<bool> stop{false};
+    double ingest_ms = 0.0;
+    std::thread writer([&] {
+      Rng writer_rng(99);
+      Stopwatch watch;
+      for (size_t i = 0; i < kIngest; ++i) {
+        AMICI_CHECK_OK(
+            bundle.engine->AddItem(RandomItem(writer_rng, num_users))
+                .status());
+      }
+      ingest_ms = watch.ElapsedMillis();
+      stop.store(true, std::memory_order_release);
+    });
+    const auto during = QueryUntil(bundle.engine.get(), queries.value(),
+                                   stop);
+    writer.join();
+    concurrent.AddRow(
+        {"concurrent ingest (25k items)", bench::Ms(during.mean),
+         bench::Ms(during.p99),
+         StringPrintf("%.0f ms for 25k AddItem", ingest_ms)});
+  }
+
+  // Queries while Compact() folds the 25k-item tail into new indexes.
+  {
+    std::atomic<bool> stop{false};
+    double compact_ms = 0.0;
+    std::thread compactor([&] {
+      Stopwatch watch;
+      AMICI_CHECK_OK(bundle.engine->Compact());
+      compact_ms = watch.ElapsedMillis();
+      stop.store(true, std::memory_order_release);
+    });
+    const auto during = QueryUntil(bundle.engine.get(), queries.value(),
+                                   stop);
+    compactor.join();
+    concurrent.AddRow({"concurrent Compact()", bench::Ms(during.mean),
+                       bench::Ms(during.p99),
+                       StringPrintf("%.0f ms build+publish", compact_ms)});
+  }
+
+  // Post-compaction floor for reference.
+  const auto after = bench::RunQueries(bundle.engine.get(), queries.value(),
+                                       AlgorithmId::kHybrid);
+  concurrent.AddRow({"idle writer, compacted", bench::Ms(after.mean),
+                     bench::Ms(after.p99), "-"});
+  std::printf("%s", concurrent.ToString().c_str());
   return 0;
 }

@@ -36,15 +36,14 @@ std::string_view AlgorithmName(AlgorithmId id) {
       return "geo-grid";
     case AlgorithmId::kNra:
       return "nra";
+    case AlgorithmId::kNumAlgorithms:
+      break;
   }
   return "unknown";
 }
 
-SocialSearchEngine::SocialSearchEngine(SocialGraph graph, ItemStore store,
-                                       Options options)
-    : graph_(std::move(graph)),
-      store_(std::move(store)),
-      options_(std::move(options)) {}
+SocialSearchEngine::SocialSearchEngine(ItemStore store, Options options)
+    : store_(std::move(store)), options_(std::move(options)) {}
 
 Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
     SocialGraph graph, ItemStore store, Options options) {
@@ -52,18 +51,23 @@ Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
     options.proximity_model = std::make_shared<PprForwardPush>(
         /*restart_prob=*/0.15, /*epsilon=*/1e-4);
   }
+  auto shared_graph = std::make_shared<const SocialGraph>(std::move(graph));
   // Private constructor: cannot use make_unique.
-  std::unique_ptr<SocialSearchEngine> engine(new SocialSearchEngine(
-      std::move(graph), std::move(store), std::move(options)));
+  std::unique_ptr<SocialSearchEngine> engine(
+      new SocialSearchEngine(std::move(store), std::move(options)));
 
-  AMICI_RETURN_IF_ERROR(engine->BuildIndexesInternal());
+  AMICI_ASSIGN_OR_RETURN(
+      std::shared_ptr<const EngineSnapshot> initial,
+      engine->BuildSnapshot(std::move(shared_graph), /*graph_version=*/0,
+                            ItemStoreView(engine->store_)));
+  engine->snapshot_.store(std::move(initial));
 
   engine->proximity_model_ = engine->options_.proximity_model;
   engine->proximity_cache_ = std::make_unique<ProximityCache>(
       engine->proximity_model_.get(),
       std::max<size_t>(1, engine->options_.proximity_cache_capacity));
 
-  engine->algorithms_.resize(7);
+  engine->algorithms_.resize(kNumAlgorithms);
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kExhaustive)] =
       std::make_unique<ExhaustiveScan>();
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kMergeScan)] =
@@ -75,29 +79,48 @@ Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kHybrid)] =
       std::make_unique<HybridAdaptive>();
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kGeoGrid)] =
-      std::make_unique<GeoGridScan>(&engine->grid_);
+      std::make_unique<GeoGridScan>();
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kNra)] =
       std::make_unique<NraSearch>();
+  for (const auto& algorithm : engine->algorithms_) {
+    AMICI_CHECK(algorithm != nullptr)
+        << "algorithm table has a null slot; register every AlgorithmId";
+  }
   return engine;
 }
 
-Status SocialSearchEngine::BuildIndexesInternal() {
+Result<std::shared_ptr<const EngineSnapshot>>
+SocialSearchEngine::BuildSnapshot(std::shared_ptr<const SocialGraph> graph,
+                                  uint64_t graph_version,
+                                  ItemStoreView view) const {
+  auto next = std::make_shared<EngineSnapshot>();
   AMICI_ASSIGN_OR_RETURN(
-      indexes_,
-      BuildIndexes(store_, graph_.num_users(), options_.index_options));
-  index_horizon_ = static_cast<ItemId>(store_.num_items());
+      BuiltIndexes built,
+      BuildIndexes(view, graph->num_users(), options_.index_options));
+  next->indexes = std::make_shared<const BuiltIndexes>(std::move(built));
+  next->index_horizon = static_cast<ItemId>(view.num_items());
 
-  has_geo_items_ = false;
-  for (size_t i = 0; i < store_.num_items(); ++i) {
-    if (store_.has_geo(static_cast<ItemId>(i))) {
-      has_geo_items_ = true;
+  bool has_geo = false;
+  for (size_t i = 0; i < view.num_items(); ++i) {
+    if (view.has_geo(static_cast<ItemId>(i))) {
+      has_geo = true;
       break;
     }
   }
-  if (has_geo_items_) {
-    grid_ = GridIndex::Build(store_, options_.geo_cell_size_deg);
+  if (has_geo) {
+    next->grid = std::make_shared<const GridIndex>(
+        GridIndex::Build(view, options_.geo_cell_size_deg));
   }
-  return Status::Ok();
+
+  next->graph = std::move(graph);
+  next->graph_version = graph_version;
+  next->store = view;
+  return std::shared_ptr<const EngineSnapshot>(std::move(next));
+}
+
+void SocialSearchEngine::PublishLocked(
+    std::shared_ptr<const EngineSnapshot> next) {
+  snapshot_.store(std::move(next));
 }
 
 const SearchAlgorithm* SocialSearchEngine::AlgorithmFor(
@@ -113,31 +136,36 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query) {
 
 Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
                                               AlgorithmId algorithm) {
-  AMICI_RETURN_IF_ERROR(ValidateQuery(query, graph_.num_users()));
-  if (algorithm == AlgorithmId::kGeoGrid && !has_geo_items_) {
+  // Pin one generation: everything below executes against `snap`, immune
+  // to concurrent AddItem / Compact / friendship publishes.
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+
+  AMICI_RETURN_IF_ERROR(ValidateQuery(query, snap->graph->num_users()));
+  if (algorithm == AlgorithmId::kGeoGrid && !snap->has_geo_items()) {
     return Status::FailedPrecondition(
-        "geo-grid requires geo-tagged items in the store");
+        "geo-grid requires geo-tagged items covered by the indexes");
   }
 
   Stopwatch watch;
   const std::shared_ptr<const ProximityVector> proximity =
-      proximity_cache_->Get(graph_, query.user);
+      proximity_cache_->Get(*snap->graph, query.user, snap->graph_version);
 
   QueryContext ctx;
-  ctx.graph = &graph_;
-  ctx.store = &store_;
-  ctx.inverted = &indexes_.inverted;
-  ctx.social = &indexes_.social;
+  ctx.graph = snap->graph.get();
+  ctx.store = snap->store;
+  ctx.inverted = &snap->indexes->inverted;
+  ctx.social = &snap->indexes->social;
+  ctx.grid = snap->grid.get();
   ctx.proximity = proximity.get();
   ctx.query = &query;
-  ctx.index_horizon = index_horizon_;
+  ctx.index_horizon = snap->index_horizon;
   if (query.has_geo_filter) {
     const GeoPoint center{query.latitude, query.longitude};
-    const ItemStore* store = &store_;
+    const ItemStoreView store = snap->store;
     const double radius = query.radius_km;
     ctx.filter = [store, center, radius](ItemId item) {
-      if (!store->has_geo(item)) return false;
-      const GeoPoint p{store->latitude(item), store->longitude(item)};
+      if (!store.has_geo(item)) return false;
+      const GeoPoint p{store.latitude(item), store.longitude(item)};
       return DistanceKm(center, p) <= radius;
     };
   }
@@ -149,14 +177,14 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
 
   // Fold in the un-indexed tail: exhaustively score items the indexes do
   // not cover yet, merging with the algorithm's (exact) indexed top-k.
-  if (index_horizon_ < store_.num_items()) {
-    Scorer scorer(&store_, proximity.get(), &query);
+  if (snap->index_horizon < snap->store.num_items()) {
+    Scorer scorer(snap->store, proximity.get(), &query);
     TopKHeap heap(query.k);
     for (const ScoredItem& item : result.items) {
       heap.Push(item.item, item.score);
     }
-    for (ItemId item = index_horizon_;
-         item < static_cast<ItemId>(store_.num_items()); ++item) {
+    for (ItemId item = snap->index_horizon;
+         item < static_cast<ItemId>(snap->store.num_items()); ++item) {
       ++result.stats.items_considered;
       if (!scorer.Eligible(item)) continue;
       if (ctx.filter != nullptr && !ctx.filter(item)) continue;
@@ -178,7 +206,9 @@ Result<QueryResult> SocialSearchEngine::QueryDiverse(
   }
   // Iterative deepening: greedy per-owner selection over the top-N is
   // exact as soon as it either fills k slots or exhausts the positive-
-  // score corpus (N returned < N requested).
+  // score corpus (N returned < N requested). Owner lookups are safe
+  // without pinning a snapshot: an item's owner never changes once the
+  // item is visible.
   SocialQuery fetch_query = query;
   size_t fetch_k = query.k;
   while (true) {
@@ -223,20 +253,31 @@ std::vector<Result<QueryResult>> SocialSearchEngine::QueryBatch(
 Result<std::vector<TagSuggestion>> SocialSearchEngine::SuggestTags(
     UserId user, std::span<const TagId> seed_tags,
     const QueryExpansionOptions& options) {
-  if (user >= graph_.num_users()) {
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  if (user >= snap->graph->num_users()) {
     return Status::InvalidArgument("user outside the social graph");
   }
   const std::shared_ptr<const ProximityVector> proximity =
-      proximity_cache_->Get(graph_, user);
-  return SuggestQueryTags(store_, indexes_.social, *proximity, user,
-                          seed_tags, options);
+      proximity_cache_->Get(*snap->graph, user, snap->graph_version);
+  return SuggestQueryTags(snap->store, snap->indexes->social, *proximity,
+                          user, seed_tags, options);
 }
 
 Result<ItemId> SocialSearchEngine::AddItem(const Item& item) {
-  if (item.owner >= graph_.num_users()) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
+  if (item.owner >= cur->graph->num_users()) {
     return Status::InvalidArgument("item owner outside the social graph");
   }
-  return store_.Add(item);
+  AMICI_ASSIGN_OR_RETURN(const ItemId id, store_.Add(item));
+
+  // Publish a generation whose store view covers the new item. The heavy
+  // components (graph, indexes, grid) are shared, so this is one small
+  // allocation — the "cheap tail-append" write path.
+  auto next = std::make_shared<EngineSnapshot>(*cur);
+  next->store = ItemStoreView(store_);
+  PublishLocked(std::move(next));
+  return id;
 }
 
 namespace {
@@ -260,33 +301,69 @@ SocialGraph RebuildWithEdge(const SocialGraph& graph, UserId u, UserId v,
 }  // namespace
 
 Status SocialSearchEngine::AddFriendship(UserId u, UserId v) {
-  if (u >= graph_.num_users() || v >= graph_.num_users()) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
+  if (u >= cur->graph->num_users() || v >= cur->graph->num_users()) {
     return Status::InvalidArgument("friendship endpoint outside the graph");
   }
   if (u == v) return Status::InvalidArgument("self-friendship is not a thing");
-  if (graph_.HasEdge(u, v)) {
+  if (cur->graph->HasEdge(u, v)) {
     return Status::AlreadyExists("friendship already present");
   }
-  graph_ = RebuildWithEdge(graph_, u, v, /*insert=*/true);
-  proximity_cache_->Clear();  // proximities are stale graph-wide
+  auto next = std::make_shared<EngineSnapshot>(*cur);
+  next->graph = std::make_shared<const SocialGraph>(
+      RebuildWithEdge(*cur->graph, u, v, /*insert=*/true));
+  next->graph_version = ++graph_version_;
+  next->store = ItemStoreView(store_);
+  PublishLocked(std::move(next));
+  // No cache clear: entries are keyed by graph generation, so stale
+  // vectors can neither hit nor survive the first new-generation access.
   return Status::Ok();
 }
 
 Status SocialSearchEngine::RemoveFriendship(UserId u, UserId v) {
-  if (u >= graph_.num_users() || v >= graph_.num_users()) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
+  if (u >= cur->graph->num_users() || v >= cur->graph->num_users()) {
     return Status::InvalidArgument("friendship endpoint outside the graph");
   }
-  if (!graph_.HasEdge(u, v)) {
+  if (!cur->graph->HasEdge(u, v)) {
     return Status::NotFound("no such friendship");
   }
-  graph_ = RebuildWithEdge(graph_, u, v, /*insert=*/false);
-  proximity_cache_->Clear();
+  auto next = std::make_shared<EngineSnapshot>(*cur);
+  next->graph = std::make_shared<const SocialGraph>(
+      RebuildWithEdge(*cur->graph, u, v, /*insert=*/false));
+  next->graph_version = ++graph_version_;
+  next->store = ItemStoreView(store_);
+  PublishLocked(std::move(next));
   return Status::Ok();
 }
 
 Status SocialSearchEngine::Compact() {
-  AMICI_RETURN_IF_ERROR(BuildIndexesInternal());
-  AMICI_LOG(kInfo) << "compacted: indexes now cover " << index_horizon_
+  // Pin the generation to compact. The expensive index build below runs
+  // WITHOUT the writer lock: queries keep executing and AddItem keeps
+  // appending (past the pinned view's bound) while we work.
+  const std::shared_ptr<const EngineSnapshot> pinned = snapshot();
+
+  AMICI_ASSIGN_OR_RETURN(
+      std::shared_ptr<const EngineSnapshot> built,
+      BuildSnapshot(pinned->graph, pinned->graph_version, pinned->store));
+
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
+  if (built->index_horizon < cur->index_horizon) {
+    // A concurrent Compact already covered more of the catalogue; keep it.
+    return Status::Ok();
+  }
+  auto next = std::make_shared<EngineSnapshot>(*built);
+  // Adopt whatever the writers published while we built: the latest graph
+  // generation and the full store extent (items ingested during the build
+  // stay in the tail until the next Compact).
+  next->graph = cur->graph;
+  next->graph_version = cur->graph_version;
+  next->store = ItemStoreView(store_);
+  PublishLocked(std::move(next));
+  AMICI_LOG(kInfo) << "compacted: indexes now cover " << built->index_horizon
                    << " items";
   return Status::Ok();
 }

@@ -1,11 +1,14 @@
 #ifndef AMICI_CORE_ENGINE_H_
 #define AMICI_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "core/engine_snapshot.h"
 #include "core/engine_stats.h"
 #include "core/query_expansion.h"
 #include "core/search_algorithm.h"
@@ -17,6 +20,7 @@
 #include "proximity/proximity_model.h"
 #include "storage/item_store.h"
 #include "storage/tag_dictionary.h"
+#include "util/atomic_shared_ptr.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -31,7 +35,14 @@ enum class AlgorithmId {
   kHybrid,
   kGeoGrid,
   kNra,
+  /// Sentinel: number of strategies. Keep last; the engine sizes its
+  /// algorithm table from it, so a new strategy cannot silently leave a
+  /// null slot.
+  kNumAlgorithms,
 };
+
+inline constexpr size_t kNumAlgorithms =
+    static_cast<size_t>(AlgorithmId::kNumAlgorithms);
 
 /// Stable display name of `id` ("hybrid", "merge-scan", ...).
 std::string_view AlgorithmName(AlgorithmId id);
@@ -48,16 +59,25 @@ struct QueryResult {
   std::string_view algorithm;
 };
 
-/// The public facade: owns the social graph, the item catalogue, both
-/// indexes, the proximity model + cache, and the algorithm suite.
+/// The public facade: owns the item catalogue and the algorithm suite, and
+/// publishes the query-visible state (graph, indexes, grid, store view)
+/// as immutable EngineSnapshot generations.
 ///
-/// Thread-safety: concurrent Query() calls are safe (internal
-/// synchronization covers the proximity cache and stats); AddItem() and
-/// Compact() require external exclusion against queries.
+/// Thread-safety — the snapshot read/write split:
+///  * Query / QueryBatch / QueryDiverse / SuggestTags are safe from any
+///    number of threads, concurrently with each other AND with all
+///    mutators. Each query pins one snapshot (lock-free load) and runs
+///    against that consistent state to completion.
+///  * AddItem, AddFriendship, RemoveFriendship and Compact are safe
+///    concurrently with queries. Mutators serialize among themselves on an
+///    internal writer mutex; Compact additionally runs its expensive index
+///    build OFF the writer lock (from a pinned snapshot) so ingest stalls
+///    only for the final pointer swap.
 ///
 /// Incremental ingest follows the main-index + tail design: AddItem
-/// appends to an un-indexed tail that queries scan exhaustively (exactness
-/// is never sacrificed); Compact() folds the tail into the indexes.
+/// appends to an un-indexed, pointer-stable tail that queries scan
+/// exhaustively (exactness is never sacrificed); Compact() folds the tail
+/// into freshly built indexes and publishes them as a new generation.
 class SocialSearchEngine {
  public:
   struct Options {
@@ -81,7 +101,7 @@ class SocialSearchEngine {
   Result<QueryResult> Query(const SocialQuery& query);
 
   /// Executes `query` with a specific strategy. kGeoGrid requires a geo
-  /// filter on the query and geo items in the store.
+  /// filter on the query and geo items covered by the current indexes.
   Result<QueryResult> Query(const SocialQuery& query, AlgorithmId algorithm);
 
   /// Executes a batch concurrently on `pool` (inline when pool is null).
@@ -101,59 +121,95 @@ class SocialSearchEngine {
 
   /// Suggests expansion tags for `seed_tags` (sorted, unique) from the
   /// user's social neighbourhood — the personalized-thesaurus feature
-  /// (see query_expansion.h). Thread-safe alongside queries.
+  /// (see query_expansion.h). Thread-safe alongside queries and mutators.
   Result<std::vector<TagSuggestion>> SuggestTags(
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options = QueryExpansionOptions());
 
-  /// Appends a new item to the un-indexed tail. Requires external
-  /// exclusion against concurrent queries.
+  /// Appends a new item to the un-indexed tail and publishes a snapshot
+  /// that makes it queryable. Cheap (columnar append + pointer swap);
+  /// safe concurrently with queries and other mutators.
   Result<ItemId> AddItem(const Item& item);
 
   /// Adds / removes a friendship edge. The CSR graph is rebuilt (O(E))
-  /// and the proximity cache invalidated — adequate for the low edge-churn
-  /// typical of social workloads. Requires external exclusion against
-  /// concurrent queries. RemoveFriendship returns NotFound when the edge
+  /// and published as a new generation; in-flight queries finish on the
+  /// generation they pinned. Adequate for the low edge-churn typical of
+  /// social workloads. RemoveFriendship returns NotFound when the edge
   /// does not exist; AddFriendship returns AlreadyExists for duplicates.
   Status AddFriendship(UserId u, UserId v);
   Status RemoveFriendship(UserId u, UserId v);
 
-  /// Folds the tail into freshly rebuilt indexes.
+  /// Folds the tail into freshly rebuilt indexes. The build runs off the
+  /// writer lock against a pinned snapshot, so queries AND ingest proceed
+  /// while it works; only the final publish takes the writer mutex.
+  /// Items ingested while the build runs simply stay in the tail until
+  /// the next Compact.
   Status Compact();
 
-  /// Items not yet covered by the indexes.
-  size_t unindexed_items() const {
-    return store_.num_items() - index_horizon_;
+  /// The current snapshot (lock-free load). Holding the returned pointer
+  /// pins this generation's graph, indexes and grid for as long as the
+  /// caller keeps it. The store view inside points into the engine-owned
+  /// catalogue, so the ENGINE must outlive any pinned snapshot.
+  std::shared_ptr<const EngineSnapshot> snapshot() const {
+    return snapshot_.load();
   }
 
-  const SocialGraph& graph() const { return graph_; }
+  /// Items not yet covered by the indexes (in the current snapshot).
+  size_t unindexed_items() const { return snapshot()->unindexed_items(); }
+
+  /// Accessors into the CURRENT snapshot. The references stay valid only
+  /// while no concurrent writer publishes a new generation — single-thread
+  /// callers (tests, benches, examples) are fine; concurrent callers
+  /// should pin snapshot() instead.
+  const SocialGraph& graph() const { return *snapshot()->graph; }
+  const InvertedIndex& inverted_index() const {
+    return snapshot()->indexes->inverted;
+  }
+  const SocialIndex& social_index() const {
+    return snapshot()->indexes->social;
+  }
+  const GridIndex& grid_index() const {
+    static const GridIndex kEmptyGrid;
+    const auto snap = snapshot();
+    return snap->grid ? *snap->grid : kEmptyGrid;
+  }
+  const IndexBuildStats& last_build_stats() const {
+    return snapshot()->indexes->stats;
+  }
+
   const ItemStore& store() const { return store_; }
-  const InvertedIndex& inverted_index() const { return indexes_.inverted; }
-  const SocialIndex& social_index() const { return indexes_.social; }
-  const GridIndex& grid_index() const { return grid_; }
-  const IndexBuildStats& last_build_stats() const { return indexes_.stats; }
   const ProximityModel& proximity_model() const { return *proximity_model_; }
   ProximityCache& proximity_cache() { return *proximity_cache_; }
   EngineStats& stats() { return stats_; }
 
  private:
-  SocialSearchEngine(SocialGraph graph, ItemStore store, Options options);
+  SocialSearchEngine(ItemStore store, Options options);
 
-  Status BuildIndexesInternal();
+  /// Builds indexes + grid over `view` and returns the snapshot holding
+  /// them (graph/version taken from `graph`/`graph_version`).
+  Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshot(
+      std::shared_ptr<const SocialGraph> graph, uint64_t graph_version,
+      ItemStoreView view) const;
+
   const SearchAlgorithm* AlgorithmFor(AlgorithmId id) const;
 
-  SocialGraph graph_;
+  /// Atomically replaces the published snapshot. Callers must hold
+  /// writer_mutex_.
+  void PublishLocked(std::shared_ptr<const EngineSnapshot> next);
+
   ItemStore store_;
   Options options_;
-  BuiltIndexes indexes_;
-  GridIndex grid_;
-  bool has_geo_items_ = false;
-  ItemId index_horizon_ = 0;
 
   std::shared_ptr<const ProximityModel> proximity_model_;
   std::unique_ptr<ProximityCache> proximity_cache_;
   std::vector<std::unique_ptr<SearchAlgorithm>> algorithms_;  // by AlgorithmId
   EngineStats stats_;
+
+  /// Serializes mutators (AddItem, friendship edits, snapshot publishes).
+  /// Never held while a query executes.
+  std::mutex writer_mutex_;
+  uint64_t graph_version_ = 0;  // guarded by writer_mutex_
+  AtomicSharedPtr<const EngineSnapshot> snapshot_;
 };
 
 }  // namespace amici

@@ -13,7 +13,7 @@ bool IsSeed(std::span<const TagId> seeds, TagId tag) {
 }  // namespace
 
 Result<std::vector<TagSuggestion>> SuggestQueryTags(
-    const ItemStore& store, const SocialIndex& social,
+    ItemStoreView store, const SocialIndex& social,
     const ProximityVector& proximity, UserId user,
     std::span<const TagId> seed_tags, const QueryExpansionOptions& options) {
   if (seed_tags.empty()) {

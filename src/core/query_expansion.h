@@ -45,7 +45,7 @@ struct QueryExpansionOptions {
 ///
 /// `seed_tags` must be sorted and unique (NormalizeQuery does this).
 Result<std::vector<TagSuggestion>> SuggestQueryTags(
-    const ItemStore& store, const SocialIndex& social,
+    ItemStoreView store, const SocialIndex& social,
     const ProximityVector& proximity, UserId user,
     std::span<const TagId> seed_tags, const QueryExpansionOptions& options);
 

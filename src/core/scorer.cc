@@ -4,23 +4,23 @@
 
 namespace amici {
 
-Scorer::Scorer(const ItemStore* store, const ProximityVector* proximity,
+Scorer::Scorer(ItemStoreView store, const ProximityVector* proximity,
                const SocialQuery* query)
     : store_(store), proximity_(proximity), query_(query) {
-  AMICI_CHECK(store != nullptr);
+  AMICI_CHECK(store.store() != nullptr);
   AMICI_CHECK(proximity != nullptr);
   AMICI_CHECK(query != nullptr);
 }
 
 double Scorer::SocialScore(ItemId item) const {
-  const UserId owner = store_->owner(item);
+  const UserId owner = store_.owner(item);
   if (owner == query_->user) return 1.0;
   return static_cast<double>(proximity_->Proximity(owner));
 }
 
 size_t Scorer::MatchedTags(ItemId item) const {
   // Both tag lists are sorted; linear merge.
-  const auto item_tags = store_->tags(item);
+  const auto item_tags = store_.tags(item);
   size_t matched = 0;
   size_t i = 0;
   size_t j = 0;
@@ -42,11 +42,11 @@ double Scorer::ContentScore(ItemId item) const {
   const size_t matched = MatchedTags(item);
   if (query_->mode == MatchMode::kAll) {
     return matched == query_->tags.size()
-               ? static_cast<double>(store_->quality(item))
+               ? static_cast<double>(store_.quality(item))
                : 0.0;
   }
   if (matched == 0) return 0.0;
-  return static_cast<double>(store_->quality(item)) *
+  return static_cast<double>(store_.quality(item)) *
          static_cast<double>(matched) /
          static_cast<double>(query_->tags.size());
 }

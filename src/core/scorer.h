@@ -24,8 +24,9 @@ namespace amici {
 ///    separate predicate — see Eligible()).
 class Scorer {
  public:
-  /// All pointers must outlive the Scorer; `query` must be validated.
-  Scorer(const ItemStore* store, const ProximityVector* proximity,
+  /// All pointers (and the view's store) must outlive the Scorer; `query`
+  /// must be validated.
+  Scorer(ItemStoreView store, const ProximityVector* proximity,
          const SocialQuery* query);
 
   /// alpha * social + (1 - alpha) * content.
@@ -48,7 +49,7 @@ class Scorer {
   bool Eligible(ItemId item) const;
 
  private:
-  const ItemStore* store_;
+  ItemStoreView store_;
   const ProximityVector* proximity_;
   const SocialQuery* query_;
 };

@@ -17,15 +17,21 @@
 
 namespace amici {
 
+class GridIndex;
+
 /// Everything a query algorithm may touch, assembled by the engine per
-/// query. All pointers outlive the call; `proximity` is the (cached)
-/// vector for query->user; `filter`, when set, restricts the eligible
-/// corpus (geo restriction and/or AND-mode tag matching).
+/// query from one immutable EngineSnapshot. All pointers outlive the call;
+/// `store` is a bounded read view (a consistent catalogue prefix even
+/// while ingest runs); `proximity` is the (cached) vector for
+/// query->user; `filter`, when set, restricts the eligible corpus (geo
+/// restriction and/or AND-mode tag matching).
 struct QueryContext {
   const SocialGraph* graph = nullptr;
-  const ItemStore* store = nullptr;
+  ItemStoreView store;
   const InvertedIndex* inverted = nullptr;
   const SocialIndex* social = nullptr;
+  /// Grid over the indexed items; null when the snapshot has none.
+  const GridIndex* grid = nullptr;
   const ProximityVector* proximity = nullptr;
   const SocialQuery* query = nullptr;
   std::function<bool(ItemId)> filter;  // empty = accept everything

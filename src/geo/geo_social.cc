@@ -6,10 +6,6 @@
 
 namespace amici {
 
-GeoGridScan::GeoGridScan(const GridIndex* grid) : grid_(grid) {
-  AMICI_CHECK(grid != nullptr);
-}
-
 Result<std::vector<ScoredItem>> GeoGridScan::Search(const QueryContext& ctx,
                                                     SearchStats* stats) const {
   const SocialQuery& query = *ctx.query;
@@ -17,12 +13,16 @@ Result<std::vector<ScoredItem>> GeoGridScan::Search(const QueryContext& ctx,
     return Status::FailedPrecondition(
         "geo-grid executes only queries with a geo filter");
   }
+  if (ctx.grid == nullptr) {
+    return Status::FailedPrecondition(
+        "geo-grid requires a grid index in the query context");
+  }
   Scorer scorer(ctx.store, ctx.proximity, &query);
   TopKHeap heap(query.k);
   SearchStats local;
 
   const GeoPoint center{query.latitude, query.longitude};
-  grid_->ForEachInRadius(center, query.radius_km, [&](ItemId item) {
+  ctx.grid->ForEachInRadius(center, query.radius_km, [&](ItemId item) {
     if (item >= ctx.index_horizon) return;
     ++local.items_considered;
     if (!scorer.Eligible(item)) return;

@@ -15,21 +15,17 @@ namespace amici {
 /// Wins when the radius is selective (few items inside), loses to the
 /// filtered TA algorithms as the radius grows — the Fig 8 crossover.
 ///
-/// Requires the query to carry a geo filter; returns FailedPrecondition
-/// otherwise.
+/// Requires the query to carry a geo filter and the context to carry a
+/// grid index (ctx.grid, published with the engine snapshot); returns
+/// FailedPrecondition otherwise.
 class GeoGridScan final : public SearchAlgorithm {
  public:
-  /// `grid` must outlive the algorithm and be built over the same store
-  /// the engine queries.
-  explicit GeoGridScan(const GridIndex* grid);
+  GeoGridScan() = default;
 
   std::string_view name() const override { return "geo-grid"; }
 
   Result<std::vector<ScoredItem>> Search(const QueryContext& ctx,
                                          SearchStats* stats) const override;
-
- private:
-  const GridIndex* grid_;
 };
 
 }  // namespace amici

@@ -21,11 +21,11 @@ GridIndex::CellKey GridIndex::ComposeKey(int64_t lat_cell, int64_t lon_cell) {
          static_cast<CellKey>(lon_cell);
 }
 
-GridIndex GridIndex::Build(const ItemStore& store, double cell_size_deg) {
+GridIndex GridIndex::Build(ItemStoreView store, double cell_size_deg) {
   AMICI_CHECK(cell_size_deg > 0.0);
   GridIndex index;
   index.cell_size_deg_ = cell_size_deg;
-  index.store_ = &store;
+  index.store_ = store;
   for (size_t i = 0; i < store.num_items(); ++i) {
     const ItemId item = static_cast<ItemId>(i);
     if (!store.has_geo(item)) continue;
@@ -38,7 +38,7 @@ GridIndex GridIndex::Build(const ItemStore& store, double cell_size_deg) {
 
 void GridIndex::ForEachInRadius(const GeoPoint& center, double radius_km,
                                 const std::function<void(ItemId)>& fn) const {
-  if (store_ == nullptr || radius_km <= 0.0) return;
+  if (store_.store() == nullptr || radius_km <= 0.0) return;
   const double lat_span = KmToLatitudeDegrees(radius_km);
   const double lon_span = KmToLongitudeDegrees(radius_km, center.latitude);
 
@@ -60,7 +60,7 @@ void GridIndex::ForEachInRadius(const GeoPoint& center, double radius_km,
       const auto it = cells_.find(ComposeKey(lat, lon));
       if (it == cells_.end()) continue;
       for (const ItemId item : it->second) {
-        const GeoPoint p{store_->latitude(item), store_->longitude(item)};
+        const GeoPoint p{store_.latitude(item), store_.longitude(item)};
         if (DistanceKm(center, p) <= radius_km) fn(item);
       }
     }

@@ -20,9 +20,10 @@ namespace amici {
 /// city-scale extents the geo-social experiments use.
 class GridIndex {
  public:
-  /// Builds the grid over every item in `store` that has a geo position.
-  /// `cell_size_deg` > 0.
-  static GridIndex Build(const ItemStore& store, double cell_size_deg);
+  /// Builds the grid over every item visible in `store` that has a geo
+  /// position. `cell_size_deg` > 0. The view is retained for the exact
+  /// post-filter, so the underlying store must outlive the index.
+  static GridIndex Build(ItemStoreView store, double cell_size_deg);
 
   GridIndex() = default;
 
@@ -49,7 +50,7 @@ class GridIndex {
 
   double cell_size_deg_ = 1.0;
   std::unordered_map<CellKey, std::vector<ItemId>> cells_;
-  const ItemStore* store_ = nullptr;
+  ItemStoreView store_;
   size_t num_items_ = 0;
 };
 

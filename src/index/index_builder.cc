@@ -6,7 +6,7 @@
 
 namespace amici {
 
-Result<BuiltIndexes> BuildIndexes(const ItemStore& store, size_t num_users,
+Result<BuiltIndexes> BuildIndexes(ItemStoreView store, size_t num_users,
                                   const InvertedIndex::Options& options) {
   BuiltIndexes built;
   Stopwatch watch;

@@ -25,10 +25,12 @@ struct BuiltIndexes {
   IndexBuildStats stats;
 };
 
-/// Builds the inverted and social indexes over `store` for a graph of
-/// `num_users` users, timing each phase.
+/// Builds the inverted and social indexes over the items visible in
+/// `store` for a graph of `num_users` users, timing each phase. Passing a
+/// bounded snapshot view makes the build safe to run concurrently with a
+/// writer appending past the view's bound (off-hot-path compaction).
 Result<BuiltIndexes> BuildIndexes(
-    const ItemStore& store, size_t num_users,
+    ItemStoreView store, size_t num_users,
     const InvertedIndex::Options& options = InvertedIndex::Options());
 
 }  // namespace amici

@@ -4,11 +4,11 @@
 
 namespace amici {
 
-Result<InvertedIndex> InvertedIndex::Build(const ItemStore& store) {
+Result<InvertedIndex> InvertedIndex::Build(ItemStoreView store) {
   return Build(store, Options());
 }
 
-Result<InvertedIndex> InvertedIndex::Build(const ItemStore& store,
+Result<InvertedIndex> InvertedIndex::Build(ItemStoreView store,
                                            const Options& options) {
   InvertedIndex index;
   const size_t num_tags = store.TagUniverseSize();

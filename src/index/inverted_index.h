@@ -33,11 +33,12 @@ class InvertedIndex {
 
   InvertedIndex() = default;
 
-  /// Builds the index over every item in `store`. Tag universe size is
-  /// taken from the store.
-  static Result<InvertedIndex> Build(const ItemStore& store,
+  /// Builds the index over every item visible in `store`. Tag universe
+  /// size is taken from the view, so a bounded snapshot view yields an
+  /// index over exactly that catalogue prefix.
+  static Result<InvertedIndex> Build(ItemStoreView store,
                                      const Options& options);
-  static Result<InvertedIndex> Build(const ItemStore& store);
+  static Result<InvertedIndex> Build(ItemStoreView store);
 
   /// Number of distinct tags covered (= tag universe size at build).
   size_t num_tags() const { return doc_ordered_.size(); }

@@ -4,7 +4,7 @@
 
 namespace amici {
 
-SocialIndex SocialIndex::Build(const ItemStore& store, size_t num_users) {
+SocialIndex SocialIndex::Build(ItemStoreView store, size_t num_users) {
   SocialIndex index;
   std::vector<uint64_t> counts(num_users + 1, 0);
   for (size_t i = 0; i < store.num_items(); ++i) {

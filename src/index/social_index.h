@@ -20,10 +20,10 @@ class SocialIndex {
  public:
   SocialIndex() = default;
 
-  /// Builds the index for `num_users` users over every item in `store`.
-  /// Items owned by users >= num_users are ignored (they cannot be reached
-  /// by any social query).
-  static SocialIndex Build(const ItemStore& store, size_t num_users);
+  /// Builds the index for `num_users` users over every item visible in
+  /// `store`. Items owned by users >= num_users are ignored (they cannot
+  /// be reached by any social query).
+  static SocialIndex Build(ItemStoreView store, size_t num_users);
 
   size_t num_users() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;

@@ -13,11 +13,11 @@ ProximityCache::ProximityCache(const ProximityModel* model, size_t capacity)
 }
 
 std::shared_ptr<const ProximityVector> ProximityCache::Get(
-    const SocialGraph& graph, UserId source) {
+    const SocialGraph& graph, UserId source, uint64_t graph_version) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(source);
-    if (it != entries_.end()) {
+    if (it != entries_.end() && it->second.graph_version == graph_version) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second.lru_position);
       return it->second.vector;
@@ -31,14 +31,26 @@ std::shared_ptr<const ProximityVector> ProximityCache::Get(
       model_->Compute(graph, source));
 
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(source);
+  auto it = entries_.find(source);
   if (it != entries_.end()) {
-    // Another thread inserted while we computed; reuse its entry.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-    return it->second.vector;
+    if (it->second.graph_version == graph_version) {
+      // Another thread inserted while we computed; reuse its entry.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return it->second.vector;
+    }
+    if (it->second.graph_version < graph_version) {
+      // The cached entry is from an older generation: replace in place.
+      it->second.vector = vector;
+      it->second.graph_version = graph_version;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    }
+    // Otherwise this caller is pinned to an OLD generation while a newer
+    // one is already cached — serve the computed vector without clobbering
+    // the fresher entry.
+    return vector;
   }
   lru_.push_front(source);
-  entries_.emplace(source, Entry{vector, lru_.begin()});
+  entries_.emplace(source, Entry{vector, lru_.begin(), graph_version});
   if (entries_.size() > capacity_) {
     const UserId victim = lru_.back();
     lru_.pop_back();

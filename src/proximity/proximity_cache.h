@@ -29,8 +29,15 @@ class ProximityCache {
 
   /// Returns the (possibly cached) proximity vector of `source`. The
   /// shared_ptr keeps the vector alive even if it is evicted while in use.
+  ///
+  /// `graph_version` tags the entry with the graph generation it was
+  /// computed from: a cached entry only hits when the caller's version
+  /// matches, so a reader racing a friendship mutation can never be served
+  /// (or poison the cache with) a vector from the wrong graph generation.
+  /// Callers with an unversioned graph may leave it 0.
   std::shared_ptr<const ProximityVector> Get(const SocialGraph& graph,
-                                             UserId source);
+                                             UserId source,
+                                             uint64_t graph_version = 0);
 
   /// Drops all cached entries.
   void Clear();
@@ -46,6 +53,7 @@ class ProximityCache {
   struct Entry {
     std::shared_ptr<const ProximityVector> vector;
     LruList::iterator lru_position;
+    uint64_t graph_version = 0;
   };
 
   const ProximityModel* model_;

@@ -1,6 +1,7 @@
 #include "storage/item_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/string_util.h"
 
@@ -20,19 +21,33 @@ Result<ItemId> ItemStore::Add(const Item& item) {
   std::vector<TagId> tags = item.tags;
   std::sort(tags.begin(), tags.end());
   tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  if (tags.size() > StableColumn<TagId>::kMaxRun) {
+    return Status::InvalidArgument("item carries too many tags");
+  }
 
-  const ItemId id = static_cast<ItemId>(owner_.size());
+  const size_t id = num_items_.load(std::memory_order_relaxed);
+  if (!owner_.CanAppend(1) || !tag_data_.CanAppend(tags.size())) {
+    return Status::ResourceExhausted("item store is at capacity");
+  }
   owner_.push_back(item.owner);
   quality_.push_back(item.quality);
   has_geo_.push_back(item.has_geo ? 1 : 0);
   latitude_.push_back(item.latitude);
   longitude_.push_back(item.longitude);
+  const size_t start = tag_data_.AppendRun(tags.data(), tags.size());
+  tag_starts_.push_back(start);
+  tag_counts_.push_back(static_cast<uint32_t>(tags.size()));
+
+  size_t universe = tag_universe_.load(std::memory_order_relaxed);
   for (const TagId tag : tags) {
-    tag_ids_.push_back(tag);
-    max_tag_plus_one_ = std::max(max_tag_plus_one_, static_cast<size_t>(tag) + 1);
+    universe = std::max(universe, static_cast<size_t>(tag) + 1);
   }
-  tag_offsets_.push_back(tag_ids_.size());
-  return id;
+  tag_universe_.store(universe, std::memory_order_release);
+
+  // Publish last: readers that observe num_items() > id are guaranteed to
+  // see every column of item `id` (release/acquire on num_items_).
+  num_items_.store(id + 1, std::memory_order_release);
+  return static_cast<ItemId>(id);
 }
 
 bool ItemStore::HasTag(ItemId item, TagId tag) const {
@@ -41,13 +56,42 @@ bool ItemStore::HasTag(ItemId item, TagId tag) const {
 }
 
 size_t ItemStore::MemoryBytes() const {
-  return owner_.capacity() * sizeof(UserId) +
-         quality_.capacity() * sizeof(float) +
-         has_geo_.capacity() * sizeof(uint8_t) +
-         latitude_.capacity() * sizeof(float) +
-         longitude_.capacity() * sizeof(float) +
-         tag_offsets_.capacity() * sizeof(uint64_t) +
-         tag_ids_.capacity() * sizeof(TagId);
+  return owner_.AllocatedBytes() + quality_.AllocatedBytes() +
+         has_geo_.AllocatedBytes() + latitude_.AllocatedBytes() +
+         longitude_.AllocatedBytes() + tag_starts_.AllocatedBytes() +
+         tag_counts_.AllocatedBytes() + tag_data_.AllocatedBytes();
+}
+
+void ItemStore::CopyFrom(const ItemStore& other) {
+  owner_ = other.owner_;
+  quality_ = other.quality_;
+  has_geo_ = other.has_geo_;
+  latitude_ = other.latitude_;
+  longitude_ = other.longitude_;
+  tag_starts_ = other.tag_starts_;
+  tag_counts_ = other.tag_counts_;
+  tag_data_ = other.tag_data_;
+  num_items_.store(other.num_items_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  tag_universe_.store(other.tag_universe_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+void ItemStore::MoveFrom(ItemStore&& other) noexcept {
+  owner_ = std::move(other.owner_);
+  quality_ = std::move(other.quality_);
+  has_geo_ = std::move(other.has_geo_);
+  latitude_ = std::move(other.latitude_);
+  longitude_ = std::move(other.longitude_);
+  tag_starts_ = std::move(other.tag_starts_);
+  tag_counts_ = std::move(other.tag_counts_);
+  tag_data_ = std::move(other.tag_data_);
+  num_items_.store(other.num_items_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  tag_universe_.store(other.tag_universe_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  other.num_items_.store(0, std::memory_order_relaxed);
+  other.tag_universe_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace amici

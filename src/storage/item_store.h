@@ -1,10 +1,12 @@
 #ifndef AMICI_STORAGE_ITEM_STORE_H_
 #define AMICI_STORAGE_ITEM_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "storage/stable_column.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -25,18 +27,42 @@ struct Item {
 };
 
 /// Columnar, append-only item catalogue. Item ids are assigned densely in
-/// insertion order. Tag sets are stored CSR-style (deduplicated, sorted);
-/// all per-item lookups are O(1) array reads, which keeps the random-access
-/// ("rescore from the store") path of the query algorithms cheap.
+/// insertion order. Tag sets are stored CSR-style (deduplicated, sorted)
+/// in chunked columns; all per-item lookups are O(1) array reads, which
+/// keeps the random-access ("rescore from the store") path of the query
+/// algorithms cheap.
+///
+/// Concurrency: a single writer may Add() while any number of readers
+/// access items concurrently, PROVIDED readers only touch item ids below
+/// a num_items() value they observed (num_items() is published with
+/// release semantics after all of the item's columns are written, and
+/// storage is pointer-stable — see StableColumn). ItemStoreView packages
+/// such a bound; the engine snapshots carry one per published state.
+/// Copying/moving a store is not thread-safe.
 class ItemStore {
  public:
   ItemStore() = default;
 
+  ItemStore(const ItemStore& other) { CopyFrom(other); }
+  ItemStore& operator=(const ItemStore& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  ItemStore(ItemStore&& other) noexcept { MoveFrom(std::move(other)); }
+  ItemStore& operator=(ItemStore&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
   /// Appends `item` and returns its id. Fails if owner is invalid, quality
-  /// is outside [0, 1], or the tag list is empty.
+  /// is outside [0, 1], or the tag list is empty. Single writer at a time.
   Result<ItemId> Add(const Item& item);
 
-  size_t num_items() const { return owner_.size(); }
+  /// Items fully written so far (acquire load: everything below the
+  /// returned bound is safe to read concurrently with the writer).
+  size_t num_items() const {
+    return num_items_.load(std::memory_order_acquire);
+  }
 
   UserId owner(ItemId item) const { return owner_[item]; }
   float quality(ItemId item) const { return quality_[item]; }
@@ -46,8 +72,7 @@ class ItemStore {
 
   /// Sorted, unique tags of `item`.
   std::span<const TagId> tags(ItemId item) const {
-    return {tag_ids_.data() + tag_offsets_[item],
-            tag_ids_.data() + tag_offsets_[item + 1]};
+    return {tag_data_.RunData(tag_starts_[item]), tag_counts_[item]};
   }
 
   /// True iff `item` carries `tag`. O(log #tags).
@@ -55,20 +80,72 @@ class ItemStore {
 
   /// Largest tag id stored plus one (0 if empty); the tag-universe size
   /// indexes need.
-  size_t TagUniverseSize() const { return max_tag_plus_one_; }
+  size_t TagUniverseSize() const {
+    return tag_universe_.load(std::memory_order_acquire);
+  }
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;
 
  private:
-  std::vector<UserId> owner_;
-  std::vector<float> quality_;
-  std::vector<uint8_t> has_geo_;
-  std::vector<float> latitude_;
-  std::vector<float> longitude_;
-  std::vector<uint64_t> tag_offsets_{0};
-  std::vector<TagId> tag_ids_;
-  size_t max_tag_plus_one_ = 0;
+  void CopyFrom(const ItemStore& other);
+  void MoveFrom(ItemStore&& other) noexcept;
+
+  StableColumn<UserId> owner_;
+  StableColumn<float> quality_;
+  StableColumn<uint8_t> has_geo_;
+  StableColumn<float> latitude_;
+  StableColumn<float> longitude_;
+  /// CSR tag storage: per-item (start, count) into tag_data_ runs.
+  StableColumn<uint64_t> tag_starts_;
+  StableColumn<uint32_t> tag_counts_;
+  StableColumn<TagId> tag_data_;
+  std::atomic<size_t> num_items_{0};
+  std::atomic<size_t> tag_universe_{0};
+};
+
+/// A bounded, immutable read view over an ItemStore: the item prefix
+/// [0, num_items()) plus the tag-universe size captured when the view was
+/// created. Queries and index builds go through a view, so they observe a
+/// consistent catalogue prefix even while the writer keeps appending.
+/// Copyable, 24 bytes; the underlying store must outlive the view.
+class ItemStoreView {
+ public:
+  ItemStoreView() = default;
+
+  /// Views the store's current contents (implicit: every pre-snapshot
+  /// call site passing an ItemStore keeps working, pinned to "now").
+  ItemStoreView(const ItemStore& store)  // NOLINT(runtime/explicit)
+      : ItemStoreView(&store) {}
+  ItemStoreView(const ItemStore* store)  // NOLINT(runtime/explicit)
+      : store_(store),
+        num_items_(store == nullptr ? 0 : store->num_items()),
+        tag_universe_(store == nullptr ? 0 : store->TagUniverseSize()) {}
+
+  /// Views exactly [0, num_items) with a fixed tag universe.
+  ItemStoreView(const ItemStore* store, size_t num_items, size_t tag_universe)
+      : store_(store), num_items_(num_items), tag_universe_(tag_universe) {}
+
+  size_t num_items() const { return num_items_; }
+  UserId owner(ItemId item) const { return store_->owner(item); }
+  float quality(ItemId item) const { return store_->quality(item); }
+  bool has_geo(ItemId item) const { return store_->has_geo(item); }
+  float latitude(ItemId item) const { return store_->latitude(item); }
+  float longitude(ItemId item) const { return store_->longitude(item); }
+  std::span<const TagId> tags(ItemId item) const {
+    return store_->tags(item);
+  }
+  bool HasTag(ItemId item, TagId tag) const {
+    return store_->HasTag(item, tag);
+  }
+  size_t TagUniverseSize() const { return tag_universe_; }
+
+  const ItemStore* store() const { return store_; }
+
+ private:
+  const ItemStore* store_ = nullptr;
+  size_t num_items_ = 0;
+  size_t tag_universe_ = 0;
 };
 
 }  // namespace amici

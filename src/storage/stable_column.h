@@ -1,0 +1,175 @@
+#ifndef AMICI_STORAGE_STABLE_COLUMN_H_
+#define AMICI_STORAGE_STABLE_COLUMN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "util/logging.h"
+
+namespace amici {
+
+/// An append-only columnar array with pointer-stable storage: elements
+/// live in fixed-size chunks reached through a fixed-capacity directory,
+/// so an append NEVER moves previously written elements (unlike
+/// std::vector, whose reallocation would race with concurrent readers).
+///
+/// Concurrency contract (the RCU-style snapshot substrate):
+///  * exactly one writer appends at a time;
+///  * any number of readers may concurrently access indexes strictly
+///    below a bound they observed through a release/acquire edge (the
+///    engine snapshot pointer, or ItemStore::num_items()) AFTER the
+///    elements were written. The writer only ever touches directory
+///    slots and element slots that no reader is allowed to see yet, so
+///    reader and writer never race on a memory location.
+///
+/// Copy/move are writer-side operations (serial set-up only).
+template <typename T>
+class StableColumn {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "readers rely on element writes being plain stores");
+
+ public:
+  static constexpr size_t kChunkBits = 13;
+  /// Elements per chunk (8192).
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  /// Directory capacity: 2^15 chunks * 2^13 elements = 268M elements.
+  /// The directory is allocated at full capacity on first append (256KB
+  /// of pointers for 8-byte T) because readers index into it without
+  /// synchronization — growing it in place would reallocate the very
+  /// array concurrent readers are traversing. A two-level directory
+  /// could cut the fixed overhead; see ROADMAP open items.
+  static constexpr size_t kMaxChunks = size_t{1} << 15;
+  /// Longest run AppendRun can keep contiguous (one chunk).
+  static constexpr size_t kMaxRun = kChunkSize;
+  /// Total element capacity. Writers should check CanAppend() and fail
+  /// gracefully rather than rely on the internal capacity CHECK.
+  static constexpr size_t kMaxElements = kMaxChunks * kChunkSize;
+
+  StableColumn() = default;
+  ~StableColumn() { Reset(); }
+
+  StableColumn(const StableColumn& other) { CopyFrom(other); }
+  StableColumn& operator=(const StableColumn& other) {
+    if (this != &other) {
+      Reset();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  StableColumn(StableColumn&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        num_chunks_(other.num_chunks_),
+        size_(other.size_) {
+    other.num_chunks_ = 0;
+    other.size_ = 0;
+  }
+  StableColumn& operator=(StableColumn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      chunks_ = std::move(other.chunks_);
+      num_chunks_ = other.num_chunks_;
+      size_ = other.size_;
+      other.num_chunks_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Appends one element (writer only).
+  void push_back(const T& value) {
+    EnsureChunkFor(size_);
+    chunks_[size_ >> kChunkBits][size_ & (kChunkSize - 1)] = value;
+    ++size_;
+  }
+
+  /// Appends `count` elements as one contiguous run and returns the index
+  /// of its first element. Pads to the next chunk boundary when the run
+  /// would straddle one, so RunData(start) is valid for the whole run.
+  /// count must be in [0, kMaxRun].
+  size_t AppendRun(const T* data, size_t count) {
+    AMICI_CHECK(count <= kMaxRun);
+    const size_t used = size_ & (kChunkSize - 1);
+    if (used != 0 && used + count > kChunkSize) {
+      size_ += kChunkSize - used;  // skip the chunk remainder (padding)
+    }
+    const size_t start = size_;
+    if (count > 0) {
+      EnsureChunkFor(start + count - 1);
+      std::memcpy(&chunks_[start >> kChunkBits][start & (kChunkSize - 1)],
+                  data, count * sizeof(T));
+      size_ = start + count;
+    }
+    return start;
+  }
+
+  /// Element access. Readers must only pass indexes covered by a bound
+  /// published after the write (see class comment).
+  const T& operator[](size_t index) const {
+    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+
+  /// Pointer to the run starting at `start` (an AppendRun return value);
+  /// contiguous for that run's length.
+  const T* RunData(size_t start) const {
+    return &chunks_[start >> kChunkBits][start & (kChunkSize - 1)];
+  }
+
+  /// Writer-side element count (includes AppendRun padding).
+  size_t size() const { return size_; }
+
+  /// True when `count` more elements fit, even in the AppendRun worst
+  /// case (a full chunk of padding before the run).
+  bool CanAppend(size_t count) const {
+    return count <= kMaxRun && size_ + kChunkSize + count <= kMaxElements;
+  }
+
+  size_t AllocatedBytes() const {
+    return num_chunks_ * kChunkSize * sizeof(T) +
+           (chunks_ ? kMaxChunks * sizeof(T*) : 0);
+  }
+
+ private:
+  void EnsureChunkFor(size_t index) {
+    const size_t chunk = index >> kChunkBits;
+    AMICI_CHECK(chunk < kMaxChunks) << "StableColumn capacity exceeded";
+    if (chunks_ == nullptr) {
+      chunks_ = std::make_unique<T*[]>(kMaxChunks);
+      std::memset(chunks_.get(), 0, kMaxChunks * sizeof(T*));
+    }
+    while (num_chunks_ <= chunk) {
+      // Value-initialized: padding slots (AppendRun) and the unwritten
+      // chunk remainder hold zeros, so copies never read indeterminate
+      // values (keeps MemorySanitizer quiet).
+      chunks_[num_chunks_] = new T[kChunkSize]();
+      ++num_chunks_;
+    }
+  }
+
+  void Reset() {
+    for (size_t i = 0; i < num_chunks_; ++i) delete[] chunks_[i];
+    chunks_.reset();
+    num_chunks_ = 0;
+    size_ = 0;
+  }
+
+  void CopyFrom(const StableColumn& other) {
+    if (other.num_chunks_ > 0) {
+      EnsureChunkFor(other.num_chunks_ * kChunkSize - 1);
+      for (size_t i = 0; i < other.num_chunks_; ++i) {
+        std::memcpy(chunks_[i], other.chunks_[i], kChunkSize * sizeof(T));
+      }
+    }
+    size_ = other.size_;
+  }
+
+  std::unique_ptr<T*[]> chunks_;
+  size_t num_chunks_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_STORAGE_STABLE_COLUMN_H_

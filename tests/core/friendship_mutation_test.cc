@@ -88,7 +88,15 @@ TEST_F(FriendshipMutationTest, MutationInvalidatesProximityCache) {
   ASSERT_TRUE(engine_->Query(SocialFeed()).ok());
   EXPECT_GT(engine_->proximity_cache().size(), 0u);
   ASSERT_TRUE(engine_->AddFriendship(1, 2).ok());
-  EXPECT_EQ(engine_->proximity_cache().size(), 0u);
+  // Invalidation is by graph-generation keying, not by flushing: the
+  // next query must miss (recompute against the new graph) ...
+  const uint64_t misses_before = engine_->proximity_cache().misses();
+  ASSERT_TRUE(engine_->Query(SocialFeed()).ok());
+  EXPECT_GT(engine_->proximity_cache().misses(), misses_before);
+  // ... and a repeat on the same generation hits again.
+  const uint64_t hits_before = engine_->proximity_cache().hits();
+  ASSERT_TRUE(engine_->Query(SocialFeed()).ok());
+  EXPECT_GT(engine_->proximity_cache().hits(), hits_before);
 }
 
 TEST_F(FriendshipMutationTest, GraphStateReflectsMutations) {

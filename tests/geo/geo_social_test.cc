@@ -30,6 +30,7 @@ class GeoSocialTest : public ::testing::Test {
     ctx.store = &dataset_.store;
     ctx.inverted = &indexes_.inverted;
     ctx.social = &indexes_.social;
+    ctx.grid = &grid_;
     ctx.proximity = &proximity;
     ctx.query = &query;
     ctx.index_horizon = static_cast<ItemId>(dataset_.store.num_items());
@@ -81,7 +82,7 @@ TEST_F(GeoSocialTest, MatchesFilteredExhaustiveAcrossRadii) {
     const auto expected = oracle.Search(ctx, &stats);
     ASSERT_TRUE(expected.ok());
 
-    const GeoGridScan geo(&grid_);
+    const GeoGridScan geo;
     const auto actual = geo.Search(ctx, &stats);
     ASSERT_TRUE(actual.ok()) << actual.status().ToString();
     ASSERT_EQ(actual.value().size(), expected.value().size())
@@ -100,7 +101,7 @@ TEST_F(GeoSocialTest, SmallRadiusExaminesFewerItems) {
   const ProximityVector proximity =
       model.Compute(dataset_.graph, small_query.user);
 
-  const GeoGridScan geo(&grid_);
+  const GeoGridScan geo;
   SearchStats small_stats;
   SearchStats large_stats;
   ASSERT_TRUE(
@@ -123,11 +124,12 @@ TEST_F(GeoSocialTest, RequiresGeoFilter) {
   ctx.store = &dataset_.store;
   ctx.inverted = &indexes_.inverted;
   ctx.social = &indexes_.social;
+  ctx.grid = &grid_;
   ctx.proximity = &proximity;
   ctx.query = &query;
   ctx.index_horizon = static_cast<ItemId>(dataset_.store.num_items());
 
-  const GeoGridScan geo(&grid_);
+  const GeoGridScan geo;
   SearchStats stats;
   const auto result = geo.Search(ctx, &stats);
   ASSERT_FALSE(result.ok());
@@ -135,7 +137,7 @@ TEST_F(GeoSocialTest, RequiresGeoFilter) {
 }
 
 TEST_F(GeoSocialTest, NameIsStable) {
-  const GeoGridScan geo(&grid_);
+  const GeoGridScan geo;
   EXPECT_EQ(geo.name(), "geo-grid");
 }
 

@@ -1,19 +1,51 @@
-// Concurrent read-only querying through the engine facade: results must be
-// identical to single-threaded execution and nothing may crash or race
-// (the proximity cache and stats are the shared mutable state).
+// Concurrency through the engine facade, in two regimes:
+//
+//  * read-only: concurrent queries must match single-threaded execution
+//    (the proximity cache and stats are the shared mutable state);
+//  * read/write: a writer thread ingesting (AddItem) and compacting while
+//    reader threads run Query/QueryBatch — the snapshot design must keep
+//    every query exact against the catalogue prefix it pinned, verified
+//    post-hoc by an exhaustive scan over the final store.
+//
+// Run under -fsanitize=thread (cmake -DAMICI_SANITIZE=thread, or
+// tools/run_tier1.sh --tsan) to check the publication protocol itself.
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/scorer.h"
 #include "gtest/gtest.h"
+#include "topk/topk_heap.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
 
 namespace amici {
 namespace {
+
+/// Post-hoc exhaustive reference: scores every item visible in the
+/// engine's CURRENT snapshot with the shared Scorer and returns the exact
+/// top-k. Independent of the indexes and of the algorithm under test.
+std::vector<ScoredItem> ExhaustiveReference(SocialSearchEngine* engine,
+                                            const SocialQuery& query) {
+  const auto snap = engine->snapshot();
+  const auto proximity = engine->proximity_cache().Get(
+      *snap->graph, query.user, snap->graph_version);
+  Scorer scorer(snap->store, proximity.get(), &query);
+  TopKHeap heap(query.k);
+  for (ItemId item = 0;
+       item < static_cast<ItemId>(snap->store.num_items()); ++item) {
+    if (!scorer.Eligible(item)) continue;
+    const double score = scorer.Score(item);
+    if (score > 0.0) heap.Push(item, score);
+  }
+  return heap.TakeSorted();
+}
 
 TEST(ConcurrencyTest, ParallelQueriesMatchSerialResults) {
   DatasetConfig config = SmallDataset();
@@ -106,6 +138,177 @@ TEST(ConcurrencyTest, MixedAlgorithmsInParallel) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(engine.value()->stats().total_queries(), 250u);
+}
+
+// The tentpole contract: AddItem and Compact no longer require external
+// exclusion. A writer ingests and periodically compacts while readers
+// hammer Query and QueryBatch; mid-run results must be well-formed, and
+// once the writer finishes, engine results must match an exhaustive scan
+// of the final catalogue exactly.
+TEST(ConcurrencyTest, WriterIngestsAndCompactsWhileReadersQuery) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 400;
+  config.num_tags = 150;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  Dataset dataset2 = GenerateDataset(config).value();
+  QueryWorkloadConfig workload;
+  workload.num_queries = 24;
+  workload.seed = 99;
+  const auto queries = GenerateQueries(dataset2, workload);
+  ASSERT_TRUE(queries.ok());
+
+  constexpr size_t kIngested = 3000;
+  constexpr size_t kCompactEvery = 750;
+  const size_t initial_items = engine.value()->store().num_items();
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> malformed{0};
+
+  std::thread writer([&] {
+    Rng rng(42);
+    for (size_t i = 0; i < kIngested; ++i) {
+      Item item;
+      item.owner = static_cast<UserId>(rng.UniformIndex(400));
+      item.tags = {static_cast<TagId>(rng.UniformIndex(150))};
+      item.quality = static_cast<float>(rng.UniformDouble());
+      if (!engine.value()->AddItem(item).ok()) errors.fetch_add(1);
+      if ((i + 1) % kCompactEvery == 0) {
+        if (!engine.value()->Compact().ok()) errors.fetch_add(1);
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  const int kReaders = 4;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      ThreadPool pool(2);
+      const AlgorithmId algorithm =
+          (t % 2 == 0) ? AlgorithmId::kHybrid : AlgorithmId::kExhaustive;
+      while (!writer_done.load(std::memory_order_acquire)) {
+        if (t == 0) {
+          // One reader exercises the batch path.
+          const auto batch = engine.value()->QueryBatch(
+              queries.value(), algorithm, &pool);
+          for (const auto& result : batch) {
+            if (!result.ok()) errors.fetch_add(1);
+          }
+          continue;
+        }
+        for (const SocialQuery& query : queries.value()) {
+          const auto result = engine.value()->Query(query, algorithm);
+          if (!result.ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          // Mid-run invariants: bounded size, score-descending, and every
+          // id refers to an item that exists by now.
+          const auto& items = result.value().items;
+          if (items.size() > query.k) malformed.fetch_add(1);
+          for (size_t i = 0; i + 1 < items.size(); ++i) {
+            if (items[i].score < items[i + 1].score) malformed.fetch_add(1);
+          }
+          const size_t store_size = engine.value()->store().num_items();
+          for (const ScoredItem& item : items) {
+            if (item.item >= store_size) malformed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(malformed.load(), 0);
+
+  // Quiesced: every algorithm must now agree bit-for-bit with a post-hoc
+  // exhaustive scan over the final catalogue (indexed part + tail).
+  for (const SocialQuery& query : queries.value()) {
+    const auto expected = ExhaustiveReference(engine.value().get(), query);
+    for (const AlgorithmId algorithm :
+         {AlgorithmId::kHybrid, AlgorithmId::kExhaustive,
+          AlgorithmId::kMergeScan}) {
+      const auto result = engine.value()->Query(query, algorithm);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result.value().items.size(), expected.size())
+          << AlgorithmName(algorithm);
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(result.value().items[i].score, expected[i].score, 1e-9)
+            << AlgorithmName(algorithm) << " rank " << i;
+      }
+    }
+  }
+
+  // Everything the writer ingested is queryable; one more Compact folds
+  // the remaining tail away.
+  EXPECT_EQ(engine.value()->store().num_items(), initial_items + kIngested);
+  ASSERT_TRUE(engine.value()->Compact().ok());
+  EXPECT_EQ(engine.value()->unindexed_items(), 0u);
+}
+
+// Compaction off the hot path: a long-running Compact must not block
+// ingest, and a snapshot pinned before the compaction keeps serving its
+// own generation while new queries see the compacted one.
+TEST(ConcurrencyTest, CompactDoesNotBlockIngestAndPinsGenerations) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 300;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(300));
+    item.tags = {static_cast<TagId>(rng.UniformIndex(100))};
+    item.quality = static_cast<float>(rng.UniformDouble());
+    ASSERT_TRUE(engine.value()->AddItem(item).ok());
+  }
+
+  const auto pinned = engine.value()->snapshot();
+  const size_t pinned_items = pinned->store.num_items();
+  const ItemId pinned_horizon = pinned->index_horizon;
+  EXPECT_GT(pinned_items, static_cast<size_t>(pinned_horizon));
+
+  std::atomic<bool> compacting{true};
+  std::thread compactor([&] {
+    EXPECT_TRUE(engine.value()->Compact().ok());
+    compacting.store(false, std::memory_order_release);
+  });
+
+  // Ingest concurrently with the compaction build.
+  int added_during_compact = 0;
+  while (compacting.load(std::memory_order_acquire) &&
+         added_during_compact < 200) {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(300));
+    item.tags = {static_cast<TagId>(rng.UniformIndex(100))};
+    item.quality = static_cast<float>(rng.UniformDouble());
+    ASSERT_TRUE(engine.value()->AddItem(item).ok());
+    ++added_during_compact;
+  }
+  compactor.join();
+
+  // The pinned generation is untouched by the publish.
+  EXPECT_EQ(pinned->store.num_items(), pinned_items);
+  EXPECT_EQ(pinned->index_horizon, pinned_horizon);
+
+  // The new generation's indexes cover at least everything the compaction
+  // saw; anything ingested during the build stays in the tail.
+  const auto fresh = engine.value()->snapshot();
+  EXPECT_GE(fresh->index_horizon, static_cast<ItemId>(pinned_items));
+  EXPECT_EQ(fresh->store.num_items(),
+            pinned_items + static_cast<size_t>(added_during_compact));
+  EXPECT_EQ(fresh->unindexed_items(),
+            fresh->store.num_items() -
+                static_cast<size_t>(fresh->index_horizon));
 }
 
 }  // namespace

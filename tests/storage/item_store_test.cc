@@ -1,5 +1,7 @@
 #include "storage/item_store.h"
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -103,13 +105,72 @@ TEST(ItemStoreTest, MemoryGrowsWithItems) {
   ItemStore small;
   ASSERT_TRUE(small.Add(MakeItem(0, {0}, 0.1f)).ok());
   ItemStore big;
-  for (int i = 0; i < 5000; ++i) {
+  // Storage is chunked (StableColumn), so growth is only observable once
+  // the item count crosses a chunk boundary.
+  for (int i = 0; i < 20000; ++i) {
     ASSERT_TRUE(
         big.Add(MakeItem(static_cast<UserId>(i % 10),
                          {static_cast<TagId>(i % 100)}, 0.5f))
             .ok());
   }
   EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(ItemStoreTest, ViewPinsAPrefix) {
+  ItemStore store;
+  ASSERT_TRUE(store.Add(MakeItem(1, {5}, 0.5f)).ok());
+  ASSERT_TRUE(store.Add(MakeItem(2, {9}, 0.6f)).ok());
+  const ItemStoreView view(store);
+  EXPECT_EQ(view.num_items(), 2u);
+  EXPECT_EQ(view.TagUniverseSize(), 10u);
+
+  // Appends past the view's bound do not change what the view exposes.
+  ASSERT_TRUE(store.Add(MakeItem(3, {100}, 0.7f)).ok());
+  EXPECT_EQ(view.num_items(), 2u);
+  EXPECT_EQ(view.TagUniverseSize(), 10u);
+  EXPECT_EQ(view.owner(1), 2u);
+  EXPECT_TRUE(view.HasTag(0, 5));
+  EXPECT_EQ(store.num_items(), 3u);
+}
+
+// The single-writer / many-readers contract: readers bounded by an
+// observed num_items() must see fully-written, immutable items while the
+// writer keeps appending. Run under -fsanitize=thread to verify the
+// release/acquire publication (tools/run_tier1.sh --tsan does this).
+TEST(ItemStoreTest, ConcurrentReadersSeePublishedPrefix) {
+  constexpr size_t kItems = 20000;
+  constexpr int kReaders = 4;
+  ItemStore store;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &done, &violations] {
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t bound = store.num_items();
+        for (size_t i = 0; i < bound; ++i) {
+          const ItemId item = static_cast<ItemId>(i);
+          const bool ok = store.owner(item) == i % 10 &&
+                          store.quality(item) == 0.5f &&
+                          store.tags(item).size() == 1 &&
+                          store.tags(item)[0] == static_cast<TagId>(i % 97);
+          if (!ok) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(store
+                    .Add(MakeItem(static_cast<UserId>(i % 10),
+                                  {static_cast<TagId>(i % 97)}, 0.5f))
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(store.num_items(), kItems);
 }
 
 }  // namespace

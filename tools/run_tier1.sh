@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full test suite.
+#
+#   tools/run_tier1.sh          # normal build into build/
+#   tools/run_tier1.sh --tsan   # ThreadSanitizer build into build-tsan/
+#                               # (validates the snapshot/ingest protocol)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--tsan" ]]; then
+  BUILD_DIR=build-tsan
+  CMAKE_ARGS+=(-DAMICI_SANITIZE=thread)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)"
