@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "service/search_service.h"
 #include "util/stats.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
@@ -20,11 +21,24 @@ struct EngineBundle {
   Dataset workload_view;
 };
 
+/// A SearchService (local when shards == 1, sharded otherwise) plus a
+/// dataset copy usable for workload generation.
+struct ServiceBundle {
+  std::unique_ptr<SearchService> service;
+  Dataset workload_view;
+};
+
 /// Generates the dataset, builds the engine, and keeps a regenerated view
 /// for query synthesis. Progress goes to stderr; stdout stays clean for
 /// the result tables. Aborts on error (benches have no recovery story).
 EngineBundle BuildEngine(const DatasetConfig& config,
                          SocialSearchEngine::Options options = {});
+
+/// Service-level counterpart of BuildEngine: `shards` selects the backend
+/// (1 = LocalSearchService, >1 = ShardedSearchService over that many
+/// hash partitions).
+ServiceBundle BuildService(const DatasetConfig& config, size_t shards,
+                           SocialSearchEngine::Options options = {});
 
 /// Runs every query through `algorithm` and reports the latency summary.
 /// `repeats` multiplies the workload to stabilize timings.
@@ -32,10 +46,24 @@ LatencySummary RunQueries(SocialSearchEngine* engine,
                           const std::vector<SocialQuery>& queries,
                           AlgorithmId algorithm, int repeats = 1);
 
+/// Service-level counterpart of RunQueries.
+LatencySummary RunServiceQueries(SearchService* service,
+                                 const std::vector<SocialQuery>& queries,
+                                 AlgorithmId algorithm, int repeats = 1);
+
 /// Populates the proximity cache for every query user so that the first
 /// measured algorithm does not pay all the cache misses.
 void WarmProximityCache(SocialSearchEngine* engine,
                         const std::vector<SocialQuery>& queries);
+
+/// Service-level warm-up: one query per workload entry (hybrid), enough
+/// to populate every shard's proximity cache for the query users.
+void WarmService(SearchService* service,
+                 const std::vector<SocialQuery>& queries);
+
+/// Parses a `--shards=N` (or `--shards N`) command-line override; returns
+/// `fallback` when absent or malformed.
+size_t ParseShardsFlag(int argc, char** argv, size_t fallback);
 
 /// Prints the standard bench banner: which experiment this reproduces and
 /// the expected shape of the result.

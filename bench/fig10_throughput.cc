@@ -1,6 +1,14 @@
-// Fig 10 — concurrent read-only throughput: queries per second as client
-// threads scale, exercising the engine's internal synchronization
-// (proximity cache + stats) under contention.
+// Fig 10 — concurrent throughput through the SearchService surface, on
+// two axes:
+//
+//  (a) queries per second as CLIENT threads scale against the local
+//      backend — the engine's internal synchronization (proximity cache +
+//      stats) under read contention, as in the original figure;
+//  (b) queries per second as the SHARD count scales under a fixed client
+//      load — the fan-out/merge router's scaling curve (--shards=a,b,c
+//      overrides the default 1,2,4,8 sweep).
+//
+//   ./build/bench/bench_fig10_throughput [--shards=N]
 
 #include <atomic>
 #include <cstdio>
@@ -14,64 +22,109 @@
 
 using namespace amici;
 
-int main() {
+namespace {
+
+/// Hammers `service` from `threads` client threads, `queries_per_thread`
+/// hybrid queries each; returns QPS (0 on any query failure).
+double MeasureQps(SearchService* service,
+                  const std::vector<SocialQuery>& queries, int threads,
+                  int queries_per_thread) {
+  std::atomic<int> errors{0};
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < queries_per_thread; ++i) {
+        SearchRequest request;
+        request.query = queries[(static_cast<size_t>(t) * 37 + i) %
+                                queries.size()];
+        if (!service->Search(request).ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed = watch.ElapsedSeconds();
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "[bench] %d errors!\n", errors.load());
+    return 0.0;
+  }
+  return static_cast<double>(threads) * queries_per_thread / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   bench::PrintBanner(
-      "Fig 10: hybrid query throughput vs client threads "
+      "Fig 10: hybrid query throughput vs client threads and vs shards "
       "[medium dataset, alpha=0.5, k=10]",
       "read-only throughput scales near-linearly until memory bandwidth "
-      "saturates; the shared proximity cache helps rather than hurts");
+      "saturates; sharding adds fan-out parallelism per request");
 
-  bench::EngineBundle bundle = bench::BuildEngine(MediumDataset());
   QueryWorkloadConfig workload;
   workload.num_queries = 256;
   workload.k = 10;
   workload.alpha = 0.5;
   workload.seed = 99;
-  const auto queries = GenerateQueries(bundle.workload_view, workload);
-  if (!queries.ok()) return 1;
 
-  // Warm the proximity cache once so every configuration sees the same
-  // steady state.
-  for (const SocialQuery& query : queries.value()) {
-    (void)bundle.engine->Query(query, AlgorithmId::kHybrid);
+  // --- (a) client-thread sweep on the local backend. -------------------
+  {
+    bench::ServiceBundle bundle = bench::BuildService(MediumDataset(), 1);
+    const auto queries = GenerateQueries(bundle.workload_view, workload);
+    if (!queries.ok()) return 1;
+    // Warm the proximity cache once so every configuration sees the same
+    // steady state.
+    bench::WarmService(bundle.service.get(), queries.value());
+
+    TablePrinter table({"threads", "total queries", "elapsed s", "QPS",
+                        "speedup"});
+    double baseline_qps = 0.0;
+    for (const int threads : {1, 2, 4, 8, 16}) {
+      const int queries_per_thread = 2000;
+      Stopwatch watch;
+      const double qps = MeasureQps(bundle.service.get(), queries.value(),
+                                    threads, queries_per_thread);
+      if (qps == 0.0) return 1;
+      if (baseline_qps == 0.0) baseline_qps = qps;
+      const double total =
+          static_cast<double>(threads) * queries_per_thread;
+      table.AddRow({std::to_string(threads), StringPrintf("%.0f", total),
+                    StringPrintf("%.2f", watch.ElapsedSeconds()),
+                    StringPrintf("%.0f", qps),
+                    StringPrintf("%.2fx", qps / baseline_qps)});
+      std::fprintf(stderr, "[bench] %d threads done\n", threads);
+    }
+    std::printf("%s", table.ToString().c_str());
   }
 
-  TablePrinter table({"threads", "total queries", "elapsed s", "QPS",
-                      "speedup"});
-  double baseline_qps = 0.0;
-  for (const int threads : {1, 2, 4, 8, 16}) {
-    const int queries_per_thread = 2000;
-    std::atomic<int> errors{0};
-    Stopwatch watch;
-    std::vector<std::thread> workers;
-    for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        for (int i = 0; i < queries_per_thread; ++i) {
-          const SocialQuery& query =
-              queries.value()[(static_cast<size_t>(t) * 37 + i) %
-                              queries.value().size()];
-          if (!bundle.engine->Query(query, AlgorithmId::kHybrid).ok()) {
-            errors.fetch_add(1);
-          }
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
-    const double elapsed = watch.ElapsedSeconds();
-    const double total =
-        static_cast<double>(threads) * queries_per_thread;
-    const double qps = total / elapsed;
-    if (baseline_qps == 0.0) baseline_qps = qps;
-    if (errors.load() != 0) {
-      std::fprintf(stderr, "[bench] %d errors!\n", errors.load());
-      return 1;
-    }
-    table.AddRow({std::to_string(threads),
-                  StringPrintf("%.0f", total),
-                  StringPrintf("%.2f", elapsed), StringPrintf("%.0f", qps),
-                  StringPrintf("%.2fx", qps / baseline_qps)});
-    std::fprintf(stderr, "[bench] %d threads done\n", threads);
+  // --- (b) shard sweep at a fixed client load. -------------------------
+  std::vector<size_t> shard_counts{1, 2, 4, 8};
+  if (const size_t forced = bench::ParseShardsFlag(argc, argv, 0);
+      forced != 0) {
+    shard_counts = {forced};
   }
-  std::printf("%s", table.ToString().c_str());
+  const int kClientThreads = 8;
+  const int kQueriesPerThread = 1000;
+  TablePrinter shard_table(
+      {"shards", "backend", "QPS", "speedup vs 1 shard"});
+  double one_shard_qps = 0.0;
+  for (const size_t shards : shard_counts) {
+    bench::ServiceBundle bundle = bench::BuildService(MediumDataset(), shards);
+    const auto queries = GenerateQueries(bundle.workload_view, workload);
+    if (!queries.ok()) return 1;
+    bench::WarmService(bundle.service.get(), queries.value());
+    const double qps = MeasureQps(bundle.service.get(), queries.value(),
+                                  kClientThreads, kQueriesPerThread);
+    if (qps == 0.0) return 1;
+    if (shards == 1) one_shard_qps = qps;
+    // A --shards=N override skips the 1-shard run: no baseline, no ratio.
+    shard_table.AddRow({std::to_string(shards),
+                        std::string(bundle.service->backend_name()),
+                        StringPrintf("%.0f", qps),
+                        one_shard_qps > 0.0
+                            ? StringPrintf("%.2fx", qps / one_shard_qps)
+                            : std::string("n/a")});
+    std::fprintf(stderr, "[bench] %zu shards done\n", shards);
+  }
+  std::printf("\n%s", shard_table.ToString().c_str());
   return 0;
 }

@@ -1,14 +1,18 @@
-// News-feed scenario: alpha = 1 turns the engine into a pure social feed
-// ("newest first" is the quality prior here). Demonstrates the
-// incremental-ingest path: fresh posts are queryable immediately (tail
-// scan), then folded into the indexes by Compact() — the main-index +
-// memtable design borrowed from LSM storage engines.
+// News-feed scenario: alpha = 1 turns the service into a pure social feed
+// — including the TAG-LESS form ("show me my friends' stuff", no topic at
+// all). Demonstrates the incremental-ingest path through the service API:
+// fresh posts are queryable immediately (tail scan), a whole burst is
+// ingested as ONE AddItems batch (one snapshot publish), then folded into
+// the indexes by Compact() — the main-index + memtable design borrowed
+// from LSM storage engines.
 //
 //   ./build/examples/news_feed
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "core/engine.h"
+#include "service/local_search_service.h"
 #include "workload/dataset_generator.h"
 
 using namespace amici;
@@ -25,61 +29,69 @@ int main() {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  auto engine = SocialSearchEngine::Build(std::move(dataset.value().graph),
-                                          std::move(dataset.value().store),
-                                          {});
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+  auto service_or = LocalSearchService::Build(std::move(dataset.value().graph),
+                                              std::move(dataset.value().store));
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "%s\n", service_or.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<SearchService> service = std::move(service_or).value();
 
   const UserId reader = 7;
-  SocialQuery feed;
-  feed.user = reader;
-  feed.tags = {0};   // a topic the reader follows
-  feed.k = 8;
-  feed.alpha = 0.9;  // heavily social, small topical tiebreaker
+  SearchRequest feed;
+  feed.query.user = reader;
+  // No tags at all: the pure-social feed ranks entirely by proximity.
+  feed.query.k = 8;
+  feed.query.alpha = 1.0;
+  // Without this the reader's own posts (proximity 1.0) fill the page;
+  // capping each owner at 2 lets friends through — still exact.
+  feed.max_per_owner = 2;
 
   auto show = [&](const char* label) {
-    const auto result = engine.value()->Query(feed);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    const auto response = service->Search(feed);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
       return;
     }
     std::printf("%s (%zu entries, %.3f ms):\n", label,
-                result.value().items.size(), result.value().elapsed_ms);
-    for (const auto& entry : result.value().items) {
+                response.value().items.size(), response.value().elapsed_ms);
+    for (const auto& entry : response.value().items) {
       std::printf("  post %-6u by user %-5u social-score %.4f\n", entry.item,
-                  engine.value()->store().owner(entry.item), entry.score);
+                  service->OwnerOf(entry.item), entry.score);
     }
   };
 
   show("feed before new posts");
 
-  // Friends post fresh content; visible immediately, no reindexing needed.
-  const auto friends = engine.value()->graph().Friends(reader);
-  std::printf("\nuser %u's friends post %zu new items...\n", reader,
-              friends.size());
+  // Friends post fresh content, ingested as ONE batch: a single
+  // writer-lock acquisition and snapshot publish for the whole burst.
+  // Visible immediately, no reindexing needed.
+  const auto friends = service->FriendsOf(reader);
+  std::printf("\nuser %u's friends post %zu new items (one batch)...\n",
+              reader, friends.size());
+  std::vector<Item> burst;
   for (const UserId poster : friends) {
     Item post;
     post.owner = poster;
     post.tags = {0};
     post.quality = 0.99f;  // hot off the press
-    const auto id = engine.value()->AddItem(post);
-    if (!id.ok()) {
-      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
-    }
+    burst.push_back(post);
   }
-  std::printf("unindexed tail: %zu items\n\n", engine.value()->unindexed_items());
+  const auto ids = service->AddItems(burst);
+  if (!ids.ok()) {
+    std::fprintf(stderr, "%s\n", ids.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("unindexed tail: %zu items\n\n", service->unindexed_items());
   show("feed with fresh posts (tail-merged)");
 
   // Fold the tail into the indexes; the feed must not change.
-  if (const auto status = engine.value()->Compact(); !status.ok()) {
+  if (const auto status = service->Compact(); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("\ncompacted; unindexed tail: %zu items\n\n",
-              engine.value()->unindexed_items());
+              service->unindexed_items());
   show("feed after compaction (identical)");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "topk/topk_heap.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace amici {
 
@@ -264,20 +265,44 @@ Result<std::vector<TagSuggestion>> SocialSearchEngine::SuggestTags(
 }
 
 Result<ItemId> SocialSearchEngine::AddItem(const Item& item) {
+  // The batch path with a batch of one: a single append followed by one
+  // publish whose store view covers the new item — the "cheap
+  // tail-append" write path.
+  AMICI_ASSIGN_OR_RETURN(const std::vector<ItemId> ids,
+                         AddItems(std::span<const Item>(&item, 1)));
+  return ids[0];
+}
+
+Result<std::vector<ItemId>> SocialSearchEngine::AddItems(
+    std::span<const Item> items) {
+  if (items.empty()) return std::vector<ItemId>{};  // nothing to publish
   std::lock_guard<std::mutex> lock(writer_mutex_);
   const std::shared_ptr<const EngineSnapshot> cur = snapshot();
-  if (item.owner >= cur->graph->num_users()) {
-    return Status::InvalidArgument("item owner outside the social graph");
+  // Validate the whole batch up front (including CUMULATIVE store
+  // capacity): after the first append the only way to keep the batch
+  // atomic is to not start appending until every item is known to be
+  // admissible.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].owner >= cur->graph->num_users()) {
+      return Status::InvalidArgument(
+          StringPrintf("batch item %zu: owner outside the social graph", i));
+    }
   }
-  AMICI_ASSIGN_OR_RETURN(const ItemId id, store_.Add(item));
+  AMICI_RETURN_IF_ERROR(store_.ValidateForAddAll(items));
+  std::vector<ItemId> ids;
+  ids.reserve(items.size());
+  for (const Item& item : items) {
+    // Cannot fail: ValidateForAddAll covered shape AND cumulative
+    // capacity, and the writer mutex serializes every appender.
+    AMICI_ASSIGN_OR_RETURN(const ItemId id, store_.Add(item));
+    ids.push_back(id);
+  }
 
-  // Publish a generation whose store view covers the new item. The heavy
-  // components (graph, indexes, grid) are shared, so this is one small
-  // allocation — the "cheap tail-append" write path.
+  // One publish for the whole batch; see AddItem for the snapshot shape.
   auto next = std::make_shared<EngineSnapshot>(*cur);
   next->store = ItemStoreView(store_);
   PublishLocked(std::move(next));
-  return id;
+  return ids;
 }
 
 namespace {

@@ -131,6 +131,13 @@ class SocialSearchEngine {
   /// safe concurrently with queries and other mutators.
   Result<ItemId> AddItem(const Item& item);
 
+  /// Appends a whole batch under ONE writer-lock acquisition and ONE
+  /// snapshot publish (cuts snapshot-allocation traffic N-fold versus N
+  /// AddItem calls — the first step of the batched-ingest roadmap item).
+  /// Ids are assigned in batch order; every item is validated before
+  /// anything is appended, so the batch is all-or-nothing.
+  Result<std::vector<ItemId>> AddItems(std::span<const Item> items);
+
   /// Adds / removes a friendship edge. The CSR graph is rebuilt (O(E))
   /// and published as a new generation; in-flight queries finish on the
   /// generation they pinned. Adequate for the low edge-churn typical of

@@ -100,7 +100,11 @@ Result<std::vector<ScoredItem>> MergeScan::Search(const QueryContext& ctx,
   TopKHeap heap(query.k);
   SearchStats local;
 
-  if (query.mode == MatchMode::kAll) {
+  // A tag-less query (pure-social, alpha == 1.0) has nothing to
+  // intersect: every item is trivially eligible and only the social score
+  // is positive, so the social-candidate enumeration in UnionAndScore
+  // covers exactly the positive-score corpus.
+  if (query.mode == MatchMode::kAll && !query.tags.empty()) {
     IntersectAndScore(ctx, scorer, &heap, &local);
   } else {
     UnionAndScore(ctx, scorer, &heap, &local);

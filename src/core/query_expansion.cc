@@ -70,7 +70,7 @@ Result<std::vector<TagSuggestion>> SuggestQueryTags(
   suggestions.reserve(evidence.size());
   for (const auto& [tag, e] : evidence) {
     if (e.cooccurrences < options.min_cooccurrence) continue;
-    suggestions.push_back({tag, static_cast<float>(e.weight)});
+    suggestions.push_back({tag, static_cast<float>(e.weight), e.cooccurrences});
   }
   std::sort(suggestions.begin(), suggestions.end(),
             [](const TagSuggestion& a, const TagSuggestion& b) {

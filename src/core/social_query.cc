@@ -25,8 +25,11 @@ Status ValidateQuery(const SocialQuery& query, size_t num_users) {
     return Status::InvalidArgument(
         StringPrintf("alpha %.3f outside [0, 1]", query.alpha));
   }
-  if (query.tags.empty()) {
-    return Status::InvalidArgument("query must have at least one tag");
+  if (query.tags.empty() && query.alpha != 1.0) {
+    // Tag-less is only meaningful as a pure social feed: with no tags the
+    // content component is undefined, so alpha must give it zero weight.
+    return Status::InvalidArgument(
+        "tag-less queries are pure-social feeds: they require alpha == 1.0");
   }
   if (!std::is_sorted(query.tags.begin(), query.tags.end()) ||
       std::adjacent_find(query.tags.begin(), query.tags.end()) !=

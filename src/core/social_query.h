@@ -31,8 +31,10 @@ enum class MatchMode {
 struct SocialQuery {
   /// The querying user (the personalization anchor).
   UserId user = 0;
-  /// Query tags; must be non-empty. Duplicates are rejected by
-  /// ValidateQuery — use NormalizeQuery to sort & dedupe first.
+  /// Query tags; duplicates are rejected by ValidateQuery — use
+  /// NormalizeQuery to sort & dedupe first. May be empty ONLY when
+  /// alpha == 1.0: the tag-less pure-social feed ("show me my friends'
+  /// stuff") ranks by proximity alone.
   std::vector<TagId> tags;
   /// Result size; >= 1.
   size_t k = 10;
@@ -54,8 +56,9 @@ struct SocialQuery {
 void NormalizeQuery(SocialQuery* query);
 
 /// Validates `query` against a universe of `num_users` users: user in
-/// range, k >= 1, alpha in [0, 1], tags non-empty / sorted / unique, and a
-/// positive radius when the geo filter is enabled.
+/// range, k >= 1, alpha in [0, 1], tags sorted / unique (and non-empty
+/// unless alpha == 1.0 — the pure-social feed), and a positive radius when
+/// the geo filter is enabled.
 Status ValidateQuery(const SocialQuery& query, size_t num_users);
 
 }  // namespace amici

@@ -22,8 +22,12 @@ Result<BlendedSources> BuildBlendedSources(const QueryContext& ctx) {
         "(InvertedIndex::Options::build_impact_ordered)");
   }
   BlendedSources sources;
+  // Guard the division: a tag-less query (alpha == 1.0) has no content
+  // dimension at all, and 0.0 / 0.0 would poison the weight with NaN.
   const double content_weight =
-      (1.0 - query.alpha) / static_cast<double>(query.tags.size());
+      query.tags.empty()
+          ? 0.0
+          : (1.0 - query.alpha) / static_cast<double>(query.tags.size());
   if (content_weight > 0.0) {
     for (const TagId tag : query.tags) {
       sources.owned.push_back(std::make_unique<ImpactListSource>(

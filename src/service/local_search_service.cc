@@ -1,0 +1,131 @@
+#include "service/local_search_service.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace amici {
+
+Result<std::unique_ptr<LocalSearchService>> LocalSearchService::Build(
+    SocialGraph graph, ItemStore store, Options options) {
+  AMICI_ASSIGN_OR_RETURN(
+      std::unique_ptr<SocialSearchEngine> engine,
+      SocialSearchEngine::Build(std::move(graph), std::move(store),
+                                std::move(options.engine)));
+  return std::make_unique<LocalSearchService>(std::move(engine),
+                                              options.batch_threads);
+}
+
+Result<std::unique_ptr<LocalSearchService>> LocalSearchService::Build(
+    SocialGraph graph, ItemStore store) {
+  return Build(std::move(graph), std::move(store), Options());
+}
+
+LocalSearchService::LocalSearchService(
+    std::unique_ptr<SocialSearchEngine> engine, size_t batch_threads)
+    : engine_(std::move(engine)) {
+  if (batch_threads > 0) {
+    batch_pool_ = std::make_unique<ThreadPool>(batch_threads);
+  }
+}
+
+Result<SearchResponse> LocalSearchService::Search(
+    const SearchRequest& request) {
+  Stopwatch watch;
+  const AlgorithmId algorithm =
+      request.algorithm.value_or(AlgorithmId::kHybrid);
+  Result<QueryResult> result =
+      request.max_per_owner > 0
+          ? engine_->QueryDiverse(request.query, request.max_per_owner,
+                                  algorithm)
+          : engine_->Query(request.query, algorithm);
+  if (!result.ok()) return result.status();
+
+  SearchResponse response;
+  response.items = std::move(result.value().items);
+  response.stats = result.value().stats;
+  response.algorithm = result.value().algorithm;
+  response.backend = backend_name();
+  response.shards_touched = 1;
+  response.elapsed_ms = watch.ElapsedMillis();
+  response.deadline_exceeded =
+      request.timeout_ms > 0.0 && response.elapsed_ms > request.timeout_ms;
+  return response;
+}
+
+std::vector<Result<SearchResponse>> LocalSearchService::SearchBatch(
+    std::span<const SearchRequest> requests) {
+  std::vector<Result<SearchResponse>> responses(
+      requests.size(), Status::Internal("batch slot never executed"));
+  if (batch_pool_ == nullptr) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = Search(requests[i]);
+    }
+    return responses;
+  }
+  // Per-call completion (not ParallelFor/WaitIdle): concurrent batches
+  // sharing this pool must not serialize on pool-wide idleness.
+  FanOutOnPool(batch_pool_.get(), requests.size(),
+               [&](size_t i) { responses[i] = Search(requests[i]); });
+  return responses;
+}
+
+Result<std::vector<TagSuggestion>> LocalSearchService::SuggestTags(
+    UserId user, std::span<const TagId> seed_tags,
+    const QueryExpansionOptions& options) {
+  return engine_->SuggestTags(user, seed_tags, options);
+}
+
+Result<ItemId> LocalSearchService::AddItem(const Item& item) {
+  return engine_->AddItem(item);
+}
+
+Result<std::vector<ItemId>> LocalSearchService::AddItems(
+    std::span<const Item> items) {
+  return engine_->AddItems(items);
+}
+
+Status LocalSearchService::AddFriendship(UserId u, UserId v) {
+  return engine_->AddFriendship(u, v);
+}
+
+Status LocalSearchService::RemoveFriendship(UserId u, UserId v) {
+  return engine_->RemoveFriendship(u, v);
+}
+
+Status LocalSearchService::Compact() { return engine_->Compact(); }
+
+size_t LocalSearchService::num_users() const {
+  return engine_->snapshot()->graph->num_users();
+}
+
+size_t LocalSearchService::num_items() const {
+  return engine_->store().num_items();
+}
+
+size_t LocalSearchService::unindexed_items() const {
+  return engine_->unindexed_items();
+}
+
+UserId LocalSearchService::OwnerOf(ItemId item) const {
+  return engine_->store().owner(item);
+}
+
+std::vector<TagId> LocalSearchService::TagsOf(ItemId item) const {
+  const auto tags = engine_->store().tags(item);
+  return std::vector<TagId>(tags.begin(), tags.end());
+}
+
+std::vector<UserId> LocalSearchService::FriendsOf(UserId user) const {
+  // Pin a snapshot: the span must not dangle if a concurrent friendship
+  // edit publishes a new graph generation mid-copy.
+  const auto snap = engine_->snapshot();
+  const auto friends = snap->graph->Friends(user);
+  return std::vector<UserId>(friends.begin(), friends.end());
+}
+
+std::string LocalSearchService::StatsSummary() const {
+  return engine_->stats().ToString();
+}
+
+}  // namespace amici

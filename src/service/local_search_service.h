@@ -1,0 +1,72 @@
+#ifndef AMICI_SERVICE_LOCAL_SEARCH_SERVICE_H_
+#define AMICI_SERVICE_LOCAL_SEARCH_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "service/search_service.h"
+#include "util/thread_pool.h"
+
+namespace amici {
+
+/// The single-node backend: a thin adapter over one SocialSearchEngine.
+/// Global item ids coincide with the engine's ids, so the adapter is
+/// mostly plumbing — it exists so that every caller speaks SearchService
+/// and swapping in a partitioned backend is a one-line change.
+class LocalSearchService final : public SearchService {
+ public:
+  struct Options {
+    /// Forwarded to SocialSearchEngine::Build.
+    SocialSearchEngine::Options engine;
+    /// Worker threads for SearchBatch; 0 runs batches inline.
+    size_t batch_threads = 0;
+  };
+
+  /// Builds an engine over `graph` and `store` (both consumed) and wraps
+  /// it.
+  static Result<std::unique_ptr<LocalSearchService>> Build(
+      SocialGraph graph, ItemStore store, Options options);
+  static Result<std::unique_ptr<LocalSearchService>> Build(SocialGraph graph,
+                                                           ItemStore store);
+
+  /// Wraps an already-built engine — the migration path for callers that
+  /// construct engines directly (custom proximity models, ablation
+  /// options).
+  explicit LocalSearchService(std::unique_ptr<SocialSearchEngine> engine,
+                              size_t batch_threads = 0);
+
+  std::string_view backend_name() const override { return "local"; }
+  size_t num_shards() const override { return 1; }
+
+  Result<SearchResponse> Search(const SearchRequest& request) override;
+  std::vector<Result<SearchResponse>> SearchBatch(
+      std::span<const SearchRequest> requests) override;
+  Result<std::vector<TagSuggestion>> SuggestTags(
+      UserId user, std::span<const TagId> seed_tags,
+      const QueryExpansionOptions& options) override;
+
+  Result<ItemId> AddItem(const Item& item) override;
+  Result<std::vector<ItemId>> AddItems(std::span<const Item> items) override;
+  Status AddFriendship(UserId u, UserId v) override;
+  Status RemoveFriendship(UserId u, UserId v) override;
+  Status Compact() override;
+
+  size_t num_users() const override;
+  size_t num_items() const override;
+  size_t unindexed_items() const override;
+  UserId OwnerOf(ItemId item) const override;
+  std::vector<TagId> TagsOf(ItemId item) const override;
+  std::vector<UserId> FriendsOf(UserId user) const override;
+  std::string StatsSummary() const override;
+
+  /// Escape hatch for engine-level tooling (benches reading build stats).
+  SocialSearchEngine* engine() { return engine_.get(); }
+
+ private:
+  std::unique_ptr<SocialSearchEngine> engine_;
+  std::unique_ptr<ThreadPool> batch_pool_;  // null = inline batches
+};
+
+}  // namespace amici
+
+#endif  // AMICI_SERVICE_LOCAL_SEARCH_SERVICE_H_

@@ -1,0 +1,43 @@
+#include "service/search_service.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace amici {
+
+void MergeSearchStats(const SearchStats& from, SearchStats* into) {
+  into->aggregation.sorted_accesses += from.aggregation.sorted_accesses;
+  into->aggregation.random_accesses += from.aggregation.random_accesses;
+  into->aggregation.candidates_scored += from.aggregation.candidates_scored;
+  into->items_considered += from.items_considered;
+}
+
+void FanOutOnPool(ThreadPool* pool, size_t count,
+                  const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  // The counter is decremented UNDER the mutex: once the waiter observes
+  // 0 the last worker has already left its critical section, so
+  // returning (and destroying these stack-locals) cannot race a worker
+  // still touching them.
+  size_t remaining = count - 1;  // guarded by done_mutex
+  std::mutex done_mutex;
+  std::condition_variable done;
+  for (size_t i = 1; i < count; ++i) {
+    pool->Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  fn(0);
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace amici

@@ -1,0 +1,159 @@
+#ifndef AMICI_SERVICE_SEARCH_SERVICE_H_
+#define AMICI_SERVICE_SEARCH_SERVICE_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_expansion.h"
+#include "core/social_query.h"
+#include "storage/item_store.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// One query through the service surface: the SocialQuery plus the
+/// options that used to be separate engine entry points (algorithm
+/// override, owner diversity, deadline). A plain default-constructed
+/// request with just `query` filled in reproduces the old
+/// `engine.Query(query)` behaviour on any backend.
+struct SearchRequest {
+  SocialQuery query;
+  /// Execution-strategy hint; nullopt lets the backend choose (hybrid).
+  /// Backends may substitute an equivalent strategy where the hint cannot
+  /// apply (e.g. geo-grid on a shard holding no geo items) — results are
+  /// exact either way, only the work profile changes.
+  std::optional<AlgorithmId> algorithm;
+  /// Owner-diversified top-k: at most this many results from any single
+  /// owner (0 = unconstrained). Exact — see SocialSearchEngine::QueryDiverse.
+  size_t max_per_owner = 0;
+  /// Soft deadline in milliseconds; 0 disables. Deadline stub: execution
+  /// is not cancelled mid-flight yet, but responses report overruns via
+  /// SearchResponse::deadline_exceeded so callers can shed load.
+  double timeout_ms = 0.0;
+};
+
+/// The outcome of one service request, backend-agnostic: item ids are in
+/// the service's GLOBAL id space regardless of how the backend partitions
+/// the catalogue.
+struct SearchResponse {
+  /// Best-first (score-descending, item-id-ascending tie-break) results,
+  /// at most `query.k` entries.
+  std::vector<ScoredItem> items;
+  /// Work counters, summed across every shard that executed.
+  SearchStats stats;
+  /// End-to-end latency observed by the service, including fan-out and
+  /// merge for partitioned backends.
+  double elapsed_ms = 0.0;
+  /// Which strategy executed (the hint, or the backend default). When a
+  /// partitioned backend substituted an equivalent strategy on SOME
+  /// shards only (see SearchRequest::algorithm), the hint's name is kept;
+  /// if every shard substituted, the substitute's name is reported.
+  std::string_view algorithm;
+  /// Which backend served the request ("local", "sharded/4", ...).
+  std::string_view backend;
+  /// How many partitions participated (1 for the local backend).
+  size_t shards_touched = 1;
+  /// True when a timeout_ms was set and the request overran it.
+  bool deadline_exceeded = false;
+};
+
+/// The backend-agnostic query surface: everything callers (examples,
+/// benches, tests, a future RPC layer) need, with no mention of how the
+/// corpus is laid out behind it. Which partition serves a request is a
+/// routing decision inside the implementation, not a caller concern.
+///
+/// Contract shared by all implementations:
+///  * Search / SearchBatch / SuggestTags are safe from any number of
+///    threads, concurrently with each other AND with all mutators;
+///  * AddItem / AddItems / AddFriendship / RemoveFriendship / Compact are
+///    safe concurrently with queries and serialize among themselves;
+///  * Search / SearchBatch results are EXACT and identical across
+///    backends: the same corpus behind a local and a sharded service
+///    returns the same items with the same scores (see
+///    tests/service/sharded_invariance_test.cc). SuggestTags support
+///    counts and thresholds are likewise exact everywhere; suggestion
+///    WEIGHTS may differ across backends in the last float ulps
+///    (per-shard float subtotals vs one double sum), which can reorder
+///    near-tied tags.
+class SearchService {
+ public:
+  virtual ~SearchService() = default;
+
+  /// Stable backend label ("local", "sharded/4").
+  virtual std::string_view backend_name() const = 0;
+  /// Number of partitions behind the surface (1 for local).
+  virtual size_t num_shards() const = 0;
+
+  /// Executes one request (plain or owner-diversified top-k).
+  virtual Result<SearchResponse> Search(const SearchRequest& request) = 0;
+
+  /// Executes a batch; results are positionally aligned with `requests`.
+  /// Backends parallelize internally where they can.
+  virtual std::vector<Result<SearchResponse>> SearchBatch(
+      std::span<const SearchRequest> requests) = 0;
+
+  /// Suggests expansion tags for `seed_tags` (sorted, unique) from the
+  /// user's social neighbourhood (see query_expansion.h). Partitioned
+  /// backends union-merge per-shard evidence, applying min_cooccurrence
+  /// on the global support count.
+  virtual Result<std::vector<TagSuggestion>> SuggestTags(
+      UserId user, std::span<const TagId> seed_tags,
+      const QueryExpansionOptions& options = QueryExpansionOptions()) = 0;
+
+  /// Appends one item; returns its GLOBAL id. Ids are assigned densely in
+  /// ingest order on every backend.
+  virtual Result<ItemId> AddItem(const Item& item) = 0;
+
+  /// Appends a batch atomically (all-or-nothing) under one snapshot
+  /// publish per touched shard; returns global ids in batch order.
+  virtual Result<std::vector<ItemId>> AddItems(
+      std::span<const Item> items) = 0;
+
+  /// Adds / removes a friendship edge everywhere the graph lives.
+  /// Same status semantics as the engine (AlreadyExists / NotFound).
+  virtual Status AddFriendship(UserId u, UserId v) = 0;
+  virtual Status RemoveFriendship(UserId u, UserId v) = 0;
+
+  /// Folds every un-indexed tail into fresh indexes (all shards).
+  virtual Status Compact() = 0;
+
+  // --- Introspection (global id space) ---------------------------------
+
+  virtual size_t num_users() const = 0;
+  virtual size_t num_items() const = 0;
+  /// Items not yet covered by indexes, summed over shards.
+  virtual size_t unindexed_items() const = 0;
+  virtual UserId OwnerOf(ItemId item) const = 0;
+  /// Sorted, unique tags of `item` (copied: partitioned backends cannot
+  /// hand out a stable span across the service boundary).
+  virtual std::vector<TagId> TagsOf(ItemId item) const = 0;
+  virtual std::vector<UserId> FriendsOf(UserId user) const = 0;
+  /// Human-readable per-algorithm query statistics (per shard when
+  /// partitioned).
+  virtual std::string StatsSummary() const = 0;
+};
+
+/// Folds `from` into `into` (counter-wise sum) — the per-shard stats
+/// merge every partitioned response goes through.
+void MergeSearchStats(const SearchStats& from, SearchStats* into);
+
+class ThreadPool;
+
+/// Runs fn(0..count) with fn(0) on the calling thread and the rest on
+/// `pool`, waiting for per-call completion — NOT pool-wide idleness
+/// (ThreadPool::ParallelFor's WaitIdle would make concurrent callers
+/// sharing one pool serialize on, and potentially starve behind, each
+/// other's work). Must not be called from inside one of its own pool
+/// tasks. Shared by the backends' batch and fan-out paths.
+void FanOutOnPool(ThreadPool* pool, size_t count,
+                  const std::function<void(size_t)>& fn);
+
+}  // namespace amici
+
+#endif  // AMICI_SERVICE_SEARCH_SERVICE_H_

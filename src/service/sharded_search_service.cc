@@ -1,0 +1,470 @@
+#include "service/sharded_search_service.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace amici {
+namespace {
+
+/// The engine-wide result order: score-descending, ascending item id on
+/// ties. Applied to GLOBAL ids here; it agrees with the per-shard heaps'
+/// local-id tie-break because items are dealt to shards in global id
+/// order, so local order within a shard is global order restricted to it.
+bool ScoreOrder(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+ShardedSearchService::ShardedSearchService(Options options)
+    : options_(std::move(options)),
+      backend_label_("sharded/" + std::to_string(options_.num_shards)) {}
+
+uint32_t ShardedSearchService::ShardOf(ItemId global) const {
+  return static_cast<uint32_t>(Mix64(global) % options_.num_shards);
+}
+
+void ShardedSearchService::RecordPlacementLocked(ItemId global, uint32_t shard,
+                                                 ItemId local) {
+  AMICI_CHECK(global == static_cast<ItemId>(global_to_shard_.size()));
+  AMICI_CHECK(local == static_cast<ItemId>(local_to_global_[shard].size()));
+  global_to_shard_.push_back({shard, local});
+  local_to_global_[shard].push_back(global);
+}
+
+Result<std::unique_ptr<ShardedSearchService>> ShardedSearchService::Build(
+    SocialGraph graph, ItemStore store, Options options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Private constructor: cannot use make_unique.
+  std::unique_ptr<ShardedSearchService> service(
+      new ShardedSearchService(std::move(options)));
+  const size_t num_shards = service->options_.num_shards;
+
+  // Deal the catalogue to per-shard stores by id hash, in global id order
+  // (which keeps local id order consistent with global order per shard).
+  std::vector<ItemStore> stores(num_shards);
+  service->local_to_global_.resize(num_shards);
+  const size_t total = store.num_items();
+  for (size_t g = 0; g < total; ++g) {
+    const ItemId global = static_cast<ItemId>(g);
+    const uint32_t shard = service->ShardOf(global);
+    Item item;
+    item.owner = store.owner(global);
+    const auto tags = store.tags(global);
+    item.tags.assign(tags.begin(), tags.end());
+    item.quality = store.quality(global);
+    item.has_geo = store.has_geo(global);
+    if (item.has_geo) {
+      item.latitude = store.latitude(global);
+      item.longitude = store.longitude(global);
+    }
+    AMICI_ASSIGN_OR_RETURN(const ItemId local, stores[shard].Add(item));
+    service->RecordPlacementLocked(global, shard, local);
+  }
+
+  // One engine per shard; the graph is replicated (copied) to each. The
+  // last shard takes the original by move.
+  service->shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    SocialGraph shard_graph;
+    if (s + 1 == num_shards) {
+      shard_graph = std::move(graph);  // the last replica takes the original
+    } else {
+      shard_graph = graph;
+    }
+    AMICI_ASSIGN_OR_RETURN(
+        std::unique_ptr<SocialSearchEngine> engine,
+        SocialSearchEngine::Build(std::move(shard_graph), std::move(stores[s]),
+                                  service->options_.engine));
+    service->shards_.push_back(std::move(engine));
+  }
+
+  const size_t hardware = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t threads =
+      service->options_.fanout_threads > 0
+          ? service->options_.fanout_threads
+          : std::max<size_t>(1, std::min(num_shards, hardware));
+  service->pool_ = std::make_unique<ThreadPool>(threads);
+  service->num_items_.store(total, std::memory_order_release);
+  return service;
+}
+
+void ShardedSearchService::RunFanOut(
+    size_t count, const std::function<void(size_t)>& fn) const {
+  FanOutOnPool(pool_.get(), count, fn);
+}
+
+bool ShardedSearchService::AnyShardHasGeoItems() const {
+  for (const auto& shard : shards_) {
+    if (shard->snapshot()->has_geo_items()) return true;
+  }
+  return false;
+}
+
+Result<QueryResult> ShardedSearchService::QueryShard(
+    size_t s, const SocialQuery& query, std::optional<AlgorithmId> hint,
+    bool geo_fallback_allowed) const {
+  const AlgorithmId algorithm = hint.value_or(AlgorithmId::kHybrid);
+  Result<QueryResult> result = shards_[s]->Query(query, algorithm);
+  if (!result.ok() && algorithm == AlgorithmId::kGeoGrid &&
+      result.status().code() == StatusCode::kFailedPrecondition &&
+      query.has_geo_filter && geo_fallback_allowed) {
+    // With a geo filter on the query, geo-grid's only FailedPrecondition
+    // is "no geo items covered by THIS shard's indexes" — but a
+    // single-node engine over the whole corpus would have executed the
+    // hint, so substitute hybrid (exact, only the work profile differs).
+    // When no shard has geo items (fallback not allowed) the whole corpus
+    // has none, and the hint must fail exactly like the local backend.
+    result = shards_[s]->Query(query, AlgorithmId::kHybrid);
+  }
+  if (!result.ok()) return result;
+  for (ScoredItem& item : result.value().items) {
+    item.item = local_to_global_[s][item.item];
+  }
+  return result;
+}
+
+Result<SearchResponse> ShardedSearchService::Search(
+    const SearchRequest& request) {
+  std::vector<Result<SearchResponse>> responses =
+      ExecuteRequests(std::span<const SearchRequest>(&request, 1));
+  return std::move(responses[0]);
+}
+
+std::vector<Result<SearchResponse>> ShardedSearchService::SearchBatch(
+    std::span<const SearchRequest> requests) {
+  return ExecuteRequests(requests);
+}
+
+std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
+    std::span<const SearchRequest> requests) {
+  const size_t num_shards = shards_.size();
+  std::vector<Result<SearchResponse>> responses(
+      requests.size(), Status::Internal("request never executed"));
+  std::vector<Stopwatch> watches(requests.size());
+
+  // A request stays pending while its owner-diversified selection needs a
+  // deeper global prefix (iterative deepening, mirroring
+  // SocialSearchEngine::QueryDiverse). Plain requests finish in round one.
+  struct Pending {
+    size_t request;  // index into `requests`
+    size_t fetch_k;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    pending.push_back({i, requests[i].query.k});
+  }
+
+  // Computed once per call (not per failing shard): whether a geo-grid
+  // hint may fall back to hybrid on shards without geo coverage.
+  bool geo_fallback_allowed = false;
+  for (const SearchRequest& request : requests) {
+    if (request.algorithm == AlgorithmId::kGeoGrid) {
+      geo_fallback_allowed = AnyShardHasGeoItems();
+      break;
+    }
+  }
+
+  while (!pending.empty()) {
+    // Flat fan-out over (pending request) x (shard): one pool pass per
+    // round, never nested (ThreadPool fan-outs must not nest).
+    std::vector<std::vector<Result<QueryResult>>> round(
+        pending.size(), std::vector<Result<QueryResult>>(
+                            num_shards, Status::Internal("never executed")));
+    RunFanOut(pending.size() * num_shards, [&](size_t job) {
+      const size_t p = job / num_shards;
+      const size_t s = job % num_shards;
+      const SearchRequest& request = requests[pending[p].request];
+      SocialQuery query = request.query;
+      query.k = pending[p].fetch_k;
+      round[p][s] = QueryShard(s, query, request.algorithm,
+                               geo_fallback_allowed);
+    });
+
+    std::vector<Pending> still_pending;
+    for (size_t p = 0; p < pending.size(); ++p) {
+      const size_t i = pending[p].request;
+      const SearchRequest& request = requests[i];
+      const size_t fetch_k = pending[p].fetch_k;
+
+      Status error = Status::Ok();
+      for (size_t s = 0; s < num_shards && error.ok(); ++s) {
+        if (!round[p][s].ok()) error = round[p][s].status();
+      }
+      if (!error.ok()) {
+        responses[i] = std::move(error);
+        continue;
+      }
+
+      SearchResponse response;
+      response.backend = backend_label_;
+      response.shards_touched = num_shards;
+      // Label with what actually executed when the shards agree (e.g.
+      // every shard fell back to hybrid); a mixed fan-out keeps the
+      // hint's name — see the SearchResponse::algorithm contract.
+      response.algorithm = round[p][0].value().algorithm;
+      for (size_t s = 1; s < num_shards; ++s) {
+        if (round[p][s].value().algorithm != response.algorithm) {
+          response.algorithm = AlgorithmName(
+              request.algorithm.value_or(AlgorithmId::kHybrid));
+          break;
+        }
+      }
+      std::vector<ScoredItem> merged;
+      bool all_exhausted = true;
+      for (size_t s = 0; s < num_shards; ++s) {
+        const QueryResult& shard_result = round[p][s].value();
+        MergeSearchStats(shard_result.stats, &response.stats);
+        merged.insert(merged.end(), shard_result.items.begin(),
+                      shard_result.items.end());
+        if (shard_result.items.size() >= fetch_k) all_exhausted = false;
+      }
+      std::sort(merged.begin(), merged.end(), ScoreOrder);
+
+      auto finalize = [&](std::vector<ScoredItem> items) {
+        response.items = std::move(items);
+        response.elapsed_ms = watches[i].ElapsedMillis();
+        response.deadline_exceeded = request.timeout_ms > 0.0 &&
+                                     response.elapsed_ms > request.timeout_ms;
+        responses[i] = std::move(response);
+      };
+
+      if (request.max_per_owner == 0) {
+        // Exact: every global top-k member is in its own shard's top-k,
+        // so the merge's first k entries ARE the global top-k.
+        if (merged.size() > request.query.k) merged.resize(request.query.k);
+        finalize(std::move(merged));
+        continue;
+      }
+
+      // Owner-diversified: greedy per-owner cap over the EXACT global
+      // prefix. When no shard was exhausted the first fetch_k entries of
+      // the merge are exactly the global top-fetch_k; when every shard
+      // was exhausted the merge is the entire positive-score corpus and
+      // greedy over all of it is the exact answer.
+      if (!all_exhausted && merged.size() > fetch_k) merged.resize(fetch_k);
+      std::vector<ScoredItem> diverse;
+      std::unordered_map<UserId, size_t> taken;
+      for (const ScoredItem& entry : merged) {
+        size_t& count = taken[OwnerOf(entry.item)];
+        if (count >= request.max_per_owner) continue;
+        ++count;
+        diverse.push_back(entry);
+        if (diverse.size() == request.query.k) break;
+      }
+      if (diverse.size() == request.query.k || all_exhausted) {
+        finalize(std::move(diverse));
+      } else {
+        still_pending.push_back({i, fetch_k * 2});
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  return responses;
+}
+
+Result<std::vector<TagSuggestion>> ShardedSearchService::SuggestTags(
+    UserId user, std::span<const TagId> seed_tags,
+    const QueryExpansionOptions& options) {
+  if (options.max_suggestions == 0) {
+    // Mirror the per-engine validation the per-shard override would mask.
+    return Status::InvalidArgument("max_suggestions must be >= 1");
+  }
+  // Every shard reports ALL its evidence (no per-shard truncation or
+  // thresholding — both are applied on the merged, global totals below;
+  // a tag just under a per-shard threshold could clear the global one).
+  QueryExpansionOptions shard_options = options;
+  shard_options.max_suggestions = std::numeric_limits<size_t>::max();
+  shard_options.min_cooccurrence = 1;
+
+  std::vector<Result<std::vector<TagSuggestion>>> per_shard(
+      shards_.size(), Status::Internal("never executed"));
+  RunFanOut(shards_.size(), [&](size_t s) {
+    per_shard[s] = shards_[s]->SuggestTags(user, seed_tags, shard_options);
+  });
+
+  struct Evidence {
+    double weight = 0.0;
+    uint32_t support = 0;
+  };
+  std::unordered_map<TagId, Evidence> evidence;
+  for (const auto& shard_result : per_shard) {
+    if (!shard_result.ok()) return shard_result.status();
+    for (const TagSuggestion& s : shard_result.value()) {
+      Evidence& e = evidence[s.tag];
+      e.weight += static_cast<double>(s.weight);
+      e.support += s.support;
+    }
+  }
+  std::vector<TagSuggestion> suggestions;
+  suggestions.reserve(evidence.size());
+  for (const auto& [tag, e] : evidence) {
+    if (e.support < options.min_cooccurrence) continue;
+    suggestions.push_back({tag, static_cast<float>(e.weight), e.support});
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const TagSuggestion& a, const TagSuggestion& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.tag < b.tag;
+            });
+  if (suggestions.size() > options.max_suggestions) {
+    suggestions.resize(options.max_suggestions);
+  }
+  return suggestions;
+}
+
+Result<ItemId> ShardedSearchService::AddItem(const Item& item) {
+  AMICI_ASSIGN_OR_RETURN(
+      const std::vector<ItemId> ids,
+      AddItems(std::span<const Item>(&item, 1)));
+  return ids[0];
+}
+
+Result<std::vector<ItemId>> ShardedSearchService::AddItems(
+    std::span<const Item> items) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const size_t start =
+      num_items_.load(std::memory_order_relaxed);
+  const size_t users = num_users();
+
+  // Validate the whole batch up front — per-item shape at the CALLER's
+  // batch position, then per-shard cumulative capacity — so the engine
+  // appends below cannot fail once the id maps are committed (the map
+  // rows must be written before a shard publishes the items, because
+  // readers translate ids of anything a pinned snapshot shows).
+  std::vector<std::vector<Item>> per_shard(shards_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].owner >= users) {
+      return Status::InvalidArgument(
+          StringPrintf("batch item %zu: owner outside the social graph", i));
+    }
+    const uint32_t shard = ShardOf(static_cast<ItemId>(start + i));
+    const Status status = shards_[shard]->store().ValidateForAdd(items[i]);
+    if (!status.ok()) {
+      return Status(status.code(), StringPrintf("batch item %zu: %s", i,
+                                                status.message().c_str()));
+    }
+    per_shard[shard].push_back(items[i]);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    // Shapes passed above; this adds the cumulative-capacity guarantee.
+    AMICI_RETURN_IF_ERROR(
+        shards_[s]->store().ValidateForAddAll(per_shard[s]));
+  }
+
+  // Commit the id maps for the whole batch, then append per shard — one
+  // snapshot publish per touched shard (the batched-ingest path).
+  std::vector<ItemId> ids;
+  ids.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const ItemId global = static_cast<ItemId>(start + i);
+    const uint32_t shard = ShardOf(global);
+    const ItemId local = static_cast<ItemId>(local_to_global_[shard].size());
+    RecordPlacementLocked(global, shard, local);
+    ids.push_back(global);
+  }
+  // Admit the ids BEFORE any shard publishes: num_items() must never lag
+  // behind what a response can already contain. The cost is that it
+  // briefly LEADS readability — ids in [published, num_items()) exist but
+  // are not yet backed by shard store rows, which is why OwnerOf/TagsOf
+  // only accept ids obtained from a response or an Add return value (see
+  // the header contract), never ids derived from num_items().
+  num_items_.store(start + items.size(), std::memory_order_release);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    const auto added = shards_[s]->AddItems(per_shard[s]);
+    // Unreachable: ValidateForAddAll covered shape and cumulative
+    // capacity; anything else would desynchronize the id maps, so fail
+    // loudly.
+    AMICI_CHECK(added.ok()) << added.status().ToString();
+  }
+  return ids;
+}
+
+Status ShardedSearchService::AddFriendship(UserId u, UserId v) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // The graphs are replicas: shard 0's verdict is every shard's verdict,
+  // so validate there before touching the rest.
+  AMICI_RETURN_IF_ERROR(shards_[0]->AddFriendship(u, v));
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const Status status = shards_[s]->AddFriendship(u, v);
+    AMICI_CHECK(status.ok()) << "shard " << s << " graph diverged: "
+                             << status.ToString();
+  }
+  return Status::Ok();
+}
+
+Status ShardedSearchService::RemoveFriendship(UserId u, UserId v) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  AMICI_RETURN_IF_ERROR(shards_[0]->RemoveFriendship(u, v));
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const Status status = shards_[s]->RemoveFriendship(u, v);
+    AMICI_CHECK(status.ok()) << "shard " << s << " graph diverged: "
+                             << status.ToString();
+  }
+  return Status::Ok();
+}
+
+Status ShardedSearchService::Compact() {
+  // Compactions are heavy and independent: run them in parallel. Each
+  // engine handles its own concurrency with queries and ingest.
+  std::vector<Status> statuses(shards_.size());
+  RunFanOut(shards_.size(),
+            [&](size_t s) { statuses[s] = shards_[s]->Compact(); });
+  for (const Status& status : statuses) {
+    AMICI_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+size_t ShardedSearchService::num_users() const {
+  return shards_[0]->snapshot()->graph->num_users();
+}
+
+size_t ShardedSearchService::unindexed_items() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->unindexed_items();
+  return total;
+}
+
+UserId ShardedSearchService::OwnerOf(ItemId item) const {
+  const ShardRef ref = global_to_shard_[item];
+  return shards_[ref.shard]->store().owner(ref.local);
+}
+
+std::vector<TagId> ShardedSearchService::TagsOf(ItemId item) const {
+  const ShardRef ref = global_to_shard_[item];
+  const auto tags = shards_[ref.shard]->store().tags(ref.local);
+  return std::vector<TagId>(tags.begin(), tags.end());
+}
+
+std::vector<UserId> ShardedSearchService::FriendsOf(UserId user) const {
+  const auto snap = shards_[0]->snapshot();
+  const auto friends = snap->graph->Friends(user);
+  return std::vector<UserId>(friends.begin(), friends.end());
+}
+
+std::string ShardedSearchService::StatsSummary() const {
+  std::string summary;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    summary += "[shard " + std::to_string(s) + "]\n";
+    summary += shards_[s]->stats().ToString();
+  }
+  return summary;
+}
+
+}  // namespace amici

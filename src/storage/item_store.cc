@@ -7,7 +7,19 @@
 
 namespace amici {
 
-Result<ItemId> ItemStore::Add(const Item& item) {
+namespace {
+
+/// Sorted, deduplicated copy of the tag list (the stored form).
+std::vector<TagId> NormalizedTags(const Item& item) {
+  std::vector<TagId> tags = item.tags;
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  return tags;
+}
+
+/// Item validity checks shared by Add and the ValidateForAdd* family;
+/// `tags` is the already-normalized list. Capacity is checked separately.
+Status ValidateItemShape(const Item& item, const std::vector<TagId>& tags) {
   if (item.owner == kInvalidUserId) {
     return Status::InvalidArgument("item owner must be a valid user");
   }
@@ -18,17 +30,58 @@ Result<ItemId> ItemStore::Add(const Item& item) {
     return Status::InvalidArgument(
         StringPrintf("quality %.3f outside [0, 1]", item.quality));
   }
-  std::vector<TagId> tags = item.tags;
-  std::sort(tags.begin(), tags.end());
-  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
   if (tags.size() > StableColumn<TagId>::kMaxRun) {
     return Status::InvalidArgument("item carries too many tags");
   }
+  return Status::Ok();
+}
 
-  const size_t id = num_items_.load(std::memory_order_relaxed);
+}  // namespace
+
+Status ItemStore::ValidateForAdd(const Item& item) const {
+  const std::vector<TagId> tags = NormalizedTags(item);
+  AMICI_RETURN_IF_ERROR(ValidateItemShape(item, tags));
   if (!owner_.CanAppend(1) || !tag_data_.CanAppend(tags.size())) {
     return Status::ResourceExhausted("item store is at capacity");
   }
+  return Status::Ok();
+}
+
+Status ItemStore::ValidateForAddAll(std::span<const Item> items) const {
+  // Cumulative capacity. An AppendRun pads only when the run would
+  // straddle a chunk boundary, and the padding (kChunkSize - used) is
+  // then strictly less than the run length — so 2x the run length is a
+  // conservative per-run bound that stays proportional to the batch.
+  size_t tag_slots = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const std::vector<TagId> tags = NormalizedTags(items[i]);
+    const Status status = ValidateItemShape(items[i], tags);
+    if (!status.ok()) {
+      return Status(status.code(), StringPrintf("batch item %zu: %s", i,
+                                                status.message().c_str()));
+    }
+    tag_slots += 2 * tags.size();
+  }
+  // Mirror CanAppend's full-chunk slack per column so that after Ok()
+  // every per-item CanAppend along the batch is guaranteed to pass.
+  if (owner_.size() + items.size() + StableColumn<UserId>::kChunkSize >
+          StableColumn<UserId>::kMaxElements ||
+      tag_data_.size() + tag_slots + StableColumn<TagId>::kChunkSize >
+          StableColumn<TagId>::kMaxElements) {
+    return Status::ResourceExhausted(
+        "batch does not fit: item store is near capacity");
+  }
+  return Status::Ok();
+}
+
+Result<ItemId> ItemStore::Add(const Item& item) {
+  std::vector<TagId> tags = NormalizedTags(item);
+  AMICI_RETURN_IF_ERROR(ValidateItemShape(item, tags));
+  if (!owner_.CanAppend(1) || !tag_data_.CanAppend(tags.size())) {
+    return Status::ResourceExhausted("item store is at capacity");
+  }
+
+  const size_t id = num_items_.load(std::memory_order_relaxed);
   owner_.push_back(item.owner);
   quality_.push_back(item.quality);
   has_geo_.push_back(item.has_geo ? 1 : 0);

@@ -58,6 +58,19 @@ class ItemStore {
   /// is outside [0, 1], or the tag list is empty. Single writer at a time.
   Result<ItemId> Add(const Item& item);
 
+  /// The exact admission check Add() performs (validity + capacity),
+  /// without mutating the store. Callers that must commit side effects
+  /// before appending (e.g. the sharded service's id maps) use this to
+  /// guarantee the subsequent Add() cannot fail.
+  Status ValidateForAdd(const Item& item) const;
+
+  /// Batch admission check: per-item validity plus CUMULATIVE capacity
+  /// (a batch can exhaust the store even when every item fits alone).
+  /// After Ok(), appending every item in order cannot fail — the
+  /// guarantee the all-or-nothing batch ingest paths rely on. Errors
+  /// name the offending batch position.
+  Status ValidateForAddAll(std::span<const Item> items) const;
+
   /// Items fully written so far (acquire load: everything below the
   /// returned bound is safe to read concurrently with the writer).
   size_t num_items() const {

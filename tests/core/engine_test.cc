@@ -198,6 +198,69 @@ TEST_F(EngineTest, AddItemRejectsForeignOwner) {
   EXPECT_FALSE(engine->AddItem(item).ok());
 }
 
+TEST_F(EngineTest, AddItemsBatchPublishesOnce) {
+  auto engine = MakeEngine();
+  const size_t before = engine->store().num_items();
+  const auto snapshot_before = engine->snapshot();
+
+  std::vector<Item> batch(25);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].owner = static_cast<UserId>(i % 50);
+    batch[i].tags = {static_cast<TagId>(i % 7)};
+    batch[i].quality = 0.4f;
+  }
+  const auto ids = engine->AddItems(batch);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), batch.size());
+  for (size_t i = 0; i < ids.value().size(); ++i) {
+    EXPECT_EQ(ids.value()[i], static_cast<ItemId>(before + i))
+        << "batch ids must be dense, in batch order";
+  }
+  EXPECT_EQ(engine->store().num_items(), before + batch.size());
+  EXPECT_EQ(engine->unindexed_items(), batch.size());
+  // ONE publish for the whole batch: heavy components are shared with the
+  // pre-batch generation, only the store bound advanced.
+  const auto snapshot_after = engine->snapshot();
+  EXPECT_NE(snapshot_before.get(), snapshot_after.get());
+  EXPECT_EQ(snapshot_before->indexes.get(), snapshot_after->indexes.get());
+  EXPECT_EQ(snapshot_before->graph.get(), snapshot_after->graph.get());
+
+  // Batch items are queryable immediately (tail scan), exactly.
+  SocialQuery query = MakeQuery();
+  query.tags = {0};
+  query.k = before + batch.size();
+  const auto exhaustive = engine->Query(query, AlgorithmId::kExhaustive);
+  const auto hybrid = engine->Query(query, AlgorithmId::kHybrid);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_EQ(exhaustive.value().items.size(), hybrid.value().items.size());
+}
+
+TEST_F(EngineTest, AddItemsBatchIsAllOrNothing) {
+  auto engine = MakeEngine();
+  const size_t before = engine->store().num_items();
+  std::vector<Item> batch(4);
+  for (auto& item : batch) {
+    item.owner = 1;
+    item.tags = {0};
+    item.quality = 0.5f;
+  }
+  batch[3].owner = static_cast<UserId>(engine->graph().num_users() + 1);
+  const auto rejected = engine->AddItems(batch);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->store().num_items(), before)
+      << "a rejected batch must not leak a prefix into the store";
+
+  batch[3].owner = 1;
+  batch[3].quality = -0.5f;
+  EXPECT_FALSE(engine->AddItems(batch).ok());
+  EXPECT_EQ(engine->store().num_items(), before);
+
+  const auto empty = engine->AddItems(std::span<const Item>());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
 TEST_F(EngineTest, AlgorithmNamesAreStable) {
   EXPECT_EQ(AlgorithmName(AlgorithmId::kExhaustive), "exhaustive");
   EXPECT_EQ(AlgorithmName(AlgorithmId::kMergeScan), "merge-scan");

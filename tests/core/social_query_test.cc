@@ -42,10 +42,29 @@ TEST(ValidateQueryTest, RejectsAlphaOutOfRange) {
   EXPECT_TRUE(ValidateQuery(query, 100).ok());
 }
 
-TEST(ValidateQueryTest, RejectsEmptyTags) {
+TEST(ValidateQueryTest, RejectsEmptyTagsUnlessPureSocial) {
   SocialQuery query = ValidQuery();
   query.tags.clear();
   EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  // The tag-less pure-social feed is the one legal empty-tags shape.
+  query.alpha = 1.0;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+  query.alpha = 0.999;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+  query.alpha = 0.0;
+  EXPECT_FALSE(ValidateQuery(query, 100).ok());
+}
+
+TEST(ValidateQueryTest, TaglessFeedComposesWithGeoAndModes) {
+  SocialQuery query;
+  query.user = 3;
+  query.k = 5;
+  query.alpha = 1.0;
+  query.mode = MatchMode::kAll;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
+  query.has_geo_filter = true;
+  query.radius_km = 10.0f;
+  EXPECT_TRUE(ValidateQuery(query, 100).ok());
 }
 
 TEST(ValidateQueryTest, RejectsUnsortedOrDuplicateTags) {

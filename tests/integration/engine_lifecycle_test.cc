@@ -1,12 +1,13 @@
-// End-to-end lifecycle: generate -> persist graph -> rebuild engine ->
-// query -> incremental ingest -> compact -> query again.
+// End-to-end lifecycle through the SearchService surface: generate ->
+// persist graph -> rebuild service -> query -> incremental ingest (single
+// and batched) -> compact -> query again.
 
 #include <cstdio>
 #include <string>
 
-#include "core/engine.h"
 #include "graph/graph_io.h"
 #include "gtest/gtest.h"
+#include "service/local_search_service.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
 
@@ -27,9 +28,9 @@ TEST(EngineLifecycleTest, PersistRebuildQueryIngestCompact) {
   ASSERT_TRUE(loaded.ok());
   std::remove(path.c_str());
 
-  auto engine = SocialSearchEngine::Build(
-      std::move(loaded).value(), std::move(dataset.store), {});
-  ASSERT_TRUE(engine.ok());
+  auto service = LocalSearchService::Build(std::move(loaded).value(),
+                                           std::move(dataset.store));
+  ASSERT_TRUE(service.ok());
 
   // Baseline query.
   Dataset dataset2 = GenerateDataset(config).value();
@@ -40,37 +41,50 @@ TEST(EngineLifecycleTest, PersistRebuildQueryIngestCompact) {
   ASSERT_TRUE(queries.ok());
 
   for (const SocialQuery& query : queries.value()) {
-    ASSERT_TRUE(engine.value()->Query(query).ok());
+    SearchRequest request;
+    request.query = query;
+    ASSERT_TRUE(service.value()->Search(request).ok());
   }
 
-  // Ingest a burst of items into the tail.
-  const size_t before = engine.value()->store().num_items();
+  // Ingest a burst of items into the tail: half one-by-one, half as one
+  // AddItems batch (single publish).
+  const size_t before = service.value()->num_items();
+  std::vector<Item> batch;
   for (int i = 0; i < 50; ++i) {
     Item item;
-    item.owner = static_cast<UserId>(i % engine.value()->graph().num_users());
+    item.owner = static_cast<UserId>(i % service.value()->num_users());
     item.tags = {static_cast<TagId>(i % 20)};
     item.quality = 0.5f;
-    ASSERT_TRUE(engine.value()->AddItem(item).ok());
+    if (i < 25) {
+      ASSERT_TRUE(service.value()->AddItem(item).ok());
+    } else {
+      batch.push_back(item);
+    }
   }
-  EXPECT_EQ(engine.value()->unindexed_items(), 50u);
-  EXPECT_EQ(engine.value()->store().num_items(), before + 50);
+  ASSERT_TRUE(service.value()->AddItems(batch).ok());
+  EXPECT_EQ(service.value()->unindexed_items(), 50u);
+  EXPECT_EQ(service.value()->num_items(), before + 50);
 
   // Tail items participate in queries before compaction; results across
   // compaction must be identical.
   std::vector<std::vector<ScoredItem>> pre_compaction;
   for (const SocialQuery& query : queries.value()) {
-    const auto result = engine.value()->Query(query);
-    ASSERT_TRUE(result.ok());
-    pre_compaction.push_back(result.value().items);
+    SearchRequest request;
+    request.query = query;
+    const auto response = service.value()->Search(request);
+    ASSERT_TRUE(response.ok());
+    pre_compaction.push_back(response.value().items);
   }
-  ASSERT_TRUE(engine.value()->Compact().ok());
-  EXPECT_EQ(engine.value()->unindexed_items(), 0u);
+  ASSERT_TRUE(service.value()->Compact().ok());
+  EXPECT_EQ(service.value()->unindexed_items(), 0u);
   for (size_t q = 0; q < queries.value().size(); ++q) {
-    const auto result = engine.value()->Query(queries.value()[q]);
-    ASSERT_TRUE(result.ok());
-    ASSERT_EQ(result.value().items.size(), pre_compaction[q].size());
+    SearchRequest request;
+    request.query = queries.value()[q];
+    const auto response = service.value()->Search(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().items.size(), pre_compaction[q].size());
     for (size_t i = 0; i < pre_compaction[q].size(); ++i) {
-      EXPECT_NEAR(result.value().items[i].score,
+      EXPECT_NEAR(response.value().items[i].score,
                   pre_compaction[q][i].score, 1e-5)
           << "query " << q << " rank " << i;
     }
@@ -81,12 +95,12 @@ TEST(EngineLifecycleTest, EmptyTailCompactionIsIdempotent) {
   DatasetConfig config = SmallDataset();
   config.num_users = 100;
   Dataset dataset = GenerateDataset(config).value();
-  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
-                                          std::move(dataset.store), {});
-  ASSERT_TRUE(engine.ok());
-  ASSERT_TRUE(engine.value()->Compact().ok());
-  ASSERT_TRUE(engine.value()->Compact().ok());
-  EXPECT_EQ(engine.value()->unindexed_items(), 0u);
+  auto service = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service.value()->Compact().ok());
+  ASSERT_TRUE(service.value()->Compact().ok());
+  EXPECT_EQ(service.value()->unindexed_items(), 0u);
 }
 
 TEST(EngineLifecycleTest, ManyIngestCompactCycles) {
@@ -94,15 +108,15 @@ TEST(EngineLifecycleTest, ManyIngestCompactCycles) {
   config.num_users = 100;
   config.items_per_user = 2.0;
   Dataset dataset = GenerateDataset(config).value();
-  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
-                                          std::move(dataset.store), {});
-  ASSERT_TRUE(engine.ok());
+  auto service = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store));
+  ASSERT_TRUE(service.ok());
 
-  SocialQuery query;
-  query.user = 1;
-  query.tags = {0};
-  query.k = 5;
-  query.alpha = 0.4;
+  SearchRequest request;
+  request.query.user = 1;
+  request.query.tags = {0};
+  request.query.k = 5;
+  request.query.alpha = 0.4;
 
   for (int cycle = 0; cycle < 5; ++cycle) {
     for (int i = 0; i < 10; ++i) {
@@ -110,11 +124,12 @@ TEST(EngineLifecycleTest, ManyIngestCompactCycles) {
       item.owner = static_cast<UserId>((cycle * 10 + i) % 100);
       item.tags = {static_cast<TagId>(i % 5)};
       item.quality = 0.3f;
-      ASSERT_TRUE(engine.value()->AddItem(item).ok());
+      ASSERT_TRUE(service.value()->AddItem(item).ok());
     }
-    const auto exhaustive =
-        engine.value()->Query(query, AlgorithmId::kExhaustive);
-    const auto hybrid = engine.value()->Query(query, AlgorithmId::kHybrid);
+    request.algorithm = AlgorithmId::kExhaustive;
+    const auto exhaustive = service.value()->Search(request);
+    request.algorithm = AlgorithmId::kHybrid;
+    const auto hybrid = service.value()->Search(request);
     ASSERT_TRUE(exhaustive.ok());
     ASSERT_TRUE(hybrid.ok());
     ASSERT_EQ(exhaustive.value().items.size(), hybrid.value().items.size());
@@ -122,9 +137,9 @@ TEST(EngineLifecycleTest, ManyIngestCompactCycles) {
       EXPECT_NEAR(hybrid.value().items[i].score,
                   exhaustive.value().items[i].score, 1e-5);
     }
-    ASSERT_TRUE(engine.value()->Compact().ok());
+    ASSERT_TRUE(service.value()->Compact().ok());
   }
-  EXPECT_EQ(engine.value()->store().num_items(),
+  EXPECT_EQ(service.value()->num_items(),
             static_cast<size_t>(100 * 2 + 50));
 }
 

@@ -1,7 +1,9 @@
 // The central correctness property of the whole system: every
 // early-terminating algorithm returns exactly the same top-k score
 // profile as the exhaustive oracle, for every proximity model, blend
-// parameter, match mode, and graph topology.
+// parameter, match mode, and graph topology — exercised through the
+// SearchService surface (the algorithm under test is the request's
+// execution hint).
 
 #include <memory>
 #include <string>
@@ -9,6 +11,7 @@
 
 #include "core/engine.h"
 #include "gtest/gtest.h"
+#include "service/local_search_service.h"
 #include "proximity/common_neighbors.h"
 #include "proximity/hop_decay.h"
 #include "proximity/katz.h"
@@ -77,12 +80,12 @@ TEST_P(ExactnessTest, AllAlgorithmsMatchOracle) {
   config.seed = param.seed;
   Dataset dataset = GenerateDataset(config).value();
 
-  SocialSearchEngine::Options options;
-  options.proximity_model = MakeModel(param.proximity_kind);
-  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
-                                          std::move(dataset.store),
-                                          std::move(options));
-  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  LocalSearchService::Options options;
+  options.engine.proximity_model = MakeModel(param.proximity_kind);
+  auto service = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store),
+                                           std::move(options));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
 
   QueryWorkloadConfig workload;
   workload.num_queries = 15;
@@ -104,12 +107,16 @@ TEST_P(ExactnessTest, AllAlgorithmsMatchOracle) {
   if (param.with_geo) candidates.push_back(AlgorithmId::kGeoGrid);
 
   for (const SocialQuery& query : queries.value()) {
-    const auto expected =
-        engine.value()->Query(query, AlgorithmId::kExhaustive);
+    SearchRequest request;
+    request.query = query;
+    request.algorithm = AlgorithmId::kExhaustive;
+    const auto expected = service.value()->Search(request);
     ASSERT_TRUE(expected.ok()) << expected.status().ToString();
     for (const AlgorithmId id : candidates) {
-      const auto actual = engine.value()->Query(query, id);
+      request.algorithm = id;
+      const auto actual = service.value()->Search(request);
       ASSERT_TRUE(actual.ok()) << AlgorithmName(id);
+      EXPECT_EQ(actual.value().algorithm, AlgorithmName(id));
       ASSERT_EQ(actual.value().items.size(), expected.value().items.size())
           << AlgorithmName(id);
       for (size_t i = 0; i < actual.value().items.size(); ++i) {

@@ -1,13 +1,14 @@
-// Randomized lifecycle stress: interleave item ingest, friendship churn,
+// Randomized lifecycle stress through the SearchService surface:
+// interleave item ingest (single + batched), friendship churn,
 // compactions, and queries, checking after every mutation batch that the
 // early-terminating strategies still agree with the exhaustive oracle.
-// This is the closest thing to a model-checking harness the engine has.
+// This is the closest thing to a model-checking harness the system has.
 
 #include <memory>
 #include <vector>
 
-#include "core/engine.h"
 #include "gtest/gtest.h"
+#include "service/local_search_service.h"
 #include "util/rng.h"
 #include "workload/dataset_generator.h"
 #include "workload/query_workload.h"
@@ -24,9 +25,9 @@ TEST(StressTest, MutationsNeverBreakExactness) {
   Dataset dataset = GenerateDataset(config).value();
   Dataset workload_view = GenerateDataset(config).value();
 
-  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
-                                          std::move(dataset.store), {});
-  ASSERT_TRUE(engine.ok());
+  auto service = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store));
+  ASSERT_TRUE(service.ok());
 
   QueryWorkloadConfig workload;
   workload.num_queries = 8;
@@ -34,10 +35,12 @@ TEST(StressTest, MutationsNeverBreakExactness) {
   const auto queries = GenerateQueries(workload_view, workload).value();
 
   Rng rng(2024);
-  const size_t num_users = engine.value()->graph().num_users();
+  const size_t num_users = service.value()->num_users();
   for (int round = 0; round < 12; ++round) {
-    // --- Mutation batch: items, friendships, sometimes a compaction.
+    // --- Mutation batch: items (every other round through the batched
+    // AddItems path), friendships, sometimes a compaction.
     const size_t new_items = rng.UniformIndex(10);
+    std::vector<Item> batch;
     for (size_t i = 0; i < new_items; ++i) {
       Item item;
       item.owner = static_cast<UserId>(rng.UniformIndex(num_users));
@@ -46,34 +49,45 @@ TEST(StressTest, MutationsNeverBreakExactness) {
         item.tags.push_back(static_cast<TagId>(rng.UniformIndex(120)));
       }
       item.quality = static_cast<float>(rng.UniformDouble());
-      ASSERT_TRUE(engine.value()->AddItem(item).ok());
+      if (round % 2 == 0) {
+        ASSERT_TRUE(service.value()->AddItem(item).ok());
+      } else {
+        batch.push_back(item);
+      }
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(service.value()->AddItems(batch).ok());
     }
     const size_t edge_flips = rng.UniformIndex(4);
     for (size_t i = 0; i < edge_flips; ++i) {
       const UserId u = static_cast<UserId>(rng.UniformIndex(num_users));
       const UserId v = static_cast<UserId>(rng.UniformIndex(num_users));
       if (u == v) continue;
-      if (engine.value()->graph().HasEdge(u, v)) {
-        ASSERT_TRUE(engine.value()->RemoveFriendship(u, v).ok());
+      // Flip: add if absent (Ok), remove if present (AlreadyExists).
+      const Status added = service.value()->AddFriendship(u, v);
+      if (added.code() == StatusCode::kAlreadyExists) {
+        ASSERT_TRUE(service.value()->RemoveFriendship(u, v).ok());
       } else {
-        ASSERT_TRUE(engine.value()->AddFriendship(u, v).ok());
+        ASSERT_TRUE(added.ok()) << added.ToString();
       }
     }
     if (rng.Bernoulli(0.3)) {
-      ASSERT_TRUE(engine.value()->Compact().ok());
+      ASSERT_TRUE(service.value()->Compact().ok());
     }
 
     // --- Invariant: every strategy agrees with the oracle.
     for (const SocialQuery& base_query : queries) {
-      SocialQuery query = base_query;
-      query.alpha = rng.UniformDouble();
-      const auto expected =
-          engine.value()->Query(query, AlgorithmId::kExhaustive);
+      SearchRequest request;
+      request.query = base_query;
+      request.query.alpha = rng.UniformDouble();
+      request.algorithm = AlgorithmId::kExhaustive;
+      const auto expected = service.value()->Search(request);
       ASSERT_TRUE(expected.ok());
       for (const AlgorithmId id :
            {AlgorithmId::kMergeScan, AlgorithmId::kHybrid,
             AlgorithmId::kNra}) {
-        const auto actual = engine.value()->Query(query, id);
+        request.algorithm = id;
+        const auto actual = service.value()->Search(request);
         ASSERT_TRUE(actual.ok()) << AlgorithmName(id);
         ASSERT_EQ(actual.value().items.size(),
                   expected.value().items.size())
@@ -88,29 +102,39 @@ TEST(StressTest, MutationsNeverBreakExactness) {
   }
 }
 
-TEST(StressTest, QueryBatchMatchesSerialExecution) {
+TEST(StressTest, SearchBatchMatchesSerialExecution) {
   DatasetConfig config = SmallDataset();
   config.num_users = 300;
   Dataset dataset = GenerateDataset(config).value();
   Dataset workload_view = GenerateDataset(config).value();
-  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
-                                          std::move(dataset.store), {});
-  ASSERT_TRUE(engine.ok());
+  LocalSearchService::Options options;
+  options.batch_threads = 8;
+  auto service = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store),
+                                           std::move(options));
+  ASSERT_TRUE(service.ok());
 
   QueryWorkloadConfig workload;
   workload.num_queries = 50;
   workload.seed = 505;
   const auto queries = GenerateQueries(workload_view, workload).value();
 
-  const auto serial =
-      engine.value()->QueryBatch(queries, AlgorithmId::kHybrid, nullptr);
-  ThreadPool pool(8);
-  const auto parallel =
-      engine.value()->QueryBatch(queries, AlgorithmId::kHybrid, &pool);
+  std::vector<SearchRequest> requests;
+  for (const SocialQuery& query : queries) {
+    SearchRequest request;
+    request.query = query;
+    requests.push_back(request);
+  }
+  // Serial reference, then the pooled batch.
+  std::vector<Result<SearchResponse>> serial;
+  for (const SearchRequest& request : requests) {
+    serial.push_back(service.value()->Search(request));
+  }
+  const auto parallel = service.value()->SearchBatch(requests);
   ASSERT_EQ(serial.size(), parallel.size());
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_TRUE(serial[i].ok());
-    ASSERT_TRUE(parallel[i].ok()) << "query " << i;
+    ASSERT_TRUE(parallel[i].ok()) << "request " << i;
     ASSERT_EQ(serial[i].value().items.size(),
               parallel[i].value().items.size());
     for (size_t r = 0; r < serial[i].value().items.size(); ++r) {

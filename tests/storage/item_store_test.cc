@@ -173,5 +173,37 @@ TEST(ItemStoreTest, ConcurrentReadersSeePublishedPrefix) {
   EXPECT_EQ(store.num_items(), kItems);
 }
 
+TEST(ItemStoreTest, ValidateForAddMatchesAddVerdicts) {
+  ItemStore store;
+  const Item good = MakeItem(1, {3, 1, 3}, 0.5f);  // dup tags are fine
+  EXPECT_TRUE(store.ValidateForAdd(good).ok());
+  EXPECT_TRUE(store.Add(good).ok());
+
+  Item bad_quality = good;
+  bad_quality.quality = 1.5f;
+  EXPECT_EQ(store.ValidateForAdd(bad_quality).code(),
+            StatusCode::kInvalidArgument);
+  Item no_tags = good;
+  no_tags.tags.clear();
+  EXPECT_EQ(store.ValidateForAdd(no_tags).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ItemStoreTest, ValidateForAddAllAcceptsLargeBatches) {
+  ItemStore store;
+  // The cumulative capacity bound must stay proportional to the batch's
+  // real footprint: a bulk-load-sized batch of small items is nowhere
+  // near the 268M-element column capacity and must pass.
+  std::vector<Item> batch(40000, MakeItem(1, {2}, 0.5f));
+  EXPECT_TRUE(store.ValidateForAddAll(batch).ok());
+
+  batch[12345].quality = -1.0f;
+  const Status status = store.ValidateForAddAll(batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("batch item 12345"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(store.num_items(), 0u) << "validation must not mutate";
+}
+
 }  // namespace
 }  // namespace amici
