@@ -1,4 +1,4 @@
-// Fig 11 (extension experiment) — the cost of freshness, in two parts.
+// Fig 11 (extension experiment) — the cost of freshness, in three parts.
 //
 // Part 1 (serial): query latency as the un-indexed ingest tail grows, and
 // the effect of Compact(). The LSM-flavoured main-index + tail design
@@ -9,13 +9,26 @@
 // thread ingests at full speed (with a mid-stream Compact) while this
 // thread keeps querying. Reported is the query latency DURING ingest and
 // DURING compaction: no external exclusion, no stop-the-world.
+//
+// Part 3 (queue mode): the ingest pipeline — producers enqueue batches
+// into the MPSC queue, the dedicated writer thread coalesces them into
+// few AddItems calls (few snapshot publishes), and the background
+// compaction scheduler keeps the tail bounded without any manual
+// Compact(). Reported per backpressure mode: query latency during queued
+// ingest plus the writer-side coalescing ratio.
+//
+//   --smoke   small dataset / reduced volumes (CI smoke run)
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "ingest/compaction_policy.h"
+#include "service/local_search_service.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
@@ -53,16 +66,22 @@ LatencySummary QueryUntil(SocialSearchEngine* engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   bench::PrintBanner(
       "Fig 11 (extension): hybrid latency vs un-indexed tail size "
-      "[medium dataset, alpha=0.5, k=10]",
+      "[alpha=0.5, k=10]",
       "latency grows linearly with the tail; compaction restores the "
       "indexed baseline");
 
-  bench::EngineBundle bundle = bench::BuildEngine(MediumDataset());
+  bench::EngineBundle bundle =
+      bench::BuildEngine(smoke ? SmallDataset() : MediumDataset());
   QueryWorkloadConfig workload;
-  workload.num_queries = 60;
+  workload.num_queries = smoke ? 15 : 60;
   workload.k = 10;
   workload.alpha = 0.5;
   workload.seed = 1111;
@@ -70,10 +89,13 @@ int main() {
   if (!queries.ok()) return 1;
   bench::WarmProximityCache(bundle.engine.get(), queries.value());
 
+  const std::vector<size_t> tail_targets =
+      smoke ? std::vector<size_t>{0, 1000, 5000}
+            : std::vector<size_t>{0, 1000, 5000, 10000, 25000, 50000};
   Rng rng(5);
   TablePrinter table({"tail items", "hybrid mean ms", "hybrid p99 ms"});
   size_t added = 0;
-  for (const size_t target : {0, 1000, 5000, 10000, 25000, 50000}) {
+  for (const size_t target : tail_targets) {
     while (added < target) {
       Item item;
       item.owner = static_cast<UserId>(
@@ -117,9 +139,9 @@ int main() {
   concurrent.AddRow({"idle writer", bench::Ms(baseline.mean),
                      bench::Ms(baseline.p99), "-"});
 
-  // Queries while a writer thread ingests 25k items at full speed.
+  // Queries while a writer thread ingests items at full speed.
   {
-    constexpr size_t kIngest = 25000;
+    const size_t kIngest = smoke ? 4000 : 25000;
     std::atomic<bool> stop{false};
     double ingest_ms = 0.0;
     std::thread writer([&] {
@@ -137,9 +159,9 @@ int main() {
                                    stop);
     writer.join();
     concurrent.AddRow(
-        {"concurrent ingest (25k items)", bench::Ms(during.mean),
-         bench::Ms(during.p99),
-         StringPrintf("%.0f ms for 25k AddItem", ingest_ms)});
+        {StringPrintf("concurrent ingest (%zuk items)", kIngest / 1000),
+         bench::Ms(during.mean), bench::Ms(during.p99),
+         StringPrintf("%.0f ms for %zu AddItem", ingest_ms, kIngest)});
   }
 
   // Queries while Compact() folds the 25k-item tail into new indexes.
@@ -166,5 +188,116 @@ int main() {
   concurrent.AddRow({"idle writer, compacted", bench::Ms(after.mean),
                      bench::Ms(after.p99), "-"});
   std::printf("%s", concurrent.ToString().c_str());
+
+  // ---- Part 3: queued ingest through the pipeline (MPSC + writer) ------
+  bench::PrintBanner(
+      "Fig 11c (extension): query latency during QUEUED ingest "
+      "[MPSC queue -> writer thread -> coalesced AddItems] + background "
+      "compaction",
+      "producers never touch the writer lock; the writer coalesces queued "
+      "batches into few snapshot publishes; the scheduler keeps the tail "
+      "bounded with zero manual Compact() calls");
+
+  // The engine moves behind the service surface; parts 1–2 left it
+  // compacted and warm.
+  auto service =
+      std::make_unique<LocalSearchService>(std::move(bundle.engine));
+  SocialSearchEngine* engine = service->engine();
+
+  const size_t kQueued = smoke ? 4000 : 25000;
+  constexpr size_t kProducerBatch = 64;
+  constexpr size_t kProducers = 2;
+  TablePrinter queued({"phase", "hybrid mean ms", "hybrid p99 ms",
+                       "writer side"});
+
+  struct Phase {
+    const char* label;
+    BackpressureMode mode;
+    bool auto_compact;
+  };
+  const Phase phases[] = {
+      {"queued ingest (block)", BackpressureMode::kBlock, false},
+      {"queued ingest (coalesce)", BackpressureMode::kCoalesce, false},
+      {"queued ingest + auto-compaction", BackpressureMode::kCoalesce,
+       true},
+  };
+  for (const Phase& phase : phases) {
+    IngestPipeline::Options pipeline_options;
+    pipeline_options.queue.capacity = 64;
+    pipeline_options.queue.backpressure = phase.mode;
+    AMICI_CHECK_OK(service->StartIngest(pipeline_options));
+    const uint64_t compactions_before = service->auto_compactions();
+    if (phase.auto_compact) {
+      CompactionScheduler::Options compaction_options;
+      compaction_options.policy =
+          std::make_shared<AdaptiveCompactionPolicy>(
+              AdaptiveCompactionPolicy::Options{
+                  /*max_tail_items=*/kQueued / 4,
+                  /*max_tail_scan_ms=*/2.0,
+                  /*min_tail_items=*/256});
+      compaction_options.poll_interval_ms = 5.0;
+      AMICI_CHECK_OK(service->StartAutoCompaction(compaction_options));
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> enqueue_ms_x10{0};
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng producer_rng(1000 + p);
+        Stopwatch watch;
+        const size_t quota = kQueued / kProducers;
+        size_t sent = 0;
+        while (sent < quota) {
+          const size_t batch_size = std::min(kProducerBatch, quota - sent);
+          std::vector<Item> batch;
+          batch.reserve(batch_size);
+          for (size_t i = 0; i < batch_size; ++i) {
+            batch.push_back(RandomItem(producer_rng, num_users));
+          }
+          const auto ticket = service->EnqueueItems(std::move(batch));
+          AMICI_CHECK(ticket.ok()) << ticket.status().ToString();
+          sent += batch_size;
+        }
+        enqueue_ms_x10.fetch_add(
+            static_cast<size_t>(watch.ElapsedMillis() * 10.0));
+      });
+    }
+    std::thread waiter([&] {
+      for (auto& producer : producers) producer.join();
+      AMICI_CHECK_OK(service->Flush());
+      stop.store(true, std::memory_order_release);
+    });
+    const auto during = QueryUntil(engine, queries.value(), stop);
+    waiter.join();
+
+    const IngestCounters counters = service->ingest_counters();
+    std::string writer_side = StringPrintf(
+        "%llu batches -> %llu publishes (%llu coalesced), enqueue %.0f ms",
+        static_cast<unsigned long long>(counters.batches_enqueued),
+        static_cast<unsigned long long>(counters.apply_calls),
+        static_cast<unsigned long long>(counters.batches_coalesced),
+        static_cast<double>(enqueue_ms_x10.load()) / 10.0 / kProducers);
+    if (phase.auto_compact) {
+      AMICI_CHECK_OK(service->StopAutoCompaction());
+      writer_side += StringPrintf(
+          ", %llu auto-compactions",
+          static_cast<unsigned long long>(service->auto_compactions() -
+                                          compactions_before));
+    }
+    AMICI_CHECK_OK(service->StopIngest());
+    queued.AddRow({phase.label, bench::Ms(during.mean),
+                   bench::Ms(during.p99), writer_side});
+    // Reset to a compacted floor between phases so each phase measures
+    // its own tail regime.
+    AMICI_CHECK_OK(service->Compact());
+    std::fprintf(stderr, "[bench] %s done\n", phase.label);
+  }
+  queued.AddRow({"idle writer, compacted",
+                 bench::Ms(bench::RunQueries(engine, queries.value(),
+                                             AlgorithmId::kHybrid)
+                               .mean),
+                 "-", "-"});
+  std::printf("%s", queued.ToString().c_str());
   return 0;
 }

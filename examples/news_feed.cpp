@@ -93,5 +93,63 @@ int main() {
   std::printf("\ncompacted; unindexed tail: %zu items\n\n",
               service->unindexed_items());
   show("feed after compaction (identical)");
+
+  // --- The production-shaped write path: the ingest pipeline. ----------
+  // Producers enqueue into an MPSC queue and return immediately; a
+  // dedicated writer thread coalesces queued batches into few snapshot
+  // publishes, and a background scheduler compacts when the tail (or the
+  // tail-scan latency) crosses the policy's thresholds — no manual
+  // Compact() anywhere.
+  if (const auto status = service->StartIngest(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  CompactionScheduler::Options compaction;
+  compaction.policy = std::make_shared<AdaptiveCompactionPolicy>(
+      AdaptiveCompactionPolicy::Options{/*max_tail_items=*/64,
+                                        /*max_tail_scan_ms=*/1.0,
+                                        /*min_tail_items=*/16});
+  compaction.poll_interval_ms = 2.0;
+  if (const auto status = service->StartAutoCompaction(compaction);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ningest pipeline up: friends post another burst, async...\n");
+  std::vector<Item> evening_burst;
+  for (const UserId poster : friends) {
+    Item post;
+    post.owner = poster;
+    post.tags = {1};
+    post.quality = 0.97f;
+    evening_burst.push_back(post);
+  }
+  const auto ticket = service->EnqueueItems(evening_burst);
+  if (!ticket.ok()) {
+    std::fprintf(stderr, "%s\n", ticket.status().ToString().c_str());
+    return 1;
+  }
+  // Flush() is the read-your-writes barrier: after it, the burst is
+  // guaranteed queryable.
+  if (const auto status = service->Flush(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("ticket resolved: %zu posts applied, first id %u\n",
+              ticket.value().ids().size(), ticket.value().ids().front());
+  show("feed after queued burst (read-your-writes via Flush)");
+
+  const IngestCounters counters = service->ingest_counters();
+  std::printf(
+      "\ningest counters: %llu batches enqueued -> %llu AddItems calls, "
+      "%llu items applied; %llu background compactions so far\n",
+      static_cast<unsigned long long>(counters.batches_enqueued),
+      static_cast<unsigned long long>(counters.apply_calls),
+      static_cast<unsigned long long>(counters.items_applied),
+      static_cast<unsigned long long>(service->auto_compactions()));
+  // Orderly teardown (the destructor would also do this).
+  service->StopAutoCompaction();
+  service->StopIngest();
   return 0;
 }

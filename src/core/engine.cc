@@ -178,7 +178,12 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
 
   // Fold in the un-indexed tail: exhaustively score items the indexes do
   // not cover yet, merging with the algorithm's (exact) indexed top-k.
+  // The fold is timed separately: its latency is the freshness cost the
+  // compaction policy triggers on (see ingest/compaction_policy.h).
   if (snap->index_horizon < snap->store.num_items()) {
+    const uint64_t tail_items =
+        snap->store.num_items() - snap->index_horizon;
+    Stopwatch tail_watch;
     Scorer scorer(snap->store, proximity.get(), &query);
     TopKHeap heap(query.k);
     for (const ScoredItem& item : result.items) {
@@ -193,6 +198,10 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
       if (score > 0.0) heap.Push(item, score);
     }
     result.items = heap.TakeSorted();
+    result.stats.tail_items_scanned = tail_items;
+    stats_.RecordTailScan(tail_items, tail_watch.ElapsedMillis());
+  } else {
+    stats_.RecordTailScan(0, 0.0);
   }
 
   result.elapsed_ms = watch.ElapsedMillis();
@@ -368,6 +377,7 @@ Status SocialSearchEngine::Compact() {
   // Pin the generation to compact. The expensive index build below runs
   // WITHOUT the writer lock: queries keep executing and AddItem keeps
   // appending (past the pinned view's bound) while we work.
+  Stopwatch watch;
   const std::shared_ptr<const EngineSnapshot> pinned = snapshot();
 
   AMICI_ASSIGN_OR_RETURN(
@@ -388,6 +398,7 @@ Status SocialSearchEngine::Compact() {
   next->graph_version = cur->graph_version;
   next->store = ItemStoreView(store_);
   PublishLocked(std::move(next));
+  stats_.NoteCompaction(watch.ElapsedMillis());
   AMICI_LOG(kInfo) << "compacted: indexes now cover " << built->index_horizon
                    << " items";
   return Status::Ok();

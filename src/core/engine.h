@@ -188,6 +188,7 @@ class SocialSearchEngine {
   const ProximityModel& proximity_model() const { return *proximity_model_; }
   ProximityCache& proximity_cache() { return *proximity_cache_; }
   EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
 
  private:
   SocialSearchEngine(ItemStore store, Options options);

@@ -1,5 +1,7 @@
 #include "core/engine_stats.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -17,6 +19,26 @@ void EngineStats::RecordQuery(std::string_view algorithm, double elapsed_ms,
   agg.sorted_accesses += stats.aggregation.sorted_accesses;
   agg.random_accesses += stats.aggregation.random_accesses;
   agg.items_considered += stats.items_considered;
+}
+
+void EngineStats::RecordTailScan(uint64_t tail_items, double elapsed_ms) {
+  // One packed store: readers pair (items, latency), so the two must
+  // never tear (see the header's field comment). Both halves saturate.
+  const uint64_t items =
+      std::min<uint64_t>(tail_items, 0xFFFFFFFFull);
+  const uint64_t micros = std::min<uint64_t>(
+      static_cast<uint64_t>(std::max(elapsed_ms, 0.0) * 1000.0 + 0.5),
+      0xFFFFFFFFull);
+  last_tail_scan_.store((items << 32) | micros, std::memory_order_relaxed);
+}
+
+void EngineStats::NoteCompaction(double elapsed_ms) {
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  last_compaction_ms_.store(elapsed_ms, std::memory_order_relaxed);
+  // The observation below described the tail this compaction folded
+  // away; leaving it standing would re-trigger the policy against a
+  // tail that no longer exists.
+  last_tail_scan_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t EngineStats::total_queries() const {
@@ -52,12 +74,22 @@ std::string EngineStats::ToString() const {
                   std::to_string(agg.random_accesses),
                   std::to_string(agg.items_considered)});
   }
-  return table.ToString();
+  std::string summary = table.ToString();
+  summary += StringPrintf(
+      "compactions: %llu (last %.3f ms); last tail scan: %llu items / "
+      "%.3f ms\n",
+      static_cast<unsigned long long>(compactions()), last_compaction_ms(),
+      static_cast<unsigned long long>(last_tail_items()),
+      last_tail_scan_ms());
+  return summary;
 }
 
 void EngineStats::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   per_algorithm_.clear();
+  last_tail_scan_.store(0, std::memory_order_relaxed);
+  compactions_.store(0, std::memory_order_relaxed);
+  last_compaction_ms_.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace amici

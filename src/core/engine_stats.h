@@ -1,6 +1,7 @@
 #ifndef AMICI_CORE_ENGINE_STATS_H_
 #define AMICI_CORE_ENGINE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -25,6 +26,43 @@ class EngineStats {
   /// Folds one executed query into the per-algorithm aggregates.
   void RecordQuery(std::string_view algorithm, double elapsed_ms,
                    const SearchStats& stats);
+
+  /// Records one query's tail-fold observation: how many un-indexed items
+  /// it scanned and what that cost. These are the compaction policy's
+  /// trigger inputs (see ingest/compaction_policy.h); lock-free so the
+  /// scheduler can poll them without contending with queries.
+  void RecordTailScan(uint64_t tail_items, double elapsed_ms);
+
+  /// Records one completed compaction and RESETS the tail-scan trigger
+  /// inputs (the tail those observations measured no longer exists).
+  void NoteCompaction(double elapsed_ms);
+
+  /// The most recent query's tail-fold observation, as one consistent
+  /// pair. (items, latency) live in ONE atomic word precisely so the
+  /// compaction scheduler's staleness check — which relates the two —
+  /// can never see a torn observation; always read them through this.
+  struct TailScanObservation {
+    uint64_t items = 0;
+    double elapsed_ms = 0.0;  // microsecond resolution
+  };
+  TailScanObservation last_tail_scan() const {
+    const uint64_t packed = last_tail_scan_.load(std::memory_order_relaxed);
+    return {packed >> 32,
+            static_cast<double>(packed & 0xFFFFFFFFull) / 1000.0};
+  }
+  /// Tail size observed by the most recent query (0 after compaction).
+  uint64_t last_tail_items() const { return last_tail_scan().items; }
+  /// Tail-fold latency of the most recent query in milliseconds (0 after
+  /// compaction).
+  double last_tail_scan_ms() const { return last_tail_scan().elapsed_ms; }
+  /// Compactions recorded so far.
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  /// Duration of the most recent compaction in milliseconds.
+  double last_compaction_ms() const {
+    return last_compaction_ms_.load(std::memory_order_relaxed);
+  }
 
   /// Total queries across all algorithms.
   uint64_t total_queries() const;
@@ -51,6 +89,16 @@ class EngineStats {
 
   mutable std::mutex mutex_;
   std::map<std::string, PerAlgorithm, std::less<>> per_algorithm_;
+
+  // Ingest/compaction observability (outside mutex_: read on the
+  // compaction scheduler's poll path, written on every query).
+  // last_tail_scan_ packs the most recent query's observation into one
+  // word — tail items in the high 32 bits, scan latency in MICROSECONDS
+  // in the low 32 (both saturated) — because the compaction policy's
+  // staleness check needs the PAIR to be consistent.
+  std::atomic<uint64_t> last_tail_scan_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<double> last_compaction_ms_{0.0};
 };
 
 }  // namespace amici

@@ -45,6 +45,10 @@ struct SearchStats {
   AggregationStats aggregation;
   /// Candidates examined outside the aggregation engine (scans/merges).
   uint64_t items_considered = 0;
+  /// Un-indexed tail items the engine folded in exhaustively after the
+  /// algorithm ran (a subset of items_considered) — the per-query cost of
+  /// ingest freshness, summed across shards in SearchResponse::stats.
+  uint64_t tail_items_scanned = 0;
 };
 
 /// A top-k retrieval strategy. Implementations must be stateless and

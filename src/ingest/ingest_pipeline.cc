@@ -1,0 +1,185 @@
+#include "ingest/ingest_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace amici {
+
+namespace {
+
+void ResolveTicket(const std::shared_ptr<internal::TicketState>& state,
+                   Status status, std::vector<ItemId> ids) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    AMICI_CHECK(!state->done) << "ticket resolved twice";
+    state->done = true;
+    state->status = std::move(status);
+    state->ids = std::move(ids);
+  }
+  state->cv.notify_all();
+}
+
+/// Applies one maximal run of coalesced item batches: ONE AddItems call
+/// when the sink admits the combined batch, per-slice fallback otherwise
+/// so the rejection lands on the ticket that caused it.
+void ApplyItemsRun(IngestSink* sink, std::span<const Item> items,
+                   std::span<const IngestOp::Slice> slices,
+                   ApplyStats* stats) {
+  ++stats->apply_calls;
+  Result<std::vector<ItemId>> ids = sink->AddItems(items);
+  if (ids.ok()) {
+    stats->items_applied += items.size();
+    size_t offset = 0;
+    for (const IngestOp::Slice& slice : slices) {
+      ResolveTicket(slice.ticket, Status::Ok(),
+                    {ids.value().begin() + offset,
+                     ids.value().begin() + offset + slice.count});
+      offset += slice.count;
+    }
+    AMICI_CHECK(offset == ids.value().size());
+    return;
+  }
+  if (slices.size() == 1) {
+    ++stats->errors;
+    ResolveTicket(slices[0].ticket, ids.status(), {});
+    return;
+  }
+  // The combined batch was rejected (it is all-or-nothing, so nothing was
+  // appended). Re-apply slice by slice: atomicity is per ENQUEUED batch,
+  // so healthy batches must not be sunk by a bad neighbour they happened
+  // to share a drain cycle with.
+  size_t offset = 0;
+  for (const IngestOp::Slice& slice : slices) {
+    ++stats->apply_calls;
+    Result<std::vector<ItemId>> slice_ids =
+        sink->AddItems(items.subspan(offset, slice.count));
+    if (slice_ids.ok()) {
+      stats->items_applied += slice.count;
+      ResolveTicket(slice.ticket, Status::Ok(),
+                    std::move(slice_ids).value());
+    } else {
+      ++stats->errors;
+      ResolveTicket(slice.ticket, slice_ids.status(), {});
+    }
+    offset += slice.count;
+  }
+}
+
+}  // namespace
+
+void ApplyIngestOps(IngestSink* sink, std::vector<IngestOp> ops,
+                    ApplyStats* stats) {
+  size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].kind != IngestOp::Kind::kItems) {
+      const IngestOp& op = ops[i];
+      const Status status = op.kind == IngestOp::Kind::kAddFriendship
+                                ? sink->AddFriendship(op.u, op.v)
+                                : sink->RemoveFriendship(op.u, op.v);
+      ++stats->edits_applied;
+      if (!status.ok()) ++stats->errors;
+      ResolveTicket(op.ticket, status, {});
+      ++i;
+      continue;
+    }
+    // Extend the run across ADJACENT item ops (never past an edit: the
+    // queue order is the ingest order callers observe).
+    size_t j = i + 1;
+    while (j < ops.size() && ops[j].kind == IngestOp::Kind::kItems) ++j;
+    if (j == i + 1) {
+      ApplyItemsRun(sink, ops[i].items, ops[i].slices, stats);
+    } else {
+      std::vector<Item> combined;
+      std::vector<IngestOp::Slice> slices;
+      for (size_t k = i; k < j; ++k) {
+        combined.insert(combined.end(),
+                        std::make_move_iterator(ops[k].items.begin()),
+                        std::make_move_iterator(ops[k].items.end()));
+        slices.insert(slices.end(),
+                      std::make_move_iterator(ops[k].slices.begin()),
+                      std::make_move_iterator(ops[k].slices.end()));
+      }
+      ApplyItemsRun(sink, combined, slices, stats);
+    }
+    i = j;
+  }
+}
+
+IngestPipeline::IngestPipeline(IngestSink* sink, Options options)
+    : sink_(sink), queue_(options.queue) {
+  AMICI_CHECK(sink_ != nullptr);
+  writer_ = std::thread(&IngestPipeline::WriterLoop, this);
+}
+
+IngestPipeline::~IngestPipeline() { Stop(); }
+
+Result<IngestTicket> IngestPipeline::EnqueueItems(std::vector<Item> items) {
+  return queue_.PushItems(std::move(items));
+}
+
+Result<IngestTicket> IngestPipeline::EnqueueAddFriendship(UserId u,
+                                                          UserId v) {
+  return queue_.PushAddFriendship(u, v);
+}
+
+Result<IngestTicket> IngestPipeline::EnqueueRemoveFriendship(UserId u,
+                                                             UserId v) {
+  return queue_.PushRemoveFriendship(u, v);
+}
+
+Status IngestPipeline::Flush() {
+  const uint64_t target = queue_.last_sequence();
+  std::unique_lock<std::mutex> lock(applied_mutex_);
+  applied_cv_.wait(lock, [&] { return applied_sequence_ >= target; });
+  return Status::Ok();
+}
+
+void IngestPipeline::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  queue_.Close();
+  writer_.join();
+  stopped_ = true;
+}
+
+IngestCounters IngestPipeline::counters() const {
+  IngestCounters counters = queue_.counters();
+  counters.drain_cycles = drain_cycles_.load(std::memory_order_relaxed);
+  counters.apply_calls = apply_calls_.load(std::memory_order_relaxed);
+  counters.items_applied = items_applied_.load(std::memory_order_relaxed);
+  counters.edits_applied = edits_applied_.load(std::memory_order_relaxed);
+  counters.apply_errors = apply_errors_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void IngestPipeline::WriterLoop() {
+  while (true) {
+    std::vector<IngestOp> ops = queue_.PopAll();
+    if (ops.empty()) break;  // closed and drained
+    uint64_t max_sequence = 0;
+    for (const IngestOp& op : ops) {
+      for (const IngestOp::Slice& slice : op.slices) {
+        max_sequence = std::max(max_sequence, slice.ticket->sequence);
+      }
+      if (op.ticket != nullptr) {
+        max_sequence = std::max(max_sequence, op.ticket->sequence);
+      }
+    }
+    ApplyStats stats;
+    ApplyIngestOps(sink_, std::move(ops), &stats);
+    drain_cycles_.fetch_add(1, std::memory_order_relaxed);
+    apply_calls_.fetch_add(stats.apply_calls, std::memory_order_relaxed);
+    items_applied_.fetch_add(stats.items_applied, std::memory_order_relaxed);
+    edits_applied_.fetch_add(stats.edits_applied, std::memory_order_relaxed);
+    apply_errors_.fetch_add(stats.errors, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(applied_mutex_);
+      applied_sequence_ = std::max(applied_sequence_, max_sequence);
+    }
+    applied_cv_.notify_all();
+  }
+}
+
+}  // namespace amici

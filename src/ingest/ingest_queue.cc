@@ -1,0 +1,183 @@
+#include "ingest/ingest_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace amici {
+
+namespace {
+
+std::shared_ptr<internal::TicketState> MakeState() {
+  return std::make_shared<internal::TicketState>();
+}
+
+}  // namespace
+
+IngestTicket IngestTicket::Resolved(Status status, std::vector<ItemId> ids) {
+  auto state = MakeState();
+  state->done = true;
+  state->status = std::move(status);
+  state->ids = std::move(ids);
+  return IngestTicket(std::move(state));
+}
+
+uint64_t IngestTicket::sequence() const {
+  AMICI_CHECK(state_ != nullptr);
+  // Written once, before the ticket is handed out; safe without the lock.
+  return state_->sequence;
+}
+
+bool IngestTicket::done() const {
+  AMICI_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+Status IngestTicket::Wait() const {
+  AMICI_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->status;
+}
+
+std::vector<ItemId> IngestTicket::ids() const {
+  AMICI_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  AMICI_CHECK(state_->done) << "ids() before the ticket completed";
+  return state_->ids;
+}
+
+IngestQueue::IngestQueue(Options options) : options_(options) {
+  AMICI_CHECK(options_.capacity >= 1) << "queue capacity must be >= 1";
+}
+
+Status IngestQueue::AdmitLocked(bool coalescible, bool* coalesce,
+                                std::unique_lock<std::mutex>& lock) {
+  *coalesce = false;
+  while (true) {
+    if (closed_) {
+      ++counters_.rejected;
+      return Status::FailedPrecondition("ingest queue is closed");
+    }
+    if (ops_.size() < options_.capacity) return Status::Ok();
+    if (options_.backpressure == BackpressureMode::kReject) {
+      ++counters_.rejected;
+      return Status::ResourceExhausted("ingest queue is full");
+    }
+    if (options_.backpressure == BackpressureMode::kCoalesce &&
+        coalescible && !ops_.empty() &&
+        ops_.back().kind == IngestOp::Kind::kItems &&
+        ops_.back().items.size() < options_.max_coalesced_items) {
+      *coalesce = true;
+      return Status::Ok();
+    }
+    // kBlock — or a kCoalesce op that cannot fold (an edit at the tail
+    // would be reordered past; a tail batch at max_coalesced_items must
+    // stop absorbing, or the backlog would be unbounded): wait for the
+    // writer to drain, then re-evaluate.
+    ++counters_.producer_waits;
+    space_available_.wait(lock, [&] {
+      return closed_ || ops_.size() < options_.capacity;
+    });
+  }
+}
+
+Result<IngestTicket> IngestQueue::PushItems(std::vector<Item> items) {
+  if (items.empty()) return IngestTicket::Resolved(Status::Ok(), {});
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool coalesce = false;
+  AMICI_RETURN_IF_ERROR(AdmitLocked(/*coalescible=*/true, &coalesce, lock));
+
+  auto state = MakeState();
+  state->sequence = ++last_sequence_;
+  ++counters_.batches_enqueued;
+  counters_.items_enqueued += items.size();
+  if (coalesce) {
+    IngestOp& tail = ops_.back();
+    tail.slices.push_back({state, items.size()});
+    tail.items.insert(tail.items.end(),
+                      std::make_move_iterator(items.begin()),
+                      std::make_move_iterator(items.end()));
+    ++counters_.batches_coalesced;
+  } else {
+    IngestOp op;
+    op.kind = IngestOp::Kind::kItems;
+    op.slices.push_back({state, items.size()});
+    op.items = std::move(items);
+    ops_.push_back(std::move(op));
+  }
+  counters_.max_queue_depth =
+      std::max<uint64_t>(counters_.max_queue_depth, ops_.size());
+  lock.unlock();
+  work_available_.notify_one();
+  return IngestTicket(std::move(state));
+}
+
+Result<IngestTicket> IngestQueue::PushEdit(IngestOp::Kind kind, UserId u,
+                                           UserId v) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool coalesce = false;
+  AMICI_RETURN_IF_ERROR(AdmitLocked(/*coalescible=*/false, &coalesce, lock));
+
+  auto state = MakeState();
+  state->sequence = ++last_sequence_;
+  ++counters_.edits_enqueued;
+  IngestOp op;
+  op.kind = kind;
+  op.u = u;
+  op.v = v;
+  op.ticket = state;
+  ops_.push_back(std::move(op));
+  counters_.max_queue_depth =
+      std::max<uint64_t>(counters_.max_queue_depth, ops_.size());
+  lock.unlock();
+  work_available_.notify_one();
+  return IngestTicket(std::move(state));
+}
+
+Result<IngestTicket> IngestQueue::PushAddFriendship(UserId u, UserId v) {
+  return PushEdit(IngestOp::Kind::kAddFriendship, u, v);
+}
+
+Result<IngestTicket> IngestQueue::PushRemoveFriendship(UserId u, UserId v) {
+  return PushEdit(IngestOp::Kind::kRemoveFriendship, u, v);
+}
+
+std::vector<IngestOp> IngestQueue::PopAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_available_.wait(lock, [&] { return closed_ || !ops_.empty(); });
+  std::vector<IngestOp> drained = std::move(ops_);
+  ops_.clear();
+  lock.unlock();
+  // Every slot is free now; wake all blocked producers.
+  space_available_.notify_all();
+  return drained;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+}
+
+uint64_t IngestQueue::last_sequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_sequence_;
+}
+
+size_t IngestQueue::pending_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_.size();
+}
+
+IngestCounters IngestQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace amici

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace amici {
@@ -27,6 +28,26 @@ LocalSearchService::LocalSearchService(
   if (batch_threads > 0) {
     batch_pool_ = std::make_unique<ThreadPool>(batch_threads);
   }
+}
+
+LocalSearchService::~LocalSearchService() { ShutdownBackgroundWork(); }
+
+CompactionSignals LocalSearchService::ShardSignals(size_t shard) const {
+  AMICI_CHECK(shard == 0) << "local backend has exactly one shard";
+  const auto snap = engine_->snapshot();
+  CompactionSignals signals;
+  signals.tail_items = snap->unindexed_items();
+  signals.indexed_items = snap->index_horizon;
+  // One consistent (items, latency) pair — the policy relates the two.
+  const auto observation = engine_->stats().last_tail_scan();
+  signals.last_tail_scan_ms = observation.elapsed_ms;
+  signals.last_tail_scan_items = observation.items;
+  return signals;
+}
+
+Status LocalSearchService::CompactShard(size_t shard) {
+  AMICI_CHECK(shard == 0) << "local backend has exactly one shard";
+  return engine_->Compact();
 }
 
 Result<SearchResponse> LocalSearchService::Search(

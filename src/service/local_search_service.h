@@ -35,8 +35,14 @@ class LocalSearchService final : public SearchService {
   explicit LocalSearchService(std::unique_ptr<SocialSearchEngine> engine,
                               size_t batch_threads = 0);
 
+  /// Joins the background ingest/compaction threads before the engine
+  /// goes away (they drain through this object's mutators).
+  ~LocalSearchService() override;
+
   std::string_view backend_name() const override { return "local"; }
   size_t num_shards() const override { return 1; }
+  CompactionSignals ShardSignals(size_t shard) const override;
+  Status CompactShard(size_t shard) override;
 
   Result<SearchResponse> Search(const SearchRequest& request) override;
   std::vector<Result<SearchResponse>> SearchBatch(

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <utility>
 
 #include "util/thread_pool.h"
 
@@ -12,6 +13,135 @@ void MergeSearchStats(const SearchStats& from, SearchStats* into) {
   into->aggregation.random_accesses += from.aggregation.random_accesses;
   into->aggregation.candidates_scored += from.aggregation.candidates_scored;
   into->items_considered += from.items_considered;
+  into->tail_items_scanned += from.tail_items_scanned;
+}
+
+// --- Background ingest / compaction plumbing ---------------------------
+
+std::shared_ptr<IngestPipeline> SearchService::pipeline() const {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  return pipeline_;
+}
+
+std::shared_ptr<CompactionScheduler> SearchService::scheduler() const {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  return scheduler_;
+}
+
+Status SearchService::StartIngest(const IngestPipeline::Options& options) {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  if (pipeline_ != nullptr) {
+    return Status::FailedPrecondition("ingest pipeline already running");
+  }
+  pipeline_ = std::make_shared<IngestPipeline>(this, options);
+  return Status::Ok();
+}
+
+Status SearchService::StopIngest() {
+  // shutdown_mutex_ spans the whole drain: a second concurrent caller
+  // blocks here until the first caller's writer thread is joined, so
+  // Stop's return always means "no writer thread is running".
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  std::shared_ptr<IngestPipeline> stopping = pipeline();
+  if (stopping == nullptr) return Status::Ok();
+  // Outside background_mutex_: Stop() drains the queue through this
+  // service's mutators and unblocks producers waiting on backpressure.
+  // The pipeline stays registered until the drain completes, so Flush()
+  // issued concurrently still waits for queued work instead of
+  // short-circuiting through the no-pipeline path.
+  stopping->Stop();
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    pipeline_ = nullptr;
+  }
+  return Status::Ok();
+}
+
+bool SearchService::ingest_running() const { return pipeline() != nullptr; }
+
+Result<IngestTicket> SearchService::EnqueueItems(std::vector<Item> items) {
+  if (const auto active = pipeline(); active != nullptr) {
+    return active->EnqueueItems(std::move(items));
+  }
+  // Synchronous fallback: apply now, hand back a completed ticket. Lets
+  // callers write Enqueue + Flush once and run with or without the
+  // pipeline (the ticket's status carries any rejection).
+  Result<std::vector<ItemId>> ids = AddItems(items);
+  if (!ids.ok()) return IngestTicket::Resolved(ids.status(), {});
+  return IngestTicket::Resolved(Status::Ok(), std::move(ids).value());
+}
+
+Result<IngestTicket> SearchService::EnqueueAddFriendship(UserId u, UserId v) {
+  if (const auto active = pipeline(); active != nullptr) {
+    return active->EnqueueAddFriendship(u, v);
+  }
+  return IngestTicket::Resolved(AddFriendship(u, v), {});
+}
+
+Result<IngestTicket> SearchService::EnqueueRemoveFriendship(UserId u,
+                                                            UserId v) {
+  if (const auto active = pipeline(); active != nullptr) {
+    return active->EnqueueRemoveFriendship(u, v);
+  }
+  return IngestTicket::Resolved(RemoveFriendship(u, v), {});
+}
+
+Status SearchService::Flush() {
+  if (const auto active = pipeline(); active != nullptr) {
+    return active->Flush();
+  }
+  return Status::Ok();  // synchronous writes are always visible
+}
+
+IngestCounters SearchService::ingest_counters() const {
+  if (const auto active = pipeline(); active != nullptr) {
+    return active->counters();
+  }
+  return IngestCounters{};
+}
+
+Status SearchService::StartAutoCompaction(
+    const CompactionScheduler::Options& options) {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  if (scheduler_ != nullptr) {
+    return Status::FailedPrecondition("compaction scheduler already running");
+  }
+  scheduler_ = std::make_shared<CompactionScheduler>(this, options);
+  return Status::Ok();
+}
+
+Status SearchService::StopAutoCompaction() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  std::shared_ptr<CompactionScheduler> stopping = scheduler();
+  if (stopping == nullptr) return Status::Ok();
+  stopping->Stop();  // outside background_mutex_: joins the poll thread
+  {
+    // Retire the count and unregister ATOMICALLY (one critical section):
+    // auto_compactions() readers see either live-scheduler or
+    // retired-count state, never a window with neither.
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    retired_auto_compactions_ += stopping->compactions_triggered();
+    scheduler_ = nullptr;
+  }
+  return Status::Ok();
+}
+
+bool SearchService::auto_compaction_running() const {
+  return scheduler() != nullptr;
+}
+
+uint64_t SearchService::auto_compactions() const {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  uint64_t total = retired_auto_compactions_;
+  if (scheduler_ != nullptr) total += scheduler_->compactions_triggered();
+  return total;
+}
+
+void SearchService::ShutdownBackgroundWork() {
+  // Scheduler first (no new compactions), then the pipeline (drains the
+  // remaining queue synchronously through this service's mutators).
+  StopAutoCompaction();
+  StopIngest();
 }
 
 void FanOutOnPool(ThreadPool* pool, size_t count,

@@ -1,7 +1,11 @@
 #ifndef AMICI_SERVICE_SEARCH_SERVICE_H_
 #define AMICI_SERVICE_SEARCH_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -11,6 +15,9 @@
 #include "core/engine.h"
 #include "core/query_expansion.h"
 #include "core/social_query.h"
+#include "ingest/compaction_scheduler.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/ingest_sink.h"
 #include "storage/item_store.h"
 #include "util/ids.h"
 #include "util/status.h"
@@ -32,9 +39,13 @@ struct SearchRequest {
   /// Owner-diversified top-k: at most this many results from any single
   /// owner (0 = unconstrained). Exact — see SocialSearchEngine::QueryDiverse.
   size_t max_per_owner = 0;
-  /// Soft deadline in milliseconds; 0 disables. Deadline stub: execution
-  /// is not cancelled mid-flight yet, but responses report overruns via
-  /// SearchResponse::deadline_exceeded so callers can shed load.
+  /// Deadline in milliseconds from request start; 0 disables. The sharded
+  /// backend checks it between per-shard completions: shards that miss it
+  /// are abandoned and the response is the exact merge of the shards that
+  /// DID complete (deadline_exceeded = true, shards_touched = how many) —
+  /// partial, possibly missing items held by the abandoned shards. The
+  /// local backend has no fan-out to cut short; it reports overruns
+  /// post-hoc via deadline_exceeded.
   double timeout_ms = 0.0;
 };
 
@@ -57,9 +68,13 @@ struct SearchResponse {
   std::string_view algorithm;
   /// Which backend served the request ("local", "sharded/4", ...).
   std::string_view backend;
-  /// How many partitions participated (1 for the local backend).
+  /// How many partitions contributed results. Normally the backend's
+  /// shard count (1 for local); fewer when a deadline abandoned slow
+  /// shards mid-fan-out (see SearchRequest::timeout_ms).
   size_t shards_touched = 1;
-  /// True when a timeout_ms was set and the request overran it.
+  /// True when a timeout_ms was set and the request overran it — either
+  /// cut short at the fan-out barrier (shards_touched < num_shards, items
+  /// possibly partial) or detected post-hoc (results still complete).
   bool deadline_exceeded = false;
 };
 
@@ -81,14 +96,26 @@ struct SearchResponse {
 ///    WEIGHTS may differ across backends in the last float ulps
 ///    (per-shard float subtotals vs one double sum), which can reorder
 ///    near-tied tags.
-class SearchService {
+///
+/// The base class additionally owns the OPTIONAL background machinery of
+/// the ingest subsystem (src/ingest/): an MPSC queue + writer thread
+/// (StartIngest / EnqueueItems / Flush) and a background compaction
+/// scheduler (StartAutoCompaction). Both drain into the implementation's
+/// synchronous mutators via the IngestSink / CompactionTarget interfaces
+/// the implementation provides. IMPORTANT for implementers: destructors
+/// of concrete backends must call ShutdownBackgroundWork() FIRST — the
+/// background threads call the implementation's virtuals and must be
+/// joined while the derived object is still alive.
+class SearchService : public IngestSink, public CompactionTarget {
  public:
-  virtual ~SearchService() = default;
+  ~SearchService() override = default;
 
   /// Stable backend label ("local", "sharded/4").
   virtual std::string_view backend_name() const = 0;
-  /// Number of partitions behind the surface (1 for local).
-  virtual size_t num_shards() const = 0;
+  // num_shards() — number of partitions behind the surface (1 for local)
+  // — is inherited from CompactionTarget, alongside ShardSignals() /
+  // CompactShard(), the per-shard compaction surface the background
+  // scheduler drives.
 
   /// Executes one request (plain or owner-diversified top-k).
   virtual Result<SearchResponse> Search(const SearchRequest& request) = 0;
@@ -110,19 +137,74 @@ class SearchService {
   /// ingest order on every backend.
   virtual Result<ItemId> AddItem(const Item& item) = 0;
 
-  /// Appends a batch atomically (all-or-nothing) under one snapshot
-  /// publish per touched shard; returns global ids in batch order.
-  virtual Result<std::vector<ItemId>> AddItems(
-      std::span<const Item> items) = 0;
-
-  /// Adds / removes a friendship edge everywhere the graph lives.
-  /// Same status semantics as the engine (AlreadyExists / NotFound).
-  virtual Status AddFriendship(UserId u, UserId v) = 0;
-  virtual Status RemoveFriendship(UserId u, UserId v) = 0;
+  // AddItems (batch, atomic, one snapshot publish per touched shard,
+  // global ids in batch order) and AddFriendship / RemoveFriendship
+  // (engine status semantics: AlreadyExists / NotFound) are inherited
+  // from IngestSink — they are exactly what the writer thread drains
+  // into.
 
   /// Folds every un-indexed tail into fresh indexes (all shards).
   virtual Status Compact() = 0;
 
+  // --- Asynchronous ingest (MPSC queue + writer thread) ----------------
+  // The decoupled write path: producers enqueue and immediately return
+  // with a ticket; a dedicated writer thread coalesces queued batches
+  // into the fewest possible AddItems calls (one snapshot publish per
+  // coalesced run). See src/ingest/ingest_pipeline.h.
+
+  /// Starts the pipeline. FailedPrecondition when already running.
+  Status StartIngest(const IngestPipeline::Options& options = {});
+
+  /// Closes the queue, drains it, joins the writer thread. Idempotent.
+  Status StopIngest();
+
+  bool ingest_running() const;
+
+  /// Enqueues a batch for the writer thread (backpressure per the queue
+  /// options). When no pipeline is running, falls back to applying the
+  /// batch synchronously and returns an already-completed ticket — so
+  /// callers can speak Enqueue + Flush regardless of deployment mode.
+  /// While a StopIngest drain is in flight the enqueue is REJECTED
+  /// (FailedPrecondition) rather than silently jumping the queue.
+  Result<IngestTicket> EnqueueItems(std::vector<Item> items);
+
+  /// Friendship edits through the same queue, ordered with the item
+  /// batches around them. Synchronous fallback like EnqueueItems.
+  Result<IngestTicket> EnqueueAddFriendship(UserId u, UserId v);
+  Result<IngestTicket> EnqueueRemoveFriendship(UserId u, UserId v);
+
+  /// Read-your-writes barrier: returns once everything enqueued BEFORE
+  /// this call is applied and query-visible. Ok when no pipeline runs
+  /// (synchronous writes are always visible).
+  Status Flush();
+
+  /// Producer + drain side counters (zeroes when no pipeline ran).
+  IngestCounters ingest_counters() const;
+
+  // --- Background compaction -------------------------------------------
+  // Replaces manual Compact() calls with policy: a scheduler thread polls
+  // every shard's CompactionSignals and compacts exactly the shards whose
+  // policy fires (per-shard, not fleet-wide). See
+  // src/ingest/compaction_scheduler.h.
+
+  /// Starts the scheduler. FailedPrecondition when already running.
+  Status StartAutoCompaction(const CompactionScheduler::Options& options = {});
+
+  /// Stops and joins the scheduler thread. Idempotent.
+  Status StopAutoCompaction();
+
+  bool auto_compaction_running() const;
+
+  /// Background compactions triggered so far (0 when never started).
+  uint64_t auto_compactions() const;
+
+ protected:
+  /// Stops the background threads (scheduler first, then the ingest
+  /// drain). EVERY concrete backend's destructor must call this before
+  /// tearing anything else down — see the class comment.
+  void ShutdownBackgroundWork();
+
+ public:
   // --- Introspection (global id space) ---------------------------------
 
   virtual size_t num_users() const = 0;
@@ -137,6 +219,29 @@ class SearchService {
   /// Human-readable per-algorithm query statistics (per shard when
   /// partitioned).
   virtual std::string StatsSummary() const = 0;
+
+ private:
+  /// Snapshots of the background objects. The mutex guards the POINTERS,
+  /// not the objects: producers copy the shared_ptr and operate outside
+  /// the lock, so a backpressure-blocked producer cannot deadlock
+  /// StopIngest (which closes the queue to unblock it).
+  std::shared_ptr<IngestPipeline> pipeline() const;
+  std::shared_ptr<CompactionScheduler> scheduler() const;
+
+  mutable std::mutex background_mutex_;
+  std::shared_ptr<IngestPipeline> pipeline_;
+  std::shared_ptr<CompactionScheduler> scheduler_;
+  /// Compactions triggered by schedulers that have since been stopped;
+  /// guarded by background_mutex_ and updated in the SAME critical
+  /// section that unregisters the scheduler, so auto_compactions() is
+  /// cumulative across restarts and never transiently drops.
+  uint64_t retired_auto_compactions_ = 0;
+  /// Serializes StopIngest / StopAutoCompaction end to end (including
+  /// the drain/join, which runs outside background_mutex_): a concurrent
+  /// second Stop caller must not return before the first caller's drain
+  /// finished — callers use Stop's return as "no background thread is
+  /// touching this object any more" (destructors rely on it).
+  std::mutex shutdown_mutex_;
 };
 
 /// Folds `from` into `into` (counter-wise sum) — the per-shard stats

@@ -1,8 +1,11 @@
 #include "service/sharded_search_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -29,6 +32,8 @@ bool ScoreOrder(const ScoredItem& a, const ScoredItem& b) {
 ShardedSearchService::ShardedSearchService(Options options)
     : options_(std::move(options)),
       backend_label_("sharded/" + std::to_string(options_.num_shards)) {}
+
+ShardedSearchService::~ShardedSearchService() { ShutdownBackgroundWork(); }
 
 uint32_t ShardedSearchService::ShardOf(ItemId global) const {
   return static_cast<uint32_t>(Mix64(global) % options_.num_shards);
@@ -150,7 +155,9 @@ std::vector<Result<SearchResponse>> ShardedSearchService::SearchBatch(
 
 std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
     std::span<const SearchRequest> requests) {
+  using Clock = std::chrono::steady_clock;
   const size_t num_shards = shards_.size();
+  const Clock::time_point start = Clock::now();
   std::vector<Result<SearchResponse>> responses(
       requests.size(), Status::Internal("request never executed"));
   std::vector<Stopwatch> watches(requests.size());
@@ -158,14 +165,23 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
   // A request stays pending while its owner-diversified selection needs a
   // deeper global prefix (iterative deepening, mirroring
   // SocialSearchEngine::QueryDiverse). Plain requests finish in round one.
+  // A deepening request carries the best diversified selection a fully
+  // completed round already produced, so a deadline expiring mid-round
+  // can never hand back LESS than an earlier round had in hand.
   struct Pending {
     size_t request;  // index into `requests`
     size_t fetch_k;
+    std::vector<ScoredItem> best_diverse;
+    SearchStats best_stats;
+    bool has_best = false;
   };
   std::vector<Pending> pending;
   pending.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    pending.push_back({i, requests[i].query.k});
+    Pending p;
+    p.request = i;
+    p.fetch_k = requests[i].query.k;
+    pending.push_back(std::move(p));
   }
 
   // Computed once per call (not per failing shard): whether a geo-grid
@@ -178,67 +194,159 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
     }
   }
 
+  // One round's fan-out state. Heap-allocated and shared with the pool
+  // tasks on the deadline path: a row whose deadline expires is
+  // ABANDONED — its stragglers finish later and must still find live
+  // storage to write into (including their own copy of the query).
+  struct RoundState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<SocialQuery> queries;                // per row
+    std::vector<std::optional<AlgorithmId>> hints;   // per row
+    std::vector<std::vector<Result<QueryResult>>> results;  // [row][shard]
+    std::vector<std::vector<char>> done;             // [row][shard]
+    std::vector<size_t> remaining;                   // per row
+  };
+
   while (!pending.empty()) {
-    // Flat fan-out over (pending request) x (shard): one pool pass per
-    // round, never nested (ThreadPool fan-outs must not nest).
-    std::vector<std::vector<Result<QueryResult>>> round(
-        pending.size(), std::vector<Result<QueryResult>>(
-                            num_shards, Status::Internal("never executed")));
-    RunFanOut(pending.size() * num_shards, [&](size_t job) {
-      const size_t p = job / num_shards;
-      const size_t s = job % num_shards;
-      const SearchRequest& request = requests[pending[p].request];
+    const size_t rows = pending.size();
+    auto state = std::make_shared<RoundState>();
+    state->queries.reserve(rows);
+    state->hints.reserve(rows);
+    bool any_deadline = false;
+    for (const Pending& p : pending) {
+      const SearchRequest& request = requests[p.request];
       SocialQuery query = request.query;
-      query.k = pending[p].fetch_k;
-      round[p][s] = QueryShard(s, query, request.algorithm,
-                               geo_fallback_allowed);
-    });
+      query.k = p.fetch_k;
+      state->queries.push_back(std::move(query));
+      state->hints.push_back(request.algorithm);
+      if (request.timeout_ms > 0.0) any_deadline = true;
+    }
+    state->results.assign(
+        rows, std::vector<Result<QueryResult>>(
+                  num_shards, Status::Internal("shard never completed")));
+    state->done.assign(rows, std::vector<char>(num_shards, 0));
+    state->remaining.assign(rows, num_shards);
+
+    if (!any_deadline) {
+      // No deadline anywhere: flat barrier fan-out over (row x shard),
+      // one pool pass, caller participates. No locking needed — the
+      // barrier orders every write before the merge below.
+      RunFanOut(rows * num_shards, [&](size_t job) {
+        const size_t r = job / num_shards;
+        const size_t s = job % num_shards;
+        state->results[r][s] = QueryShard(s, state->queries[r],
+                                          state->hints[r],
+                                          geo_fallback_allowed);
+        state->done[r][s] = 1;
+      });
+      for (size_t r = 0; r < rows; ++r) state->remaining[r] = 0;
+    } else {
+      // Deadline path: every job goes to the pool; this thread checks
+      // the deadline between per-shard completions and abandons rows
+      // that overrun (their merge below uses whatever completed).
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t s = 0; s < num_shards; ++s) {
+          pool_->Submit([this, state, r, s, geo_fallback_allowed] {
+            Result<QueryResult> result =
+                QueryShard(s, state->queries[r], state->hints[r],
+                           geo_fallback_allowed);
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->results[r][s] = std::move(result);
+            state->done[r][s] = 1;
+            --state->remaining[r];
+            state->cv.notify_all();
+          });
+        }
+      }
+      std::unique_lock<std::mutex> lock(state->mutex);
+      for (size_t r = 0; r < rows; ++r) {
+        const double timeout_ms = requests[pending[r].request].timeout_ms;
+        if (timeout_ms <= 0.0) {
+          state->cv.wait(lock, [&] { return state->remaining[r] == 0; });
+        } else {
+          const auto deadline =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              timeout_ms));
+          state->cv.wait_until(lock, deadline,
+                               [&] { return state->remaining[r] == 0; });
+        }
+      }
+    }
 
     std::vector<Pending> still_pending;
-    for (size_t p = 0; p < pending.size(); ++p) {
-      const size_t i = pending[p].request;
+    for (size_t r = 0; r < rows; ++r) {
+      const size_t i = pending[r].request;
       const SearchRequest& request = requests[i];
-      const size_t fetch_k = pending[p].fetch_k;
+      const size_t fetch_k = pending[r].fetch_k;
 
+      // Snapshot this row's completed slots under the lock (stragglers
+      // of abandoned rows may still be writing other slots). The slot
+      // storage was sized up front and never reallocates, so pointers to
+      // completed slots stay valid after the lock is released.
+      std::vector<const QueryResult*> shard_results(num_shards, nullptr);
+      size_t completed = 0;
       Status error = Status::Ok();
-      for (size_t s = 0; s < num_shards && error.ok(); ++s) {
-        if (!round[p][s].ok()) error = round[p][s].status();
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        for (size_t s = 0; s < num_shards; ++s) {
+          if (!state->done[r][s]) continue;
+          ++completed;
+          if (!state->results[r][s].ok()) {
+            if (error.ok()) error = state->results[r][s].status();
+          } else {
+            shard_results[s] = &state->results[r][s].value();
+          }
+        }
       }
       if (!error.ok()) {
         responses[i] = std::move(error);
         continue;
       }
+      // Partial: the deadline passed before every shard reported. The
+      // merge below is exact over the shards that DID complete; items
+      // held by the abandoned shards are missing by design.
+      const bool partial = completed < num_shards;
 
       SearchResponse response;
       response.backend = backend_label_;
-      response.shards_touched = num_shards;
-      // Label with what actually executed when the shards agree (e.g.
-      // every shard fell back to hybrid); a mixed fan-out keeps the
-      // hint's name — see the SearchResponse::algorithm contract.
-      response.algorithm = round[p][0].value().algorithm;
-      for (size_t s = 1; s < num_shards; ++s) {
-        if (round[p][s].value().algorithm != response.algorithm) {
-          response.algorithm = AlgorithmName(
-              request.algorithm.value_or(AlgorithmId::kHybrid));
-          break;
+      response.shards_touched = completed;
+      // Label with what actually executed when the (completed) shards
+      // agree (e.g. every shard fell back to hybrid); a mixed fan-out
+      // keeps the hint's name — see the SearchResponse::algorithm
+      // contract.
+      const QueryResult* first = nullptr;
+      bool uniform = true;
+      for (size_t s = 0; s < num_shards && uniform; ++s) {
+        if (shard_results[s] == nullptr) continue;
+        if (first == nullptr) {
+          first = shard_results[s];
+        } else if (shard_results[s]->algorithm != first->algorithm) {
+          uniform = false;
         }
       }
+      response.algorithm =
+          (first != nullptr && uniform)
+              ? first->algorithm
+              : AlgorithmName(request.algorithm.value_or(AlgorithmId::kHybrid));
       std::vector<ScoredItem> merged;
       bool all_exhausted = true;
       for (size_t s = 0; s < num_shards; ++s) {
-        const QueryResult& shard_result = round[p][s].value();
-        MergeSearchStats(shard_result.stats, &response.stats);
-        merged.insert(merged.end(), shard_result.items.begin(),
-                      shard_result.items.end());
-        if (shard_result.items.size() >= fetch_k) all_exhausted = false;
+        if (shard_results[s] == nullptr) continue;
+        MergeSearchStats(shard_results[s]->stats, &response.stats);
+        merged.insert(merged.end(), shard_results[s]->items.begin(),
+                      shard_results[s]->items.end());
+        if (shard_results[s]->items.size() >= fetch_k) all_exhausted = false;
       }
       std::sort(merged.begin(), merged.end(), ScoreOrder);
 
       auto finalize = [&](std::vector<ScoredItem> items) {
         response.items = std::move(items);
         response.elapsed_ms = watches[i].ElapsedMillis();
-        response.deadline_exceeded = request.timeout_ms > 0.0 &&
-                                     response.elapsed_ms > request.timeout_ms;
+        response.deadline_exceeded =
+            partial || (request.timeout_ms > 0.0 &&
+                        response.elapsed_ms > request.timeout_ms);
         responses[i] = std::move(response);
       };
 
@@ -265,10 +373,32 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
         diverse.push_back(entry);
         if (diverse.size() == request.query.k) break;
       }
-      if (diverse.size() == request.query.k || all_exhausted) {
+      if (partial && pending[r].has_best &&
+          pending[r].best_diverse.size() >= diverse.size()) {
+        // This round was cut short AND a fully completed shallower round
+        // already selected at least as many items: prefer that one (it
+        // was exact over EVERY shard at its depth).
+        response.shards_touched = num_shards;
+        response.stats = pending[r].best_stats;
+        finalize(std::move(pending[r].best_diverse));
+        continue;
+      }
+      // Deepening past an already-blown deadline only digs the overrun
+      // deeper; return the best prefix in hand instead.
+      const bool deadline_passed =
+          request.timeout_ms > 0.0 &&
+          watches[i].ElapsedMillis() > request.timeout_ms;
+      if (diverse.size() == request.query.k || all_exhausted || partial ||
+          deadline_passed) {
         finalize(std::move(diverse));
       } else {
-        still_pending.push_back({i, fetch_k * 2});
+        Pending next;
+        next.request = i;
+        next.fetch_k = fetch_k * 2;
+        next.best_diverse = std::move(diverse);
+        next.best_stats = response.stats;
+        next.has_best = true;
+        still_pending.push_back(std::move(next));
       }
     }
     pending = std::move(still_pending);
@@ -429,6 +559,24 @@ Status ShardedSearchService::Compact() {
     AMICI_RETURN_IF_ERROR(status);
   }
   return Status::Ok();
+}
+
+CompactionSignals ShardedSearchService::ShardSignals(size_t shard) const {
+  AMICI_CHECK(shard < shards_.size());
+  const auto snap = shards_[shard]->snapshot();
+  CompactionSignals signals;
+  signals.tail_items = snap->unindexed_items();
+  signals.indexed_items = snap->index_horizon;
+  // One consistent (items, latency) pair — the policy relates the two.
+  const auto observation = shards_[shard]->stats().last_tail_scan();
+  signals.last_tail_scan_ms = observation.elapsed_ms;
+  signals.last_tail_scan_items = observation.items;
+  return signals;
+}
+
+Status ShardedSearchService::CompactShard(size_t shard) {
+  AMICI_CHECK(shard < shards_.size());
+  return shards_[shard]->Compact();
 }
 
 size_t ShardedSearchService::num_users() const {

@@ -68,8 +68,19 @@ class ShardedSearchService final : public SearchService {
   static Result<std::unique_ptr<ShardedSearchService>> Build(
       SocialGraph graph, ItemStore store, Options options);
 
+  /// Joins the background ingest/compaction threads before the shards go
+  /// away (they drain through this object's mutators).
+  ~ShardedSearchService() override;
+
   std::string_view backend_name() const override { return backend_label_; }
   size_t num_shards() const override { return shards_.size(); }
+
+  /// Per-shard compaction surface: the background scheduler triggers
+  /// exactly the shards whose policy fires, instead of the fleet-wide
+  /// Compact(). Signals are read from each shard engine's snapshot and
+  /// stats — safe concurrently with queries and ingest.
+  CompactionSignals ShardSignals(size_t shard) const override;
+  Status CompactShard(size_t shard) override;
 
   Result<SearchResponse> Search(const SearchRequest& request) override;
   std::vector<Result<SearchResponse>> SearchBatch(

@@ -3,7 +3,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/engine.h"
 #include "gtest/gtest.h"
+#include "workload/dataset_generator.h"
 
 namespace amici {
 namespace {
@@ -50,6 +52,80 @@ TEST(EngineStatsTest, ResetClears) {
   stats.RecordQuery("hybrid", 1.0, MakeStats(1, 1, 1));
   stats.Reset();
   EXPECT_EQ(stats.total_queries(), 0u);
+}
+
+TEST(EngineStatsTest, TailScanAndCompactionAccessors) {
+  EngineStats stats;
+  EXPECT_EQ(stats.last_tail_items(), 0u);
+  EXPECT_EQ(stats.last_tail_scan_ms(), 0.0);
+  EXPECT_EQ(stats.compactions(), 0u);
+
+  stats.RecordTailScan(120, 3.5);
+  EXPECT_EQ(stats.last_tail_items(), 120u);
+  EXPECT_DOUBLE_EQ(stats.last_tail_scan_ms(), 3.5);
+
+  // Compaction resets the trigger inputs (the tail they measured is
+  // gone) and counts itself.
+  stats.NoteCompaction(42.0);
+  EXPECT_EQ(stats.compactions(), 1u);
+  EXPECT_DOUBLE_EQ(stats.last_compaction_ms(), 42.0);
+  EXPECT_EQ(stats.last_tail_items(), 0u);
+  EXPECT_EQ(stats.last_tail_scan_ms(), 0.0);
+
+  stats.RecordTailScan(7, 0.2);
+  stats.Reset();
+  EXPECT_EQ(stats.last_tail_items(), 0u);
+  EXPECT_EQ(stats.compactions(), 0u);
+
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("compactions"), std::string::npos);
+  EXPECT_NE(rendered.find("tail scan"), std::string::npos);
+}
+
+// The engine-level contract the compaction policy relies on: queries over
+// a tail record its size and cost; Compact() resets both and bumps the
+// compaction counter.
+TEST(EngineStatsTest, EngineRecordsTailScansAndResetsOnCompact) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 120;
+  config.num_tags = 60;
+  Dataset dataset = GenerateDataset(config).value();
+  auto engine = SocialSearchEngine::Build(std::move(dataset.graph),
+                                          std::move(dataset.store), {});
+  ASSERT_TRUE(engine.ok());
+
+  SocialQuery query;
+  query.user = 3;
+  query.tags = {1};
+  query.k = 5;
+  query.alpha = 0.5;
+
+  // Quiesced engine, no tail: the signal reads zero.
+  ASSERT_TRUE(engine.value()->Query(query).ok());
+  EXPECT_EQ(engine.value()->stats().last_tail_items(), 0u);
+
+  for (int i = 0; i < 200; ++i) {
+    Item item;
+    item.owner = static_cast<UserId>(i % 120);
+    item.tags = {static_cast<TagId>(i % 60)};
+    item.quality = 0.5f;
+    ASSERT_TRUE(engine.value()->AddItem(item).ok());
+  }
+  const auto result = engine.value()->Query(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(engine.value()->stats().last_tail_items(), 200u);
+  EXPECT_EQ(result.value().stats.tail_items_scanned, 200u);
+
+  ASSERT_TRUE(engine.value()->Compact().ok());
+  EXPECT_EQ(engine.value()->stats().compactions(), 1u);
+  EXPECT_EQ(engine.value()->stats().last_tail_items(), 0u);
+  EXPECT_EQ(engine.value()->stats().last_tail_scan_ms(), 0.0);
+
+  // Post-compaction queries see no tail and keep the signal at zero.
+  const auto after = engine.value()->Query(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().stats.tail_items_scanned, 0u);
+  EXPECT_EQ(engine.value()->stats().last_tail_items(), 0u);
 }
 
 TEST(EngineStatsTest, ConcurrentRecordingIsLossless) {

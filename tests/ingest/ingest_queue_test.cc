@@ -1,0 +1,211 @@
+// IngestQueue unit tests: admission order, tickets, and the three
+// backpressure modes — all deterministic (no consumer thread; the test IS
+// the consumer).
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ingest/ingest_queue.h"
+
+namespace amici {
+namespace {
+
+Item TestItem(UserId owner, TagId tag) {
+  Item item;
+  item.owner = owner;
+  item.tags = {tag};
+  item.quality = 0.5f;
+  return item;
+}
+
+std::vector<Item> TestBatch(UserId owner, TagId tag, size_t count) {
+  return std::vector<Item>(count, TestItem(owner, tag));
+}
+
+TEST(IngestQueueTest, PreservesAdmissionOrderAcrossOpKinds) {
+  IngestQueue queue({/*capacity=*/16, BackpressureMode::kBlock});
+  const auto t1 = queue.PushItems(TestBatch(1, 10, 3));
+  const auto t2 = queue.PushAddFriendship(4, 5);
+  const auto t3 = queue.PushItems(TestBatch(2, 20, 2));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t3.ok());
+  EXPECT_LT(t1.value().sequence(), t2.value().sequence());
+  EXPECT_LT(t2.value().sequence(), t3.value().sequence());
+  EXPECT_EQ(queue.last_sequence(), t3.value().sequence());
+  EXPECT_EQ(queue.pending_ops(), 3u);
+
+  const std::vector<IngestOp> ops = queue.PopAll();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, IngestOp::Kind::kItems);
+  EXPECT_EQ(ops[0].items.size(), 3u);
+  EXPECT_EQ(ops[1].kind, IngestOp::Kind::kAddFriendship);
+  EXPECT_EQ(ops[1].u, 4u);
+  EXPECT_EQ(ops[1].v, 5u);
+  EXPECT_EQ(ops[2].kind, IngestOp::Kind::kItems);
+  EXPECT_EQ(ops[2].items.size(), 2u);
+  EXPECT_EQ(queue.pending_ops(), 0u);
+
+  const IngestCounters counters = queue.counters();
+  EXPECT_EQ(counters.batches_enqueued, 2u);
+  EXPECT_EQ(counters.items_enqueued, 5u);
+  EXPECT_EQ(counters.edits_enqueued, 1u);
+  EXPECT_EQ(counters.max_queue_depth, 3u);
+}
+
+TEST(IngestQueueTest, EmptyBatchCompletesWithoutQueueing) {
+  IngestQueue queue({/*capacity=*/4, BackpressureMode::kBlock});
+  const auto ticket = queue.PushItems({});
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_TRUE(ticket.value().done());
+  EXPECT_TRUE(ticket.value().Wait().ok());
+  EXPECT_EQ(queue.pending_ops(), 0u);
+}
+
+TEST(IngestQueueTest, RejectModeShedsLoadAtCapacity) {
+  IngestQueue queue({/*capacity=*/2, BackpressureMode::kReject});
+  EXPECT_TRUE(queue.PushItems(TestBatch(1, 1, 1)).ok());
+  EXPECT_TRUE(queue.PushItems(TestBatch(1, 2, 1)).ok());
+  const auto rejected = queue.PushItems(TestBatch(1, 3, 1));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // Edits shed exactly the same way.
+  const auto edit = queue.PushAddFriendship(0, 1);
+  ASSERT_FALSE(edit.ok());
+  EXPECT_EQ(edit.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.counters().rejected, 2u);
+
+  // Draining frees the slots again.
+  EXPECT_EQ(queue.PopAll().size(), 2u);
+  EXPECT_TRUE(queue.PushItems(TestBatch(1, 4, 1)).ok());
+}
+
+TEST(IngestQueueTest, CoalesceModeFoldsBatchesIntoTheTailOp) {
+  IngestQueue queue({/*capacity=*/2, BackpressureMode::kCoalesce});
+  const auto t1 = queue.PushItems(TestBatch(1, 1, 2));
+  const auto t2 = queue.PushItems(TestBatch(2, 2, 3));
+  const auto t3 = queue.PushItems(TestBatch(3, 3, 4));  // folds into t2's op
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(queue.pending_ops(), 2u);
+  EXPECT_EQ(queue.counters().batches_coalesced, 1u);
+
+  const std::vector<IngestOp> ops = queue.PopAll();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].items.size(), 2u);
+  ASSERT_EQ(ops[1].slices.size(), 2u);
+  EXPECT_EQ(ops[1].items.size(), 7u);
+  EXPECT_EQ(ops[1].slices[0].count, 3u);
+  EXPECT_EQ(ops[1].slices[1].count, 4u);
+  // Fold order preserved: t2's items precede t3's.
+  EXPECT_EQ(ops[1].items[0].owner, 2u);
+  EXPECT_EQ(ops[1].items[3].owner, 3u);
+}
+
+TEST(IngestQueueTest, CoalesceModeNeverFoldsAcrossAnEdit) {
+  IngestQueue queue({/*capacity=*/2, BackpressureMode::kCoalesce});
+  ASSERT_TRUE(queue.PushItems(TestBatch(1, 1, 1)).ok());
+  ASSERT_TRUE(queue.PushAddFriendship(0, 1).ok());  // fills the queue
+  // The tail is now an edit: the batch must NOT fold into the earlier
+  // items op (that would reorder it before the edit) — the producer
+  // blocks until the consumer drains instead.
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.PushItems(TestBatch(2, 2, 1)).ok());
+  });
+  while (queue.counters().producer_waits == 0) std::this_thread::yield();
+  std::vector<IngestOp> ops = queue.PopAll();
+  while (ops.size() < 3) {
+    for (IngestOp& op : queue.PopAll()) ops.push_back(std::move(op));
+  }
+  producer.join();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, IngestOp::Kind::kItems);
+  EXPECT_EQ(ops[1].kind, IngestOp::Kind::kAddFriendship);
+  EXPECT_EQ(ops[2].kind, IngestOp::Kind::kItems);
+  EXPECT_EQ(queue.counters().batches_coalesced, 0u);
+}
+
+TEST(IngestQueueTest, CoalesceModeStopsAbsorbingAtTheItemCap) {
+  IngestQueue::Options options;
+  options.capacity = 1;
+  options.backpressure = BackpressureMode::kCoalesce;
+  options.max_coalesced_items = 5;
+  IngestQueue queue(options);
+  ASSERT_TRUE(queue.PushItems(TestBatch(1, 1, 3)).ok());
+  ASSERT_TRUE(queue.PushItems(TestBatch(2, 2, 2)).ok());  // folds: 5 items
+  // The tail batch is at max_coalesced_items: the next producer BLOCKS
+  // (bounded backlog) instead of growing it without limit.
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.PushItems(TestBatch(3, 3, 1)).ok());
+  });
+  while (queue.counters().producer_waits == 0) std::this_thread::yield();
+  std::vector<IngestOp> ops = queue.PopAll();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].items.size(), 5u);
+  while (queue.PopAll().empty()) {
+  }
+  producer.join();
+  EXPECT_EQ(queue.counters().batches_coalesced, 1u);
+}
+
+TEST(IngestQueueTest, BlockModeWaitsForTheConsumer) {
+  IngestQueue queue({/*capacity=*/1, BackpressureMode::kBlock});
+  ASSERT_TRUE(queue.PushItems(TestBatch(1, 1, 1)).ok());
+
+  std::thread producer([&] {
+    // Blocks until the main thread drains, then succeeds.
+    const auto ticket = queue.PushItems(TestBatch(2, 2, 1));
+    EXPECT_TRUE(ticket.ok());
+  });
+  // The queue is at capacity, so the producer MUST register a wait
+  // before anything else can happen; only then drain.
+  while (queue.counters().producer_waits == 0) std::this_thread::yield();
+  size_t seen = 0;
+  while (seen < 2) seen += queue.PopAll().size();
+  producer.join();
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(queue.counters().producer_waits, 1u);
+}
+
+TEST(IngestQueueTest, CloseRejectsProducersAndDrainsTheRest) {
+  IngestQueue queue({/*capacity=*/8, BackpressureMode::kBlock});
+  ASSERT_TRUE(queue.PushItems(TestBatch(1, 1, 1)).ok());
+  queue.Close();
+  const auto after = queue.PushItems(TestBatch(2, 2, 1));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.PopAll().size(), 1u);  // the pre-close op
+  EXPECT_TRUE(queue.PopAll().empty());   // closed and drained
+}
+
+TEST(IngestQueueTest, ManyProducersAllOpsArriveExactlyOnce) {
+  IngestQueue queue({/*capacity=*/16, BackpressureMode::kBlock});
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        const auto ticket = queue.PushItems(
+            TestBatch(static_cast<UserId>(p), static_cast<TagId>(b), 2));
+        EXPECT_TRUE(ticket.ok());
+      }
+    });
+  }
+  size_t batches = 0;
+  size_t items = 0;
+  while (batches < kProducers * kBatchesPerProducer) {
+    for (const IngestOp& op : queue.PopAll()) {
+      batches += op.slices.size();
+      items += op.items.size();
+    }
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(batches, static_cast<size_t>(kProducers * kBatchesPerProducer));
+  EXPECT_EQ(items, batches * 2);
+}
+
+}  // namespace
+}  // namespace amici

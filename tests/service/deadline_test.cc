@@ -1,0 +1,139 @@
+// SearchRequest::timeout_ms on the sharded backend: the fan-out loop
+// checks the deadline between per-shard completions and returns a PARTIAL
+// response (the exact merge of the shards that completed in time) instead
+// of waiting for stragglers and reporting the overrun post-hoc.
+//
+// Determinism: a proximity model that sleeps makes every shard's first
+// query for a user predictably slow, so a small deadline reliably expires
+// mid-fan-out — no timing luck involved.
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "proximity/common_neighbors.h"
+#include "service/sharded_search_service.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+namespace {
+
+/// Delegates to a real model after a fixed nap — the "slow shard" fault
+/// injection for deadline tests.
+class SleepyProximityModel final : public ProximityModel {
+ public:
+  SleepyProximityModel(std::shared_ptr<const ProximityModel> inner,
+                       std::chrono::milliseconds nap)
+      : inner_(std::move(inner)), nap_(nap) {}
+
+  std::string_view name() const override { return "sleepy"; }
+
+  ProximityVector Compute(const SocialGraph& graph,
+                          UserId source) const override {
+    std::this_thread::sleep_for(nap_);
+    return inner_->Compute(graph, source);
+  }
+
+ private:
+  std::shared_ptr<const ProximityModel> inner_;
+  std::chrono::milliseconds nap_;
+};
+
+std::unique_ptr<ShardedSearchService> BuildSleepyService(
+    std::chrono::milliseconds nap) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 200;
+  config.num_tags = 80;
+  config.seed = 5;
+  Dataset dataset = GenerateDataset(config).value();
+  ShardedSearchService::Options options;
+  options.num_shards = 3;
+  options.engine.proximity_model = std::make_shared<SleepyProximityModel>(
+      std::make_shared<CommonNeighborsProximity>(), nap);
+  return ShardedSearchService::Build(std::move(dataset.graph),
+                                     std::move(dataset.store),
+                                     std::move(options))
+      .value();
+}
+
+SearchRequest TestRequest(UserId user, double timeout_ms) {
+  SearchRequest request;
+  request.query.user = user;
+  request.query.tags = {3};
+  request.query.k = 10;
+  request.query.alpha = 0.5;
+  request.timeout_ms = timeout_ms;
+  return request;
+}
+
+TEST(ShardedDeadlineTest, ExpiredDeadlineReturnsPartialResponse) {
+  auto service = BuildSleepyService(std::chrono::milliseconds(250));
+
+  // Every shard needs ~250ms (proximity cache miss); 30ms cannot cover
+  // the fan-out, so the request must come back early and partial.
+  const auto response = service->Search(TestRequest(/*user=*/7,
+                                                   /*timeout_ms=*/30.0));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().deadline_exceeded);
+  EXPECT_LT(response.value().shards_touched, service->num_shards());
+  // The response came back near the deadline, not after ~750ms of
+  // stragglers (generous bound: scheduling noise, sanitizers).
+  EXPECT_LT(response.value().elapsed_ms, 200.0);
+
+  // The service is fully functional afterwards: the same query WITHOUT a
+  // deadline completes on every shard (stragglers of the abandoned row
+  // have warmed the caches by then or simply finish harmlessly).
+  const auto full = service->Search(TestRequest(/*user=*/7,
+                                                /*timeout_ms=*/0.0));
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.value().deadline_exceeded);
+  EXPECT_EQ(full.value().shards_touched, service->num_shards());
+  // The partial items it DID return are a prefix-consistent subset: all
+  // scores it reported appear in the full answer at the same or better
+  // rank order.
+  const auto& partial_items = response.value().items;
+  const auto& full_items = full.value().items;
+  for (size_t i = 0, j = 0; i < partial_items.size(); ++i) {
+    bool found = false;
+    for (; j < full_items.size(); ++j) {
+      if (full_items[j].item == partial_items[i].item &&
+          full_items[j].score == partial_items[i].score) {
+        found = true;
+        ++j;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "partial rank " << i
+                       << " not found in order in the full response";
+  }
+}
+
+TEST(ShardedDeadlineTest, GenerousDeadlineCompletesEveryShard) {
+  auto service = BuildSleepyService(std::chrono::milliseconds(1));
+  const auto response = service->Search(TestRequest(/*user=*/11,
+                                                    /*timeout_ms=*/60000.0));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().deadline_exceeded);
+  EXPECT_EQ(response.value().shards_touched, service->num_shards());
+}
+
+TEST(ShardedDeadlineTest, BatchMixesDeadlinedAndUnboundedRequests) {
+  auto service = BuildSleepyService(std::chrono::milliseconds(150));
+  std::vector<SearchRequest> requests;
+  requests.push_back(TestRequest(/*user=*/20, /*timeout_ms=*/20.0));
+  requests.push_back(TestRequest(/*user=*/21, /*timeout_ms=*/0.0));
+  const auto responses = service->SearchBatch(requests);
+  ASSERT_EQ(responses.size(), 2u);
+  ASSERT_TRUE(responses[0].ok());
+  ASSERT_TRUE(responses[1].ok());
+  // The deadlined slot is partial; the unbounded slot waited for every
+  // shard regardless of its neighbour's deadline.
+  EXPECT_TRUE(responses[0].value().deadline_exceeded);
+  EXPECT_EQ(responses[1].value().shards_touched, service->num_shards());
+  EXPECT_FALSE(responses[1].value().deadline_exceeded);
+}
+
+}  // namespace
+}  // namespace amici

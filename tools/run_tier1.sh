@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full test suite.
+# Tier-1 verify: configure, build, run the full test suite, and emit a
+# one-line pass/fail summary with the test count.
 #
 #   tools/run_tier1.sh          # normal build into build/
 #   tools/run_tier1.sh --tsan   # ThreadSanitizer build into build-tsan/
@@ -17,4 +18,21 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j"$(nproc)"
+
+CTEST_LOG=$(mktemp)
+trap 'rm -f "$CTEST_LOG"' EXIT
+CTEST_STATUS=0
+ctest --output-on-failure -j"$(nproc)" 2>&1 | tee "$CTEST_LOG" || CTEST_STATUS=$?
+
+# ctest prints e.g. "100% tests passed, 0 tests failed out of 67".
+TOTAL=$(sed -n 's/.*out of \([0-9]\+\).*/\1/p' "$CTEST_LOG" | tail -1)
+FAILED=$(sed -n 's/.*, \([0-9]\+\) tests failed.*/\1/p' "$CTEST_LOG" | tail -1)
+TOTAL=${TOTAL:-0}
+FAILED=${FAILED:-$TOTAL}
+PASSED=$((TOTAL - FAILED))
+if [[ "$CTEST_STATUS" -eq 0 && "$TOTAL" -gt 0 ]]; then
+  echo "[tier1] PASS: ${PASSED}/${TOTAL} tests (${BUILD_DIR})"
+else
+  echo "[tier1] FAIL: ${PASSED}/${TOTAL} tests passed, ${FAILED} failed (${BUILD_DIR})"
+  exit 1
+fi
