@@ -119,8 +119,10 @@ LatencySummary RunServiceQueries(SearchService* service,
 
 void WarmProximityCache(SocialSearchEngine* engine,
                         const std::vector<SocialQuery>& queries) {
+  const auto snap = engine->snapshot();
   for (const SocialQuery& query : queries) {
-    (void)engine->proximity_cache().Get(engine->graph(), query.user);
+    (void)engine->proximity().GetProximity(*snap->graph, query.user,
+                                           snap->graph_version);
   }
 }
 

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "core/content_first_ta.h"
-#include "graph/graph_builder.h"
 #include "core/exhaustive_scan.h"
 #include "core/hybrid_adaptive.h"
 #include "core/merge_scan.h"
@@ -13,7 +12,7 @@
 #include "core/social_first.h"
 #include "geo/geo_point.h"
 #include "geo/geo_social.h"
-#include "proximity/ppr_forward_push.h"
+#include "proximity/shared_proximity_provider.h"
 #include "topk/topk_heap.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -46,27 +45,48 @@ std::string_view AlgorithmName(AlgorithmId id) {
 SocialSearchEngine::SocialSearchEngine(ItemStore store, Options options)
     : store_(std::move(store)), options_(std::move(options)) {}
 
+std::shared_ptr<ProximityProvider> SocialSearchEngine::MakeProximityProvider(
+    SocialGraph graph, const Options& options) {
+  SharedProximityProvider::Options provider_options;
+  provider_options.model = options.proximity_model;
+  provider_options.cache_capacity =
+      std::max<size_t>(1, options.proximity_cache_capacity);
+  provider_options.warm_top_n = options.proximity_warm_top_n;
+  return std::make_shared<SharedProximityProvider>(
+      std::move(graph), std::move(provider_options));
+}
+
 Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
     SocialGraph graph, ItemStore store, Options options) {
-  if (options.proximity_model == nullptr) {
-    options.proximity_model = std::make_shared<PprForwardPush>(
-        /*restart_prob=*/0.15, /*epsilon=*/1e-4);
+  if (options.proximity_provider != nullptr) {
+    return Status::InvalidArgument(
+        "a shared ProximityProvider already owns its graph; use "
+        "Build(store, options) to consume it");
   }
-  auto shared_graph = std::make_shared<const SocialGraph>(std::move(graph));
+  options.proximity_provider =
+      MakeProximityProvider(std::move(graph), options);
+  return Build(std::move(store), std::move(options));
+}
+
+Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
+    ItemStore store, Options options) {
+  if (options.proximity_provider == nullptr) {
+    return Status::InvalidArgument(
+        "options.proximity_provider is required (or use the "
+        "Build(graph, store, options) overload)");
+  }
   // Private constructor: cannot use make_unique.
   std::unique_ptr<SocialSearchEngine> engine(
       new SocialSearchEngine(std::move(store), std::move(options)));
+  engine->proximity_ = engine->options_.proximity_provider;
 
+  // Pin the provider's current generation into the initial snapshot.
+  const ProximityProvider::GraphView view = engine->proximity_->Acquire();
   AMICI_ASSIGN_OR_RETURN(
       std::shared_ptr<const EngineSnapshot> initial,
-      engine->BuildSnapshot(std::move(shared_graph), /*graph_version=*/0,
+      engine->BuildSnapshot(view.graph, view.generation,
                             ItemStoreView(engine->store_)));
   engine->snapshot_.store(std::move(initial));
-
-  engine->proximity_model_ = engine->options_.proximity_model;
-  engine->proximity_cache_ = std::make_unique<ProximityCache>(
-      engine->proximity_model_.get(),
-      std::max<size_t>(1, engine->options_.proximity_cache_capacity));
 
   engine->algorithms_.resize(kNumAlgorithms);
   engine->algorithms_[static_cast<size_t>(AlgorithmId::kExhaustive)] =
@@ -148,8 +168,10 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
   }
 
   Stopwatch watch;
+  ProximityOutcome proximity_outcome = ProximityOutcome::kCacheHit;
   const std::shared_ptr<const ProximityVector> proximity =
-      proximity_cache_->Get(*snap->graph, query.user, snap->graph_version);
+      proximity_->GetProximity(*snap->graph, query.user, snap->graph_version,
+                               &proximity_outcome);
 
   QueryContext ctx;
   ctx.graph = snap->graph.get();
@@ -175,6 +197,13 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
   result.algorithm = AlgorithmName(algorithm);
   AMICI_ASSIGN_OR_RETURN(result.items,
                          AlgorithmFor(algorithm)->Search(ctx, &result.stats));
+  // After Search: algorithms overwrite *stats wholesale with their local
+  // counters.
+  if (proximity_outcome == ProximityOutcome::kComputed) {
+    result.stats.proximity_computations = 1;
+  } else {
+    result.stats.proximity_cache_hits = 1;
+  }
 
   // Fold in the un-indexed tail: exhaustively score items the indexes do
   // not cover yet, merging with the algorithm's (exact) indexed top-k.
@@ -268,7 +297,7 @@ Result<std::vector<TagSuggestion>> SocialSearchEngine::SuggestTags(
     return Status::InvalidArgument("user outside the social graph");
   }
   const std::shared_ptr<const ProximityVector> proximity =
-      proximity_cache_->Get(*snap->graph, user, snap->graph_version);
+      proximity_->GetProximity(*snap->graph, user, snap->graph_version);
   return SuggestQueryTags(snap->store, snap->indexes->social, *proximity,
                           user, seed_tags, options);
 }
@@ -314,62 +343,34 @@ Result<std::vector<ItemId>> SocialSearchEngine::AddItems(
   return ids;
 }
 
-namespace {
-
-/// Rebuilds a CSR graph with one edge toggled. `insert` adds {u, v};
-/// otherwise the edge is dropped.
-SocialGraph RebuildWithEdge(const SocialGraph& graph, UserId u, UserId v,
-                            bool insert) {
-  GraphBuilder builder(graph.num_users());
-  for (size_t a = 0; a < graph.num_users(); ++a) {
-    for (const UserId b : graph.Friends(static_cast<UserId>(a))) {
-      if (b <= a) continue;  // each undirected edge once
-      if (!insert && ((a == u && b == v) || (a == v && b == u))) continue;
-      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(a), b));
-    }
-  }
-  if (insert) AMICI_CHECK_OK(builder.AddEdge(u, v));
-  return builder.Build();
-}
-
-}  // namespace
-
 Status SocialSearchEngine::AddFriendship(UserId u, UserId v) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
-  if (u >= cur->graph->num_users() || v >= cur->graph->num_users()) {
-    return Status::InvalidArgument("friendship endpoint outside the graph");
-  }
-  if (u == v) return Status::InvalidArgument("self-friendship is not a thing");
-  if (cur->graph->HasEdge(u, v)) {
-    return Status::AlreadyExists("friendship already present");
-  }
-  auto next = std::make_shared<EngineSnapshot>(*cur);
-  next->graph = std::make_shared<const SocialGraph>(
-      RebuildWithEdge(*cur->graph, u, v, /*insert=*/true));
-  next->graph_version = ++graph_version_;
-  next->store = ItemStoreView(store_);
-  PublishLocked(std::move(next));
-  // No cache clear: entries are keyed by graph generation, so stale
-  // vectors can neither hit nor survive the first new-generation access.
-  return Status::Ok();
+  // The provider owns the graph: it validates, rebuilds and publishes the
+  // new generation (AlreadyExists / NotFound / InvalidArgument semantics
+  // live there now); this engine then adopts it into a fresh snapshot.
+  AMICI_RETURN_IF_ERROR(proximity_->AddFriendship(u, v));
+  return SyncGraph();
 }
 
 Status SocialSearchEngine::RemoveFriendship(UserId u, UserId v) {
+  AMICI_RETURN_IF_ERROR(proximity_->RemoveFriendship(u, v));
+  return SyncGraph();
+}
+
+Status SocialSearchEngine::SyncGraph() {
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  const ProximityProvider::GraphView view = proximity_->Acquire();
   const std::shared_ptr<const EngineSnapshot> cur = snapshot();
-  if (u >= cur->graph->num_users() || v >= cur->graph->num_users()) {
-    return Status::InvalidArgument("friendship endpoint outside the graph");
-  }
-  if (!cur->graph->HasEdge(u, v)) {
-    return Status::NotFound("no such friendship");
-  }
+  // <= not ==: when two edits race, the loser's Acquire may read an older
+  // view than the winner's sync already published — never regress.
+  if (view.generation <= cur->graph_version) return Status::Ok();
   auto next = std::make_shared<EngineSnapshot>(*cur);
-  next->graph = std::make_shared<const SocialGraph>(
-      RebuildWithEdge(*cur->graph, u, v, /*insert=*/false));
-  next->graph_version = ++graph_version_;
+  next->graph = view.graph;
+  next->graph_version = view.generation;
   next->store = ItemStoreView(store_);
   PublishLocked(std::move(next));
+  // No proximity-cache clear: entries are keyed by graph generation, so
+  // stale vectors can neither hit nor survive the first new-generation
+  // access.
   return Status::Ok();
 }
 

@@ -16,8 +16,8 @@
 #include "geo/grid_index.h"
 #include "graph/social_graph.h"
 #include "index/index_builder.h"
-#include "proximity/proximity_cache.h"
 #include "proximity/proximity_model.h"
+#include "proximity/proximity_provider.h"
 #include "storage/item_store.h"
 #include "storage/tag_dictionary.h"
 #include "util/atomic_shared_ptr.h"
@@ -59,7 +59,9 @@ struct QueryResult {
   std::string_view algorithm;
 };
 
-/// The public facade: owns the item catalogue and the algorithm suite, and
+/// The public facade: owns the item catalogue and the algorithm suite,
+/// CONSUMES a ProximityProvider (which owns the graph, the proximity
+/// model and the score cache — possibly shared with other engines), and
 /// publishes the query-visible state (graph, indexes, grid, store view)
 /// as immutable EngineSnapshot generations.
 ///
@@ -81,21 +83,52 @@ struct QueryResult {
 class SocialSearchEngine {
  public:
   struct Options {
-    /// Social proximity model; defaults to forward-push PPR
-    /// (restart 0.15, epsilon 1e-4) when null.
+    /// The graph + proximity surface this engine consumes. When null,
+    /// Build(graph, store, options) wraps the passed graph in a PRIVATE
+    /// SharedProximityProvider built from the knobs below — the
+    /// single-engine deployment. Services that run several engines pass
+    /// ONE shared provider here instead, so the graph and the score
+    /// cache exist once, not once per shard.
+    std::shared_ptr<ProximityProvider> proximity_provider;
+    /// Social proximity model for the private provider; defaults to
+    /// forward-push PPR (restart 0.15, epsilon 1e-4) when null. Ignored
+    /// when proximity_provider is set.
     std::shared_ptr<const ProximityModel> proximity_model;
-    /// LRU capacity of the per-user proximity cache. 0 disables caching.
+    /// LRU capacity of the private provider's proximity cache. Ignored
+    /// when proximity_provider is set.
     size_t proximity_cache_capacity = 4096;
+    /// Hottest users the private provider re-warms after a graph
+    /// generation bump (0 disables). Ignored when proximity_provider is
+    /// set.
+    size_t proximity_warm_top_n = 16;
     /// Posting-list / impact-list knobs (ablation surface).
     InvertedIndex::Options index_options;
     /// Geo grid cell size in degrees (used when the store has geo items).
     double geo_cell_size_deg = 0.25;
   };
 
-  /// Builds an engine over `graph` and `store` (both consumed).
+  /// Builds an engine over `graph` and `store` (both consumed). The graph
+  /// is wrapped in a private SharedProximityProvider;
+  /// options.proximity_provider must be null on this overload (a shared
+  /// provider already owns its graph — use the overload below).
   static Result<std::unique_ptr<SocialSearchEngine>> Build(SocialGraph graph,
                                                            ItemStore store,
                                                            Options options);
+
+  /// Builds an engine over `store` that CONSUMES
+  /// options.proximity_provider (required) for its graph and proximity —
+  /// the multi-engine deployment where one provider is shared across
+  /// shards.
+  static Result<std::unique_ptr<SocialSearchEngine>> Build(ItemStore store,
+                                                           Options options);
+
+  /// The ONE mapping from engine options to a SharedProximityProvider
+  /// over `graph` (model default, cache-capacity clamp, warm-over knob).
+  /// Build(graph, store, options) uses it for the private provider, and
+  /// multi-engine services use it to construct the provider they share —
+  /// same knobs, same behavior, one place to extend.
+  static std::shared_ptr<ProximityProvider> MakeProximityProvider(
+      SocialGraph graph, const Options& options);
 
   /// Executes `query` with the default (hybrid) strategy.
   Result<QueryResult> Query(const SocialQuery& query);
@@ -138,13 +171,24 @@ class SocialSearchEngine {
   /// anything is appended, so the batch is all-or-nothing.
   Result<std::vector<ItemId>> AddItems(std::span<const Item> items);
 
-  /// Adds / removes a friendship edge. The CSR graph is rebuilt (O(E))
-  /// and published as a new generation; in-flight queries finish on the
-  /// generation they pinned. Adequate for the low edge-churn typical of
-  /// social workloads. RemoveFriendship returns NotFound when the edge
-  /// does not exist; AddFriendship returns AlreadyExists for duplicates.
+  /// Adds / removes a friendship edge THROUGH the proximity provider
+  /// (which owns the graph): the provider validates, rebuilds (O(E)) and
+  /// publishes a new graph generation, and this engine adopts it into a
+  /// fresh snapshot; in-flight queries finish on the generation they
+  /// pinned. RemoveFriendship returns NotFound when the edge does not
+  /// exist; AddFriendship returns AlreadyExists for duplicates; self
+  /// edges and out-of-range endpoints are InvalidArgument.
+  ///
+  /// NOTE with a SHARED provider: only THIS engine adopts the new
+  /// generation here. The owning service must call SyncGraph() on its
+  /// other engines (see ShardedSearchService::AddFriendship).
   Status AddFriendship(UserId u, UserId v);
   Status RemoveFriendship(UserId u, UserId v);
+
+  /// Adopts the provider's current graph generation into a new snapshot
+  /// (no-op when already current). Cheap: one snapshot copy + pointer
+  /// swap; the indexes are graph-independent and are reused as-is.
+  Status SyncGraph();
 
   /// Folds the tail into freshly rebuilt indexes. The build runs off the
   /// writer lock against a pinned snapshot, so queries AND ingest proceed
@@ -185,8 +229,15 @@ class SocialSearchEngine {
   }
 
   const ItemStore& store() const { return store_; }
-  const ProximityModel& proximity_model() const { return *proximity_model_; }
-  ProximityCache& proximity_cache() { return *proximity_cache_; }
+  const ProximityModel& proximity_model() const {
+    return proximity_->model();
+  }
+  /// The graph + proximity surface this engine consumes (possibly shared
+  /// with other engines).
+  ProximityProvider& proximity() const { return *proximity_; }
+  std::shared_ptr<ProximityProvider> shared_proximity() const {
+    return proximity_;
+  }
   EngineStats& stats() { return stats_; }
   const EngineStats& stats() const { return stats_; }
 
@@ -208,15 +259,15 @@ class SocialSearchEngine {
   ItemStore store_;
   Options options_;
 
-  std::shared_ptr<const ProximityModel> proximity_model_;
-  std::unique_ptr<ProximityCache> proximity_cache_;
+  /// Owns the graph, the model, and the score cache; shared across
+  /// engines when the service layer passes one provider to all shards.
+  std::shared_ptr<ProximityProvider> proximity_;
   std::vector<std::unique_ptr<SearchAlgorithm>> algorithms_;  // by AlgorithmId
   EngineStats stats_;
 
   /// Serializes mutators (AddItem, friendship edits, snapshot publishes).
   /// Never held while a query executes.
   std::mutex writer_mutex_;
-  uint64_t graph_version_ = 0;  // guarded by writer_mutex_
   AtomicSharedPtr<const EngineSnapshot> snapshot_;
 };
 

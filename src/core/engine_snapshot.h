@@ -28,7 +28,10 @@ namespace amici {
 /// that changes only one of them (e.g. the store bound after AddItem)
 /// costs one small allocation plus refcount traffic.
 struct EngineSnapshot {
-  /// CSR friendship graph of this generation.
+  /// CSR friendship graph of this generation — PINNED from the engine's
+  /// ProximityProvider (which owns the graph and publishes new
+  /// generations on friendship edits). Engines sharing one provider
+  /// share this pointer: N shards, one graph instance.
   std::shared_ptr<const SocialGraph> graph;
   /// Inverted + social indexes covering items [0, index_horizon).
   std::shared_ptr<const BuiltIndexes> indexes;
@@ -42,9 +45,10 @@ struct EngineSnapshot {
   ItemStoreView store;
   /// First item id NOT covered by `indexes`.
   ItemId index_horizon = 0;
-  /// Monotonic generation counter of `graph`; keys the proximity cache so
-  /// vectors computed against an older graph can never serve (or poison)
-  /// queries running against a newer one.
+  /// Monotonic generation counter of `graph` (the ProximityProvider's
+  /// generation number); keys the shared proximity cache so vectors
+  /// computed against an older graph can never serve (or poison) queries
+  /// running against a newer one.
   uint64_t graph_version = 0;
 
   size_t unindexed_items() const { return store.num_items() - index_horizon; }

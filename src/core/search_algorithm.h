@@ -49,6 +49,14 @@ struct SearchStats {
   /// algorithm ran (a subset of items_considered) — the per-query cost of
   /// ingest freshness, summed across shards in SearchResponse::stats.
   uint64_t tail_items_scanned = 0;
+  /// Proximity-model computations this query caused (0 or 1 per engine;
+  /// summed across shards in SearchResponse::stats, where a shared
+  /// ProximityProvider keeps the sum at 1 per cache-missed user no matter
+  /// the shard count).
+  uint64_t proximity_computations = 0;
+  /// Queries whose proximity vector came without computing: a shared-
+  /// cache hit, or a join on a concurrent shard's in-flight computation.
+  uint64_t proximity_cache_hits = 0;
 };
 
 /// A top-k retrieval strategy. Implementations must be stateless and

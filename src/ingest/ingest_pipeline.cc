@@ -1,6 +1,7 @@
 #include "ingest/ingest_pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/logging.h"
@@ -8,6 +9,9 @@
 namespace amici {
 
 namespace {
+
+/// Time constant of the drain-side items/s EWMA (seconds).
+constexpr double kRateEwmaTauSec = 1.0;
 
 void ResolveTicket(const std::shared_ptr<internal::TicketState>& state,
                    Status status, std::vector<ItemId> ids) {
@@ -151,6 +155,19 @@ IngestCounters IngestPipeline::counters() const {
   counters.items_applied = items_applied_.load(std::memory_order_relaxed);
   counters.edits_applied = edits_applied_.load(std::memory_order_relaxed);
   counters.apply_errors = apply_errors_.load(std::memory_order_relaxed);
+  // Decay for the time elapsed since the last drain: the writer thread
+  // only updates the EWMA when a cycle completes, so without this a
+  // stalled pipeline would freeze at its last busy-period rate forever.
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const int64_t last_ns = last_rate_update_ns_.load(std::memory_order_relaxed);
+  const double idle_sec =
+      std::max(0.0, static_cast<double>(now_ns - last_ns) * 1e-9);
+  counters.items_per_sec_ewma =
+      items_per_sec_ewma_.load(std::memory_order_relaxed) *
+      std::exp(-idle_sec / kRateEwmaTauSec);
   return counters;
 }
 
@@ -169,6 +186,32 @@ void IngestPipeline::WriterLoop() {
     }
     ApplyStats stats;
     ApplyIngestOps(sink_, std::move(ops), &stats);
+
+    // Ingest-rate EWMA: blend this cycle's instantaneous items/s in with
+    // a weight that grows with the time elapsed since the last cycle
+    // (alpha = 1 - exp(-dt/tau), tau = 1s), so the rate is cadence-
+    // independent: many small drains and one big drain covering the same
+    // second converge to the same number.
+    {
+      const int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      const int64_t last_ns =
+          last_rate_update_ns_.load(std::memory_order_relaxed);
+      const double dt_sec =
+          std::max(1e-6, static_cast<double>(now_ns - last_ns) * 1e-9);
+      last_rate_update_ns_.store(now_ns, std::memory_order_relaxed);
+      const double alpha = 1.0 - std::exp(-dt_sec / kRateEwmaTauSec);
+      const double instantaneous =
+          static_cast<double>(stats.items_applied) / dt_sec;
+      const double previous =
+          items_per_sec_ewma_.load(std::memory_order_relaxed);
+      items_per_sec_ewma_.store(
+          previous + alpha * (instantaneous - previous),
+          std::memory_order_relaxed);
+    }
+
     drain_cycles_.fetch_add(1, std::memory_order_relaxed);
     apply_calls_.fetch_add(stats.apply_calls, std::memory_order_relaxed);
     items_applied_.fetch_add(stats.items_applied, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 #define AMICI_INGEST_INGEST_PIPELINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -92,6 +93,18 @@ class IngestPipeline {
   std::atomic<uint64_t> items_applied_{0};
   std::atomic<uint64_t> edits_applied_{0};
   std::atomic<uint64_t> apply_errors_{0};
+  /// Drain-side ingest rate (items/s, EWMA with ~1s time constant).
+  /// Written only by the writer thread after each drain cycle; read by
+  /// counters() from any thread, which applies the decay for the time
+  /// elapsed SINCE the last drain — so a stalled pipeline reads low
+  /// instead of freezing at its last busy-period value.
+  std::atomic<double> items_per_sec_ewma_{0.0};
+  /// steady_clock nanoseconds of the previous EWMA update (atomic: the
+  /// read-side decay in counters() needs it too).
+  std::atomic<int64_t> last_rate_update_ns_{
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count()};
 
   std::mutex stop_mutex_;  // serializes Stop() callers
   bool stopped_ = false;   // guarded by stop_mutex_

@@ -121,6 +121,11 @@ struct IngestCounters {
   uint64_t items_applied = 0;
   uint64_t edits_applied = 0;
   uint64_t apply_errors = 0;
+  /// Exponentially-weighted items/s over the drain side (time constant
+  /// ~1s), updated once per drain cycle. 0 until the first cycle applies
+  /// items; decays towards the recent rate, so a stalled pipeline reads
+  /// low instead of reporting its lifetime average forever.
+  double items_per_sec_ewma = 0.0;
 };
 
 /// Bounded multi-producer single-consumer queue of ingest operations.

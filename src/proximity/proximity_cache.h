@@ -1,12 +1,14 @@
 #ifndef AMICI_PROXIMITY_PROXIMITY_CACHE_H_
 #define AMICI_PROXIMITY_PROXIMITY_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/social_graph.h"
 #include "proximity/proximity_model.h"
@@ -18,10 +20,16 @@ namespace amici {
 /// workloads are heavily skewed towards active users, so caching the
 /// per-user proximity vector amortizes the dominant query-time cost; the
 /// ablation in Table 3 quantifies the effect.
+///
+/// Two usage styles:
+///  * the classic compute-through Get() (requires a model), and
+///  * the split TryGet()/Put() surface a ProximityProvider uses to wrap
+///    the cache in single-flight computation de-duplication.
 class ProximityCache {
  public:
-  /// Wraps `model` (not owned; must outlive the cache). Holds at most
-  /// `capacity` vectors.
+  /// Wraps `model` (not owned; must outlive the cache; may be null when
+  /// only the TryGet/Put surface is used). Holds at most `capacity`
+  /// vectors.
   ProximityCache(const ProximityModel* model, size_t capacity);
 
   ProximityCache(const ProximityCache&) = delete;
@@ -39,11 +47,31 @@ class ProximityCache {
                                              UserId source,
                                              uint64_t graph_version = 0);
 
+  /// Lookup-only: the cached vector of `source` for exactly
+  /// `graph_version`, or null on miss. Counts a hit/miss and touches the
+  /// LRU position on hit. Never computes.
+  std::shared_ptr<const ProximityVector> TryGet(UserId source,
+                                                uint64_t graph_version);
+
+  /// Inserts a computed vector. An existing entry for `source` is
+  /// replaced only when it is from an OLDER generation (a newer cached
+  /// generation is never clobbered by a straggler); the LRU evicts when
+  /// over capacity. Does not count a hit or miss.
+  void Put(UserId source, uint64_t graph_version,
+           std::shared_ptr<const ProximityVector> vector);
+
+  /// The `n` most-recently-used cached users, hottest first — the
+  /// warm-over candidate set a provider recomputes after a generation
+  /// bump.
+  std::vector<UserId> HottestUsers(size_t n) const;
+
   /// Drops all cached entries.
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Counter reads are safe concurrently with lookups (atomic: stats
+  /// surfaces poll them while queries run).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
@@ -62,8 +90,8 @@ class ProximityCache {
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recent
   std::unordered_map<UserId, Entry> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace amici

@@ -1,0 +1,118 @@
+#ifndef AMICI_PROXIMITY_PROXIMITY_PROVIDER_H_
+#define AMICI_PROXIMITY_PROXIMITY_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/social_graph.h"
+#include "proximity/proximity_model.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+
+/// How one GetProximity call was satisfied (per-request observability:
+/// the engine folds this into SearchStats, so SearchResponse reports how
+/// much proximity work a request actually caused).
+enum class ProximityOutcome {
+  /// Served from the shared generation-keyed cache.
+  kCacheHit,
+  /// This call ran the model (the expensive path).
+  kComputed,
+  /// A concurrent call for the same (user, generation) was already
+  /// computing; this call waited for its result instead of duplicating
+  /// the work (single-flight).
+  kJoinedInFlight,
+};
+
+/// Cumulative counters of one provider instance. `computations` is the
+/// number the whole redesign exists to minimize: with one provider shared
+/// across N shards, a cache-missed user costs 1 computation per (user,
+/// generation) — not N.
+struct ProximityProviderStats {
+  /// ProximityModel::Compute calls (queries + warm-over).
+  uint64_t computations = 0;
+  /// GetProximity calls served from the cache.
+  uint64_t cache_hits = 0;
+  /// GetProximity calls that joined a concurrent in-flight computation.
+  uint64_t inflight_joins = 0;
+  /// Entries precomputed by the background warm-over after a generation
+  /// bump (a subset of `computations`).
+  uint64_t warmed = 0;
+  /// Graph generations published by friendship edits (0 = initial graph).
+  uint64_t generations_published = 0;
+  /// Vectors currently resident in the cache.
+  size_t cache_entries = 0;
+};
+
+/// The one shared graph + proximity surface behind every engine and
+/// shard.
+///
+/// The provider owns the social graph (publishing new generations
+/// RCU-style, exactly like engine snapshots), the proximity model, and a
+/// single generation-keyed score cache. Engines CONSUME it: they pin a
+/// (graph, generation) pair into each EngineSnapshot and ask the provider
+/// for proximity vectors against that pinned pair, so a query racing a
+/// friendship edit is always scored against one consistent generation.
+///
+/// Thread-safety contract (all implementations):
+///  * Acquire / GetProximity / stats are safe from any number of threads,
+///    concurrently with each other AND with friendship edits;
+///  * AddFriendship / RemoveFriendship serialize among themselves and
+///    publish atomically — readers holding an older generation keep it
+///    alive via the shared_ptr and are never invalidated mid-query.
+class ProximityProvider {
+ public:
+  /// One published (graph, generation) pair. Holding `graph` pins that
+  /// generation for as long as the caller keeps the pointer.
+  struct GraphView {
+    std::shared_ptr<const SocialGraph> graph;
+    uint64_t generation = 0;
+  };
+
+  virtual ~ProximityProvider() = default;
+
+  /// The current graph generation (lock-free load).
+  virtual GraphView Acquire() const = 0;
+
+  /// Returns the proximity vector of `source` computed against `graph` /
+  /// `generation` — normally the pair the caller pinned via Acquire() (or
+  /// an EngineSnapshot). Cached per (source, generation); concurrent
+  /// misses for the same key share ONE computation. `outcome`, when
+  /// non-null, reports how the call was satisfied.
+  virtual std::shared_ptr<const ProximityVector> GetProximity(
+      const SocialGraph& graph, UserId source, uint64_t generation,
+      ProximityOutcome* outcome = nullptr) = 0;
+
+  /// Edits one undirected edge and publishes a new graph generation.
+  /// Validation happens here — the single place the graph lives:
+  /// endpoints outside the graph and self-edges are InvalidArgument,
+  /// duplicate adds are AlreadyExists, missing removes are NotFound; no
+  /// rebuild happens on any rejected edit.
+  virtual Status AddFriendship(UserId u, UserId v) = 0;
+  virtual Status RemoveFriendship(UserId u, UserId v) = 0;
+
+  /// Validation-only preview of Add/RemoveFriendship against the CURRENT
+  /// generation — the same rules the edit itself applies, with no
+  /// rebuild and no publish. `check_existence` false limits it to the
+  /// structural rules (endpoint range, self-edge), for callers that must
+  /// not judge edge existence against a graph that queued edits may
+  /// still change (see SearchService::EnqueueAddFriendship).
+  virtual Status ValidateEdit(UserId u, UserId v, bool adding,
+                              bool check_existence) const = 0;
+
+  /// The proximity model scores are computed with (pure and stateless).
+  virtual const ProximityModel& model() const = 0;
+
+  /// Counter snapshot (internally consistent enough for tests: counters
+  /// are monotone and quiesced reads are exact).
+  virtual ProximityProviderStats stats() const = 0;
+
+  /// Users in the current graph generation (graphs never change their
+  /// vertex set — edits rewire edges only).
+  size_t num_users() const { return Acquire().graph->num_users(); }
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_PROXIMITY_PROVIDER_H_

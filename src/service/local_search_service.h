@@ -51,6 +51,12 @@ class LocalSearchService final : public SearchService {
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options) override;
 
+  /// The engine's provider (created by Build, or adopted from a wrapped
+  /// engine).
+  std::shared_ptr<ProximityProvider> proximity_provider() const override {
+    return engine_->shared_proximity();
+  }
+
   Result<ItemId> AddItem(const Item& item) override;
   Result<std::vector<ItemId>> AddItems(std::span<const Item> items) override;
   Status AddFriendship(UserId u, UserId v) override;

@@ -14,6 +14,8 @@ void MergeSearchStats(const SearchStats& from, SearchStats* into) {
   into->aggregation.candidates_scored += from.aggregation.candidates_scored;
   into->items_considered += from.items_considered;
   into->tail_items_scanned += from.tail_items_scanned;
+  into->proximity_computations += from.proximity_computations;
+  into->proximity_cache_hits += from.proximity_cache_hits;
 }
 
 // --- Background ingest / compaction plumbing ---------------------------
@@ -71,19 +73,36 @@ Result<IngestTicket> SearchService::EnqueueItems(std::vector<Item> items) {
   return IngestTicket::Resolved(Status::Ok(), std::move(ids).value());
 }
 
-Result<IngestTicket> SearchService::EnqueueAddFriendship(UserId u, UserId v) {
-  if (const auto active = pipeline(); active != nullptr) {
-    return active->EnqueueAddFriendship(u, v);
+Result<IngestTicket> SearchService::EnqueueFriendshipEdit(UserId u, UserId v,
+                                                          bool adding) {
+  // ONE pipeline snapshot decides both the validation mode and the
+  // dispatch path — two separate reads could straddle a concurrent
+  // Start/StopIngest and judge the edit under the wrong mode.
+  const auto active = pipeline();
+  // The provider is the single validation authority (the same rules the
+  // edit itself will apply). Structural rejections (range, self-edge)
+  // are always final at the edge; edge-EXISTENCE checks are only exact
+  // when writes are synchronous — with a pipeline running, a still-
+  // queued edit may legitimately change the edge's state before this
+  // one applies (Add immediately followed by Remove is a valid ordered
+  // sequence), so there the existence verdict rides the ticket instead.
+  AMICI_RETURN_IF_ERROR(proximity_provider()->ValidateEdit(
+      u, v, adding, /*check_existence=*/active == nullptr));
+  if (active != nullptr) {
+    return adding ? active->EnqueueAddFriendship(u, v)
+                  : active->EnqueueRemoveFriendship(u, v);
   }
-  return IngestTicket::Resolved(AddFriendship(u, v), {});
+  return IngestTicket::Resolved(
+      adding ? AddFriendship(u, v) : RemoveFriendship(u, v), {});
+}
+
+Result<IngestTicket> SearchService::EnqueueAddFriendship(UserId u, UserId v) {
+  return EnqueueFriendshipEdit(u, v, /*adding=*/true);
 }
 
 Result<IngestTicket> SearchService::EnqueueRemoveFriendship(UserId u,
                                                             UserId v) {
-  if (const auto active = pipeline(); active != nullptr) {
-    return active->EnqueueRemoveFriendship(u, v);
-  }
-  return IngestTicket::Resolved(RemoveFriendship(u, v), {});
+  return EnqueueFriendshipEdit(u, v, /*adding=*/false);
 }
 
 Status SearchService::Flush() {

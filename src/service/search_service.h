@@ -18,6 +18,7 @@
 #include "ingest/compaction_scheduler.h"
 #include "ingest/ingest_pipeline.h"
 #include "ingest/ingest_sink.h"
+#include "proximity/proximity_provider.h"
 #include "storage/item_store.h"
 #include "util/ids.h"
 #include "util/status.h"
@@ -133,6 +134,19 @@ class SearchService : public IngestSink, public CompactionTarget {
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options = QueryExpansionOptions()) = 0;
 
+  /// The ONE graph + proximity surface behind this service. Every engine
+  /// the backend runs consumes this same provider, so the graph and the
+  /// proximity score cache exist exactly once regardless of shard count.
+  virtual std::shared_ptr<ProximityProvider> proximity_provider() const = 0;
+
+  /// Provider counter snapshot (computations, cache hits, in-flight
+  /// joins, warm-over work, generations) — the service-stats surface of
+  /// the shared proximity layer; per-request counters additionally ride
+  /// in SearchResponse::stats.
+  ProximityProviderStats proximity_stats() const {
+    return proximity_provider()->stats();
+  }
+
   /// Appends one item; returns its GLOBAL id. Ids are assigned densely in
   /// ingest order on every backend.
   virtual Result<ItemId> AddItem(const Item& item) = 0;
@@ -170,6 +184,17 @@ class SearchService : public IngestSink, public CompactionTarget {
 
   /// Friendship edits through the same queue, ordered with the item
   /// batches around them. Synchronous fallback like EnqueueItems.
+  ///
+  /// Validated at the API edge, BEFORE anything is enqueued: self-edges
+  /// and out-of-range endpoints are ALWAYS InvalidArgument immediately
+  /// (no queued edit could make them valid). Edge-existence outcomes
+  /// (AlreadyExists for duplicate adds, NotFound for missing removes)
+  /// are also reported immediately on the synchronous path — but with a
+  /// pipeline running they ride the ticket, because a still-queued edit
+  /// may legitimately change the edge's state first (Add directly
+  /// followed by Remove is a valid ordered sequence, and rejecting it
+  /// against the published graph would break the queue's ordering
+  /// contract).
   Result<IngestTicket> EnqueueAddFriendship(UserId u, UserId v);
   Result<IngestTicket> EnqueueRemoveFriendship(UserId u, UserId v);
 
@@ -221,6 +246,12 @@ class SearchService : public IngestSink, public CompactionTarget {
   virtual std::string StatsSummary() const = 0;
 
  private:
+  /// Shared edge-of-API path behind EnqueueAdd/RemoveFriendship:
+  /// validates through the provider (see the contract above) and
+  /// dispatches to the pipeline or the synchronous fallback under ONE
+  /// pipeline snapshot.
+  Result<IngestTicket> EnqueueFriendshipEdit(UserId u, UserId v, bool adding);
+
   /// Snapshots of the background objects. The mutex guards the POINTERS,
   /// not the objects: producers copy the shared_ptr and operate outside
   /// the lock, so a backpressure-blocked producer cannot deadlock

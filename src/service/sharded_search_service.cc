@@ -79,20 +79,25 @@ Result<std::unique_ptr<ShardedSearchService>> ShardedSearchService::Build(
     service->RecordPlacementLocked(global, shard, local);
   }
 
-  // One engine per shard; the graph is replicated (copied) to each. The
-  // last shard takes the original by move.
+  // ONE provider for the whole service: the graph moves into it, and
+  // every shard engine consumes it — no graph replicas, one shared
+  // generation-keyed proximity cache.
+  if (service->options_.engine.proximity_provider != nullptr) {
+    return Status::InvalidArgument(
+        "engine.proximity_provider must be null: ShardedSearchService "
+        "builds the one shared provider itself");
+  }
+  service->provider_ = SocialSearchEngine::MakeProximityProvider(
+      std::move(graph), service->options_.engine);
+
   service->shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    SocialGraph shard_graph;
-    if (s + 1 == num_shards) {
-      shard_graph = std::move(graph);  // the last replica takes the original
-    } else {
-      shard_graph = graph;
-    }
+    SocialSearchEngine::Options engine_options = service->options_.engine;
+    engine_options.proximity_provider = service->provider_;
     AMICI_ASSIGN_OR_RETURN(
         std::unique_ptr<SocialSearchEngine> engine,
-        SocialSearchEngine::Build(std::move(shard_graph), std::move(stores[s]),
-                                  service->options_.engine));
+        SocialSearchEngine::Build(std::move(stores[s]),
+                                  std::move(engine_options)));
     service->shards_.push_back(std::move(engine));
   }
 
@@ -527,24 +532,20 @@ Result<std::vector<ItemId>> ShardedSearchService::AddItems(
 
 Status ShardedSearchService::AddFriendship(UserId u, UserId v) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  // The graphs are replicas: shard 0's verdict is every shard's verdict,
-  // so validate there before touching the rest.
-  AMICI_RETURN_IF_ERROR(shards_[0]->AddFriendship(u, v));
-  for (size_t s = 1; s < shards_.size(); ++s) {
-    const Status status = shards_[s]->AddFriendship(u, v);
-    AMICI_CHECK(status.ok()) << "shard " << s << " graph diverged: "
-                             << status.ToString();
+  // ONE edit on the one shared graph (one O(E) rebuild, not N); every
+  // shard then adopts the published generation into a fresh snapshot.
+  AMICI_RETURN_IF_ERROR(provider_->AddFriendship(u, v));
+  for (const auto& shard : shards_) {
+    AMICI_CHECK_OK(shard->SyncGraph());
   }
   return Status::Ok();
 }
 
 Status ShardedSearchService::RemoveFriendship(UserId u, UserId v) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  AMICI_RETURN_IF_ERROR(shards_[0]->RemoveFriendship(u, v));
-  for (size_t s = 1; s < shards_.size(); ++s) {
-    const Status status = shards_[s]->RemoveFriendship(u, v);
-    AMICI_CHECK(status.ok()) << "shard " << s << " graph diverged: "
-                             << status.ToString();
+  AMICI_RETURN_IF_ERROR(provider_->RemoveFriendship(u, v));
+  for (const auto& shard : shards_) {
+    AMICI_CHECK_OK(shard->SyncGraph());
   }
   return Status::Ok();
 }
@@ -580,7 +581,7 @@ Status ShardedSearchService::CompactShard(size_t shard) {
 }
 
 size_t ShardedSearchService::num_users() const {
-  return shards_[0]->snapshot()->graph->num_users();
+  return provider_->num_users();
 }
 
 size_t ShardedSearchService::unindexed_items() const {
@@ -601,8 +602,10 @@ std::vector<TagId> ShardedSearchService::TagsOf(ItemId item) const {
 }
 
 std::vector<UserId> ShardedSearchService::FriendsOf(UserId user) const {
-  const auto snap = shards_[0]->snapshot();
-  const auto friends = snap->graph->Friends(user);
+  // Pin the provider's generation: the span must not dangle if a
+  // concurrent friendship edit publishes a new graph mid-copy.
+  const ProximityProvider::GraphView view = provider_->Acquire();
+  const auto friends = view.graph->Friends(user);
   return std::vector<UserId>(friends.begin(), friends.end());
 }
 
@@ -612,6 +615,16 @@ std::string ShardedSearchService::StatsSummary() const {
     summary += "[shard " + std::to_string(s) + "]\n";
     summary += shards_[s]->stats().ToString();
   }
+  const ProximityProviderStats proximity = provider_->stats();
+  summary += StringPrintf(
+      "[proximity] computations=%llu cache_hits=%llu inflight_joins=%llu "
+      "warmed=%llu generations=%llu entries=%zu\n",
+      static_cast<unsigned long long>(proximity.computations),
+      static_cast<unsigned long long>(proximity.cache_hits),
+      static_cast<unsigned long long>(proximity.inflight_joins),
+      static_cast<unsigned long long>(proximity.warmed),
+      static_cast<unsigned long long>(proximity.generations_published),
+      proximity.cache_entries);
   return summary;
 }
 

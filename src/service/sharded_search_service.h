@@ -15,15 +15,16 @@
 namespace amici {
 
 /// The partitioned backend: items are hash-partitioned across N
-/// single-node engines; the friendship graph is REPLICATED to every shard
-/// so social scores (and hence blended scores) are computed exactly as on
-/// one big engine. A request fans out to every shard on a thread pool and
-/// the per-shard top-k lists are merged exactly on (score desc, global id
-/// asc).
+/// single-node engines; the friendship graph and the proximity score
+/// cache live in ONE SharedProximityProvider that every shard engine
+/// consumes — one graph instance and one proximity computation per
+/// cache-missed (user, generation), no matter the shard count. A request
+/// fans out to every shard on a thread pool and the per-shard top-k
+/// lists are merged exactly on (score desc, global id asc).
 ///
 /// Why the merge is exact: an item's blended score depends only on the
 /// item itself, the query, and the owner's proximity — and proximity is
-/// computed on the replicated graph, identically everywhere. Any item in
+/// computed on the one shared graph, identically everywhere. Any item in
 /// the global top-k therefore also ranks in its own shard's top-k, so the
 /// union of per-shard top-k lists contains the global top-k, and merging
 /// on score reproduces it bit-for-bit (tests/service/
@@ -54,9 +55,12 @@ class ShardedSearchService final : public SearchService {
   struct Options {
     /// Number of partitions; >= 1.
     size_t num_shards = 4;
-    /// Applied to every shard engine. The proximity model instance is
-    /// shared across shards (models are stateless); each shard keeps its
-    /// own proximity cache.
+    /// Applied to every shard engine. The proximity knobs
+    /// (proximity_model / proximity_cache_capacity /
+    /// proximity_warm_top_n) configure the ONE SharedProximityProvider
+    /// Build creates and hands to every shard;
+    /// engine.proximity_provider itself must be left null (Build owns
+    /// provider construction).
     SocialSearchEngine::Options engine;
     /// Fan-out worker threads; 0 sizes the pool to min(num_shards,
     /// hardware concurrency).
@@ -64,7 +68,8 @@ class ShardedSearchService final : public SearchService {
   };
 
   /// Builds the service over `graph` and `store` (both consumed): items
-  /// are dealt to shards by id hash, the graph is copied to every shard.
+  /// are dealt to shards by id hash, the graph moves into the one shared
+  /// ProximityProvider all shards consume.
   static Result<std::unique_ptr<ShardedSearchService>> Build(
       SocialGraph graph, ItemStore store, Options options);
 
@@ -88,6 +93,17 @@ class ShardedSearchService final : public SearchService {
   Result<std::vector<TagSuggestion>> SuggestTags(
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options) override;
+
+  /// The one provider shared by every shard engine.
+  std::shared_ptr<ProximityProvider> proximity_provider() const override {
+    return provider_;
+  }
+
+  /// Escape hatch for tests/tooling that inspect a shard's engine (e.g.
+  /// asserting every shard snapshot pins the SAME graph instance).
+  SocialSearchEngine* shard_engine(size_t shard) {
+    return shards_[shard].get();
+  }
 
   Result<ItemId> AddItem(const Item& item) override;
   Result<std::vector<ItemId>> AddItems(std::span<const Item> items) override;
@@ -149,6 +165,8 @@ class ShardedSearchService final : public SearchService {
 
   Options options_;
   std::string backend_label_;  // "sharded/<N>"
+  /// The one graph + proximity surface every shard engine consumes.
+  std::shared_ptr<ProximityProvider> provider_;
   std::vector<std::unique_ptr<SocialSearchEngine>> shards_;
   /// global id -> (shard, local id). Readers only touch rows of items
   /// already visible through some pinned shard snapshot; the engine's

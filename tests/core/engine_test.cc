@@ -157,7 +157,7 @@ TEST_F(EngineTest, ProximityCacheHitsOnRepeatedUser) {
   auto engine = MakeEngine();
   ASSERT_TRUE(engine->Query(MakeQuery(9)).ok());
   ASSERT_TRUE(engine->Query(MakeQuery(9)).ok());
-  EXPECT_GE(engine->proximity_cache().hits(), 1u);
+  EXPECT_GE(engine->proximity().stats().cache_hits, 1u);
 }
 
 TEST_F(EngineTest, AddItemGoesToTailAndStaysQueryable) {

@@ -212,8 +212,21 @@ TEST(IngestPipelineTest, FlushIsAReadYourWritesBarrier) {
   EXPECT_EQ(counters.items_applied, 50u);
   EXPECT_GE(counters.drain_cycles, 1u);
   EXPECT_LE(counters.apply_calls, counters.batches_enqueued);
+  // Items flowed through the drain, so the ingest-rate EWMA is live (its
+  // exact value depends on wall-clock timing; sign is the invariant).
+  EXPECT_GT(counters.items_per_sec_ewma, 0.0);
   ASSERT_TRUE(service->StopIngest().ok());
   EXPECT_FALSE(service->ingest_running());
+}
+
+TEST(IngestPipelineTest, RateEwmaIsZeroWithoutAppliedItems) {
+  auto service = BuildService();
+  // No pipeline at all: the zeroed counters include a zero rate.
+  EXPECT_EQ(service->ingest_counters().items_per_sec_ewma, 0.0);
+  ASSERT_TRUE(service->StartIngest().ok());
+  // Running but idle: still zero until a drain cycle applies items.
+  EXPECT_EQ(service->ingest_counters().items_per_sec_ewma, 0.0);
+  ASSERT_TRUE(service->StopIngest().ok());
 }
 
 TEST(IngestPipelineTest, FriendshipEditsFlowThroughTheQueue) {
@@ -240,17 +253,50 @@ TEST(IngestPipelineTest, FriendshipEditsFlowThroughTheQueue) {
   for (const UserId f : service->FriendsOf(u)) now_friends |= (f == v);
   EXPECT_TRUE(now_friends);
 
-  // Duplicate add reports AlreadyExists on ITS ticket.
+  // Structural rejections (self-edge, out-of-range endpoint) never reach
+  // the queue, pipeline or not — no queued edit could make them valid.
+  EXPECT_EQ(service->EnqueueAddFriendship(u, u).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service
+                ->EnqueueAddFriendship(
+                    u, static_cast<UserId>(service->num_users()))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->EnqueueRemoveFriendship(v, v).status().code(),
+            StatusCode::kInvalidArgument);
+  // With the pipeline RUNNING, a duplicate add's verdict rides the
+  // ticket: a queued Remove could legitimately precede it, so the edge
+  // cannot reject it against the published graph without breaking the
+  // queue's ordering contract...
   const auto dup = service->EnqueueAddFriendship(u, v);
   ASSERT_TRUE(dup.ok());
   ASSERT_TRUE(service->Flush().ok());
   EXPECT_EQ(dup.value().Wait().code(), StatusCode::kAlreadyExists);
+  // ... and the ordered sequence the edge must NOT break: Remove then
+  // re-Add of the same edge, back to back, both succeed on their tickets.
+  const auto ordered_remove = service->EnqueueRemoveFriendship(u, v);
+  const auto ordered_re_add = service->EnqueueAddFriendship(u, v);
+  ASSERT_TRUE(ordered_remove.ok());
+  ASSERT_TRUE(ordered_re_add.ok());
+  ASSERT_TRUE(service->Flush().ok());
+  EXPECT_TRUE(ordered_remove.value().Wait().ok());
+  EXPECT_TRUE(ordered_re_add.value().Wait().ok());
 
   const auto remove = service->EnqueueRemoveFriendship(u, v);
   ASSERT_TRUE(remove.ok());
   ASSERT_TRUE(service->Flush().ok());
   EXPECT_TRUE(remove.value().Wait().ok());
   ASSERT_TRUE(service->StopIngest().ok());
+
+  // Synchronous path (no pipeline): no queued edit can reorder ahead, so
+  // existence verdicts are exact and come back AT THE EDGE — no ticket.
+  EXPECT_EQ(service->EnqueueRemoveFriendship(u, v).status().code(),
+            StatusCode::kNotFound);
+  const auto sync_add = service->EnqueueAddFriendship(u, v);
+  ASSERT_TRUE(sync_add.ok());  // applied synchronously
+  EXPECT_EQ(service->EnqueueAddFriendship(u, v).status().code(),
+            StatusCode::kAlreadyExists);
 }
 
 TEST(IngestPipelineTest, SynchronousFallbackWithoutPipeline) {

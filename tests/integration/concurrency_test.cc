@@ -34,7 +34,7 @@ namespace {
 std::vector<ScoredItem> ExhaustiveReference(SocialSearchEngine* engine,
                                             const SocialQuery& query) {
   const auto snap = engine->snapshot();
-  const auto proximity = engine->proximity_cache().Get(
+  const auto proximity = engine->proximity().GetProximity(
       *snap->graph, query.user, snap->graph_version);
   Scorer scorer(snap->store, proximity.get(), &query);
   TopKHeap heap(query.k);
@@ -104,7 +104,7 @@ TEST(ConcurrencyTest, ParallelQueriesMatchSerialResults) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_GT(engine.value()->proximity_cache().hits(), 0u);
+  EXPECT_GT(engine.value()->proximity().stats().cache_hits, 0u);
 }
 
 TEST(ConcurrencyTest, MixedAlgorithmsInParallel) {

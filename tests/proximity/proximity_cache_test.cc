@@ -106,8 +106,38 @@ TEST_F(ProximityCacheTest, ConcurrentAccessIsSafeAndCoherent) {
 
 TEST(ProximityCacheDeathTest, RequiresModelAndCapacity) {
   HopDecayProximity model;
-  EXPECT_DEATH(ProximityCache(nullptr, 4), "");
   EXPECT_DEATH(ProximityCache(&model, 0), "");
+  // A model-less cache is legal (the TryGet/Put surface a provider
+  // wraps), but the compute-through Get must die on it.
+  SocialGraph graph;
+  ProximityCache model_less(nullptr, 4);
+  EXPECT_DEATH((void)model_less.Get(graph, 0), "");
+}
+
+TEST(ProximityCacheSplitSurfaceTest, TryGetPutSurface) {
+  ProximityCache cache(nullptr, 2);
+  EXPECT_EQ(cache.TryGet(7, 1), nullptr);  // counts a miss
+  auto vector = std::make_shared<const ProximityVector>();
+  cache.Put(7, 1, vector);
+  EXPECT_EQ(cache.TryGet(7, 1), vector);
+  EXPECT_EQ(cache.TryGet(7, 2), nullptr);  // wrong generation
+  // An older-generation Put must not clobber the fresher entry.
+  auto stale = std::make_shared<const ProximityVector>();
+  cache.Put(7, 0, stale);
+  EXPECT_EQ(cache.TryGet(7, 1), vector);
+  // A newer generation replaces in place.
+  auto fresh = std::make_shared<const ProximityVector>();
+  cache.Put(7, 2, fresh);
+  EXPECT_EQ(cache.TryGet(7, 2), fresh);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Hottest-first: most recently touched leads.
+  cache.Put(9, 2, fresh);
+  EXPECT_EQ(cache.TryGet(9, 2), fresh);
+  const std::vector<UserId> hottest = cache.HottestUsers(8);
+  ASSERT_EQ(hottest.size(), 2u);
+  EXPECT_EQ(hottest[0], 9u);
+  EXPECT_EQ(hottest[1], 7u);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Randomized friendship-churn invariance: a stream of interleaved
+// Add/RemoveFriendship edits and queries applied identically to a serial
+// single-engine reference and to 1/2/4-shard services must keep every
+// backend bit-identical at every step — including across the graph
+// generation bumps the edits cause (each edit publishes a new generation
+// through the shared ProximityProvider, and every shard must adopt it
+// before the next query).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/local_search_service.h"
+#include "service/sharded_search_service.h"
+#include "util/rng.h"
+#include "workload/dataset_generator.h"
+
+namespace amici {
+namespace {
+
+constexpr size_t kShardCounts[] = {1, 2, 4};
+
+DatasetConfig TestConfig(uint64_t seed) {
+  DatasetConfig config = SmallDataset();
+  config.num_users = 250;
+  config.items_per_user = 3.0;
+  config.num_tags = 120;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<SearchService> BuildBackend(const DatasetConfig& config,
+                                            size_t shards) {
+  // The generator is deterministic: every backend consumes the identical
+  // corpus and graph.
+  Dataset dataset = GenerateDataset(config).value();
+  if (shards == 0) {
+    auto local = LocalSearchService::Build(std::move(dataset.graph),
+                                           std::move(dataset.store));
+    EXPECT_TRUE(local.ok()) << local.status().ToString();
+    return std::move(local).value();
+  }
+  ShardedSearchService::Options options;
+  options.num_shards = shards;
+  auto sharded = ShardedSearchService::Build(std::move(dataset.graph),
+                                             std::move(dataset.store),
+                                             std::move(options));
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  return std::move(sharded).value();
+}
+
+std::vector<SearchRequest> ProbeRequests(uint64_t seed, size_t num_users) {
+  Rng rng(seed);
+  std::vector<SearchRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    SearchRequest request;
+    request.query.user = static_cast<UserId>(rng.UniformIndex(num_users));
+    request.query.tags = {static_cast<TagId>(rng.UniformIndex(120))};
+    request.query.k = 1 + rng.UniformIndex(12);
+    request.query.alpha = 0.2 + 0.6 * rng.UniformDouble();
+    requests.push_back(request);
+    // A tag-less pure-social feed for the same user: the query shape most
+    // sensitive to graph churn.
+    SearchRequest feed;
+    feed.query.user = request.query.user;
+    feed.query.alpha = 1.0;
+    feed.query.k = 8;
+    requests.push_back(feed);
+  }
+  return requests;
+}
+
+/// Bit-identical comparison with the boundary-tie relaxation of
+/// sharded_invariance_test: scores must match bit-for-bit at every rank;
+/// item ids must match wherever the score is unique and above the k-th
+/// score's tie class.
+void ExpectSameResponse(const Result<SearchResponse>& expected,
+                        const Result<SearchResponse>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.ok(), actual.ok())
+      << label << ": " << expected.status().ToString() << " vs "
+      << actual.status().ToString();
+  if (!expected.ok()) {
+    EXPECT_EQ(expected.status().code(), actual.status().code()) << label;
+    return;
+  }
+  const auto& want = expected.value().items;
+  const auto& got = actual.value().items;
+  ASSERT_EQ(want.size(), got.size()) << label;
+  const float boundary = want.empty() ? 0.0f : want.back().score;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].score, got[i].score) << label << " rank " << i;
+    const bool tied =
+        (i > 0 && want[i - 1].score == want[i].score) ||
+        (i + 1 < want.size() && want[i + 1].score == want[i].score);
+    if (!tied && want[i].score != boundary) {
+      EXPECT_EQ(want[i].item, got[i].item) << label << " rank " << i;
+    }
+  }
+}
+
+TEST(FriendshipChurnInvarianceTest, InterleavedEditsAndQueriesStayIdentical) {
+  for (const uint64_t seed : {3u, 21u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const DatasetConfig config = TestConfig(seed);
+
+    // Reference: the serial single-engine replay (local backend). The
+    // sharded services must track it through every edit.
+    auto reference = BuildBackend(config, 0);
+    std::vector<std::unique_ptr<SearchService>> services;
+    for (const size_t shards : kShardCounts) {
+      services.push_back(BuildBackend(config, shards));
+    }
+    const size_t num_users = reference->num_users();
+
+    Rng rng(seed * 31 + 7);
+    // Edges we added and can later remove (removing a random pair is
+    // nearly always NotFound; churning our own additions exercises both
+    // directions for real).
+    std::vector<std::pair<UserId, UserId>> added;
+    for (int step = 0; step < 30; ++step) {
+      const bool remove = !added.empty() && rng.Bernoulli(0.4);
+      UserId u, v;
+      if (remove) {
+        const size_t pick = rng.UniformIndex(added.size());
+        u = added[pick].first;
+        v = added[pick].second;
+        added.erase(added.begin() + static_cast<ptrdiff_t>(pick));
+      } else {
+        u = static_cast<UserId>(rng.UniformIndex(num_users));
+        v = static_cast<UserId>(rng.UniformIndex(num_users));
+      }
+
+      // Apply the same edit everywhere; every backend must agree on the
+      // verdict (Ok / AlreadyExists / NotFound / InvalidArgument).
+      const Status expected_status = remove
+                                         ? reference->RemoveFriendship(u, v)
+                                         : reference->AddFriendship(u, v);
+      for (const auto& service : services) {
+        const Status status = remove ? service->RemoveFriendship(u, v)
+                                     : service->AddFriendship(u, v);
+        EXPECT_EQ(expected_status.code(), status.code())
+            << service->backend_name() << " step " << step;
+      }
+      if (!remove && expected_status.ok()) added.push_back({u, v});
+
+      // Probe after every few edits (every edit would be slow: each one
+      // recomputes proximity for the probed users on every backend).
+      if (step % 5 != 4) continue;
+      const std::vector<SearchRequest> requests =
+          ProbeRequests(seed * 131 + static_cast<uint64_t>(step), num_users);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        const auto want = reference->Search(requests[i]);
+        for (const auto& service : services) {
+          ExpectSameResponse(
+              want, service->Search(requests[i]),
+              std::string(service->backend_name()) + " step " +
+                  std::to_string(step) + " request " + std::to_string(i));
+        }
+      }
+    }
+
+    // Quiesced: all backends converged to the same final graph.
+    for (const auto& service : services) {
+      EXPECT_EQ(reference->proximity_stats().generations_published,
+                service->proximity_stats().generations_published)
+          << service->backend_name();
+      for (UserId user = 0; user < 10; ++user) {
+        EXPECT_EQ(reference->FriendsOf(user), service->FriendsOf(user))
+            << service->backend_name() << " user " << user;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amici

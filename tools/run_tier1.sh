@@ -4,7 +4,11 @@
 #
 #   tools/run_tier1.sh          # normal build into build/
 #   tools/run_tier1.sh --tsan   # ThreadSanitizer build into build-tsan/
-#                               # (validates the snapshot/ingest protocol)
+#                               # (validates the snapshot/ingest/proximity
+#                               # publication protocols), same summary line
+#
+# ccache is picked up automatically when installed (same launcher CI
+# uses), which makes the rebuild after a small change near-instant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +17,9 @@ CMAKE_ARGS=()
 if [[ "${1:-}" == "--tsan" ]]; then
   BUILD_DIR=build-tsan
   CMAKE_ARGS+=(-DAMICI_SANITIZE=thread)
+fi
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
