@@ -121,6 +121,54 @@ int main(int argc, char** argv) {
                 bench::Ms(compacted.p99)});
   std::printf("%s", table.ToString().c_str());
 
+  // ---- Part 1b: incremental (merge) vs full-rebuild compaction cost ----
+  bench::PrintBanner(
+      "Fig 11a (extension): compaction cost — incremental merge vs full "
+      "rebuild, per tail size",
+      "the merge path rebuilds only tail-touched lists (O(tail + touched "
+      "lists)); the rebuild path pays the whole catalogue every time");
+
+  TablePrinter compaction_cost({"tail items", "merge ms", "lists touched",
+                                "rebuild ms", "lists rebuilt",
+                                "catalogue items"});
+  const std::vector<size_t> merge_tails =
+      smoke ? std::vector<size_t>{500, 2000}
+            : std::vector<size_t>{1000, 5000, 25000};
+  Rng merge_rng(17);
+  for (const size_t tail : merge_tails) {
+    // Same tail size through both paths, back to back on the same
+    // (growing) catalogue: first fold it incrementally, then grow an
+    // identical tail and fold it with a full rebuild.
+    for (size_t i = 0; i < tail; ++i) {
+      AMICI_CHECK_OK(bundle.engine
+                         ->AddItem(RandomItem(
+                             merge_rng,
+                             bundle.engine->graph().num_users()))
+                         .status());
+    }
+    CompactionOutcome merge_outcome;
+    AMICI_CHECK_OK(bundle.engine->Compact(CompactionMode::kAlwaysMerge,
+                                          &merge_outcome));
+    for (size_t i = 0; i < tail; ++i) {
+      AMICI_CHECK_OK(bundle.engine
+                         ->AddItem(RandomItem(
+                             merge_rng,
+                             bundle.engine->graph().num_users()))
+                         .status());
+    }
+    CompactionOutcome rebuild_outcome;
+    AMICI_CHECK_OK(bundle.engine->Compact(CompactionMode::kAlwaysRebuild,
+                                          &rebuild_outcome));
+    compaction_cost.AddRow(
+        {WithThousandsSeparators(tail), bench::Ms(merge_outcome.elapsed_ms),
+         WithThousandsSeparators(merge_outcome.lists_touched),
+         bench::Ms(rebuild_outcome.elapsed_ms),
+         WithThousandsSeparators(rebuild_outcome.lists_touched),
+         WithThousandsSeparators(bundle.engine->store().num_items())});
+    std::fprintf(stderr, "[bench] merge-vs-rebuild tail=%zu done\n", tail);
+  }
+  std::printf("%s", compaction_cost.ToString().c_str());
+
   // ---- Part 2: concurrent ingest + compaction vs query tail latency ----
   bench::PrintBanner(
       "Fig 11b (extension): query latency DURING concurrent ingest and "

@@ -204,6 +204,12 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
   } else {
     result.stats.proximity_cache_hits = 1;
   }
+  // Compaction observability rides each response: cumulative engine
+  // counters at response time (mode split + merged/touched work).
+  result.stats.compactions_merge = stats_.merge_compactions();
+  result.stats.compactions_rebuild = stats_.rebuild_compactions();
+  result.stats.compaction_items_merged = stats_.compaction_items_merged();
+  result.stats.compaction_lists_touched = stats_.compaction_lists_touched();
 
   // Fold in the un-indexed tail: exhaustively score items the indexes do
   // not cover yet, merging with the algorithm's (exact) indexed top-k.
@@ -374,34 +380,140 @@ Status SocialSearchEngine::SyncGraph() {
   return Status::Ok();
 }
 
-Status SocialSearchEngine::Compact() {
+namespace {
+
+/// Lists a full rebuild materialized (every non-empty one) — the rebuild
+/// counterpart of the merge path's touched-list count, so the two modes
+/// report comparable work numbers.
+uint64_t CountBuiltLists(const EngineSnapshot& snap) {
+  uint64_t lists = 0;
+  const InvertedIndex& inverted = snap.indexes->inverted;
+  for (size_t tag = 0; tag < inverted.num_tags(); ++tag) {
+    if (inverted.DocumentFrequency(static_cast<TagId>(tag)) > 0) ++lists;
+  }
+  const SocialIndex& social = snap.indexes->social;
+  for (size_t user = 0; user < social.num_users(); ++user) {
+    if (!social.ItemsOf(static_cast<UserId>(user)).empty()) ++lists;
+  }
+  if (snap.grid != nullptr) lists += snap.grid->num_cells();
+  return lists;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const EngineSnapshot>>
+SocialSearchEngine::MergeSnapshot(const EngineSnapshot& pinned,
+                                  CompactionOutcome* outcome) const {
+  const ItemStoreView view = pinned.store;
+  auto next = std::make_shared<EngineSnapshot>();
+
+  IndexMergeStats merge_stats;
+  AMICI_ASSIGN_OR_RETURN(
+      BuiltIndexes merged,
+      MergeIndexes(*pinned.indexes, pinned.index_horizon, view,
+                   pinned.graph->num_users(), options_.index_options,
+                   &merge_stats));
+  next->indexes = std::make_shared<const BuiltIndexes>(std::move(merged));
+  next->index_horizon = static_cast<ItemId>(view.num_items());
+
+  // The grid exists iff any covered item has a geo position; the merge
+  // only needs to look at the TAIL to decide (the base grid already
+  // answers it for the indexed prefix).
+  bool tail_has_geo = false;
+  for (size_t i = pinned.index_horizon; i < view.num_items(); ++i) {
+    if (view.has_geo(static_cast<ItemId>(i))) {
+      tail_has_geo = true;
+      break;
+    }
+  }
+  uint64_t cells_touched = 0;
+  if (pinned.grid != nullptr || tail_has_geo) {
+    next->grid = std::make_shared<const GridIndex>(GridIndex::MergeFrom(
+        pinned.grid.get(), view, pinned.index_horizon,
+        options_.geo_cell_size_deg, &cells_touched));
+  }
+
+  next->graph = pinned.graph;
+  next->graph_version = pinned.graph_version;
+  next->store = view;
+
+  outcome->items_merged = merge_stats.items_merged;
+  outcome->lists_touched = merge_stats.lists_touched + cells_touched;
+  return std::shared_ptr<const EngineSnapshot>(std::move(next));
+}
+
+Status SocialSearchEngine::Compact(CompactionOutcome* outcome) {
+  return Compact(options_.compaction_mode, outcome);
+}
+
+Status SocialSearchEngine::Compact(CompactionMode mode,
+                                   CompactionOutcome* outcome) {
   // Pin the generation to compact. The expensive index build below runs
   // WITHOUT the writer lock: queries keep executing and AddItem keeps
   // appending (past the pinned view's bound) while we work.
   Stopwatch watch;
   const std::shared_ptr<const EngineSnapshot> pinned = snapshot();
 
-  AMICI_ASSIGN_OR_RETURN(
-      std::shared_ptr<const EngineSnapshot> built,
-      BuildSnapshot(pinned->graph, pinned->graph_version, pinned->store));
-
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  const std::shared_ptr<const EngineSnapshot> cur = snapshot();
-  if (built->index_horizon < cur->index_horizon) {
-    // A concurrent Compact already covered more of the catalogue; keep it.
-    return Status::Ok();
+  const size_t tail_items = pinned->unindexed_items();
+  const size_t indexed_items = pinned->index_horizon;
+  bool merge = false;
+  switch (mode) {
+    case CompactionMode::kAuto:
+      // Merge pays off while the tail is small next to the indexed base;
+      // with no base at all, the "merge" IS a build — take the rebuild
+      // path and report it as such.
+      merge = indexed_items > 0 &&
+              static_cast<double>(tail_items) <=
+                  options_.merge_max_tail_ratio *
+                      static_cast<double>(indexed_items);
+      break;
+    case CompactionMode::kAlwaysRebuild:
+      merge = false;
+      break;
+    case CompactionMode::kAlwaysMerge:
+      merge = true;
+      break;
   }
-  auto next = std::make_shared<EngineSnapshot>(*built);
-  // Adopt whatever the writers published while we built: the latest graph
-  // generation and the full store extent (items ingested during the build
-  // stay in the tail until the next Compact).
-  next->graph = cur->graph;
-  next->graph_version = cur->graph_version;
-  next->store = ItemStoreView(store_);
-  PublishLocked(std::move(next));
-  stats_.NoteCompaction(watch.ElapsedMillis());
-  AMICI_LOG(kInfo) << "compacted: indexes now cover " << built->index_horizon
-                   << " items";
+
+  CompactionOutcome result;
+  result.merged = merge;
+  std::shared_ptr<const EngineSnapshot> built;
+  if (merge) {
+    AMICI_ASSIGN_OR_RETURN(built, MergeSnapshot(*pinned, &result));
+  } else {
+    AMICI_ASSIGN_OR_RETURN(
+        built,
+        BuildSnapshot(pinned->graph, pinned->graph_version, pinned->store));
+    result.items_merged = tail_items;
+    result.lists_touched = CountBuiltLists(*built);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    const std::shared_ptr<const EngineSnapshot> cur = snapshot();
+    if (built->index_horizon < cur->index_horizon) {
+      // A concurrent Compact already covered more of the catalogue; keep
+      // it (and report that nothing was published here).
+      if (outcome != nullptr) *outcome = CompactionOutcome{};
+      return Status::Ok();
+    }
+    auto next = std::make_shared<EngineSnapshot>(*built);
+    // Adopt whatever the writers published while we built: the latest
+    // graph generation and the full store extent (items ingested during
+    // the build stay in the tail until the next Compact).
+    next->graph = cur->graph;
+    next->graph_version = cur->graph_version;
+    next->store = ItemStoreView(store_);
+    PublishLocked(std::move(next));
+  }
+  result.published = true;
+  result.elapsed_ms = watch.ElapsedMillis();
+  stats_.NoteCompaction(result);
+  if (outcome != nullptr) *outcome = result;
+  AMICI_LOG(kInfo) << "compacted (" << result.mode() << "): indexes now cover "
+                   << built->index_horizon << " items; "
+                   << result.items_merged << " items merged, "
+                   << result.lists_touched << " lists touched";
   return Status::Ok();
 }
 

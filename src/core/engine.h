@@ -47,6 +47,26 @@ inline constexpr size_t kNumAlgorithms =
 /// Stable display name of `id` ("hybrid", "merge-scan", ...).
 std::string_view AlgorithmName(AlgorithmId id);
 
+/// How Compact() folds the tail into the indexes.
+///
+///  * kAuto — incremental (LSM-style) merge when the tail is small
+///    relative to the indexed catalogue (see
+///    Options::merge_max_tail_ratio), full rebuild otherwise. The merge
+///    rebuilds only tail-touched posting lists / owner buckets / grid
+///    cells, structurally sharing everything else with the previous
+///    snapshot: O(tail + touched lists) instead of O(catalogue).
+///  * kAlwaysRebuild / kAlwaysMerge — force one path; used by the
+///    compaction-invariance tests (a rebuild twin proving the merge path
+///    bit-identical) and by benches comparing the two costs.
+///
+/// Both paths produce bit-identical query results — see
+/// tests/core/compaction_invariance_test.cc.
+enum class CompactionMode {
+  kAuto,
+  kAlwaysRebuild,
+  kAlwaysMerge,
+};
+
 /// The outcome of one engine query.
 struct QueryResult {
   /// Best-first (score-descending) results, at most k entries.
@@ -105,6 +125,12 @@ class SocialSearchEngine {
     InvertedIndex::Options index_options;
     /// Geo grid cell size in degrees (used when the store has geo items).
     double geo_cell_size_deg = 0.25;
+    /// Compact() path selection (see CompactionMode).
+    CompactionMode compaction_mode = CompactionMode::kAuto;
+    /// kAuto merges when tail_items <= ratio * indexed_items (and an
+    /// indexed base exists); a bigger tail pays the one-off rebuild,
+    /// whose cost the now-large catalogue amortizes.
+    double merge_max_tail_ratio = 0.25;
   };
 
   /// Builds an engine over `graph` and `store` (both consumed). The graph
@@ -190,12 +216,20 @@ class SocialSearchEngine {
   /// swap; the indexes are graph-independent and are reused as-is.
   Status SyncGraph();
 
-  /// Folds the tail into freshly rebuilt indexes. The build runs off the
-  /// writer lock against a pinned snapshot, so queries AND ingest proceed
-  /// while it works; only the final publish takes the writer mutex.
-  /// Items ingested while the build runs simply stay in the tail until
-  /// the next Compact.
-  Status Compact();
+  /// Folds the tail into the indexes — incrementally (merging tail
+  /// postings into shared list handles) or by full rebuild, per
+  /// Options::compaction_mode. Either way the build runs off the writer
+  /// lock against a pinned snapshot, so queries AND ingest proceed while
+  /// it works; only the final publish takes the writer mutex. Items
+  /// ingested while the build runs simply stay in the tail until the
+  /// next Compact. `outcome`, when non-null, receives what was done
+  /// (mode, items merged, lists touched, wall time).
+  Status Compact(CompactionOutcome* outcome = nullptr);
+
+  /// Compact with a forced mode, overriding Options::compaction_mode for
+  /// this one call — the invariance-test / bench surface for comparing
+  /// the merge and rebuild paths on identical state.
+  Status Compact(CompactionMode mode, CompactionOutcome* outcome);
 
   /// The current snapshot (lock-free load). Holding the returned pointer
   /// pins this generation's graph, indexes and grid for as long as the
@@ -249,6 +283,13 @@ class SocialSearchEngine {
   Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshot(
       std::shared_ptr<const SocialGraph> graph, uint64_t graph_version,
       ItemStoreView view) const;
+
+  /// Incremental counterpart of BuildSnapshot for the Compact merge
+  /// path: folds pinned's un-indexed tail into pinned's indexes/grid,
+  /// sharing untouched lists, and reports the touched-list counts into
+  /// `outcome`.
+  Result<std::shared_ptr<const EngineSnapshot>> MergeSnapshot(
+      const EngineSnapshot& pinned, CompactionOutcome* outcome) const;
 
   const SearchAlgorithm* AlgorithmFor(AlgorithmId id) const;
 

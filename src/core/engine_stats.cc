@@ -32,13 +32,33 @@ void EngineStats::RecordTailScan(uint64_t tail_items, double elapsed_ms) {
   last_tail_scan_.store((items << 32) | micros, std::memory_order_relaxed);
 }
 
-void EngineStats::NoteCompaction(double elapsed_ms) {
+void EngineStats::NoteCompaction(const CompactionOutcome& outcome) {
   compactions_.fetch_add(1, std::memory_order_relaxed);
-  last_compaction_ms_.store(elapsed_ms, std::memory_order_relaxed);
+  if (outcome.merged) {
+    merge_compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  items_merged_.fetch_add(outcome.items_merged, std::memory_order_relaxed);
+  lists_touched_.fetch_add(outcome.lists_touched, std::memory_order_relaxed);
+  last_items_merged_.store(outcome.items_merged, std::memory_order_relaxed);
+  last_lists_touched_.store(outcome.lists_touched,
+                            std::memory_order_relaxed);
+  last_mode_.store(outcome.merged ? 2 : 1, std::memory_order_relaxed);
+  last_compaction_ms_.store(outcome.elapsed_ms, std::memory_order_relaxed);
   // The observation below described the tail this compaction folded
   // away; leaving it standing would re-trigger the policy against a
   // tail that no longer exists.
   last_tail_scan_.store(0, std::memory_order_relaxed);
+}
+
+std::string_view EngineStats::last_compaction_mode() const {
+  switch (last_mode_.load(std::memory_order_relaxed)) {
+    case 1:
+      return "rebuild";
+    case 2:
+      return "merge";
+    default:
+      return "none";
+  }
 }
 
 uint64_t EngineStats::total_queries() const {
@@ -76,9 +96,15 @@ std::string EngineStats::ToString() const {
   }
   std::string summary = table.ToString();
   summary += StringPrintf(
-      "compactions: %llu (last %.3f ms); last tail scan: %llu items / "
-      "%.3f ms\n",
-      static_cast<unsigned long long>(compactions()), last_compaction_ms(),
+      "compactions: %llu (%llu merge / %llu rebuild, last %s %.3f ms); "
+      "items merged: %llu; lists touched: %llu; last tail scan: %llu items "
+      "/ %.3f ms\n",
+      static_cast<unsigned long long>(compactions()),
+      static_cast<unsigned long long>(merge_compactions()),
+      static_cast<unsigned long long>(rebuild_compactions()),
+      std::string(last_compaction_mode()).c_str(), last_compaction_ms(),
+      static_cast<unsigned long long>(compaction_items_merged()),
+      static_cast<unsigned long long>(compaction_lists_touched()),
       static_cast<unsigned long long>(last_tail_items()),
       last_tail_scan_ms());
   return summary;
@@ -89,6 +115,12 @@ void EngineStats::Reset() {
   per_algorithm_.clear();
   last_tail_scan_.store(0, std::memory_order_relaxed);
   compactions_.store(0, std::memory_order_relaxed);
+  merge_compactions_.store(0, std::memory_order_relaxed);
+  items_merged_.store(0, std::memory_order_relaxed);
+  lists_touched_.store(0, std::memory_order_relaxed);
+  last_items_merged_.store(0, std::memory_order_relaxed);
+  last_lists_touched_.store(0, std::memory_order_relaxed);
+  last_mode_.store(0, std::memory_order_relaxed);
   last_compaction_ms_.store(0.0, std::memory_order_relaxed);
 }
 

@@ -13,6 +13,32 @@
 
 namespace amici {
 
+/// What one Compact() actually did: which path ran and how much it
+/// touched. Produced by the engine, folded into EngineStats, and handed
+/// to callers (the background CompactionScheduler records per-mode
+/// counts from it; benches report incremental-vs-rebuild cost from it).
+struct CompactionOutcome {
+  /// True when this Compact actually published a snapshot. False when it
+  /// abandoned its build because a concurrent Compact already covered
+  /// more of the catalogue — nothing ran to completion, so per-mode
+  /// accounting must skip it.
+  bool published = false;
+  /// True for the incremental merge path (tail folded into shared
+  /// lists), false for a full index rebuild.
+  bool merged = false;
+  /// Tail items folded into the indexes (either path).
+  uint64_t items_merged = 0;
+  /// Lists rebuilt: posting lists + owner buckets + grid cells. On the
+  /// merge path only tail-touched lists count; on a rebuild every
+  /// non-empty list was rebuilt and is counted.
+  uint64_t lists_touched = 0;
+  /// Wall time of the compaction (build + publish).
+  double elapsed_ms = 0.0;
+
+  /// Stable mode label for logs and stats dumps.
+  std::string_view mode() const { return merged ? "merge" : "rebuild"; }
+};
+
 /// Aggregate, thread-safe counters for one engine instance — the
 /// "Statistics" surface a production storage engine exposes. Benches and
 /// examples dump this after their runs.
@@ -33,9 +59,10 @@ class EngineStats {
   /// scheduler can poll them without contending with queries.
   void RecordTailScan(uint64_t tail_items, double elapsed_ms);
 
-  /// Records one completed compaction and RESETS the tail-scan trigger
-  /// inputs (the tail those observations measured no longer exists).
-  void NoteCompaction(double elapsed_ms);
+  /// Records one completed compaction (mode + merged/touched work) and
+  /// RESETS the tail-scan trigger inputs (the tail those observations
+  /// measured no longer exists).
+  void NoteCompaction(const CompactionOutcome& outcome);
 
   /// The most recent query's tail-fold observation, as one consistent
   /// pair. (items, latency) live in ONE atomic word precisely so the
@@ -58,6 +85,33 @@ class EngineStats {
   /// Compactions recorded so far.
   uint64_t compactions() const {
     return compactions_.load(std::memory_order_relaxed);
+  }
+  /// Compactions that took the incremental merge path.
+  uint64_t merge_compactions() const {
+    return merge_compactions_.load(std::memory_order_relaxed);
+  }
+  /// Compactions that rebuilt the indexes from scratch.
+  uint64_t rebuild_compactions() const {
+    return compactions() - merge_compactions();
+  }
+  /// Tail items folded by compactions so far (either mode).
+  uint64_t compaction_items_merged() const {
+    return items_merged_.load(std::memory_order_relaxed);
+  }
+  /// Lists (posting lists + owner buckets + grid cells) rebuilt by
+  /// compactions so far; the merge path keeps this near the tail's
+  /// distinct-tag/owner/cell count instead of the whole catalogue's.
+  uint64_t compaction_lists_touched() const {
+    return lists_touched_.load(std::memory_order_relaxed);
+  }
+  /// Mode of the most recent compaction: "merge", "rebuild" or "none".
+  std::string_view last_compaction_mode() const;
+  /// Work counters of the most recent compaction.
+  uint64_t last_items_merged() const {
+    return last_items_merged_.load(std::memory_order_relaxed);
+  }
+  uint64_t last_lists_touched() const {
+    return last_lists_touched_.load(std::memory_order_relaxed);
   }
   /// Duration of the most recent compaction in milliseconds.
   double last_compaction_ms() const {
@@ -98,6 +152,12 @@ class EngineStats {
   // staleness check needs the PAIR to be consistent.
   std::atomic<uint64_t> last_tail_scan_{0};
   std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> merge_compactions_{0};
+  std::atomic<uint64_t> items_merged_{0};
+  std::atomic<uint64_t> lists_touched_{0};
+  std::atomic<uint64_t> last_items_merged_{0};
+  std::atomic<uint64_t> last_lists_touched_{0};
+  std::atomic<int> last_mode_{0};  // 0 = none, 1 = rebuild, 2 = merge
   std::atomic<double> last_compaction_ms_{0.0};
 };
 

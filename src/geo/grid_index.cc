@@ -26,14 +26,59 @@ GridIndex GridIndex::Build(ItemStoreView store, double cell_size_deg) {
   GridIndex index;
   index.cell_size_deg_ = cell_size_deg;
   index.store_ = store;
+  std::unordered_map<CellKey, std::vector<ItemId>> cells;
   for (size_t i = 0; i < store.num_items(); ++i) {
     const ItemId item = static_cast<ItemId>(i);
     if (!store.has_geo(item)) continue;
-    index.cells_[index.KeyFor(store.latitude(item), store.longitude(item))]
+    cells[index.KeyFor(store.latitude(item), store.longitude(item))]
         .push_back(item);
     ++index.num_items_;
   }
+  for (auto& [key, items] : cells) {
+    items.shrink_to_fit();
+    index.cells_[key] =
+        std::make_shared<const std::vector<ItemId>>(std::move(items));
+  }
   return index;
+}
+
+GridIndex GridIndex::MergeFrom(const GridIndex* base, ItemStoreView store,
+                               ItemId base_horizon, double cell_size_deg,
+                               uint64_t* cells_touched) {
+  GridIndex merged;
+  merged.cell_size_deg_ =
+      base != nullptr ? base->cell_size_deg_ : cell_size_deg;
+  AMICI_CHECK(merged.cell_size_deg_ > 0.0);
+  merged.store_ = store;
+  if (base != nullptr) {
+    merged.cells_ = base->cells_;  // O(cells) handle copies
+    merged.num_items_ = base->num_items_;
+  }
+
+  // Bucket the tail's geo items per touched cell; ascending id order
+  // matches the full build's per-cell insertion order.
+  std::unordered_map<CellKey, std::vector<ItemId>> tail_cells;
+  for (size_t i = base_horizon; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    if (!store.has_geo(item)) continue;
+    tail_cells[merged.KeyFor(store.latitude(item), store.longitude(item))]
+        .push_back(item);
+    ++merged.num_items_;
+  }
+  for (auto& [key, tail] : tail_cells) {
+    std::vector<ItemId> items;
+    const auto it = merged.cells_.find(key);
+    if (it != merged.cells_.end()) {
+      items.reserve(it->second->size() + tail.size());
+      items.insert(items.end(), it->second->begin(), it->second->end());
+    }
+    items.insert(items.end(), tail.begin(), tail.end());
+    items.shrink_to_fit();
+    merged.cells_[key] =
+        std::make_shared<const std::vector<ItemId>>(std::move(items));
+    if (cells_touched != nullptr) ++*cells_touched;
+  }
+  return merged;
 }
 
 void GridIndex::ForEachInRadius(const GeoPoint& center, double radius_km,
@@ -59,7 +104,7 @@ void GridIndex::ForEachInRadius(const GeoPoint& center, double radius_km,
     for (int64_t lon = lon_lo; lon <= lon_hi; ++lon) {
       const auto it = cells_.find(ComposeKey(lat, lon));
       if (it == cells_.end()) continue;
-      for (const ItemId item : it->second) {
+      for (const ItemId item : *it->second) {
         const GeoPoint p{store_.latitude(item), store_.longitude(item)};
         if (DistanceKm(center, p) <= radius_km) fn(item);
       }
@@ -79,7 +124,7 @@ std::vector<ItemId> GridIndex::ItemsInRadius(const GeoPoint& center,
 size_t GridIndex::MemoryBytes() const {
   size_t bytes = cells_.size() * (sizeof(CellKey) + sizeof(void*) * 2);
   for (const auto& [key, items] : cells_) {
-    bytes += items.capacity() * sizeof(ItemId);
+    bytes += items->capacity() * sizeof(ItemId);
   }
   return bytes;
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,12 +19,29 @@ namespace amici {
 /// bounding box of cells and verifies each candidate with the exact
 /// haversine distance. Simple, cache-friendly, and adequate for the
 /// city-scale extents the geo-social experiments use.
+///
+/// Cell item lists are held through shared, immutable handles so that
+/// MergeFrom() can build a successor grid that rebuilds only the cells
+/// the ingest tail lands in and shares every other cell with the
+/// previous generation (incremental compaction).
 class GridIndex {
  public:
   /// Builds the grid over every item visible in `store` that has a geo
   /// position. `cell_size_deg` > 0. The view is retained for the exact
   /// post-filter, so the underlying store must outlive the index.
   static GridIndex Build(ItemStoreView store, double cell_size_deg);
+
+  /// Incremental merge: the grid over store[0, store.num_items()) given
+  /// `base` covers [0, base_horizon) (null base = no geo items there).
+  /// Scans only the tail: touched cells get a new list (base items
+  /// followed by tail items — ascending id, exactly the full-build
+  /// insertion order); untouched cells share the base's lists. When
+  /// `base` is non-null its cell size wins over `cell_size_deg` (a
+  /// grid's geometry is immutable). `cells_touched`, when non-null, is
+  /// incremented per rebuilt cell.
+  static GridIndex MergeFrom(const GridIndex* base, ItemStoreView store,
+                             ItemId base_horizon, double cell_size_deg,
+                             uint64_t* cells_touched);
 
   GridIndex() = default;
 
@@ -44,12 +62,13 @@ class GridIndex {
 
  private:
   using CellKey = uint64_t;
+  using CellItems = std::shared_ptr<const std::vector<ItemId>>;
 
   CellKey KeyFor(float latitude, float longitude) const;
   static CellKey ComposeKey(int64_t lat_cell, int64_t lon_cell);
 
   double cell_size_deg_ = 1.0;
-  std::unordered_map<CellKey, std::vector<ItemId>> cells_;
+  std::unordered_map<CellKey, CellItems> cells_;
   ItemStoreView store_;
   size_t num_items_ = 0;
 };

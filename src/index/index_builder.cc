@@ -21,4 +21,34 @@ Result<BuiltIndexes> BuildIndexes(ItemStoreView store, size_t num_users,
   return built;
 }
 
+Result<BuiltIndexes> MergeIndexes(const BuiltIndexes& base,
+                                  ItemId base_horizon, ItemStoreView store,
+                                  size_t num_users,
+                                  const InvertedIndex::Options& options,
+                                  IndexMergeStats* merge_stats) {
+  if (static_cast<size_t>(base_horizon) > store.num_items()) {
+    return Status::InvalidArgument("base horizon beyond the store view");
+  }
+  IndexMergeStats local;
+  IndexMergeStats* stats = merge_stats != nullptr ? merge_stats : &local;
+  stats->items_merged +=
+      store.num_items() - static_cast<size_t>(base_horizon);
+
+  BuiltIndexes built;
+  Stopwatch watch;
+  AMICI_ASSIGN_OR_RETURN(
+      built.inverted,
+      base.inverted.MergeFrom(store, base_horizon, options,
+                              &stats->lists_touched));
+  built.stats.inverted_build_ms = watch.ElapsedMillis();
+  built.stats.inverted_bytes = built.inverted.MemoryBytes();
+
+  watch.Restart();
+  built.social = base.social.MergeFrom(store, base_horizon, num_users,
+                                       &stats->lists_touched);
+  built.stats.social_build_ms = watch.ElapsedMillis();
+  built.stats.social_bytes = built.social.MemoryBytes();
+  return built;
+}
+
 }  // namespace amici

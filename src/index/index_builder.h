@@ -2,10 +2,12 @@
 #define AMICI_INDEX_INDEX_BUILDER_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "index/inverted_index.h"
 #include "index/social_index.h"
 #include "storage/item_store.h"
+#include "util/ids.h"
 #include "util/status.h"
 
 namespace amici {
@@ -32,6 +34,29 @@ struct BuiltIndexes {
 Result<BuiltIndexes> BuildIndexes(
     ItemStoreView store, size_t num_users,
     const InvertedIndex::Options& options = InvertedIndex::Options());
+
+/// What one incremental merge actually rebuilt (the rest was shared).
+struct IndexMergeStats {
+  /// Posting lists + owner buckets rebuilt (grid cells are counted by
+  /// the engine, which owns the grid).
+  uint64_t lists_touched = 0;
+  /// Tail items folded into the indexes.
+  uint64_t items_merged = 0;
+};
+
+/// Incremental (LSM-style) counterpart of BuildIndexes: merges the
+/// un-indexed tail (items >= base_horizon in `store`) into `base`,
+/// rebuilding only the posting lists and owner buckets the tail touches
+/// and structurally sharing every untouched list with `base`. The result
+/// is bit-identical to BuildIndexes(store, num_users, options) — see
+/// tests/core/compaction_invariance_test.cc — at O(tail + touched lists)
+/// cost instead of O(catalogue). `base` must cover exactly
+/// [0, base_horizon) and have been built with the same `options`.
+Result<BuiltIndexes> MergeIndexes(const BuiltIndexes& base,
+                                  ItemId base_horizon, ItemStoreView store,
+                                  size_t num_users,
+                                  const InvertedIndex::Options& options,
+                                  IndexMergeStats* merge_stats);
 
 }  // namespace amici
 

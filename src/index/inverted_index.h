@@ -2,6 +2,8 @@
 #define AMICI_INDEX_INVERTED_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,6 +24,13 @@ namespace amici {
 /// The impact order is by item quality, which is exactly the per-tag
 /// contribution to the content score (see Scorer), so impact-ordered
 /// traversal yields monotonically non-increasing score bounds.
+///
+/// Both representations are held through shared, immutable list handles
+/// (null = empty list): MergeFrom() builds a successor index that
+/// REBUILDS only the lists the ingest tail touches and SHARES every
+/// other list pointer-identically with this index — the structural
+/// sharing that makes incremental (LSM-style) compaction O(tail +
+/// touched lists) instead of O(catalogue).
 class InvertedIndex {
  public:
   struct Options {
@@ -40,6 +49,19 @@ class InvertedIndex {
                                      const Options& options);
   static Result<InvertedIndex> Build(ItemStoreView store);
 
+  /// Incremental (LSM-style) merge: returns the index over
+  /// store[0, store.num_items()) given that THIS index covers exactly
+  /// [0, base_horizon). Only the lists of tags carried by tail items
+  /// (ids >= base_horizon) are rebuilt — existing postings are decoded
+  /// and re-scored through the store (qualities are immutable), tail
+  /// postings appended — while every untouched tag shares its lists
+  /// pointer-identically with this index. Bit-identical to
+  /// Build(store, options). `lists_touched`, when non-null, is
+  /// incremented by the number of tags whose lists were rebuilt.
+  Result<InvertedIndex> MergeFrom(ItemStoreView store, ItemId base_horizon,
+                                  const Options& options,
+                                  uint64_t* lists_touched) const;
+
   /// Number of distinct tags covered (= tag universe size at build).
   size_t num_tags() const { return doc_ordered_.size(); }
 
@@ -50,18 +72,27 @@ class InvertedIndex {
   /// out-of-range tags.
   const PostingList& Postings(TagId tag) const;
 
+  /// The shared handle behind Postings() — null for empty/out-of-range
+  /// tags. Exposed so tests can assert structural sharing across merged
+  /// generations by pointer equality.
+  std::shared_ptr<const PostingList> PostingsHandle(TagId tag) const;
+
   /// Impact-ordered (quality-descending) postings of `tag`; empty span if
   /// not materialized or out of range.
   std::span<const ScoredItem> ImpactOrdered(TagId tag) const;
 
   bool has_impact_ordered() const { return has_impact_ordered_; }
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes. Lists shared with other index
+  /// generations are counted here too (they are reachable from this one).
   size_t MemoryBytes() const;
 
  private:
-  std::vector<PostingList> doc_ordered_;
-  std::vector<std::vector<ScoredItem>> impact_ordered_;
+  using ListHandle = std::shared_ptr<const PostingList>;
+  using ImpactHandle = std::shared_ptr<const std::vector<ScoredItem>>;
+
+  std::vector<ListHandle> doc_ordered_;     // null = no postings
+  std::vector<ImpactHandle> impact_ordered_;  // null = no postings
   bool has_impact_ordered_ = false;
   PostingList empty_list_;
 };

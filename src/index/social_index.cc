@@ -1,39 +1,74 @@
 #include "index/social_index.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 namespace amici {
 
 SocialIndex SocialIndex::Build(ItemStoreView store, size_t num_users) {
   SocialIndex index;
-  std::vector<uint64_t> counts(num_users + 1, 0);
+  index.per_user_.resize(num_users);
+
+  std::vector<uint32_t> counts(num_users, 0);
   for (size_t i = 0; i < store.num_items(); ++i) {
     const UserId owner = store.owner(static_cast<ItemId>(i));
-    if (owner < num_users) ++counts[owner + 1];
+    if (owner < num_users) ++counts[owner];
   }
-  for (size_t u = 1; u < counts.size(); ++u) counts[u] += counts[u - 1];
-  index.offsets_ = counts;
 
-  index.items_.resize(index.offsets_.back());
-  std::vector<uint64_t> cursor(index.offsets_.begin(),
-                               index.offsets_.end() - 1);
+  std::vector<std::vector<ScoredItem>> buckets(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    if (counts[u] > 0) buckets[u].reserve(counts[u]);
+  }
   for (size_t i = 0; i < store.num_items(); ++i) {
     const ItemId item = static_cast<ItemId>(i);
     const UserId owner = store.owner(item);
     if (owner >= num_users) continue;
-    index.items_[cursor[owner]++] = {item, store.quality(item)};
+    buckets[owner].push_back({item, store.quality(item)});
+    ++index.num_entries_;
   }
   for (size_t u = 0; u < num_users; ++u) {
-    auto begin = index.items_.begin() +
-                 static_cast<ptrdiff_t>(index.offsets_[u]);
-    auto end = index.items_.begin() +
-               static_cast<ptrdiff_t>(index.offsets_[u + 1]);
-    std::sort(begin, end, [](const ScoredItem& a, const ScoredItem& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.item < b.item;
-    });
+    if (buckets[u].empty()) continue;  // null handle = no items
+    std::sort(buckets[u].begin(), buckets[u].end(), ScoreDescItemAsc);
+    index.per_user_[u] = std::make_shared<const std::vector<ScoredItem>>(
+        std::move(buckets[u]));
   }
   return index;
+}
+
+SocialIndex SocialIndex::MergeFrom(ItemStoreView store, ItemId base_horizon,
+                                   size_t num_users,
+                                   uint64_t* lists_touched) const {
+  SocialIndex merged;
+  merged.per_user_ = per_user_;  // O(num_users) handle copies
+  merged.per_user_.resize(num_users);
+  merged.num_entries_ = num_entries_;
+
+  // Bucket the tail per touched owner.
+  std::unordered_map<UserId, std::vector<ScoredItem>> tail_buckets;
+  for (size_t i = base_horizon; i < store.num_items(); ++i) {
+    const ItemId item = static_cast<ItemId>(i);
+    const UserId owner = store.owner(item);
+    if (owner >= num_users) continue;
+    tail_buckets[owner].push_back({item, store.quality(item)});
+    ++merged.num_entries_;
+  }
+
+  for (auto& [owner, tail] : tail_buckets) {
+    const std::span<const ScoredItem> base =
+        owner < per_user_.size() && per_user_[owner] != nullptr
+            ? std::span<const ScoredItem>(*per_user_[owner])
+            : std::span<const ScoredItem>();
+    std::vector<ScoredItem> bucket;
+    bucket.reserve(base.size() + tail.size());
+    bucket.insert(bucket.end(), base.begin(), base.end());
+    bucket.insert(bucket.end(), tail.begin(), tail.end());
+    std::sort(bucket.begin(), bucket.end(), ScoreDescItemAsc);
+    merged.per_user_[owner] =
+        std::make_shared<const std::vector<ScoredItem>>(std::move(bucket));
+    if (lists_touched != nullptr) ++*lists_touched;
+  }
+  return merged;
 }
 
 }  // namespace amici

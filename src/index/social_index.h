@@ -2,6 +2,8 @@
 #define AMICI_INDEX_SOCIAL_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +18,11 @@ namespace amici {
 /// proximity order, and within a friend take items best-first, so the
 /// combined bound (proximity, per-user best quality) decreases
 /// monotonically.
+///
+/// Buckets are held through shared, immutable handles (null = the user
+/// owns nothing): MergeFrom() builds a successor index that rebuilds only
+/// the buckets of users who own tail items and shares every other bucket
+/// pointer-identically with this index (incremental compaction).
 class SocialIndex {
  public:
   SocialIndex() = default;
@@ -25,14 +32,31 @@ class SocialIndex {
   /// be reached by any social query).
   static SocialIndex Build(ItemStoreView store, size_t num_users);
 
-  size_t num_users() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  /// Incremental merge: the index over store[0, store.num_items()) given
+  /// this index covers [0, base_horizon). Only buckets of owners with
+  /// tail items are rebuilt; everything else is shared. Bit-identical to
+  /// Build(store, num_users) — the (quality desc, item asc) order is a
+  /// strict total order, so sorted buckets are unique. `lists_touched`,
+  /// when non-null, is incremented per rebuilt bucket.
+  SocialIndex MergeFrom(ItemStoreView store, ItemId base_horizon,
+                        size_t num_users, uint64_t* lists_touched) const;
+
+  size_t num_users() const { return per_user_.size(); }
+
+  /// Items of `user`, quality-descending. Valid while any index
+  /// generation sharing the bucket lives. Requires user < num_users().
+  std::span<const ScoredItem> ItemsOf(UserId user) const {
+    const auto& bucket = per_user_[user];
+    if (bucket == nullptr) return {};
+    return {bucket->data(), bucket->size()};
   }
 
-  /// Items of `user`, quality-descending. Valid while the index lives.
-  std::span<const ScoredItem> ItemsOf(UserId user) const {
-    return {items_.data() + offsets_[user],
-            items_.data() + offsets_[user + 1]};
+  /// The shared handle behind ItemsOf() — null when the user owns
+  /// nothing. Exposed so tests can assert structural sharing across
+  /// merged generations by pointer equality.
+  std::shared_ptr<const std::vector<ScoredItem>> BucketHandle(
+      UserId user) const {
+    return user < per_user_.size() ? per_user_[user] : nullptr;
   }
 
   /// Highest item quality of `user` (0 if the user owns nothing).
@@ -42,17 +66,23 @@ class SocialIndex {
   }
 
   /// Total number of (user, item) entries.
-  size_t num_entries() const { return items_.size(); }
+  size_t num_entries() const { return num_entries_; }
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes. Buckets shared with other index
+  /// generations are counted here too (they are reachable from this one).
   size_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(uint64_t) +
-           items_.capacity() * sizeof(ScoredItem);
+    size_t bytes = per_user_.capacity() * sizeof(Bucket);
+    for (const auto& bucket : per_user_) {
+      if (bucket != nullptr) bytes += bucket->capacity() * sizeof(ScoredItem);
+    }
+    return bytes;
   }
 
  private:
-  std::vector<uint64_t> offsets_{0};
-  std::vector<ScoredItem> items_;
+  using Bucket = std::shared_ptr<const std::vector<ScoredItem>>;
+
+  std::vector<Bucket> per_user_;  // null = user owns nothing
+  size_t num_entries_ = 0;
 };
 
 }  // namespace amici

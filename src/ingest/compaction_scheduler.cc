@@ -25,10 +25,17 @@ size_t CompactionScheduler::PollOnce() {
   const size_t shards = target_->num_shards();
   for (size_t s = 0; s < shards; ++s) {
     if (!options_.policy->ShouldCompact(target_->ShardSignals(s))) continue;
-    const Status status = target_->CompactShard(s);
+    CompactionOutcome outcome;
+    const Status status = target_->CompactShard(s, &outcome);
     if (status.ok()) {
       ++compacted;
       compactions_.fetch_add(1, std::memory_order_relaxed);
+      // Per-mode counts only for compactions that actually published —
+      // a Compact abandoned to a concurrent winner ran neither path.
+      if (outcome.published) {
+        (outcome.merged ? merge_compactions_ : rebuild_compactions_)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       errors_.fetch_add(1, std::memory_order_relaxed);
       AMICI_LOG(kWarning) << "background compaction of shard " << s

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/engine_stats.h"
 #include "ingest/compaction_policy.h"
 #include "util/status.h"
 
@@ -28,8 +29,12 @@ class CompactionTarget {
   /// Trigger inputs of shard `shard` (< num_shards()).
   virtual CompactionSignals ShardSignals(size_t shard) const = 0;
   /// Folds ONE shard's tail into fresh indexes, leaving the other shards
-  /// untouched — per-shard compaction, not fleet-wide.
-  virtual Status CompactShard(size_t shard) = 0;
+  /// untouched — per-shard compaction, not fleet-wide. `outcome`, when
+  /// non-null, receives which path ran (incremental merge vs full
+  /// rebuild) and how much it touched; the scheduler records per-mode
+  /// counts from it.
+  virtual Status CompactShard(size_t shard,
+                              CompactionOutcome* outcome = nullptr) = 0;
 };
 
 /// Background driver that turns manual Compact() calls into policy: a
@@ -72,6 +77,16 @@ class CompactionScheduler {
   uint64_t compactions_triggered() const {
     return compactions_.load(std::memory_order_relaxed);
   }
+  /// Of those, how many took the incremental merge path vs a full
+  /// rebuild — which compaction mode the policy's firings actually hit.
+  /// The two may sum below compactions_triggered(): a Compact abandoned
+  /// to a concurrent winner counts as triggered but ran neither path.
+  uint64_t merge_compactions_triggered() const {
+    return merge_compactions_.load(std::memory_order_relaxed);
+  }
+  uint64_t rebuild_compactions_triggered() const {
+    return rebuild_compactions_.load(std::memory_order_relaxed);
+  }
   /// CompactShard calls that returned an error.
   uint64_t compaction_errors() const {
     return errors_.load(std::memory_order_relaxed);
@@ -84,6 +99,8 @@ class CompactionScheduler {
   Options options_;
 
   std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> merge_compactions_{0};
+  std::atomic<uint64_t> rebuild_compactions_{0};
   std::atomic<uint64_t> errors_{0};
 
   std::mutex mutex_;

@@ -45,9 +45,10 @@ CompactionSignals LocalSearchService::ShardSignals(size_t shard) const {
   return signals;
 }
 
-Status LocalSearchService::CompactShard(size_t shard) {
+Status LocalSearchService::CompactShard(size_t shard,
+                                        CompactionOutcome* outcome) {
   AMICI_CHECK(shard == 0) << "local backend has exactly one shard";
-  return engine_->Compact();
+  return engine_->Compact(outcome);
 }
 
 Result<SearchResponse> LocalSearchService::Search(

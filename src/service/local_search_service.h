@@ -42,7 +42,8 @@ class LocalSearchService final : public SearchService {
   std::string_view backend_name() const override { return "local"; }
   size_t num_shards() const override { return 1; }
   CompactionSignals ShardSignals(size_t shard) const override;
-  Status CompactShard(size_t shard) override;
+  Status CompactShard(size_t shard,
+                      CompactionOutcome* outcome = nullptr) override;
 
   Result<SearchResponse> Search(const SearchRequest& request) override;
   std::vector<Result<SearchResponse>> SearchBatch(

@@ -16,6 +16,10 @@ void MergeSearchStats(const SearchStats& from, SearchStats* into) {
   into->tail_items_scanned += from.tail_items_scanned;
   into->proximity_computations += from.proximity_computations;
   into->proximity_cache_hits += from.proximity_cache_hits;
+  into->compactions_merge += from.compactions_merge;
+  into->compactions_rebuild += from.compactions_rebuild;
+  into->compaction_items_merged += from.compaction_items_merged;
+  into->compaction_lists_touched += from.compaction_lists_touched;
 }
 
 // --- Background ingest / compaction plumbing ---------------------------

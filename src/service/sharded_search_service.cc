@@ -575,9 +575,10 @@ CompactionSignals ShardedSearchService::ShardSignals(size_t shard) const {
   return signals;
 }
 
-Status ShardedSearchService::CompactShard(size_t shard) {
+Status ShardedSearchService::CompactShard(size_t shard,
+                                          CompactionOutcome* outcome) {
   AMICI_CHECK(shard < shards_.size());
-  return shards_[shard]->Compact();
+  return shards_[shard]->Compact(outcome);
 }
 
 size_t ShardedSearchService::num_users() const {

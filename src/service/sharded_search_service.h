@@ -85,7 +85,8 @@ class ShardedSearchService final : public SearchService {
   /// Compact(). Signals are read from each shard engine's snapshot and
   /// stats — safe concurrently with queries and ingest.
   CompactionSignals ShardSignals(size_t shard) const override;
-  Status CompactShard(size_t shard) override;
+  Status CompactShard(size_t shard,
+                      CompactionOutcome* outcome = nullptr) override;
 
   Result<SearchResponse> Search(const SearchRequest& request) override;
   std::vector<Result<SearchResponse>> SearchBatch(

@@ -66,6 +66,32 @@ Result<PostingList> PostingList::Build(const std::vector<ScoredItem>& postings,
   return list;
 }
 
+std::vector<ItemId> PostingList::DecodeDocs() const {
+  std::vector<ItemId> docs;
+  docs.reserve(count_);
+  for (Iterator it = NewIterator(); it.Valid(); it.Next()) {
+    docs.push_back(it.Doc());
+  }
+  return docs;
+}
+
+Result<PostingList> PostingList::MergeFrom(
+    std::span<const ScoredItem> tail,
+    const std::function<float(ItemId)>& score_of) const {
+  std::vector<ScoredItem> postings;
+  postings.reserve(count_ + tail.size());
+  for (Iterator it = NewIterator(); it.Valid(); it.Next()) {
+    postings.push_back({it.Doc(), score_of(it.Doc())});
+  }
+  if (!postings.empty() && !tail.empty() &&
+      tail.front().item <= postings.back().item) {
+    return Status::InvalidArgument(
+        "tail postings must have strictly greater ids than the base list");
+  }
+  postings.insert(postings.end(), tail.begin(), tail.end());
+  return Build(postings, options_);
+}
+
 size_t PostingList::SizeBytes() const {
   return data_.size() +
          (options_.enable_skips ? skips_.size() * sizeof(SkipEntry) : 0) +

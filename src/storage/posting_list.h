@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,17 @@ struct ScoredItem {
   ItemId item;
   float score;
 };
+
+/// The canonical best-first order of ranked lists: score-descending,
+/// item-ascending. A STRICT TOTAL order over distinct items — which is
+/// what makes any correctly sorted list unique, and therefore what lets
+/// the incremental-compaction merge path reproduce a full rebuild
+/// bit-for-bit. The impact-ordered index arrays and the social index
+/// buckets must both sort with exactly this.
+inline bool ScoreDescItemAsc(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
 
 /// Compressed, document-ordered posting list with per-block skip pointers.
 ///
@@ -77,6 +90,23 @@ class PostingList {
   static Result<PostingList> Build(const std::vector<ScoredItem>& postings,
                                    const Options& options);
   static Result<PostingList> Build(const std::vector<ScoredItem>& postings);
+
+  /// LSM-style merge surface: builds the list holding this list's
+  /// postings followed by `tail`. Every tail id must be strictly greater
+  /// than every existing id (the ingest tail is appended after the
+  /// indexed prefix, so merged postings stay document-ordered without a
+  /// sort). Existing postings are re-scored through `score_of` — the
+  /// stored 8-bit impacts are conservative BOUNDS, not exact scores, and
+  /// a tail posting can raise max_score and therefore re-quantize every
+  /// block — so the result is bit-identical to Build() over the
+  /// concatenated postings with this list's options.
+  Result<PostingList> MergeFrom(
+      std::span<const ScoredItem> tail,
+      const std::function<float(ItemId)>& score_of) const;
+
+  /// Decodes the document-ordered item ids (the exact Build input order).
+  /// O(size); the merge path uses it to reconstruct touched lists.
+  std::vector<ItemId> DecodeDocs() const;
 
   /// Number of postings.
   size_t size() const { return count_; }

@@ -65,17 +65,44 @@ TEST(EngineStatsTest, TailScanAndCompactionAccessors) {
   EXPECT_DOUBLE_EQ(stats.last_tail_scan_ms(), 3.5);
 
   // Compaction resets the trigger inputs (the tail they measured is
-  // gone) and counts itself.
-  stats.NoteCompaction(42.0);
+  // gone) and counts itself, per mode.
+  CompactionOutcome outcome;
+  outcome.merged = false;
+  outcome.items_merged = 120;
+  outcome.lists_touched = 30;
+  outcome.elapsed_ms = 42.0;
+  stats.NoteCompaction(outcome);
   EXPECT_EQ(stats.compactions(), 1u);
+  EXPECT_EQ(stats.merge_compactions(), 0u);
+  EXPECT_EQ(stats.rebuild_compactions(), 1u);
+  EXPECT_EQ(stats.last_compaction_mode(), "rebuild");
   EXPECT_DOUBLE_EQ(stats.last_compaction_ms(), 42.0);
   EXPECT_EQ(stats.last_tail_items(), 0u);
   EXPECT_EQ(stats.last_tail_scan_ms(), 0.0);
+
+  // A merge compaction accumulates into the cumulative work counters.
+  outcome.merged = true;
+  outcome.items_merged = 7;
+  outcome.lists_touched = 3;
+  outcome.elapsed_ms = 1.5;
+  stats.NoteCompaction(outcome);
+  EXPECT_EQ(stats.compactions(), 2u);
+  EXPECT_EQ(stats.merge_compactions(), 1u);
+  EXPECT_EQ(stats.rebuild_compactions(), 1u);
+  EXPECT_EQ(stats.last_compaction_mode(), "merge");
+  EXPECT_EQ(stats.compaction_items_merged(), 127u);
+  EXPECT_EQ(stats.compaction_lists_touched(), 33u);
+  EXPECT_EQ(stats.last_items_merged(), 7u);
+  EXPECT_EQ(stats.last_lists_touched(), 3u);
 
   stats.RecordTailScan(7, 0.2);
   stats.Reset();
   EXPECT_EQ(stats.last_tail_items(), 0u);
   EXPECT_EQ(stats.compactions(), 0u);
+  EXPECT_EQ(stats.merge_compactions(), 0u);
+  EXPECT_EQ(stats.compaction_items_merged(), 0u);
+  EXPECT_EQ(stats.compaction_lists_touched(), 0u);
+  EXPECT_EQ(stats.last_compaction_mode(), "none");
 
   const std::string rendered = stats.ToString();
   EXPECT_NE(rendered.find("compactions"), std::string::npos);

@@ -58,9 +58,15 @@ class FakeTarget final : public CompactionTarget {
   CompactionSignals ShardSignals(size_t shard) const override {
     return signals_[shard];
   }
-  Status CompactShard(size_t shard) override {
+  Status CompactShard(size_t shard, CompactionOutcome* outcome) override {
     if (fail_) return Status::Internal("injected failure");
     ++compacted_[shard];
+    if (outcome != nullptr) {
+      *outcome = CompactionOutcome{};
+      outcome->published = true;
+      outcome->merged = merge_mode_;
+      outcome->items_merged = signals_[shard].tail_items;
+    }
     signals_[shard] = CompactionSignals{};  // compaction empties the tail
     return Status::Ok();
   }
@@ -68,6 +74,7 @@ class FakeTarget final : public CompactionTarget {
   std::vector<CompactionSignals> signals_;
   std::vector<int> compacted_;
   bool fail_ = false;
+  bool merge_mode_ = false;  // mode the fake reports to the scheduler
 };
 
 TEST(CompactionSchedulerTest, PollOnceCompactsExactlyTheFiringShards) {
@@ -87,11 +94,20 @@ TEST(CompactionSchedulerTest, PollOnceCompactsExactlyTheFiringShards) {
   EXPECT_EQ(scheduler.PollOnce(), 2u);
   EXPECT_EQ(target.compacted_, (std::vector<int>{1, 0, 1}));
   EXPECT_EQ(scheduler.compactions_triggered(), 2u);
+  EXPECT_EQ(scheduler.merge_compactions_triggered(), 0u);
+  EXPECT_EQ(scheduler.rebuild_compactions_triggered(), 2u);
 
   // Signals were reset by the compaction: a second poll is a no-op —
   // per-shard triggering, not fleet-wide drumbeats.
   EXPECT_EQ(scheduler.PollOnce(), 0u);
   EXPECT_EQ(scheduler.compactions_triggered(), 2u);
+
+  // The scheduler records which MODE each triggered compaction took.
+  target.merge_mode_ = true;
+  target.signals_[1] = {500, 0, 0.0};
+  EXPECT_EQ(scheduler.PollOnce(), 1u);
+  EXPECT_EQ(scheduler.merge_compactions_triggered(), 1u);
+  EXPECT_EQ(scheduler.rebuild_compactions_triggered(), 2u);
   scheduler.Stop();
 }
 

@@ -1,0 +1,319 @@
+// The mergeable posting-list surface behind incremental (LSM-style)
+// compaction:
+//
+//  * PostingList::MergeFrom — appending a strictly-greater-id tail with
+//    re-scoring yields the SAME BITS as a from-scratch Build over the
+//    concatenation (asserted on the serialized image), including when a
+//    tail posting raises max_score and re-quantizes every block;
+//  * InvertedIndex / SocialIndex / GridIndex MergeFrom — only the lists
+//    the tail touches are rebuilt; every untouched list is SHARED with
+//    the base index, asserted by pointer equality on the handles, and an
+//    empty tail shares everything.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "gtest/gtest.h"
+#include "index/index_builder.h"
+#include "index/inverted_index.h"
+#include "index/social_index.h"
+#include "storage/item_store.h"
+#include "storage/posting_list.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace {
+
+std::string Image(const PostingList& list) {
+  std::string image;
+  list.SerializeTo(&image);
+  return image;
+}
+
+float ScoreOfItemTimesTen(ItemId item) {
+  return static_cast<float>(item) * 10.0f;
+}
+
+TEST(PostingListMergeTest, MergeMatchesFullBuildBitForBit) {
+  PostingList::Options options;
+  options.block_size = 4;  // several blocks with a small list
+  std::vector<ScoredItem> base_postings;
+  for (ItemId id : {2u, 3u, 7u, 11u, 13u, 20u, 21u}) {
+    base_postings.push_back({id, ScoreOfItemTimesTen(id)});
+  }
+  const auto base = PostingList::Build(base_postings, options);
+  ASSERT_TRUE(base.ok());
+
+  // The tail's last posting has the highest score of the union, so every
+  // existing block's 8-bit impacts re-quantize against the new max —
+  // exactly why MergeFrom re-reads true scores instead of reusing the
+  // stored bounds.
+  std::vector<ScoredItem> tail;
+  for (ItemId id : {25u, 26u, 40u}) {
+    tail.push_back({id, ScoreOfItemTimesTen(id)});
+  }
+  const auto merged = base.value().MergeFrom(tail, ScoreOfItemTimesTen);
+  ASSERT_TRUE(merged.ok());
+
+  std::vector<ScoredItem> all = base_postings;
+  all.insert(all.end(), tail.begin(), tail.end());
+  const auto rebuilt = PostingList::Build(all, options);
+  ASSERT_TRUE(rebuilt.ok());
+
+  EXPECT_EQ(merged.value().size(), all.size());
+  EXPECT_EQ(Image(merged.value()), Image(rebuilt.value()));
+}
+
+TEST(PostingListMergeTest, EmptyTailReproducesTheBaseImage) {
+  // List-level empty-tail merges still re-encode (the INDEX layer is
+  // what short-circuits untouched tags to the shared handle); the
+  // re-encoded image must be byte-identical to the original.
+  std::vector<ScoredItem> postings{{1, 0.5f}, {4, 0.25f}, {9, 1.0f}};
+  const auto base = PostingList::Build(postings);
+  ASSERT_TRUE(base.ok());
+  const auto merged = base.value().MergeFrom({}, [&](ItemId item) -> float {
+    for (const ScoredItem& posting : postings) {
+      if (posting.item == item) return posting.score;
+    }
+    ADD_FAILURE() << "unknown item " << item;
+    return 0.0f;
+  });
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(Image(merged.value()), Image(base.value()));
+}
+
+TEST(PostingListMergeTest, MergeIntoEmptyBaseEqualsBuild) {
+  const PostingList empty;
+  std::vector<ScoredItem> tail{{0, 0.1f}, {5, 0.9f}};
+  const auto merged = empty.MergeFrom(tail, ScoreOfItemTimesTen);
+  ASSERT_TRUE(merged.ok());
+  const auto built = PostingList::Build(tail);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(Image(merged.value()), Image(built.value()));
+}
+
+TEST(PostingListMergeTest, RejectsTailIdsNotAboveTheBase) {
+  std::vector<ScoredItem> postings{{1, 0.5f}, {9, 1.0f}};
+  const auto base = PostingList::Build(postings);
+  ASSERT_TRUE(base.ok());
+  // Duplicate of the base's last id.
+  std::vector<ScoredItem> duplicate{{9, 1.0f}};
+  EXPECT_FALSE(base.value().MergeFrom(duplicate, ScoreOfItemTimesTen).ok());
+  // Below the base's last id.
+  std::vector<ScoredItem> regressing{{4, 0.2f}};
+  EXPECT_FALSE(base.value().MergeFrom(regressing, ScoreOfItemTimesTen).ok());
+}
+
+TEST(PostingListMergeTest, DecodeDocsRoundTripsTheBuildInput) {
+  std::vector<ScoredItem> postings{{3, 0.5f}, {8, 1.0f}, {90, 0.125f}};
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().DecodeDocs(), (std::vector<ItemId>{3, 8, 90}));
+  EXPECT_TRUE(PostingList().DecodeDocs().empty());
+}
+
+// ---------------------------------------------------------------------
+// Index-level merges: structural sharing of untouched lists.
+// ---------------------------------------------------------------------
+
+Item MakeItem(UserId owner, std::vector<TagId> tags, float quality) {
+  Item item;
+  item.owner = owner;
+  item.tags = std::move(tags);
+  item.quality = quality;
+  return item;
+}
+
+TEST(InvertedIndexMergeTest, OnlyTailTaggedListsAreRebuilt) {
+  ItemStore store;
+  ASSERT_TRUE(store.Add(MakeItem(0, {0, 1}, 0.9f)).ok());  // item 0
+  ASSERT_TRUE(store.Add(MakeItem(1, {2}, 0.4f)).ok());     // item 1
+  ASSERT_TRUE(store.Add(MakeItem(2, {1}, 0.7f)).ok());     // item 2
+  const ItemStoreView base_view(&store, 3, store.TagUniverseSize());
+  const InvertedIndex::Options options;
+  const auto base = InvertedIndex::Build(base_view, options);
+  ASSERT_TRUE(base.ok());
+
+  // Tail touches tag 1 and introduces tag 3; tags 0 and 2 are untouched.
+  ASSERT_TRUE(store.Add(MakeItem(0, {1, 3}, 0.95f)).ok());  // item 3
+  uint64_t lists_touched = 0;
+  const auto merged = base.value().MergeFrom(ItemStoreView(store), 3,
+                                             options, &lists_touched);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(lists_touched, 2u);  // tags 1 and 3
+  EXPECT_EQ(merged.value().num_tags(), store.TagUniverseSize());
+
+  // Untouched tags: pointer-identical shared lists and impact arrays.
+  EXPECT_EQ(merged.value().PostingsHandle(0), base.value().PostingsHandle(0));
+  EXPECT_EQ(merged.value().PostingsHandle(2), base.value().PostingsHandle(2));
+  EXPECT_EQ(merged.value().ImpactOrdered(0).data(),
+            base.value().ImpactOrdered(0).data());
+  // Touched tag: a NEW list holding the base postings plus the tail.
+  EXPECT_NE(merged.value().PostingsHandle(1), base.value().PostingsHandle(1));
+  EXPECT_EQ(merged.value().DocumentFrequency(1), 3u);
+  EXPECT_EQ(merged.value().DocumentFrequency(3), 1u);
+
+  // Bit-identical to the full rebuild, list by list.
+  const auto rebuilt = InvertedIndex::Build(ItemStoreView(store), options);
+  ASSERT_TRUE(rebuilt.ok());
+  for (TagId tag = 0; tag < merged.value().num_tags(); ++tag) {
+    EXPECT_EQ(Image(merged.value().Postings(tag)),
+              Image(rebuilt.value().Postings(tag)))
+        << "tag " << tag;
+    const auto merged_impact = merged.value().ImpactOrdered(tag);
+    const auto rebuilt_impact = rebuilt.value().ImpactOrdered(tag);
+    ASSERT_EQ(merged_impact.size(), rebuilt_impact.size()) << "tag " << tag;
+    for (size_t i = 0; i < merged_impact.size(); ++i) {
+      EXPECT_EQ(merged_impact[i].item, rebuilt_impact[i].item);
+      EXPECT_EQ(merged_impact[i].score, rebuilt_impact[i].score);
+    }
+  }
+}
+
+TEST(InvertedIndexMergeTest, EmptyTailSharesEveryList) {
+  ItemStore store;
+  ASSERT_TRUE(store.Add(MakeItem(0, {0, 1}, 0.9f)).ok());
+  ASSERT_TRUE(store.Add(MakeItem(1, {1}, 0.4f)).ok());
+  const auto base = InvertedIndex::Build(ItemStoreView(store));
+  ASSERT_TRUE(base.ok());
+
+  uint64_t lists_touched = 0;
+  const auto merged = base.value().MergeFrom(
+      ItemStoreView(store), static_cast<ItemId>(store.num_items()),
+      InvertedIndex::Options(), &lists_touched);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(lists_touched, 0u);
+  for (TagId tag = 0; tag < base.value().num_tags(); ++tag) {
+    EXPECT_EQ(merged.value().PostingsHandle(tag),
+              base.value().PostingsHandle(tag))
+        << "tag " << tag;
+  }
+}
+
+TEST(SocialIndexMergeTest, OnlyTailOwnersBucketsAreRebuilt) {
+  ItemStore store;
+  ASSERT_TRUE(store.Add(MakeItem(0, {0}, 0.9f)).ok());
+  ASSERT_TRUE(store.Add(MakeItem(1, {0}, 0.4f)).ok());
+  ASSERT_TRUE(store.Add(MakeItem(0, {0}, 0.7f)).ok());
+  const size_t kUsers = 4;
+  const ItemStoreView base_view(&store, 3, store.TagUniverseSize());
+  const SocialIndex base = SocialIndex::Build(base_view, kUsers);
+
+  ASSERT_TRUE(store.Add(MakeItem(1, {0}, 0.99f)).ok());  // touches user 1
+  uint64_t lists_touched = 0;
+  const SocialIndex merged =
+      base.MergeFrom(ItemStoreView(store), 3, kUsers, &lists_touched);
+  EXPECT_EQ(lists_touched, 1u);
+  EXPECT_EQ(merged.num_entries(), 4u);
+
+  // User 0 untouched: shared bucket. User 1 rebuilt, best-first. Users
+  // 2/3 own nothing either way.
+  EXPECT_EQ(merged.BucketHandle(0), base.BucketHandle(0));
+  EXPECT_NE(merged.BucketHandle(1), base.BucketHandle(1));
+  EXPECT_EQ(merged.BucketHandle(2), nullptr);
+
+  const SocialIndex rebuilt = SocialIndex::Build(ItemStoreView(store), kUsers);
+  for (UserId user = 0; user < kUsers; ++user) {
+    const auto merged_items = merged.ItemsOf(user);
+    const auto rebuilt_items = rebuilt.ItemsOf(user);
+    ASSERT_EQ(merged_items.size(), rebuilt_items.size()) << "user " << user;
+    for (size_t i = 0; i < merged_items.size(); ++i) {
+      EXPECT_EQ(merged_items[i].item, rebuilt_items[i].item);
+      EXPECT_EQ(merged_items[i].score, rebuilt_items[i].score);
+    }
+  }
+}
+
+TEST(GridIndexMergeTest, OnlyTailCellsAreRebuilt) {
+  ItemStore store;
+  auto geo_item = [](UserId owner, float lat, float lon) {
+    Item item = MakeItem(owner, {0}, 0.5f);
+    item.has_geo = true;
+    item.latitude = lat;
+    item.longitude = lon;
+    return item;
+  };
+  ASSERT_TRUE(store.Add(geo_item(0, 10.0f, 10.0f)).ok());   // cell A
+  ASSERT_TRUE(store.Add(geo_item(0, 50.0f, 50.0f)).ok());   // cell B
+  const ItemStoreView base_view(&store, 2, store.TagUniverseSize());
+  const GridIndex base = GridIndex::Build(base_view, 1.0);
+
+  // Tail lands in cell A and in a brand-new cell C.
+  ASSERT_TRUE(store.Add(geo_item(1, 10.1f, 10.1f)).ok());
+  ASSERT_TRUE(store.Add(geo_item(1, -30.0f, -30.0f)).ok());
+  uint64_t cells_touched = 0;
+  const GridIndex merged =
+      GridIndex::MergeFrom(&base, ItemStoreView(store), 2, 1.0,
+                           &cells_touched);
+  EXPECT_EQ(cells_touched, 2u);
+  EXPECT_EQ(merged.num_indexed_items(), 4u);
+  EXPECT_EQ(merged.num_cells(), 3u);
+
+  const GridIndex rebuilt = GridIndex::Build(ItemStoreView(store), 1.0);
+  const GeoPoint centers[] = {{10.0f, 10.0f}, {50.0f, 50.0f},
+                              {-30.0f, -30.0f}};
+  for (const GeoPoint& center : centers) {
+    EXPECT_EQ(merged.ItemsInRadius(center, 50.0),
+              rebuilt.ItemsInRadius(center, 50.0));
+  }
+
+  // A base-less merge (no geo items below the horizon) only scans the
+  // tail and still equals the full build.
+  const GridIndex from_scratch =
+      GridIndex::MergeFrom(nullptr, ItemStoreView(store), 0, 1.0, nullptr);
+  EXPECT_EQ(from_scratch.num_indexed_items(), 4u);
+}
+
+// Randomized end-to-end check of MergeIndexes against BuildIndexes on a
+// few hundred random items — the unit-level cousin of
+// tests/core/compaction_invariance_test.cc.
+TEST(MergeIndexesTest, RandomizedMergeEqualsRebuild) {
+  Rng rng(1234);
+  const size_t kUsers = 20;
+  const size_t kTags = 15;
+  ItemStore store;
+  auto random_item = [&] {
+    Item item;
+    item.owner = static_cast<UserId>(rng.UniformIndex(kUsers));
+    item.tags = {static_cast<TagId>(rng.UniformIndex(kTags))};
+    item.quality = static_cast<float>(rng.UniformDouble());
+    return item;
+  };
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(store.Add(random_item()).ok());
+  const ItemStoreView base_view(&store, 300, store.TagUniverseSize());
+  const auto base = BuildIndexes(base_view, kUsers);
+  ASSERT_TRUE(base.ok());
+
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(store.Add(random_item()).ok());
+  IndexMergeStats stats;
+  const auto merged = MergeIndexes(base.value(), 300, ItemStoreView(store),
+                                   kUsers, InvertedIndex::Options(), &stats);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(stats.items_merged, 60u);
+  EXPECT_GT(stats.lists_touched, 0u);
+  // The tail touches at most its own distinct tags + owners worth of
+  // lists — never the whole catalogue's.
+  EXPECT_LE(stats.lists_touched, static_cast<uint64_t>(kTags + kUsers));
+
+  const auto rebuilt = BuildIndexes(ItemStoreView(store), kUsers);
+  ASSERT_TRUE(rebuilt.ok());
+  for (TagId tag = 0; tag < merged.value().inverted.num_tags(); ++tag) {
+    EXPECT_EQ(Image(merged.value().inverted.Postings(tag)),
+              Image(rebuilt.value().inverted.Postings(tag)))
+        << "tag " << tag;
+  }
+  for (UserId user = 0; user < kUsers; ++user) {
+    const auto a = merged.value().social.ItemsOf(user);
+    const auto b = rebuilt.value().social.ItemsOf(user);
+    ASSERT_EQ(a.size(), b.size()) << "user " << user;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].item, b[i].item);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amici

@@ -37,6 +37,16 @@ FAILED=$(sed -n 's/.*, \([0-9]\+\) tests failed.*/\1/p' "$CTEST_LOG" | tail -1)
 TOTAL=${TOTAL:-0}
 FAILED=${FAILED:-$TOTAL}
 PASSED=$((TOTAL - FAILED))
+
+# Per-suite timing (slowest first) so the cost of the heavyweight suites
+# — the randomized compaction-invariance and concurrency runs — stays
+# visible as they grow. Parsed from ctest's per-test summary lines.
+echo "[tier1] per-suite timing (slowest 15):"
+sed -n 's/^ *[0-9]\+\/[0-9]\+ Test *#[0-9]\+: \([^ ]\+\) .*\(Passed\|Failed\|\*\*\*[A-Za-z]*\) \+\([0-9.]\+\) sec.*/\3 \1/p' \
+    "$CTEST_LOG" | sort -rn | head -15 |
+  while read -r secs name; do
+    printf '[tier1]   %8ss  %s\n' "$secs" "$name"
+  done
 if [[ "$CTEST_STATUS" -eq 0 && "$TOTAL" -gt 0 ]]; then
   echo "[tier1] PASS: ${PASSED}/${TOTAL} tests (${BUILD_DIR})"
 else
