@@ -83,7 +83,8 @@ ServiceBundle BuildService(const DatasetConfig& config, size_t shards,
 
 LatencySummary RunQueries(SocialSearchEngine* engine,
                           const std::vector<SocialQuery>& queries,
-                          AlgorithmId algorithm, int repeats) {
+                          AlgorithmId algorithm, int repeats,
+                          SearchStats* accumulated) {
   LatencyRecorder recorder;
   for (int r = 0; r < repeats; ++r) {
     for (const SocialQuery& query : queries) {
@@ -92,6 +93,9 @@ LatencySummary RunQueries(SocialSearchEngine* engine,
       AMICI_CHECK(result.ok())
           << AlgorithmName(algorithm) << ": " << result.status().ToString();
       recorder.Record(watch.ElapsedMillis());
+      if (accumulated != nullptr) {
+        MergeSearchStats(result.value().stats, accumulated);
+      }
     }
   }
   return recorder.Summarize();
@@ -99,7 +103,8 @@ LatencySummary RunQueries(SocialSearchEngine* engine,
 
 LatencySummary RunServiceQueries(SearchService* service,
                                  const std::vector<SocialQuery>& queries,
-                                 AlgorithmId algorithm, int repeats) {
+                                 AlgorithmId algorithm, int repeats,
+                                 SearchStats* accumulated) {
   LatencyRecorder recorder;
   for (int r = 0; r < repeats; ++r) {
     for (const SocialQuery& query : queries) {
@@ -112,6 +117,9 @@ LatencySummary RunServiceQueries(SearchService* service,
           << AlgorithmName(algorithm) << ": "
           << response.status().ToString();
       recorder.Record(watch.ElapsedMillis());
+      if (accumulated != nullptr) {
+        MergeSearchStats(response.value().stats, accumulated);
+      }
     }
   }
   return recorder.Summarize();

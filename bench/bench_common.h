@@ -41,15 +41,21 @@ ServiceBundle BuildService(const DatasetConfig& config, size_t shards,
                            SocialSearchEngine::Options options = {});
 
 /// Runs every query through `algorithm` and reports the latency summary.
-/// `repeats` multiplies the workload to stabilize timings.
+/// `repeats` multiplies the workload to stabilize timings. When
+/// `accumulated` is non-null, every query's SearchStats is summed into it
+/// (MergeSearchStats semantics) — how the figure benches surface the
+/// blocks_decoded/blocks_skipped traversal counters.
 LatencySummary RunQueries(SocialSearchEngine* engine,
                           const std::vector<SocialQuery>& queries,
-                          AlgorithmId algorithm, int repeats = 1);
+                          AlgorithmId algorithm, int repeats = 1,
+                          SearchStats* accumulated = nullptr);
 
-/// Service-level counterpart of RunQueries.
+/// Service-level counterpart of RunQueries; `accumulated` sums the
+/// shard-merged SearchResponse::stats.
 LatencySummary RunServiceQueries(SearchService* service,
                                  const std::vector<SocialQuery>& queries,
-                                 AlgorithmId algorithm, int repeats = 1);
+                                 AlgorithmId algorithm, int repeats = 1,
+                                 SearchStats* accumulated = nullptr);
 
 /// Populates the proximity cache for every query user so that the first
 /// measured algorithm does not pay all the cache misses.

@@ -6,12 +6,17 @@
 //      stats) under read contention, as in the original figure;
 //  (b) queries per second as the SHARD count scales under a fixed client
 //      load — the fan-out/merge router's scaling curve (--shards=a,b,c
-//      overrides the default 1,2,4,8 sweep).
+//      overrides the default 1,2,4,8 sweep);
+//  (c) merge-scan throughput with block-max pruning on vs off, with the
+//      blocks_decoded/blocks_skipped counters read off the public
+//      SearchResponse::stats surface.
 //
 //   ./build/bench/bench_fig10_throughput [--shards=N]
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,31 +29,60 @@ using namespace amici;
 
 namespace {
 
+struct QpsMeasurement {
+  double qps = 0.0;  // 0 on any query failure
+  SearchStats stats;  // summed over every response (MergeSearchStats)
+};
+
 /// Hammers `service` from `threads` client threads, `queries_per_thread`
-/// hybrid queries each; returns QPS (0 on any query failure).
-double MeasureQps(SearchService* service,
-                  const std::vector<SocialQuery>& queries, int threads,
-                  int queries_per_thread) {
+/// queries each. Response stats are accumulated per thread and merged at
+/// join, so the measurement itself adds no cross-thread contention.
+QpsMeasurement MeasureQpsWithStats(SearchService* service,
+                                   const std::vector<SocialQuery>& queries,
+                                   int threads, int queries_per_thread,
+                                   std::optional<AlgorithmId> algorithm) {
   std::atomic<int> errors{0};
+  std::mutex merge_mutex;
+  QpsMeasurement measurement;
   Stopwatch watch;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
+      SearchStats local;
       for (int i = 0; i < queries_per_thread; ++i) {
         SearchRequest request;
         request.query = queries[(static_cast<size_t>(t) * 37 + i) %
                                 queries.size()];
-        if (!service->Search(request).ok()) errors.fetch_add(1);
+        request.algorithm = algorithm;
+        const auto response = service->Search(request);
+        if (!response.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        MergeSearchStats(response.value().stats, &local);
       }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      MergeSearchStats(local, &measurement.stats);
     });
   }
   for (auto& worker : workers) worker.join();
   const double elapsed = watch.ElapsedSeconds();
   if (errors.load() != 0) {
     std::fprintf(stderr, "[bench] %d errors!\n", errors.load());
-    return 0.0;
+    return {};
   }
-  return static_cast<double>(threads) * queries_per_thread / elapsed;
+  measurement.qps =
+      static_cast<double>(threads) * queries_per_thread / elapsed;
+  return measurement;
+}
+
+/// Backend-default-algorithm (hybrid) variant reporting QPS only.
+double MeasureQps(SearchService* service,
+                  const std::vector<SocialQuery>& queries, int threads,
+                  int queries_per_thread) {
+  return MeasureQpsWithStats(service, queries, threads, queries_per_thread,
+                             std::nullopt)
+      .qps;
 }
 
 }  // namespace
@@ -126,5 +160,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[bench] %zu shards done\n", shards);
   }
   std::printf("\n%s", shard_table.ToString().c_str());
+
+  // --- (c) block-max pruning on vs off under concurrent load. ----------
+  // Merge-scan queries (the posting-list-walking strategy) against twin
+  // local backends; the traversal counters arrive through the public
+  // SearchResponse::stats surface, end to end.
+  {
+    TablePrinter bmax_table(
+        {"block-max", "QPS", "blocks decoded", "blocks skipped"});
+    for (const bool enabled : {true, false}) {
+      SocialSearchEngine::Options options;
+      options.index_options.posting_options.enable_block_max = enabled;
+      bench::ServiceBundle bundle =
+          bench::BuildService(MediumDataset(), 1, options);
+      const auto queries = GenerateQueries(bundle.workload_view, workload);
+      if (!queries.ok()) return 1;
+      bench::WarmService(bundle.service.get(), queries.value());
+      const QpsMeasurement measured =
+          MeasureQpsWithStats(bundle.service.get(), queries.value(), 4, 2000,
+                              AlgorithmId::kMergeScan);
+      if (measured.qps == 0.0) return 1;
+      bmax_table.AddRow(
+          {enabled ? "on" : "off", StringPrintf("%.0f", measured.qps),
+           std::to_string(measured.stats.aggregation.blocks_decoded),
+           std::to_string(measured.stats.aggregation.blocks_skipped)});
+      std::fprintf(stderr, "[bench] block-max %s done\n",
+                   enabled ? "on" : "off");
+    }
+    std::printf("\n%s", bmax_table.ToString().c_str());
+  }
   return 0;
 }

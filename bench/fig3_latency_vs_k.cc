@@ -1,7 +1,12 @@
 // Fig 3 — query latency vs result size k for all five execution
-// strategies at a balanced blend (alpha = 0.5).
+// strategies at a balanced blend (alpha = 0.5), plus the block-max axis:
+// merge-scan against a twin engine with block-max pruning disabled, and
+// the blocks decoded/skipped counters the pruned run reported through
+// QueryResult::stats (the same counters SearchResponse carries
+// service-side).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -14,12 +19,18 @@ int main() {
       "Fig 3: mean query latency (ms) vs k  [medium dataset, alpha=0.5]",
       "early-terminating strategies beat the scans by orders of magnitude; "
       "latency grows mildly with k; hybrid <= min(content-first, "
-      "social-first)");
+      "social-first); block-max pruning trims merge-scan block decodes "
+      "without changing results");
 
   bench::EngineBundle bundle = bench::BuildEngine(MediumDataset());
+  SocialSearchEngine::Options no_bmax_options;
+  no_bmax_options.index_options.posting_options.enable_block_max = false;
+  bench::EngineBundle no_bmax =
+      bench::BuildEngine(MediumDataset(), no_bmax_options);
 
-  TablePrinter table({"k", "exhaustive", "merge-scan", "content-first",
-                      "social-first", "hybrid"});
+  TablePrinter table({"k", "exhaustive", "merge-scan", "merge (no bmax)",
+                      "content-first", "social-first", "hybrid", "blk dec",
+                      "blk skip"});
   for (const size_t k : {1, 5, 10, 20, 50, 100}) {
     QueryWorkloadConfig workload;
     workload.num_queries = 60;
@@ -29,15 +40,30 @@ int main() {
     const auto queries = GenerateQueries(bundle.workload_view, workload);
     if (!queries.ok()) return 1;
     bench::WarmProximityCache(bundle.engine.get(), queries.value());
+    bench::WarmProximityCache(no_bmax.engine.get(), queries.value());
 
     std::vector<std::string> row{std::to_string(k)};
+    row.push_back(bench::Ms(bench::RunQueries(bundle.engine.get(),
+                                              queries.value(),
+                                              AlgorithmId::kExhaustive)
+                                .mean));
+    SearchStats merge_stats;
+    row.push_back(bench::Ms(
+        bench::RunQueries(bundle.engine.get(), queries.value(),
+                          AlgorithmId::kMergeScan, 1, &merge_stats)
+            .mean));
+    row.push_back(bench::Ms(bench::RunQueries(no_bmax.engine.get(),
+                                              queries.value(),
+                                              AlgorithmId::kMergeScan)
+                                .mean));
     for (const AlgorithmId id :
-         {AlgorithmId::kExhaustive, AlgorithmId::kMergeScan,
-          AlgorithmId::kContentFirst, AlgorithmId::kSocialFirst,
+         {AlgorithmId::kContentFirst, AlgorithmId::kSocialFirst,
           AlgorithmId::kHybrid}) {
       row.push_back(bench::Ms(
           bench::RunQueries(bundle.engine.get(), queries.value(), id).mean));
     }
+    row.push_back(std::to_string(merge_stats.aggregation.blocks_decoded));
+    row.push_back(std::to_string(merge_stats.aggregation.blocks_skipped));
     table.AddRow(row);
     std::fprintf(stderr, "[bench] k=%zu done\n", k);
   }

@@ -98,6 +98,123 @@ void BM_PostingListSeek(benchmark::State& state) {
 }
 BENCHMARK(BM_PostingListSeek)->Arg(1)->Arg(0);
 
+// --- Block decode kernels ------------------------------------------------
+// Three rungs of the same job — turn one block-sized delta-varint stream
+// into absolute doc ids — so the ladder isolates each win:
+//   SeedScalar:  the pre-block-decoder iterator loop (interleaved
+//                impact bytes, one GetVarint32 per posting, push_back
+//                into freshly cleared vectors);
+//   Scalar:      DecodeDeltaBlockScalar into a reused fixed buffer
+//                (buffer reuse + split layout, no SIMD);
+//   Simd:        DecodeDeltaBlock, whatever kernel this CPU dispatches
+//                to (label says which).
+
+constexpr size_t kDecodeCount = 1024;
+
+std::string MakeGapStream(bool interleave_impacts) {
+  Rng rng(10);
+  std::string stream;
+  for (size_t i = 0; i < kDecodeCount; ++i) {
+    // Dense-posting gap profile: single-byte varints, like MakeList's.
+    PutVarint32(1 + static_cast<uint32_t>(rng.UniformIndex(8)), &stream);
+    if (interleave_impacts) {
+      stream.push_back(static_cast<char>(rng.UniformIndex(256)));
+    }
+  }
+  return stream;
+}
+
+void BM_BlockDecodeSeedScalar(benchmark::State& state) {
+  const std::string stream = MakeGapStream(true);
+  std::vector<ItemId> docs;
+  std::vector<uint8_t> impacts;
+  for (auto _ : state) {
+    docs.clear();
+    impacts.clear();
+    size_t offset = 0;
+    uint32_t doc = 0;
+    for (size_t i = 0; i < kDecodeCount; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(stream, &offset, &delta)) {
+        state.SkipWithError("corrupt stream");
+        return;
+      }
+      doc = i == 0 ? delta : doc + delta;
+      docs.push_back(doc);
+      impacts.push_back(static_cast<uint8_t>(stream[offset]));
+      ++offset;
+    }
+    benchmark::DoNotOptimize(docs.data());
+    benchmark::DoNotOptimize(impacts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kDecodeCount));
+}
+BENCHMARK(BM_BlockDecodeSeedScalar);
+
+void BM_BlockDeltaDecodeScalar(benchmark::State& state) {
+  const std::string stream = MakeGapStream(false);
+  std::vector<uint32_t> out(kDecodeCount);
+  for (auto _ : state) {
+    size_t offset = 0;
+    if (!DecodeDeltaBlockScalar(stream.data(), stream.size(), &offset,
+                                kDecodeCount, out.data())) {
+      state.SkipWithError("corrupt stream");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kDecodeCount));
+}
+BENCHMARK(BM_BlockDeltaDecodeScalar);
+
+void BM_BlockDeltaDecodeSimd(benchmark::State& state) {
+  const std::string stream = MakeGapStream(false);
+  std::vector<uint32_t> out(kDecodeCount);
+  for (auto _ : state) {
+    size_t offset = 0;
+    if (!DecodeDeltaBlock(stream.data(), stream.size(), &offset,
+                          kDecodeCount, out.data())) {
+      state.SkipWithError("corrupt stream");
+      return;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kDecodeCount));
+  state.SetLabel(DeltaBlockKernelName());
+}
+BENCHMARK(BM_BlockDeltaDecodeSimd);
+
+// Full-list traversal with the block-max skip table: Arg(1) prunes
+// against a floor only the highest-impact blocks clear; Arg(0) decodes
+// everything (threshold below every bound). The counters report how much
+// of the list the pruned run never touched.
+void BM_BlockMaxTraversal(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  const PostingList list = MakeList(100000, true);
+  const double threshold =
+      prune ? 0.999 * static_cast<double>(list.max_score()) : -1.0;
+  uint64_t decoded = 0;
+  uint64_t skipped = 0;
+  for (auto _ : state) {
+    auto it = list.NewIterator();
+    uint64_t checksum = 0;
+    while (it.Valid()) {
+      if (!it.SkipToBlockWithBoundAbove(threshold)) break;
+      checksum += it.Doc();
+      it.Next();
+    }
+    benchmark::DoNotOptimize(checksum);
+    decoded = it.blocks_decoded();
+    skipped = it.blocks_skipped();
+  }
+  state.counters["blocks_decoded"] = static_cast<double>(decoded);
+  state.counters["blocks_skipped"] = static_cast<double>(skipped);
+}
+BENCHMARK(BM_BlockMaxTraversal)->Arg(1)->Arg(0);
+
 void BM_TopKHeapPush(benchmark::State& state) {
   Rng rng(5);
   std::vector<double> scores(100000);

@@ -2,6 +2,7 @@
 //   * adaptive pull scheduling (hybrid) vs static biases
 //   * the proximity cache
 //   * posting-list skip pointers (conjunctive AND queries)
+//   * block-max pruning (conjunctive AND queries; results invariant)
 //   * impact-ordered lists (memory vs TA availability)
 
 #include <cstdio>
@@ -96,6 +97,20 @@ int main() {
             bench::RunQueries(no_skips.engine.get(), all_queries,
                               AlgorithmId::kMergeScan),
             HumanBytes(no_skips.engine->inverted_index().MemoryBytes()));
+  }
+
+  // Block-max pruning off: every block's stored bound saturates to the
+  // list max, so conjunctive merge-scan decodes blocks it could have
+  // proven irrelevant. Results are identical (the invariance suite
+  // asserts it); only traversal work moves.
+  {
+    SocialSearchEngine::Options options;
+    options.index_options.posting_options.enable_block_max = false;
+    bench::EngineBundle no_bmax = bench::BuildEngine(config, options);
+    add_row("  - block-max off", "AND",
+            bench::RunQueries(no_bmax.engine.get(), all_queries,
+                              AlgorithmId::kMergeScan),
+            HumanBytes(no_bmax.engine->inverted_index().MemoryBytes()));
   }
 
   // Impact-ordered lists off: TA unavailable, merge-scan carries OR

@@ -19,6 +19,8 @@ void EngineStats::RecordQuery(std::string_view algorithm, double elapsed_ms,
   agg.sorted_accesses += stats.aggregation.sorted_accesses;
   agg.random_accesses += stats.aggregation.random_accesses;
   agg.items_considered += stats.items_considered;
+  agg.blocks_decoded += stats.aggregation.blocks_decoded;
+  agg.blocks_skipped += stats.aggregation.blocks_skipped;
 }
 
 void EngineStats::RecordTailScan(uint64_t tail_items, double elapsed_ms) {
@@ -85,14 +87,17 @@ double EngineStats::MeanLatencyMsFor(std::string_view algorithm) const {
 std::string EngineStats::ToString() const {
   std::lock_guard<std::mutex> lock(mutex_);
   TablePrinter table({"algorithm", "queries", "mean ms", "max ms",
-                      "sorted acc", "random acc", "items scanned"});
+                      "sorted acc", "random acc", "items scanned",
+                      "blk dec", "blk skip"});
   for (const auto& [name, agg] : per_algorithm_) {
     table.AddRow({name, std::to_string(agg.latency_ms.count()),
                   StringPrintf("%.3f", agg.latency_ms.mean()),
                   StringPrintf("%.3f", agg.latency_ms.max()),
                   std::to_string(agg.sorted_accesses),
                   std::to_string(agg.random_accesses),
-                  std::to_string(agg.items_considered)});
+                  std::to_string(agg.items_considered),
+                  std::to_string(agg.blocks_decoded),
+                  std::to_string(agg.blocks_skipped)});
   }
   std::string summary = table.ToString();
   summary += StringPrintf(

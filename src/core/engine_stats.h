@@ -139,6 +139,8 @@ class EngineStats {
     uint64_t sorted_accesses = 0;
     uint64_t random_accesses = 0;
     uint64_t items_considered = 0;
+    uint64_t blocks_decoded = 0;
+    uint64_t blocks_skipped = 0;
   };
 
   mutable std::mutex mutex_;

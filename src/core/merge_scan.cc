@@ -10,12 +10,21 @@
 namespace amici {
 namespace {
 
+void FlushTraversalCounters(const PostingList::Iterator& it,
+                            SearchStats* stats) {
+  stats->aggregation.blocks_decoded += it.blocks_decoded();
+  stats->aggregation.blocks_skipped += it.blocks_skipped();
+}
+
 /// kAll: leapfrog intersection over doc-ordered lists; SeekGeq exploits
-/// skip pointers. Lists are visited smallest-first so the rarest tag
-/// drives the probes.
+/// skip pointers and block-max pruning discards driver blocks that
+/// cannot beat the current top-k floor. Lists are visited smallest-first
+/// so the rarest tag drives the probes.
 void IntersectAndScore(const QueryContext& ctx, const Scorer& scorer,
                        TopKHeap* heap, SearchStats* stats) {
   const SocialQuery& query = *ctx.query;
+  const double alpha = query.alpha;
+  const double content_weight = 1.0 - alpha;
   std::vector<PostingList::Iterator> iters;
   iters.reserve(query.tags.size());
   std::vector<size_t> order(query.tags.size());
@@ -24,43 +33,58 @@ void IntersectAndScore(const QueryContext& ctx, const Scorer& scorer,
     return ctx.inverted->DocumentFrequency(query.tags[a]) <
            ctx.inverted->DocumentFrequency(query.tags[b]);
   });
+  bool some_tag_empty = false;
   for (const size_t i : order) {
     iters.push_back(ctx.inverted->Postings(query.tags[i]).NewIterator());
-    if (!iters.back().Valid()) return;  // some tag matches nothing
+    if (!iters.back().Valid()) some_tag_empty = true;
   }
 
-  while (true) {
-    // Propose the current doc of the rarest list; ask every other list to
-    // catch up. Restart whenever someone overshoots.
-    ItemId candidate = iters[0].Doc();
-    bool agreed = true;
-    for (size_t i = 1; i < iters.size(); ++i) {
-      iters[i].SeekGeq(candidate);
-      if (!iters[i].Valid()) return;
-      if (iters[i].Doc() != candidate) {
-        iters[0].SeekGeq(iters[i].Doc());
-        if (!iters[0].Valid()) return;
-        agreed = false;
-        break;
+  const auto leapfrog = [&]() {
+    while (true) {
+      // Block-max prune on the driver list. An intersection result in a
+      // driver block scores at most alpha * 1 + (1 - alpha) * block
+      // quality bound, so blocks whose bound stays strictly below the
+      // floor (minus slack — see kBlockMaxPruneSlack) hold no winner.
+      if (content_weight > 0.0 && heap->full()) {
+        const double quality_needed =
+            (heap->KthScore() - kBlockMaxPruneSlack - alpha) / content_weight;
+        if (!iters[0].SkipToBlockWithBoundAbove(quality_needed)) return;
       }
-    }
-    if (!agreed) continue;
+      // Propose the current doc of the rarest list; ask every other list
+      // to catch up. Restart whenever someone overshoots.
+      const ItemId candidate = iters[0].Doc();
+      bool agreed = true;
+      for (size_t i = 1; i < iters.size(); ++i) {
+        iters[i].SeekGeq(candidate);
+        if (!iters[i].Valid()) return;
+        if (iters[i].Doc() != candidate) {
+          iters[0].SeekGeq(iters[i].Doc());
+          if (!iters[0].Valid()) return;
+          agreed = false;
+          break;
+        }
+      }
+      if (!agreed) continue;
 
-    ++stats->items_considered;
-    if (candidate < ctx.index_horizon &&
-        (ctx.filter == nullptr || ctx.filter(candidate))) {
-      const double score = scorer.Score(candidate);
-      if (score > 0.0) heap->Push(candidate, score);
+      ++stats->items_considered;
+      if (candidate < ctx.index_horizon &&
+          (ctx.filter == nullptr || ctx.filter(candidate))) {
+        const double score = scorer.Score(candidate);
+        if (score > 0.0) heap->Push(candidate, score);
+      }
+      iters[0].Next();
+      if (!iters[0].Valid()) return;
     }
-    iters[0].Next();
-    if (!iters[0].Valid()) return;
-  }
+  };
+  if (!some_tag_empty) leapfrog();
+  for (const auto& it : iters) FlushTraversalCounters(it, stats);
 }
 
 /// kAny: union of the tag lists plus social candidates.
 void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
                    TopKHeap* heap, SearchStats* stats) {
   const SocialQuery& query = *ctx.query;
+  const double content_weight = 1.0 - query.alpha;
   std::unordered_set<ItemId> seen;
 
   auto consider = [&](ItemId item) {
@@ -72,14 +96,13 @@ void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
     if (score > 0.0) heap->Push(item, score);
   };
 
-  for (const TagId tag : query.tags) {
-    for (auto it = ctx.inverted->Postings(tag).NewIterator(); it.Valid();
-         it.Next()) {
-      consider(it.Doc());
-    }
-  }
-  // Social candidates: the querying user's own items, then every user with
-  // positive proximity.
+  // Social candidates first — the querying user's own items, then every
+  // user with positive proximity. Running them before the tag sweeps
+  // both fills the heap early (so the sweeps prune against a real floor)
+  // and establishes the exactness invariant of the prune below: every
+  // item with a positive social term has been considered already, so an
+  // item first met in a pruned tag block scores at most
+  // (1 - alpha) * block quality bound < floor.
   for (const ScoredItem& own : ctx.social->ItemsOf(query.user)) {
     consider(own.item);
   }
@@ -88,6 +111,20 @@ void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
     for (const ScoredItem& item : ctx.social->ItemsOf(entry.user)) {
       consider(item.item);
     }
+  }
+
+  for (const TagId tag : query.tags) {
+    auto it = ctx.inverted->Postings(tag).NewIterator();
+    while (it.Valid()) {
+      if (content_weight > 0.0 && heap->full()) {
+        const double quality_needed =
+            (heap->KthScore() - kBlockMaxPruneSlack) / content_weight;
+        if (!it.SkipToBlockWithBoundAbove(quality_needed)) break;
+      }
+      consider(it.Doc());
+      it.Next();
+    }
+    FlushTraversalCounters(it, stats);
   }
 }
 

@@ -11,7 +11,9 @@ namespace amici {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'M', 'I', 'I'};
-constexpr uint32_t kVersion = 1;
+// Version 2: the embedded PostingList images moved to their v2 format
+// (per-block max impact, split delta/impact payload).
+constexpr uint32_t kVersion = 2;
 constexpr size_t kBlock = BlockFile::kBlockSize;
 
 struct Header {

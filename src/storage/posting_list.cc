@@ -12,12 +12,31 @@ namespace {
 
 constexpr int kQuantLevels = 255;
 
-// Conservative 8-bit quantization: bound >= score guaranteed by ceiling.
+/// Serialized-image version. 2 = per-block max impact in the skip table
+/// plus split delta/impact block payload; the unversioned v1 layout is
+/// rejected by DeserializeFrom.
+constexpr uint8_t kFormatVersion = 2;
+
+float DecodeBound(uint8_t impact, float max_score) {
+  return static_cast<float>(impact) / static_cast<float>(kQuantLevels) *
+         max_score;
+}
+
+// Conservative 8-bit quantization: bound >= score guaranteed by the
+// ceiling in real arithmetic, then re-checked against the FLOAT decode
+// the iterator actually computes — float rounding of impact/255*max can
+// land a hair below the score, and pruning correctness needs a true
+// upper bound, not an almost-upper bound.
 uint8_t QuantizeUp(float score, float max_score) {
   if (max_score <= 0.0f) return 0;
   const double q = std::ceil(static_cast<double>(score) /
                              static_cast<double>(max_score) * kQuantLevels);
-  return static_cast<uint8_t>(std::min(q, static_cast<double>(kQuantLevels)));
+  uint8_t quant =
+      static_cast<uint8_t>(std::min(q, static_cast<double>(kQuantLevels)));
+  while (quant < kQuantLevels && DecodeBound(quant, max_score) < score) {
+    ++quant;
+  }
+  return quant;
 }
 
 }  // namespace
@@ -53,17 +72,31 @@ Result<PostingList> PostingList::Build(const std::vector<ScoredItem>& postings,
     skip.offset = list.data_.size();
     skip.last_item = postings[end - 1].item;
     skip.num_postings = static_cast<uint32_t>(end - begin);
+    // Split payload: the block's deltas back to back, then its impacts —
+    // one contiguous varint stream for the batched decoder.
     for (size_t i = begin; i < end; ++i) {
       const uint32_t delta =
           i == begin ? postings[i].item : postings[i].item -
                                           postings[i - 1].item;
       PutVarint32(delta, &list.data_);
-      list.data_.push_back(static_cast<char>(
-          QuantizeUp(postings[i].score, list.max_score_)));
     }
+    uint8_t max_impact = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const uint8_t impact =
+          QuantizeUp(postings[i].score, list.max_score_);
+      list.data_.push_back(static_cast<char>(impact));
+      max_impact = std::max(max_impact, impact);
+    }
+    skip.max_impact = options.enable_block_max
+                          ? max_impact
+                          : static_cast<uint8_t>(kQuantLevels);
     list.skips_.push_back(skip);
   }
   return list;
+}
+
+float PostingList::DecodeImpactBound(uint8_t impact) const {
+  return DecodeBound(impact, max_score_);
 }
 
 std::vector<ItemId> PostingList::DecodeDocs() const {
@@ -99,17 +132,21 @@ size_t PostingList::SizeBytes() const {
 }
 
 void PostingList::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(kFormatVersion));
   PutVarint64(count_, out);
   uint32_t score_bits = 0;
   std::memcpy(&score_bits, &max_score_, sizeof(score_bits));
   PutVarint32(score_bits, out);
   PutVarint64(options_.block_size, out);
-  out->push_back(options_.enable_skips ? 1 : 0);
+  const uint8_t flags = (options_.enable_skips ? 1 : 0) |
+                        (options_.enable_block_max ? 2 : 0);
+  out->push_back(static_cast<char>(flags));
   PutVarint64(skips_.size(), out);
   for (const SkipEntry& skip : skips_) {
     PutVarint32(skip.last_item, out);
     PutVarint64(skip.offset, out);
     PutVarint32(skip.num_postings, out);
+    out->push_back(static_cast<char>(skip.max_impact));
   }
   PutVarint64(data_.size(), out);
   out->append(data_);
@@ -117,6 +154,16 @@ void PostingList::SerializeTo(std::string* out) const {
 
 Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
                                                  size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::Corruption("truncated posting-list version");
+  }
+  const uint8_t version = static_cast<uint8_t>(data[(*offset)++]);
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported posting-list format version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kFormatVersion) +
+                              "); re-serialize from source");
+  }
   PostingList list;
   uint64_t count = 0;
   uint32_t score_bits = 0;
@@ -132,7 +179,12 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
   if (*offset >= data.size()) {
     return Status::Corruption("truncated posting-list flags");
   }
-  list.options_.enable_skips = data[(*offset)++] != 0;
+  const uint8_t flags = static_cast<uint8_t>(data[(*offset)++]);
+  if (flags > 3) {
+    return Status::Corruption("unknown posting-list flag bits");
+  }
+  list.options_.enable_skips = (flags & 1) != 0;
+  list.options_.enable_block_max = (flags & 2) != 0;
 
   uint64_t num_skips = 0;
   if (!GetVarint64(data, offset, &num_skips)) {
@@ -148,6 +200,10 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
       return Status::Corruption("truncated skip entry");
     }
     skip.offset = byte_offset;
+    if (*offset >= data.size()) {
+      return Status::Corruption("truncated block max impact");
+    }
+    skip.max_impact = static_cast<uint8_t>(data[(*offset)++]);
     list.skips_.push_back(skip);
   }
   uint64_t payload_size = 0;
@@ -158,12 +214,24 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
   list.data_ = data.substr(*offset, payload_size);
   *offset += payload_size;
 
-  // Structural sanity: skip offsets must lie inside the payload and
-  // posting counts must add up.
+  // Structural sanity: blocks must tile the payload in order, each block
+  // must be large enough to hold its trailing impact bytes, no block may
+  // exceed block_size (the iterator's decode buffers are sized to it),
+  // and posting counts must add up.
   uint64_t total = 0;
-  for (const SkipEntry& skip : list.skips_) {
-    if (skip.offset > list.data_.size()) {
-      return Status::Corruption("skip offset out of range");
+  for (size_t i = 0; i < list.skips_.size(); ++i) {
+    const SkipEntry& skip = list.skips_[i];
+    const uint64_t block_end = i + 1 < list.skips_.size()
+                                   ? list.skips_[i + 1].offset
+                                   : list.data_.size();
+    if (skip.offset > block_end || block_end > list.data_.size()) {
+      return Status::Corruption("skip offsets out of order");
+    }
+    if (skip.num_postings == 0 || skip.num_postings > list.options_.block_size) {
+      return Status::Corruption("block posting count out of range");
+    }
+    if (block_end - skip.offset < skip.num_postings) {
+      return Status::Corruption("block too small for its impact bytes");
     }
     total += skip.num_postings;
   }
@@ -175,43 +243,55 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
 
 PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
   AMICI_CHECK(list != nullptr);
-  block_docs_.reserve(list->options_.block_size);
-  block_impacts_.reserve(list->options_.block_size);
   if (!list_->skips_.empty()) {
+    // Size the decode buffers once; LoadBlock reuses them verbatim.
+    block_docs_.resize(list->options_.block_size);
+    block_impacts_.resize(list->options_.block_size);
     LoadBlock(0);
     valid_ = true;
   }
 }
 
 float PostingList::Iterator::ImpactBound() const {
-  return static_cast<float>(block_impacts_[index_in_block_]) /
-         static_cast<float>(kQuantLevels) * list_->max_score_;
+  return list_->DecodeImpactBound(block_impacts_[index_in_block_]);
+}
+
+float PostingList::Iterator::BoundOfBlock(size_t block) const {
+  return list_->DecodeImpactBound(list_->skips_[block].max_impact);
+}
+
+float PostingList::Iterator::BlockMaxBound() const {
+  AMICI_CHECK(valid_);
+  return BoundOfBlock(block_);
 }
 
 void PostingList::Iterator::LoadBlock(size_t block) {
   block_ = block;
   index_in_block_ = 0;
-  block_docs_.clear();
-  block_impacts_.clear();
   const SkipEntry& skip = list_->skips_[block];
-  size_t offset = skip.offset;
-  uint32_t doc = 0;
-  for (uint32_t i = 0; i < skip.num_postings; ++i) {
-    uint32_t delta = 0;
-    const bool ok = GetVarint32(list_->data_, &offset, &delta);
-    AMICI_CHECK(ok) << "corrupt posting block";
-    doc = i == 0 ? delta : doc + delta;
-    block_docs_.push_back(doc);
-    AMICI_CHECK(offset < list_->data_.size());
-    block_impacts_.push_back(static_cast<uint8_t>(list_->data_[offset]));
-    ++offset;
-  }
+  block_count_ = skip.num_postings;
+  const size_t block_end =
+      block + 1 < list_->skips_.size()
+          ? static_cast<size_t>(list_->skips_[block + 1].offset)
+          : list_->data_.size();
+  AMICI_CHECK(block_end <= list_->data_.size() &&
+              skip.offset + block_count_ <= block_end);
+  // The impacts are the block's trailing num_postings bytes; the delta
+  // stream fills [offset, impacts_offset) and is decoded in one batch.
+  const size_t impacts_offset = block_end - block_count_;
+  size_t offset = static_cast<size_t>(skip.offset);
+  const bool ok = DecodeDeltaBlock(list_->data_.data(), impacts_offset,
+                                   &offset, block_count_, block_docs_.data());
+  AMICI_CHECK(ok) << "corrupt posting block";
+  std::memcpy(block_impacts_.data(), list_->data_.data() + impacts_offset,
+              block_count_);
+  ++blocks_decoded_;
 }
 
 void PostingList::Iterator::Next() {
   AMICI_CHECK(valid_);
   ++index_in_block_;
-  if (index_in_block_ < block_docs_.size()) return;
+  if (index_in_block_ < block_count_) return;
   if (block_ + 1 < list_->skips_.size()) {
     LoadBlock(block_ + 1);
   } else {
@@ -236,22 +316,40 @@ void PostingList::Iterator::SeekGeq(ItemId target) {
           hi = mid;
         }
       }
+      blocks_skipped_ += lo - block_ - 1;
       if (lo == list_->skips_.size()) {
         valid_ = false;
         return;
       }
       LoadBlock(lo);
     }
-    while (index_in_block_ < block_docs_.size() &&
+    while (index_in_block_ < block_count_ &&
            block_docs_[index_in_block_] < target) {
       ++index_in_block_;
     }
-    AMICI_CHECK(index_in_block_ < block_docs_.size());
+    AMICI_CHECK(index_in_block_ < block_count_);
     return;
   }
 
   // Skip-free fallback: linear scan (the ablation path).
   while (valid_ && Doc() < target) Next();
+}
+
+bool PostingList::Iterator::SkipToBlockWithBoundAbove(double threshold) {
+  if (!valid_) return false;
+  if (static_cast<double>(BoundOfBlock(block_)) >= threshold) return true;
+  size_t block = block_ + 1;
+  while (block < list_->skips_.size() &&
+         static_cast<double>(BoundOfBlock(block)) < threshold) {
+    ++block;
+  }
+  blocks_skipped_ += block - block_ - 1;
+  if (block == list_->skips_.size()) {
+    valid_ = false;
+    return false;
+  }
+  LoadBlock(block);
+  return true;
 }
 
 }  // namespace amici

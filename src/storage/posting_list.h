@@ -30,17 +30,42 @@ inline bool ScoreDescItemAsc(const ScoredItem& a, const ScoredItem& b) {
   return a.item < b.item;
 }
 
-/// Compressed, document-ordered posting list with per-block skip pointers.
+/// Absolute safety margin for block-max pruning comparisons. Quantized
+/// block bounds are conservative by construction and re-checked against
+/// float decode rounding, so the only remaining hazard when a caller
+/// blends a bound into a score ceiling (alpha * 1 + (1 - alpha) * bound)
+/// is double-rounding noise, ~1e-16 on O(1) scores. Subtracting this from
+/// the top-k floor before pruning buries that noise while staying ~6
+/// orders of magnitude below the 8-bit quantization step, so it never
+/// costs a skip that mattered. Combined with pruning only strictly-below-
+/// floor blocks (equal scores are kept, preserving id-tie-break entrants),
+/// block-max pruning is exactly result-preserving.
+inline constexpr double kBlockMaxPruneSlack = 1e-9;
+
+/// Compressed, document-ordered posting list with per-block skip pointers
+/// and per-block max-impact bounds.
 ///
 /// Layout: postings are grouped into blocks of `block_size`. Within a
-/// block, item ids are delta-varint coded and each carries an 8-bit
-/// quantized impact. A skip table holds (last_item, byte offset, block max
-/// impact) per block, enabling SeekGeq to jump over blocks.
+/// block's payload the item-id deltas are varint coded back to back,
+/// followed by the block's 8-bit quantized impacts, one byte per posting
+/// (the split keeps the delta stream contiguous for the batched SIMD
+/// decoder in util/varint). A skip table holds (last_item, byte offset,
+/// posting count, block max impact) per block, so SeekGeq can jump over
+/// blocks and SkipToBlockWithBoundAbove can discard blocks whose best
+/// possible impact cannot matter — WAND-style block-max pruning.
 ///
 /// Impact quantization is *conservative*: the decoded bound is always >=
-/// the true score (rounding up), so traversal decisions based on it never
-/// miss a result; exact scores are re-read from the ItemStore at scoring
-/// time. This mirrors the classic compressed-index + exact-rescore design.
+/// the true score (rounding up, re-checked against float rounding in the
+/// decode formula), so traversal decisions based on it never miss a
+/// result; exact scores are re-read from the ItemStore at scoring time.
+/// This mirrors the classic compressed-index + exact-rescore design.
+///
+/// Serialized format (SerializeTo/DeserializeFrom) is versioned; the
+/// current version is 2 (leading byte). Version 2 added the per-block
+/// max impact and the split delta/impact block payload; version-1 images
+/// (unversioned, interleaved payload) are rejected as Corruption —
+/// re-serialize from source. The on-disk index format embeds these
+/// images, so its own version bumped in lockstep.
 class PostingList {
  public:
   struct Options {
@@ -49,6 +74,11 @@ class PostingList {
     /// When false, no skip table is built and SeekGeq degrades to linear
     /// scanning — the Table 3 ablation knob.
     bool enable_skips = true;
+    /// When false, every block's stored max impact saturates to the
+    /// whole-list bound, so SkipToBlockWithBoundAbove degrades to
+    /// list-global pruning — the block-max ablation knob. Results are
+    /// identical either way; only blocks_decoded/blocks_skipped move.
+    bool enable_block_max = true;
   };
 
   /// Streaming decoder over one PostingList. Forward-only.
@@ -65,6 +95,12 @@ class PostingList {
     /// Conservative impact bound for the current posting (>= true score).
     float ImpactBound() const;
 
+    /// Conservative bound over every posting in the current block:
+    /// >= ImpactBound() of each, hence >= every true score in the block.
+    /// With enable_block_max off this saturates to max_score().
+    /// Requires Valid().
+    float BlockMaxBound() const;
+
     /// Advances by one posting.
     void Next();
 
@@ -72,13 +108,33 @@ class PostingList {
     /// already there). Uses the skip table when available.
     void SeekGeq(ItemId target);
 
+    /// Block-max pruning primitive. If the current block's BlockMaxBound
+    /// is >= threshold, stays put (mid-block position preserved).
+    /// Otherwise jumps forward to the first posting of the next block
+    /// whose bound reaches threshold, never decoding the blocks passed
+    /// over. Returns Valid(). Exactness: a skipped block's bound is >=
+    /// every true score inside it, so callers that only skip when the
+    /// bound provably cannot beat their floor lose nothing.
+    bool SkipToBlockWithBoundAbove(double threshold);
+
+    /// Traversal observability: blocks decoded by this iterator, and
+    /// blocks passed over undecoded (by SeekGeq or block-max pruning).
+    uint64_t blocks_decoded() const { return blocks_decoded_; }
+    uint64_t blocks_skipped() const { return blocks_skipped_; }
+
    private:
     void LoadBlock(size_t block);
+    float BoundOfBlock(size_t block) const;
 
     const PostingList* list_;
     size_t block_ = 0;
     size_t index_in_block_ = 0;
+    size_t block_count_ = 0;  // postings in the loaded block
     bool valid_ = false;
+    uint64_t blocks_decoded_ = 0;
+    uint64_t blocks_skipped_ = 0;
+    // Fixed-capacity decode buffers, sized once to block_size at
+    // construction and reused across LoadBlock calls.
     std::vector<ItemId> block_docs_;
     std::vector<uint8_t> block_impacts_;
   };
@@ -139,7 +195,13 @@ class PostingList {
     ItemId last_item;     // largest item id in the block
     uint64_t offset;      // byte offset of the block in data_
     uint32_t num_postings;  // postings in this block
+    uint8_t max_impact;   // largest quantized impact in the block
+                          // (saturated to 255 when block-max is disabled)
   };
+
+  /// Decoded float bound for a quantized impact; monotone in `impact`,
+  /// so a block's max_impact decodes to a bound covering every posting.
+  float DecodeImpactBound(uint8_t impact) const;
 
   std::string data_;
   std::vector<SkipEntry> skips_;

@@ -35,6 +35,12 @@ struct AggregationStats {
   uint64_t sorted_accesses = 0;
   uint64_t random_accesses = 0;
   uint64_t candidates_scored = 0;
+  /// Posting-list block traversal: blocks actually decoded vs blocks
+  /// passed over undecoded (SeekGeq jumps and block-max pruning).
+  /// Populated by the algorithms that walk PostingList iterators; summed
+  /// across shards in SearchResponse::stats.
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
 };
 
 /// Chooses which source to pull next, given the current per-source upper

@@ -1,6 +1,169 @@
 #include "util/varint.h"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define AMICI_VARINT_X86_64 1
+#include <immintrin.h>
+#endif
+
 namespace amici {
+namespace {
+
+// Decodes one varint32 gap from [*p, end). Mirrors GetVarint32's limits
+// (at most 5 bytes for a 32-bit value) but works on raw pointers so the
+// block kernels can share it without std::string indirection.
+inline bool DecodeOneGap(const uint8_t** p, const uint8_t* end,
+                         uint32_t* gap) {
+  const uint8_t* cursor = *p;
+  uint32_t value = 0;
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (cursor >= end) return false;
+    const uint8_t byte = *cursor++;
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = cursor;
+      *gap = value;
+      return true;
+    }
+  }
+  return false;  // Over-long encoding; PutVarint32 never emits one.
+}
+
+// Shared scalar core: decode `count` gaps starting from running value
+// `current` (the i==0 absolute-value case is base 0 + gap).
+inline bool ScalarDecodeRange(const uint8_t** p, const uint8_t* end,
+                              size_t count, uint32_t current,
+                              uint32_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t gap = 0;
+    if (!DecodeOneGap(p, end, &gap)) return false;
+    current += gap;
+    out[i] = current;
+  }
+  return true;
+}
+
+#ifdef AMICI_VARINT_X86_64
+
+// Widens 16 single-byte gaps to four u32x4 lanes, inclusive-prefix-sums
+// them, and adds the running base. Returns the new base (last absolute
+// value). SSE2-only intrinsics — safe on any x86-64.
+inline uint32_t Sum16SingleByteGaps(const __m128i raw, uint32_t base,
+                                    uint32_t* out) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i lo16 = _mm_unpacklo_epi8(raw, zero);
+  const __m128i hi16 = _mm_unpackhi_epi8(raw, zero);
+  const __m128i groups[4] = {
+      _mm_unpacklo_epi16(lo16, zero), _mm_unpackhi_epi16(lo16, zero),
+      _mm_unpacklo_epi16(hi16, zero), _mm_unpackhi_epi16(hi16, zero)};
+  for (int g = 0; g < 4; ++g) {
+    __m128i v = groups[g];
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+    v = _mm_add_epi32(v, _mm_set1_epi32(static_cast<int>(base)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * g), v);
+    base = static_cast<uint32_t>(
+        _mm_cvtsi128_si32(_mm_shuffle_epi32(v, _MM_SHUFFLE(3, 3, 3, 3))));
+  }
+  return base;
+}
+
+bool DecodeDeltaBlockSse2(const char* data, size_t limit, size_t* offset,
+                          size_t count, uint32_t* out) {
+  if (*offset > limit) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data) + *offset;
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(data) + limit;
+  uint32_t current = 0;
+  size_t i = 0;
+  while (i + 16 <= count && p + 16 <= end) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    if (_mm_movemask_epi8(raw) != 0) {
+      // A continuation byte in the window: peel one gap and re-probe.
+      uint32_t gap = 0;
+      if (!DecodeOneGap(&p, end, &gap)) return false;
+      current += gap;
+      out[i++] = current;
+      continue;
+    }
+    current = Sum16SingleByteGaps(raw, current, out + i);
+    p += 16;
+    i += 16;
+  }
+  if (!ScalarDecodeRange(&p, end, count - i, current, out + i)) return false;
+  *offset = static_cast<size_t>(p - reinterpret_cast<const uint8_t*>(data));
+  return true;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AMICI_VARINT_AVX2 1
+
+// AVX2 variant of Sum16SingleByteGaps: two 8-lane prefix sums per
+// 16-byte window. Compiled with the avx2 target attribute and only
+// reached when __builtin_cpu_supports("avx2") at dispatch time.
+__attribute__((target("avx2"))) inline uint32_t Sum16SingleByteGapsAvx2(
+    const __m128i raw, uint32_t base, uint32_t* out) {
+  const __m256i pick_last = _mm256_setr_epi32(0, 0, 0, 0, 3, 3, 3, 3);
+  const __m256i upper_lane =
+      _mm256_setr_epi32(0, 0, 0, 0, -1, -1, -1, -1);
+  for (int half = 0; half < 2; ++half) {
+    const __m128i bytes8 =
+        half == 0 ? raw : _mm_unpackhi_epi64(raw, raw);
+    __m256i v = _mm256_cvtepu8_epi32(bytes8);
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+    v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+    // Carry lane 0's total into lane 1 to complete the 8-wide scan.
+    const __m256i carry = _mm256_and_si256(
+        _mm256_permutevar8x32_epi32(v, pick_last), upper_lane);
+    v = _mm256_add_epi32(v, carry);
+    v = _mm256_add_epi32(v, _mm256_set1_epi32(static_cast<int>(base)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * half), v);
+    base = static_cast<uint32_t>(_mm256_extract_epi32(v, 7));
+  }
+  return base;
+}
+
+__attribute__((target("avx2"))) bool DecodeDeltaBlockAvx2(
+    const char* data, size_t limit, size_t* offset, size_t count,
+    uint32_t* out) {
+  if (*offset > limit) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data) + *offset;
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(data) + limit;
+  uint32_t current = 0;
+  size_t i = 0;
+  while (i + 16 <= count && p + 16 <= end) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    if (_mm_movemask_epi8(raw) != 0) {
+      uint32_t gap = 0;
+      if (!DecodeOneGap(&p, end, &gap)) return false;
+      current += gap;
+      out[i++] = current;
+      continue;
+    }
+    current = Sum16SingleByteGapsAvx2(raw, current, out + i);
+    p += 16;
+    i += 16;
+  }
+  if (!ScalarDecodeRange(&p, end, count - i, current, out + i)) return false;
+  *offset = static_cast<size_t>(p - reinterpret_cast<const uint8_t*>(data));
+  return true;
+}
+#endif  // __GNUC__ || __clang__
+
+enum class Kernel { kScalar, kSse2, kAvx2 };
+
+Kernel PickKernel() {
+#ifdef AMICI_VARINT_AVX2
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+#endif
+  return Kernel::kSse2;
+}
+
+const Kernel kKernel = PickKernel();
+
+#endif  // AMICI_VARINT_X86_64
+
+}  // namespace
 
 void PutVarint32(uint32_t value, std::string* out) {
   PutVarint64(value, out);
@@ -69,6 +232,41 @@ bool DeltaEncode(const std::vector<uint32_t>& values, std::string* out) {
     previous = values[i];
   }
   return true;
+}
+
+bool DecodeDeltaBlockScalar(const char* data, size_t limit, size_t* offset,
+                            size_t count, uint32_t* out) {
+  if (*offset > limit) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data) + *offset;
+  const uint8_t* end = reinterpret_cast<const uint8_t*>(data) + limit;
+  if (!ScalarDecodeRange(&p, end, count, 0, out)) return false;
+  *offset = static_cast<size_t>(p - reinterpret_cast<const uint8_t*>(data));
+  return true;
+}
+
+bool DecodeDeltaBlock(const char* data, size_t limit, size_t* offset,
+                      size_t count, uint32_t* out) {
+#ifdef AMICI_VARINT_X86_64
+#ifdef AMICI_VARINT_AVX2
+  if (kKernel == Kernel::kAvx2) {
+    return DecodeDeltaBlockAvx2(data, limit, offset, count, out);
+  }
+#endif
+  return DecodeDeltaBlockSse2(data, limit, offset, count, out);
+#else
+  return DecodeDeltaBlockScalar(data, limit, offset, count, out);
+#endif
+}
+
+const char* DeltaBlockKernelName() {
+#ifdef AMICI_VARINT_X86_64
+#ifdef AMICI_VARINT_AVX2
+  if (kKernel == Kernel::kAvx2) return "avx2";
+#endif
+  return "sse2";
+#else
+  return "scalar";
+#endif
 }
 
 bool DeltaDecode(const std::string& data, size_t count,

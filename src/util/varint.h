@@ -40,6 +40,36 @@ bool DeltaEncode(const std::vector<uint32_t>& values, std::string* out);
 bool DeltaDecode(const std::string& data, size_t count,
                  std::vector<uint32_t>* values);
 
+/// Batched delta-varint block decode — the posting-list hot path.
+///
+/// Decodes exactly `count` delta-coded varint32 values from
+/// data[*offset, limit): the first decoded value is absolute, each later
+/// one is the previous plus the decoded gap. Writes the absolute values
+/// to out[0, count) (caller-owned, at least `count` slots) and advances
+/// *offset past the last consumed byte. Returns false on truncated input
+/// (out and *offset are then unspecified).
+///
+/// Inputs are expected in PutVarint32's canonical form, as Build writes
+/// them; additions use wrapping uint32 arithmetic, so even adversarial
+/// bytes yield defined (if meaningless) output rather than UB.
+///
+/// DecodeDeltaBlock dispatches once per process to the widest available
+/// kernel: AVX2 when the CPU supports it, SSE2 on any x86-64, otherwise
+/// the portable scalar loop. The SIMD kernels fast-path 16-byte windows
+/// of single-byte gaps — the overwhelmingly common case for dense
+/// posting blocks — and defer to the scalar loop for multi-byte gaps.
+/// Every kernel produces bit-identical output on every input;
+/// DecodeDeltaBlockScalar is the reference the fuzz tests compare
+/// against.
+bool DecodeDeltaBlock(const char* data, size_t limit, size_t* offset,
+                      size_t count, uint32_t* out);
+bool DecodeDeltaBlockScalar(const char* data, size_t limit, size_t* offset,
+                            size_t count, uint32_t* out);
+
+/// Name of the kernel DecodeDeltaBlock dispatches to on this machine:
+/// "avx2", "sse2", or "scalar". For bench labels and test diagnostics.
+const char* DeltaBlockKernelName();
+
 }  // namespace amici
 
 #endif  // AMICI_UTIL_VARINT_H_

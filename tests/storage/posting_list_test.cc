@@ -171,5 +171,164 @@ TEST(PostingListTest, ZeroScoresAllowed) {
   EXPECT_EQ(it.ImpactBound(), 0.0f);
 }
 
+// --- Block-max bounds and pruning ---------------------------------------
+
+TEST(PostingListTest, ImpactBoundIsExactFloatUpperBound) {
+  // The hardened quantizer must guarantee bound >= score in FLOAT
+  // arithmetic, with no epsilon: block-max pruning exactness builds on
+  // this, not on an approximate "conservative up to 1e-6".
+  const auto postings = MakePostings(2000, 3, 21);
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  size_t i = 0;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next(), ++i) {
+    ASSERT_GE(it.ImpactBound(), postings[i].score);
+  }
+}
+
+TEST(PostingListTest, BlockMaxBoundCoversEveryPostingInBlock) {
+  PostingList::Options options;
+  options.block_size = 16;
+  const auto postings = MakePostings(500, 4, 22);
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+  size_t i = 0;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next(), ++i) {
+    ASSERT_GE(it.BlockMaxBound(), it.ImpactBound());
+    ASSERT_GE(it.BlockMaxBound(), postings[i].score);
+    ASSERT_LE(it.BlockMaxBound(), list.value().max_score());
+  }
+}
+
+TEST(PostingListTest, BlockMaxBoundIsTightPerBlock) {
+  // Some block must have a bound strictly below the list max — otherwise
+  // the skip table degenerated to the list-global bound. With 50 blocks
+  // of 8 uniform scores this fails with essentially probability 0.
+  PostingList::Options options;
+  options.block_size = 8;
+  const auto postings = MakePostings(400, 4, 23);
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+  bool some_block_below_max = false;
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next()) {
+    if (it.BlockMaxBound() < list.value().max_score()) {
+      some_block_below_max = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(some_block_below_max);
+}
+
+TEST(PostingListTest, DisabledBlockMaxSaturatesToListBound) {
+  PostingList::Options options;
+  options.block_size = 8;
+  options.enable_block_max = false;
+  const auto postings = MakePostings(200, 4, 24);
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+  for (auto it = list.value().NewIterator(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.BlockMaxBound(), list.value().max_score());
+  }
+}
+
+TEST(PostingListTest, SkipToBlockWithBoundAboveStaysWhenCurrentQualifies) {
+  const auto postings = MakePostings(100, 4, 25);
+  const auto list = PostingList::Build(postings);
+  ASSERT_TRUE(list.ok());
+  auto it = list.value().NewIterator();
+  it.Next();
+  it.Next();
+  const ItemId doc = it.Doc();
+  // Any threshold at or below the current block's bound is a no-op.
+  ASSERT_TRUE(it.SkipToBlockWithBoundAbove(-1.0));
+  EXPECT_EQ(it.Doc(), doc);
+  ASSERT_TRUE(it.SkipToBlockWithBoundAbove(it.BlockMaxBound()));
+  EXPECT_EQ(it.Doc(), doc);
+}
+
+TEST(PostingListTest, SkipToBlockWithBoundAboveLandsOnQualifyingBlock) {
+  // Low-scored filler with one high-scored block far into the list.
+  std::vector<ScoredItem> postings;
+  for (uint32_t d = 0; d < 640; ++d) {
+    const bool spike = d >= 512 && d < 520;
+    postings.push_back({d, spike ? 0.9f : 0.1f});
+  }
+  PostingList::Options options;
+  options.block_size = 8;
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+
+  auto it = list.value().NewIterator();
+  ASSERT_TRUE(it.SkipToBlockWithBoundAbove(0.5));
+  EXPECT_EQ(it.Doc(), 512u);
+  EXPECT_GE(it.BlockMaxBound(), 0.9f);
+  // 64 blocks of 8; the spike is block 64 (0-based), so 63 blocks were
+  // passed over undecoded and 2 were decoded (block 0 + the landing).
+  EXPECT_EQ(it.blocks_decoded(), 2u);
+  EXPECT_EQ(it.blocks_skipped(), 63u);
+
+  // Consume the spike block; no block beyond it qualifies, so the next
+  // pruning probe exhausts the iterator.
+  while (it.Valid() && it.Doc() < 520) it.Next();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_FALSE(it.SkipToBlockWithBoundAbove(0.5));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, TraversalCountersTrackDecodes) {
+  PostingList::Options options;
+  options.block_size = 8;
+  const auto postings = MakePostings(100, 4, 26);  // 13 blocks
+  const auto list = PostingList::Build(postings, options);
+  ASSERT_TRUE(list.ok());
+
+  auto it = list.value().NewIterator();
+  while (it.Valid()) it.Next();
+  EXPECT_EQ(it.blocks_decoded(), 13u);
+  EXPECT_EQ(it.blocks_skipped(), 0u);
+
+  // A far SeekGeq decodes two blocks (first + landing, block 11) and
+  // skips blocks 1..10 in between.
+  auto seeker = list.value().NewIterator();
+  seeker.SeekGeq(postings[90].item);
+  ASSERT_TRUE(seeker.Valid());
+  EXPECT_EQ(seeker.blocks_decoded(), 2u);
+  EXPECT_EQ(seeker.blocks_skipped(), 10u);
+}
+
+TEST(PostingListTest, BlockMaxSurvivesMergeFrom) {
+  PostingList::Options options;
+  options.block_size = 8;
+  const auto postings = MakePostings(120, 4, 27);
+  const auto base_postings =
+      std::vector<ScoredItem>(postings.begin(), postings.end() - 40);
+  const auto tail =
+      std::vector<ScoredItem>(postings.end() - 40, postings.end());
+  const auto base = PostingList::Build(base_postings, options);
+  ASSERT_TRUE(base.ok());
+  auto score_of = [&](ItemId item) {
+    for (const auto& p : postings) {
+      if (p.item == item) return p.score;
+    }
+    return 0.0f;
+  };
+  const auto merged =
+      base.value().MergeFrom(std::span<const ScoredItem>(tail), score_of);
+  ASSERT_TRUE(merged.ok());
+  const auto rebuilt = PostingList::Build(postings, options);
+  ASSERT_TRUE(rebuilt.ok());
+  auto merged_it = merged.value().NewIterator();
+  auto rebuilt_it = rebuilt.value().NewIterator();
+  while (rebuilt_it.Valid()) {
+    ASSERT_TRUE(merged_it.Valid());
+    EXPECT_EQ(merged_it.Doc(), rebuilt_it.Doc());
+    EXPECT_EQ(merged_it.ImpactBound(), rebuilt_it.ImpactBound());
+    EXPECT_EQ(merged_it.BlockMaxBound(), rebuilt_it.BlockMaxBound());
+    merged_it.Next();
+    rebuilt_it.Next();
+  }
+  EXPECT_FALSE(merged_it.Valid());
+}
+
 }  // namespace
 }  // namespace amici

@@ -146,5 +146,118 @@ TEST(DeltaTest, DecodeDetectsTruncation) {
                            values.size(), &decoded));
 }
 
+// --- Batched block decode ------------------------------------------------
+
+TEST(DecodeDeltaBlockTest, KernelNameIsKnown) {
+  const std::string kernel = DeltaBlockKernelName();
+  EXPECT_TRUE(kernel == "avx2" || kernel == "sse2" || kernel == "scalar")
+      << kernel;
+}
+
+TEST(DecodeDeltaBlockTest, MatchesDeltaDecodeOnStrictlyIncreasingInput) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t count = rng.UniformIndex(400);
+    std::vector<uint32_t> values;
+    uint32_t v = 0;
+    for (size_t i = 0; i < count; ++i) {
+      // Mix of 1-byte and multi-byte gaps.
+      v += 1 + static_cast<uint32_t>(rng.UniformIndex(
+               rng.Bernoulli(0.8) ? 8 : 100000));
+      values.push_back(v);
+    }
+    std::string encoded;
+    ASSERT_TRUE(DeltaEncode(values, &encoded));
+
+    std::vector<uint32_t> batched(count + 1, 0xDEADBEEF);
+    size_t offset = 0;
+    ASSERT_TRUE(DecodeDeltaBlock(encoded.data(), encoded.size(), &offset,
+                                 count, batched.data()));
+    EXPECT_EQ(offset, encoded.size());
+    EXPECT_EQ(batched.back(), 0xDEADBEEFu) << "wrote past count";
+    batched.pop_back();
+    EXPECT_EQ(batched, values);
+  }
+}
+
+TEST(DecodeDeltaBlockTest, ScalarAndDispatchedKernelsAreBitIdentical) {
+  // Fuzz both kernels over adversarial gap mixes (including gaps of 0
+  // and huge gaps that wrap uint32 accumulation) and compare outputs and
+  // consumed bytes exactly.
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t count = rng.UniformIndex(200);
+    std::string encoded;
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t gap = 0;
+      switch (rng.UniformIndex(4)) {
+        case 0: gap = static_cast<uint32_t>(rng.UniformIndex(2)); break;
+        case 1: gap = static_cast<uint32_t>(rng.UniformIndex(128)); break;
+        case 2: gap = static_cast<uint32_t>(rng.UniformIndex(1 << 21)); break;
+        default: gap = static_cast<uint32_t>(rng.NextUint64()); break;
+      }
+      PutVarint32(gap, &encoded);
+    }
+    // Random trailing garbage the decoder must not consume.
+    const size_t payload_size = encoded.size();
+    for (int i = 0; i < 3; ++i) {
+      encoded.push_back(static_cast<char>(rng.UniformIndex(256)));
+    }
+
+    std::vector<uint32_t> reference(count + 1, 1);
+    std::vector<uint32_t> dispatched(count + 1, 2);
+    size_t reference_offset = 0;
+    size_t dispatched_offset = 0;
+    ASSERT_TRUE(DecodeDeltaBlockScalar(encoded.data(), encoded.size(),
+                                       &reference_offset, count,
+                                       reference.data()));
+    ASSERT_TRUE(DecodeDeltaBlock(encoded.data(), encoded.size(),
+                                 &dispatched_offset, count,
+                                 dispatched.data()));
+    EXPECT_EQ(reference_offset, payload_size);
+    EXPECT_EQ(dispatched_offset, reference_offset);
+    reference.pop_back();
+    dispatched.pop_back();
+    EXPECT_EQ(dispatched, reference) << "trial " << trial;
+  }
+}
+
+TEST(DecodeDeltaBlockTest, BothKernelsDetectTruncation) {
+  std::string encoded;
+  for (uint32_t gap : {1u, 300u, 5u, 1000000u, 7u}) {
+    PutVarint32(gap, &encoded);
+  }
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::vector<uint32_t> out(5);
+    size_t offset = 0;
+    EXPECT_FALSE(DecodeDeltaBlockScalar(encoded.data(), cut, &offset, 5,
+                                        out.data()))
+        << "cut " << cut;
+    offset = 0;
+    EXPECT_FALSE(
+        DecodeDeltaBlock(encoded.data(), cut, &offset, 5, out.data()))
+        << "cut " << cut;
+  }
+}
+
+TEST(DecodeDeltaBlockTest, ZeroCountConsumesNothing) {
+  const char data[] = "xyz";
+  size_t offset = 1;
+  ASSERT_TRUE(DecodeDeltaBlock(data, 3, &offset, 0, nullptr));
+  EXPECT_EQ(offset, 1u);
+  offset = 1;
+  ASSERT_TRUE(DecodeDeltaBlockScalar(data, 3, &offset, 0, nullptr));
+  EXPECT_EQ(offset, 1u);
+}
+
+TEST(DecodeDeltaBlockTest, OffsetPastLimitFails) {
+  const char data[] = "abc";
+  size_t offset = 4;
+  uint32_t out[1];
+  EXPECT_FALSE(DecodeDeltaBlock(data, 3, &offset, 1, out));
+  offset = 4;
+  EXPECT_FALSE(DecodeDeltaBlockScalar(data, 3, &offset, 1, out));
+}
+
 }  // namespace
 }  // namespace amici
