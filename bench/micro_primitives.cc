@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "graph/graph_generators.h"
-#include "index/disk_inverted_index.h"
+#include "persist/segment.h"
 #include "proximity/ppr_forward_push.h"
 #include "storage/posting_list.h"
 #include "topk/threshold_algorithm.h"
@@ -266,40 +266,48 @@ class VectorSource final : public SortedSource {
   size_t pos_ = 0;
 };
 
-void BM_DiskPostingRead(benchmark::State& state) {
-  // Build a small on-disk index once; measure posting reads through the
-  // buffer pool (hot after the first sweep).
-  const std::string path = "/tmp/amici_micro_disk_index.amii";
+void BM_MappedPostingRead(benchmark::State& state) {
+  // Serialize a batch of lists into one postings segment once; measure a
+  // zero-copy DeserializeView straight off the mapping (hot page cache) —
+  // the snapshot restart path's per-list cost.
+  const std::string path = "/tmp/amici_micro_postings.seg";
+  constexpr size_t kLists = 50;
+  std::vector<size_t> offsets;
   {
-    Rng rng(9);
-    ItemStore store;
-    for (int i = 0; i < 20000; ++i) {
-      Item item;
-      item.owner = static_cast<UserId>(rng.UniformIndex(100));
-      item.tags = {static_cast<TagId>(rng.UniformIndex(50))};
-      item.quality = static_cast<float>(rng.UniformDouble());
-      (void)store.Add(item);
+    std::string payload;
+    for (size_t i = 0; i < kLists; ++i) {
+      offsets.push_back(payload.size());
+      MakeList(2000, true).SerializeTo(&payload);
     }
-    const auto index = InvertedIndex::Build(store);
-    if (!index.ok() ||
-        !DiskInvertedIndex::Write(index.value(), path).ok()) {
-      state.SkipWithError("disk index setup failed");
+    if (!persist::WriteSegmentFile(path, persist::SegmentKind::kPostings,
+                                   payload)
+             .ok()) {
+      state.SkipWithError("segment write failed");
       return;
     }
   }
-  auto disk = DiskInvertedIndex::Open(path, 128);
-  if (!disk.ok()) {
-    state.SkipWithError("disk index open failed");
+  auto segment =
+      persist::MappedSegment::Open(path, persist::SegmentKind::kPostings);
+  if (!segment.ok()) {
+    state.SkipWithError("segment open failed");
     return;
   }
-  TagId tag = 0;
+  const std::string_view payload = segment.value()->payload();
+  size_t index = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(disk.value()->ReadPostings(tag));
-    tag = (tag + 7) % 50;
+    size_t offset = offsets[index];
+    auto list = PostingList::DeserializeView(payload, &offset,
+                                             segment.value()->file());
+    if (!list.ok()) {
+      state.SkipWithError("mapped list parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(list.value().size());
+    index = (index + 7) % kLists;
   }
   std::remove(path.c_str());
 }
-BENCHMARK(BM_DiskPostingRead);
+BENCHMARK(BM_MappedPostingRead);
 
 void BM_ThresholdAlgorithm(benchmark::State& state) {
   Rng rng(8);

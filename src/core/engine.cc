@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "core/social_first.h"
 #include "geo/geo_point.h"
 #include "geo/geo_social.h"
+#include "persist/fs_util.h"
 #include "proximity/shared_proximity_provider.h"
 #include "topk/topk_heap.h"
 #include "util/logging.h"
@@ -87,26 +89,99 @@ Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::Build(
       engine->BuildSnapshot(view.graph, view.generation,
                             ItemStoreView(engine->store_)));
   engine->snapshot_.store(std::move(initial));
+  engine->RegisterAlgorithms();
+  return engine;
+}
 
-  engine->algorithms_.resize(kNumAlgorithms);
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kExhaustive)] =
+void SocialSearchEngine::RegisterAlgorithms() {
+  algorithms_.resize(kNumAlgorithms);
+  algorithms_[static_cast<size_t>(AlgorithmId::kExhaustive)] =
       std::make_unique<ExhaustiveScan>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kMergeScan)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kMergeScan)] =
       std::make_unique<MergeScan>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kContentFirst)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kContentFirst)] =
       std::make_unique<ContentFirstTa>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kSocialFirst)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kSocialFirst)] =
       std::make_unique<SocialFirst>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kHybrid)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kHybrid)] =
       std::make_unique<HybridAdaptive>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kGeoGrid)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kGeoGrid)] =
       std::make_unique<GeoGridScan>();
-  engine->algorithms_[static_cast<size_t>(AlgorithmId::kNra)] =
+  algorithms_[static_cast<size_t>(AlgorithmId::kNra)] =
       std::make_unique<NraSearch>();
-  for (const auto& algorithm : engine->algorithms_) {
+  for (const auto& algorithm : algorithms_) {
     AMICI_CHECK(algorithm != nullptr)
         << "algorithm table has a null slot; register every AlgorithmId";
   }
+}
+
+Result<std::unique_ptr<SocialSearchEngine>> SocialSearchEngine::OpenSnapshot(
+    const std::string& dir, Options options,
+    const persist::SnapshotOpenOptions& open_options) {
+  AMICI_ASSIGN_OR_RETURN(persist::LoadedEngineState loaded,
+                         persist::LoadEngineSnapshot(dir, open_options));
+  return FromLoadedSnapshot(dir, std::move(loaded), std::move(options));
+}
+
+Result<std::unique_ptr<SocialSearchEngine>>
+SocialSearchEngine::FromLoadedSnapshot(const std::string& dir,
+                                       persist::LoadedEngineState loaded,
+                                       Options options) {
+  if (loaded.manifest.num_shards != 0) {
+    return Status::InvalidArgument(
+        dir + " holds a service snapshot (num_shards = " +
+        std::to_string(loaded.manifest.num_shards) +
+        "); open it through the service layer");
+  }
+  if (options.proximity_provider == nullptr) {
+    if (loaded.graph == nullptr) {
+      return Status::Corruption(
+          dir + ": snapshot has no graph segment and no shared "
+                "ProximityProvider was supplied");
+    }
+    options.proximity_provider =
+        MakeProximityProvider(SocialGraph(*loaded.graph), options);
+  }
+  std::unique_ptr<SocialSearchEngine> engine(
+      new SocialSearchEngine(std::move(loaded.store), std::move(options)));
+  engine->proximity_ = engine->options_.proximity_provider;
+  const ProximityProvider::GraphView view = engine->proximity_->Acquire();
+  if (view.graph->num_users() != loaded.manifest.num_users) {
+    return Status::Corruption(
+        dir + ": provider graph covers " +
+        std::to_string(view.graph->num_users()) +
+        " users, manifest records " +
+        std::to_string(loaded.manifest.num_users));
+  }
+
+  // Reassemble the published snapshot WITHOUT an index build: the
+  // restored posting lists still view the mapped segment files.
+  auto next = std::make_shared<EngineSnapshot>();
+  BuiltIndexes built{
+      InvertedIndex::Restore(std::move(loaded.doc_ordered),
+                             std::move(loaded.impact_ordered),
+                             loaded.manifest.has_impact_ordered != 0),
+      SocialIndex::Restore(std::move(loaded.social_buckets)),
+      IndexBuildStats{}};
+  next->indexes = std::make_shared<const BuiltIndexes>(std::move(built));
+  if (loaded.manifest.has_grid != 0) {
+    // The grid views the ENGINE-owned store (for the exact geo
+    // post-filter), so it must be restored after the store has moved
+    // into place.
+    next->grid = std::make_shared<const GridIndex>(GridIndex::Restore(
+        loaded.manifest.grid_cell_size_deg, std::move(loaded.grid_cells),
+        ItemStoreView(engine->store_)));
+  }
+  next->graph = view.graph;
+  next->graph_version = view.generation;
+  next->store = ItemStoreView(engine->store_);
+  next->index_horizon = static_cast<ItemId>(loaded.manifest.index_horizon);
+  engine->snapshot_.store(
+      std::shared_ptr<const EngineSnapshot>(std::move(next)));
+  engine->RegisterAlgorithms();
+  // The segments on disk ARE this engine's state: a later SaveSnapshot
+  // into the same directory may go incremental against them.
+  engine->last_save_ = {dir, loaded.manifest.generation, view.generation};
   return engine;
 }
 
@@ -515,6 +590,50 @@ Status SocialSearchEngine::Compact(CompactionMode mode,
                    << result.items_merged << " items merged, "
                    << result.lists_touched << " lists touched";
   return Status::Ok();
+}
+
+Result<persist::SnapshotSaveReport> SocialSearchEngine::SaveSnapshot(
+    const std::string& dir, persist::SnapshotSaveOptions options) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::optional<persist::Manifest> prev;
+  if (persist::FileExists(persist::JoinPath(dir, "CURRENT"))) {
+    AMICI_ASSIGN_OR_RETURN(persist::Manifest loaded,
+                           persist::LoadCurrentManifest(dir));
+    if (loaded.num_shards != 0) {
+      return Status::InvalidArgument(
+          dir + " holds a service snapshot; save through the service layer");
+    }
+    prev = std::move(loaded);
+  }
+  const uint64_t generation = prev ? prev->generation + 1 : 1;
+  // Under the writer mutex the published snapshot IS the full engine
+  // state (every publish happens under this mutex), so the save is
+  // consistent: store extent, indexes and graph all from one generation.
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  options.graph_unchanged_since_prev =
+      prev && last_save_.dir == dir &&
+      last_save_.generation == prev->generation &&
+      last_save_.graph_version == snap->graph_version;
+  persist::SnapshotSaveReport report;
+  AMICI_ASSIGN_OR_RETURN(
+      const persist::Manifest manifest,
+      persist::WriteEngineSnapshot(dir, *snap, generation,
+                                   prev ? &*prev : nullptr, options, &report));
+  AMICI_RETURN_IF_ERROR(persist::CommitCurrent(dir, generation));
+  // Cleanup is best-effort after the commit point; a failure here leaves
+  // garbage files, never a broken snapshot.
+  AMICI_RETURN_IF_ERROR(persist::RemoveRetiredFiles(dir, manifest));
+  last_save_ = {dir, generation, snap->graph_version};
+  return report;
+}
+
+Result<persist::Manifest> SocialSearchEngine::WriteSnapshotFiles(
+    const std::string& dir, uint64_t generation, const persist::Manifest* prev,
+    const persist::SnapshotSaveOptions& options,
+    persist::SnapshotSaveReport* report) {
+  const std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  return persist::WriteEngineSnapshot(dir, *snap, generation, prev, options,
+                                      report);
 }
 
 }  // namespace amici

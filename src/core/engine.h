@@ -16,6 +16,7 @@
 #include "geo/grid_index.h"
 #include "graph/social_graph.h"
 #include "index/index_builder.h"
+#include "persist/snapshot.h"
 #include "proximity/proximity_model.h"
 #include "proximity/proximity_provider.h"
 #include "storage/item_store.h"
@@ -148,6 +149,28 @@ class SocialSearchEngine {
   static Result<std::unique_ptr<SocialSearchEngine>> Build(ItemStore store,
                                                            Options options);
 
+  /// Reopens an engine from a snapshot directory written by
+  /// SaveSnapshot: maps and verifies the segments named by CURRENT (or
+  /// open_options.manifest_name), reconstructs the catalogue, views the
+  /// posting payloads zero-copy in the mapped files, and restores the
+  /// indexes/grid without any index build. When
+  /// options.proximity_provider is null the snapshot's own graph segment
+  /// feeds a private provider; services opening per-shard snapshots pass
+  /// the shared provider they restored from the root graph segment (the
+  /// shard manifest then has no graph segment to ignore).
+  static Result<std::unique_ptr<SocialSearchEngine>> OpenSnapshot(
+      const std::string& dir, Options options,
+      const persist::SnapshotOpenOptions& open_options =
+          persist::SnapshotOpenOptions());
+
+  /// The construction half of OpenSnapshot: assembles an engine from a
+  /// state already read by persist::LoadEngineSnapshot(dir, ...).
+  /// Services use the split to overlap shard segment loads with the
+  /// root graph/provider restore; everyone else wants OpenSnapshot.
+  static Result<std::unique_ptr<SocialSearchEngine>> FromLoadedSnapshot(
+      const std::string& dir, persist::LoadedEngineState loaded,
+      Options options);
+
   /// The ONE mapping from engine options to a SharedProximityProvider
   /// over `graph` (model default, cache-capacity clamp, warm-over knob).
   /// Build(graph, store, options) uses it for the private provider, and
@@ -231,6 +254,29 @@ class SocialSearchEngine {
   /// the merge and rebuild paths on identical state.
   Status Compact(CompactionMode mode, CompactionOutcome* outcome);
 
+  /// Persists the current snapshot into `dir` and commits it: segments +
+  /// MANIFEST-<gen> written and fsynced, CURRENT atomically repointed,
+  /// superseded files deleted. When `dir` already holds a committed
+  /// snapshot this engine saved (or was opened from) in this process,
+  /// the save is incremental — only the lists touched since the previous
+  /// save's index horizon are rewritten (options.mode can force either
+  /// path). Holds the writer mutex for the duration: ingest stalls,
+  /// queries do not.
+  Result<persist::SnapshotSaveReport> SaveSnapshot(
+      const std::string& dir,
+      persist::SnapshotSaveOptions options = persist::SnapshotSaveOptions());
+
+  /// Service building block: writes segments + MANIFEST-<generation> for
+  /// the current snapshot into `dir` WITHOUT committing CURRENT — a
+  /// sharded service writes every shard's files first and then commits
+  /// one root CURRENT over all of them. Callers serialize saves
+  /// themselves (the service writer mutex).
+  Result<persist::Manifest> WriteSnapshotFiles(
+      const std::string& dir, uint64_t generation,
+      const persist::Manifest* prev,
+      const persist::SnapshotSaveOptions& options,
+      persist::SnapshotSaveReport* report);
+
   /// The current snapshot (lock-free load). Holding the returned pointer
   /// pins this generation's graph, indexes and grid for as long as the
   /// caller keeps it. The store view inside points into the engine-owned
@@ -293,6 +339,10 @@ class SocialSearchEngine {
 
   const SearchAlgorithm* AlgorithmFor(AlgorithmId id) const;
 
+  /// Fills the algorithm table (one strategy per AlgorithmId slot) —
+  /// shared by Build and OpenSnapshot.
+  void RegisterAlgorithms();
+
   /// Atomically replaces the published snapshot. Callers must hold
   /// writer_mutex_.
   void PublishLocked(std::shared_ptr<const EngineSnapshot> next);
@@ -310,6 +360,18 @@ class SocialSearchEngine {
   /// Never held while a query executes.
   std::mutex writer_mutex_;
   AtomicSharedPtr<const EngineSnapshot> snapshot_;
+
+  /// In-process record of the last committed save (or the snapshot this
+  /// engine was opened from): lets the next SaveSnapshot prove "graph
+  /// unchanged since the segment on disk" by comparing provider
+  /// generations — valid only within one process, which is exactly what
+  /// this tracks. Guarded by writer_mutex_.
+  struct LastSave {
+    std::string dir;
+    uint64_t generation = 0;
+    uint64_t graph_version = 0;
+  };
+  LastSave last_save_;
 };
 
 }  // namespace amici

@@ -42,6 +42,32 @@ GridIndex GridIndex::Build(ItemStoreView store, double cell_size_deg) {
   return index;
 }
 
+GridIndex GridIndex::Restore(
+    double cell_size_deg,
+    std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<ItemId>>>>
+        cells,
+    ItemStoreView store) {
+  AMICI_CHECK(cell_size_deg > 0.0);
+  GridIndex index;
+  index.cell_size_deg_ = cell_size_deg;
+  index.store_ = store;
+  index.cells_.reserve(cells.size());
+  for (auto& [key, items] : cells) {
+    if (items == nullptr || items->empty()) continue;
+    index.num_items_ += items->size();
+    index.cells_[key] = std::move(items);
+  }
+  return index;
+}
+
+void GridIndex::ForEachCell(
+    const std::function<void(uint64_t, const std::vector<ItemId>&)>& fn)
+    const {
+  for (const auto& [key, items] : cells_) {
+    if (items != nullptr && !items->empty()) fn(key, *items);
+  }
+}
+
 GridIndex GridIndex::MergeFrom(const GridIndex* base, ItemStoreView store,
                                ItemId base_horizon, double cell_size_deg,
                                uint64_t* cells_touched) {

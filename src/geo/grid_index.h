@@ -45,6 +45,29 @@ class GridIndex {
 
   GridIndex() = default;
 
+  /// Reassembles a grid from persisted cells (src/persist/). `store`
+  /// must view the restored catalogue — the exact post-filter reads
+  /// positions from it — and cell lists must be ascending by item id.
+  static GridIndex Restore(
+      double cell_size_deg,
+      std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<ItemId>>>>
+          cells,
+      ItemStoreView store);
+
+  /// Invokes `fn` for every cell (key, ascending item ids) in
+  /// unspecified order — the snapshot writer's enumeration surface.
+  void ForEachCell(
+      const std::function<void(uint64_t, const std::vector<ItemId>&)>& fn)
+      const;
+
+  double cell_size_deg() const { return cell_size_deg_; }
+
+  /// Cell key of a position under this grid's geometry — how the
+  /// snapshot writer maps tail items to the cells they dirtied.
+  uint64_t CellKeyFor(float latitude, float longitude) const {
+    return KeyFor(latitude, longitude);
+  }
+
   /// Invokes `fn` for every item within `radius_km` of the centre.
   /// Exact (post-filtered); items without geo positions never appear.
   void ForEachInRadius(const GeoPoint& center, double radius_km,

@@ -51,6 +51,17 @@ Result<InvertedIndex> InvertedIndex::Build(ItemStoreView store,
   return index;
 }
 
+InvertedIndex InvertedIndex::Restore(
+    std::vector<std::shared_ptr<const PostingList>> doc_ordered,
+    std::vector<std::shared_ptr<const std::vector<ScoredItem>>> impact_ordered,
+    bool has_impact_ordered) {
+  InvertedIndex index;
+  index.doc_ordered_ = std::move(doc_ordered);
+  index.impact_ordered_ = std::move(impact_ordered);
+  index.has_impact_ordered_ = has_impact_ordered;
+  return index;
+}
+
 Result<InvertedIndex> InvertedIndex::MergeFrom(ItemStoreView store,
                                                ItemId base_horizon,
                                                const Options& options,

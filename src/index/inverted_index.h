@@ -62,6 +62,17 @@ class InvertedIndex {
                                   const Options& options,
                                   uint64_t* lists_touched) const;
 
+  /// Reassembles an index from persisted parts (src/persist/): per-tag
+  /// doc-ordered list handles and impact-ordered arrays, null = tag with
+  /// no postings. Both vectors must be tag-universe sized (impact vector
+  /// empty when not materialized). The caller (SnapshotReader) has
+  /// already checksum-verified and structurally validated every list.
+  static InvertedIndex Restore(
+      std::vector<std::shared_ptr<const PostingList>> doc_ordered,
+      std::vector<std::shared_ptr<const std::vector<ScoredItem>>>
+          impact_ordered,
+      bool has_impact_ordered);
+
   /// Number of distinct tags covered (= tag universe size at build).
   size_t num_tags() const { return doc_ordered_.size(); }
 

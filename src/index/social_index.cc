@@ -36,6 +36,16 @@ SocialIndex SocialIndex::Build(ItemStoreView store, size_t num_users) {
   return index;
 }
 
+SocialIndex SocialIndex::Restore(
+    std::vector<std::shared_ptr<const std::vector<ScoredItem>>> per_user) {
+  SocialIndex index;
+  index.per_user_ = std::move(per_user);
+  for (const auto& bucket : index.per_user_) {
+    if (bucket != nullptr) index.num_entries_ += bucket->size();
+  }
+  return index;
+}
+
 SocialIndex SocialIndex::MergeFrom(ItemStoreView store, ItemId base_horizon,
                                    size_t num_users,
                                    uint64_t* lists_touched) const {

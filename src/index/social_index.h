@@ -41,6 +41,11 @@ class SocialIndex {
   SocialIndex MergeFrom(ItemStoreView store, ItemId base_horizon,
                         size_t num_users, uint64_t* lists_touched) const;
 
+  /// Reassembles an index from persisted buckets (src/persist/), one
+  /// handle per user (null = owns nothing), already quality-desc sorted.
+  static SocialIndex Restore(
+      std::vector<std::shared_ptr<const std::vector<ScoredItem>>> per_user);
+
   size_t num_users() const { return per_user_.size(); }
 
   /// Items of `user`, quality-descending. Valid while any index

@@ -1,0 +1,55 @@
+#ifndef AMICI_PERSIST_CODEC_H_
+#define AMICI_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace amici {
+namespace persist {
+
+/// Raw little-endian fixed-width codec for the persist binary formats.
+/// The snapshot format is declared little-endian (like the rest of the
+/// repo's binary formats, it targets x86-64/aarch64-LE); values are
+/// memcpy-ed, never type-punned.
+
+template <typename T>
+inline void PutRaw(T value, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+/// Reads a T from data[*offset]; advances *offset. False on truncation.
+template <typename T>
+inline bool GetRaw(std::string_view data, size_t* offset, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*offset > data.size() || data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+/// Length-prefixed (u32) string.
+inline void PutLengthPrefixed(std::string_view value, std::string* out) {
+  PutRaw<uint32_t>(static_cast<uint32_t>(value.size()), out);
+  out->append(value);
+}
+
+inline bool GetLengthPrefixed(std::string_view data, size_t* offset,
+                              std::string* value) {
+  uint32_t length = 0;
+  if (!GetRaw(data, offset, &length)) return false;
+  if (data.size() - *offset < length) return false;
+  value->assign(data.data() + *offset, length);
+  *offset += length;
+  return true;
+}
+
+}  // namespace persist
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_CODEC_H_

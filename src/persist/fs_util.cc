@@ -1,0 +1,94 @@
+#include "persist/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace amici {
+namespace persist {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("mkdir " + dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view data) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(Errno("write", path));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IoError(Errno("fsync", path));
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) return Status::IoError(Errno("close", path));
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  AMICI_RETURN_IF_ERROR(WriteFileDurable(tmp, data));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError(Errno("rename", path));
+  }
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  return SyncDir(dir.empty() ? "." : dir);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("open dir", dir));
+  // Some filesystems refuse fsync on directories; treat that as success —
+  // the data writes themselves were already synced.
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("unlink", path));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string JoinPath(const std::string& dir, std::string_view name) {
+  if (dir.empty()) return std::string(name);
+  if (dir.back() == '/') return dir + std::string(name);
+  return dir + "/" + std::string(name);
+}
+
+}  // namespace persist
+}  // namespace amici

@@ -1,0 +1,43 @@
+#ifndef AMICI_PERSIST_FS_UTIL_H_
+#define AMICI_PERSIST_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace amici {
+namespace persist {
+
+/// Durable filesystem primitives for the snapshot commit protocol.
+/// Commit point = renaming CURRENT; everything referenced must be fully
+/// on disk before that rename, so every write here fsyncs.
+
+/// Creates `dir` (and parents) if missing.
+Status EnsureDir(const std::string& dir);
+
+/// Writes `data` to `path`, fsyncs the file before closing. Replaces any
+/// existing file in place (NOT atomic — use WriteFileAtomic for files a
+/// reader may hold open across the write).
+Status WriteFileDurable(const std::string& path, std::string_view data);
+
+/// Writes `data` to `path` via `<path>.tmp` + fsync + rename + directory
+/// fsync — atomic replace, the manifest/CURRENT commit primitive.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Best-effort fsync of a directory so renames/creates in it are durable.
+Status SyncDir(const std::string& dir);
+
+/// Removes a file; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// `dir` + "/" + `name`.
+std::string JoinPath(const std::string& dir, std::string_view name);
+
+}  // namespace persist
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_FS_UTIL_H_

@@ -1,0 +1,56 @@
+#ifndef AMICI_PERSIST_ITEM_CODEC_H_
+#define AMICI_PERSIST_ITEM_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "persist/codec.h"
+#include "storage/item_store.h"
+
+namespace amici {
+namespace persist {
+
+/// One catalogue row, as stored in items segments and AddItems WAL
+/// records: owner u32 | quality f32 | has_geo u8 | lat f32 | lon f32 |
+/// num_tags u32 | tags u32*. Tag sets are written as stored (sorted,
+/// deduplicated), so replaying through ItemStore::Add reproduces the
+/// columns byte-for-byte.
+
+inline void AppendItemRecord(const Item& item, std::string* out) {
+  PutRaw<uint32_t>(item.owner, out);
+  PutRaw<float>(item.quality, out);
+  PutRaw<uint8_t>(item.has_geo ? 1 : 0, out);
+  PutRaw<float>(item.latitude, out);
+  PutRaw<float>(item.longitude, out);
+  PutRaw<uint32_t>(static_cast<uint32_t>(item.tags.size()), out);
+  for (const TagId tag : item.tags) PutRaw<uint32_t>(tag, out);
+}
+
+inline bool ParseItemRecord(std::string_view data, size_t* offset,
+                            Item* item) {
+  uint8_t has_geo = 0;
+  uint32_t num_tags = 0;
+  if (!GetRaw(data, offset, &item->owner) ||
+      !GetRaw(data, offset, &item->quality) ||
+      !GetRaw(data, offset, &has_geo) ||
+      !GetRaw(data, offset, &item->latitude) ||
+      !GetRaw(data, offset, &item->longitude) ||
+      !GetRaw(data, offset, &num_tags)) {
+    return false;
+  }
+  item->has_geo = has_geo != 0;
+  item->tags.clear();
+  item->tags.reserve(num_tags);
+  for (uint32_t i = 0; i < num_tags; ++i) {
+    TagId tag = 0;
+    if (!GetRaw(data, offset, &tag)) return false;
+    item->tags.push_back(tag);
+  }
+  return true;
+}
+
+}  // namespace persist
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_ITEM_CODEC_H_

@@ -1,0 +1,44 @@
+#include "persist/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace amici {
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Map(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + err);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("mmap " + path + ": " + err);
+    }
+  }
+  // The mapping survives the close; the fd is only needed to create it.
+  ::close(fd);
+  return std::shared_ptr<const MappedFile>(new MappedFile(path, base, size));
+}
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace amici

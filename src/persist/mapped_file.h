@@ -1,0 +1,49 @@
+#ifndef AMICI_PERSIST_MAPPED_FILE_H_
+#define AMICI_PERSIST_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace amici {
+
+/// A read-only memory-mapped file. The mapping lives as long as the
+/// MappedFile object; consumers that view into it (mapped posting lists,
+/// segment payloads) hold the owning shared_ptr as a keepalive, so the
+/// bytes cannot disappear from under them.
+///
+/// This is the persist layer's whole "buffer manager": the OS page cache
+/// decides residency, readahead, and eviction. The user-space BufferPool
+/// and 4KiB BlockFile this replaces were retired with the snapshot
+/// subsystem (see CHANGES.md).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IoError when the file cannot be opened,
+  /// stat-ed, or mapped. Empty files map to an empty view.
+  static Result<std::shared_ptr<const MappedFile>> Map(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(base_); }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data(), size_}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, void* base, size_t size)
+      : path_(std::move(path)), base_(base), size_(size) {}
+
+  std::string path_;
+  void* base_ = nullptr;  // nullptr for empty files
+  size_t size_ = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_MAPPED_FILE_H_

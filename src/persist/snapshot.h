@@ -1,0 +1,140 @@
+#ifndef AMICI_PERSIST_SNAPSHOT_H_
+#define AMICI_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/engine_snapshot.h"
+#include "graph/social_graph.h"
+#include "persist/manifest.h"
+#include "storage/item_store.h"
+#include "storage/posting_list.h"
+#include "util/status.h"
+
+namespace amici {
+namespace persist {
+
+/// Engine-level snapshot save/load: the codecs between an immutable
+/// EngineSnapshot and a directory of segment files + manifest.
+///
+/// Directory layout (bare engine; services add a root manifest, WAL and
+/// shard-<i>/ subdirectories on top — see SearchService::SaveSnapshot):
+///
+///   CURRENT             -> names the live MANIFEST-<gen> (atomic commit)
+///   MANIFEST-<gen>      checksummed root of trust (persist/manifest.h)
+///   items-<gen>.seg     catalogue rows [first_id, first_id + count)
+///   postings-<gen>.seg  per-tag posting-list v2 images + impact arrays
+///   social-<gen>.seg    per-owner quality-ordered buckets
+///   grid-<gen>.seg      per-cell item lists (only when geo items exist)
+///   graph-<gen>.seg     CSR graph image (omitted for shard snapshots —
+///                       the service owns ONE graph for all shards)
+///
+/// Posting segments embed the PostingList v2 serialized image VERBATIM,
+/// so a loaded snapshot maps them and traverses blocks zero-copy —
+/// block-max skipping and SIMD batched decode run against the page
+/// cache, not a deserialized copy.
+///
+/// Incremental saves: because merge compaction is bit-identical to a
+/// full rebuild, a key's serialized list changes ONLY when items in
+/// [prev index_horizon, new index_horizon) touch it. A save against a
+/// previous manifest therefore writes just those tags / owners / cells
+/// (plus the new catalogue rows) as a new segment generation; readers
+/// apply generations in order, latest wins per key, and untouched
+/// segments stay live across saves.
+
+struct SnapshotSaveOptions {
+  enum class Mode {
+    kAuto,         // incremental when a compatible previous manifest exists
+    kFull,         // rewrite everything
+    kIncremental,  // delta or fail (FailedPrecondition without a base)
+  };
+  Mode mode = Mode::kAuto;
+  /// Shard snapshots set this false: the graph is saved once at the
+  /// service root, not once per shard.
+  bool include_graph = true;
+  /// Set only when the caller KNOWS the live graph is byte-identical to
+  /// the previous manifest's graph segment; an incremental save then
+  /// carries that segment over instead of rewriting O(E) bytes. Graph
+  /// version counters restart per process, so version equality with a
+  /// manifest written by an earlier process proves nothing — the engine
+  /// sets this from in-process save tracking, never from the manifest.
+  bool graph_unchanged_since_prev = false;
+};
+
+struct SnapshotSaveReport {
+  uint64_t generation = 0;
+  bool incremental = false;
+  uint64_t segments_written = 0;
+  uint64_t lists_written = 0;  // posting lists + buckets + cells + item rows
+  uint64_t bytes_written = 0;
+};
+
+struct SnapshotOpenOptions {
+  /// Full payload checksum verification at open. Disabling defers page
+  /// faults to first use (the cold-start bench's lazy path); header
+  /// checksums and manifest cross-checks still run.
+  bool verify_checksums = true;
+  /// Specific manifest to open (a service root pins its shards' manifest
+  /// generation). Empty = read CURRENT.
+  std::string manifest_name;
+};
+
+/// What LoadEngineSnapshot reconstructs; the engine assembles it into a
+/// live EngineSnapshot (the grid needs a view over the engine-owned
+/// store, so GridIndex::Restore runs there, not here).
+struct LoadedEngineState {
+  Manifest manifest;
+  ItemStore store;
+  /// Null when the snapshot has no graph segment (shard snapshots).
+  std::shared_ptr<const SocialGraph> graph;
+  /// Tag-indexed handles for InvertedIndex::Restore. Posting lists VIEW
+  /// the mapped segments (each holds its segment as keepalive).
+  std::vector<std::shared_ptr<const PostingList>> doc_ordered;
+  std::vector<std::shared_ptr<const std::vector<ScoredItem>>> impact_ordered;
+  /// User-indexed buckets for SocialIndex::Restore.
+  std::vector<std::shared_ptr<const std::vector<ScoredItem>>> social_buckets;
+  /// Cell key -> ascending ids for GridIndex::Restore.
+  std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<ItemId>>>>
+      grid_cells;
+};
+
+/// Writes the segment files and MANIFEST-<generation> for `snap` into
+/// `dir` (created if missing) — everything except the CURRENT commit,
+/// which the caller performs (engines commit directly; services commit
+/// one root CURRENT over many shard writes). `prev`, when non-null, is
+/// the directory's live manifest and enables an incremental save.
+Result<Manifest> WriteEngineSnapshot(const std::string& dir,
+                                     const EngineSnapshot& snap,
+                                     uint64_t generation, const Manifest* prev,
+                                     const SnapshotSaveOptions& options,
+                                     SnapshotSaveReport* report);
+
+/// Graph segment payload codec: a raw CSR image
+///   u64 num_users | u64 neighbor_slots
+///   | offsets u64*(num_users+1) | neighbors u32*neighbor_slots
+/// so restoring the shared graph is two bulk copies plus an O(V + E)
+/// shape check, not a varint decode of every edge (graph_io's "AMIG"
+/// wire format stays for export/import paths where bytes matter more
+/// than restart latency).
+std::string BuildGraphSegmentPayload(const SocialGraph& graph);
+Result<SocialGraph> ParseGraphSegmentPayload(std::string_view payload);
+
+/// Loads the state a manifest describes: maps and verifies every live
+/// segment, replays item generations into a fresh store, resolves
+/// per-key latest-wins over list generations.
+Result<LoadedEngineState> LoadEngineSnapshot(const std::string& dir,
+                                             const SnapshotOpenOptions& options);
+
+/// Deletes snapshot files in `dir` that `live` no longer references
+/// (superseded segments, old manifests, stale WALs). Run after a
+/// CURRENT commit; never required for correctness.
+Status RemoveRetiredFiles(const std::string& dir, const Manifest& live);
+
+}  // namespace persist
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_SNAPSHOT_H_

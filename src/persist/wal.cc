@@ -1,0 +1,249 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/codec.h"
+#include "persist/item_codec.h"
+#include "util/file_util.h"
+#include "util/hash.h"
+
+namespace amici {
+namespace persist {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'A', 'M', 'I', 'W'};
+constexpr uint8_t kRecordAddItems = 1;
+constexpr uint8_t kRecordAddFriendship = 2;
+constexpr uint8_t kRecordRemoveFriendship = 3;
+// Frame overhead: type byte + u32 length up front, u64 checksum behind.
+constexpr size_t kFramePrefix = 1 + sizeof(uint32_t);
+constexpr size_t kFrameSuffix = sizeof(uint64_t);
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("write", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string WalFileName(uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64 ".log", generation);
+  return buf;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(
+    const std::string& path, uint64_t snapshot_generation) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  std::string header;
+  header.append(kWalMagic, sizeof(kWalMagic));
+  PutRaw<uint16_t>(kWalFormatVersion, &header);
+  PutRaw<uint64_t>(snapshot_generation, &header);
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, fd));
+  AMICI_RETURN_IF_ERROR(WriteAll(fd, header, path));
+  AMICI_RETURN_IF_ERROR(writer->Flush());
+  return writer;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, uint64_t committed_bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  if (::ftruncate(fd, static_cast<off_t>(committed_bytes)) != 0) {
+    const Status status = Status::IoError(Errno("ftruncate", path));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, fd));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::AppendRecord(uint8_t type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFramePrefix + payload.size() + kFrameSuffix);
+  PutRaw<uint8_t>(type, &frame);
+  PutRaw<uint32_t>(static_cast<uint32_t>(payload.size()), &frame);
+  frame.append(payload);
+  PutRaw<uint64_t>(Fnv1a64(frame), &frame);
+  return WriteAll(fd_, frame, path_);
+}
+
+Status WalWriter::AppendAddItems(uint64_t first_item_id,
+                                 std::span<const Item> items) {
+  std::string payload;
+  PutRaw<uint64_t>(first_item_id, &payload);
+  PutRaw<uint32_t>(static_cast<uint32_t>(items.size()), &payload);
+  for (const Item& item : items) AppendItemRecord(item, &payload);
+  return AppendRecord(kRecordAddItems, payload);
+}
+
+Status WalWriter::AppendAddFriendship(UserId user_a, UserId user_b) {
+  std::string payload;
+  PutRaw<uint32_t>(user_a, &payload);
+  PutRaw<uint32_t>(user_b, &payload);
+  return AppendRecord(kRecordAddFriendship, payload);
+}
+
+Status WalWriter::AppendRemoveFriendship(UserId user_a, UserId user_b) {
+  std::string payload;
+  PutRaw<uint32_t>(user_a, &payload);
+  PutRaw<uint32_t>(user_b, &payload);
+  return AppendRecord(kRecordRemoveFriendship, payload);
+}
+
+Status WalWriter::Flush() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(Errno("fdatasync", path_));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Result<WalReplayStats> ReplayWalImpl(const std::string& path,
+                                     std::optional<uint64_t> expected_generation,
+                                     const WalReplayHandlers* handlers) {
+  AMICI_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < kWalHeaderSize ||
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("wal " + path + ": bad or truncated header");
+  }
+  size_t offset = sizeof(kWalMagic);
+  uint16_t version = 0;
+  uint64_t generation = 0;
+  GetRaw<uint16_t>(data, &offset, &version);
+  GetRaw<uint64_t>(data, &offset, &generation);
+  if (version != kWalFormatVersion) {
+    return Status::Corruption("wal " + path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  if (expected_generation.has_value() && generation != *expected_generation) {
+    return Status::Corruption(
+        "wal " + path + ": snapshot generation " + std::to_string(generation) +
+        " does not extend manifest generation " +
+        std::to_string(*expected_generation));
+  }
+
+  WalReplayStats stats;
+  stats.snapshot_generation = generation;
+  stats.committed_bytes = offset;
+  while (offset < data.size()) {
+    const size_t record_start = offset;
+    uint8_t type = 0;
+    uint32_t length = 0;
+    if (!GetRaw(data, &offset, &type) || !GetRaw(data, &offset, &length) ||
+        data.size() - offset < length + kFrameSuffix) {
+      stats.torn_tail = true;  // incomplete frame — crash mid-append
+      break;
+    }
+    const std::string_view frame =
+        std::string_view(data).substr(record_start, kFramePrefix + length);
+    const size_t payload_start = offset;
+    offset += length;
+    uint64_t checksum = 0;
+    GetRaw(data, &offset, &checksum);
+    if (Fnv1a64(frame) != checksum) {
+      stats.torn_tail = true;  // bit-flipped or half-written record
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(data).substr(payload_start, length);
+
+    // The frame is intact from here on; malformed contents are format
+    // corruption, not a recoverable torn tail.
+    size_t p = 0;
+    switch (type) {
+      case kRecordAddItems: {
+        uint64_t first_item_id = 0;
+        uint32_t count = 0;
+        if (!GetRaw(payload, &p, &first_item_id) ||
+            !GetRaw(payload, &p, &count)) {
+          return Status::Corruption("wal " + path +
+                                    ": malformed AddItems record");
+        }
+        std::vector<Item> items(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          if (!ParseItemRecord(payload, &p, &items[i])) {
+            return Status::Corruption("wal " + path +
+                                      ": malformed AddItems row");
+          }
+        }
+        if (p != payload.size()) {
+          return Status::Corruption("wal " + path +
+                                    ": AddItems trailing bytes");
+        }
+        if (handlers != nullptr && handlers->add_items) {
+          AMICI_RETURN_IF_ERROR(
+              handlers->add_items(first_item_id, std::move(items)));
+        }
+        break;
+      }
+      case kRecordAddFriendship:
+      case kRecordRemoveFriendship: {
+        uint32_t user_a = 0;
+        uint32_t user_b = 0;
+        if (!GetRaw(payload, &p, &user_a) || !GetRaw(payload, &p, &user_b) ||
+            p != payload.size()) {
+          return Status::Corruption("wal " + path +
+                                    ": malformed friendship record");
+        }
+        if (handlers != nullptr) {
+          const auto& fn = type == kRecordAddFriendship
+                               ? handlers->add_friendship
+                               : handlers->remove_friendship;
+          if (fn) AMICI_RETURN_IF_ERROR(fn(user_a, user_b));
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("wal " + path + ": unknown record type " +
+                                  std::to_string(type));
+    }
+    ++stats.records_applied;
+    stats.committed_bytes = offset;
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 std::optional<uint64_t> expected_generation,
+                                 const WalReplayHandlers& handlers) {
+  return ReplayWalImpl(path, expected_generation, &handlers);
+}
+
+Result<WalReplayStats> ScanWal(const std::string& path,
+                               std::optional<uint64_t> expected_generation) {
+  return ReplayWalImpl(path, expected_generation, nullptr);
+}
+
+}  // namespace persist
+}  // namespace amici

@@ -1,0 +1,117 @@
+#ifndef AMICI_PERSIST_WAL_H_
+#define AMICI_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/item_store.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace amici {
+namespace persist {
+
+/// Ingest write-ahead log. A snapshot directory's WAL captures every
+/// mutation applied after its segments were written, so restart is "map
+/// segments + replay tail" instead of re-ingest.
+///
+/// File layout:
+///   header: magic "AMIW" | u16 version (1) | u64 snapshot generation
+///   records: u8 type | u32 payload length | payload | u64 FNV-1a
+///            (checksum covers type byte + length + payload)
+///
+/// Record types: 1 = AddItems (u64 first assigned item id, u32 count,
+/// item rows — see item_codec.h), 2 = AddFriendship (u32, u32),
+/// 3 = RemoveFriendship (u32, u32).
+///
+/// Recovery contract: replay applies the longest prefix of records whose
+/// frames are complete and whose checksums verify — the COMMITTED
+/// prefix — and reports where it ends. A torn or bit-flipped tail
+/// (crash mid-append) is truncated by OpenForAppend, never half-applied.
+inline constexpr uint16_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderSize = 4 + 2 + 8;
+
+/// "wal-<6-digit generation>.log".
+std::string WalFileName(uint64_t generation);
+
+/// Appender. Writes are O_APPEND + flushed per record; Flush() adds an
+/// fdatasync barrier (the durability knob — callers that must not lose
+/// acknowledged writes call it per batch).
+class WalWriter {
+ public:
+  /// Creates a fresh WAL (truncating any existing file) whose header
+  /// binds it to `snapshot_generation`.
+  static Result<std::unique_ptr<WalWriter>> Create(
+      const std::string& path, uint64_t snapshot_generation);
+
+  /// Re-opens an existing WAL for appending after replay: truncates to
+  /// `committed_bytes` (dropping a torn tail) and appends from there.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, uint64_t committed_bytes);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// `first_item_id` is the id the first item of the batch was assigned;
+  /// replay verifies it against the restored catalogue so a WAL can
+  /// never silently apply against the wrong base snapshot.
+  Status AppendAddItems(uint64_t first_item_id, std::span<const Item> items);
+  Status AppendAddFriendship(UserId user_a, UserId user_b);
+  Status AppendRemoveFriendship(UserId user_a, UserId user_b);
+
+  /// fdatasync barrier.
+  Status Flush();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Status AppendRecord(uint8_t type, std::string_view payload);
+
+  std::string path_;
+  int fd_;
+};
+
+/// Replay callbacks; each returns a Status — a failure aborts replay
+/// (the WAL recorded an op the restored state rejects, i.e. corruption
+/// or a wrong base).
+struct WalReplayHandlers {
+  std::function<Status(uint64_t first_item_id, std::vector<Item>&& items)>
+      add_items;
+  std::function<Status(UserId, UserId)> add_friendship;
+  std::function<Status(UserId, UserId)> remove_friendship;
+};
+
+struct WalReplayStats {
+  uint64_t records_applied = 0;
+  /// Byte length of the committed prefix (header included). OpenForAppend
+  /// truncates to this.
+  uint64_t committed_bytes = 0;
+  /// True when a torn/corrupt tail was dropped.
+  bool torn_tail = false;
+  uint64_t snapshot_generation = 0;
+};
+
+/// Replays the committed prefix of the WAL at `path` through `handlers`.
+/// When `expected_generation` is set, a header generation mismatch is
+/// Corruption (the WAL does not extend this snapshot). Structural
+/// header damage is Corruption; tail damage is recovered, not an error.
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 std::optional<uint64_t> expected_generation,
+                                 const WalReplayHandlers& handlers);
+
+/// Integrity scan without applying anything (amici_snapshot verify).
+Result<WalReplayStats> ScanWal(const std::string& path,
+                               std::optional<uint64_t> expected_generation);
+
+}  // namespace persist
+}  // namespace amici
+
+#endif  // AMICI_PERSIST_WAL_H_

@@ -99,20 +99,87 @@ Result<std::vector<TagSuggestion>> LocalSearchService::SuggestTags(
 }
 
 Result<ItemId> LocalSearchService::AddItem(const Item& item) {
-  return engine_->AddItem(item);
+  AMICI_ASSIGN_OR_RETURN(
+      const std::vector<ItemId> ids,
+      AddItems(std::span<const Item>(&item, 1)));
+  return ids[0];
 }
 
 Result<std::vector<ItemId>> LocalSearchService::AddItems(
     std::span<const Item> items) {
-  return engine_->AddItems(items);
+  // Service-level serialization so the WAL append below stays ordered
+  // exactly like the engine applies.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  AMICI_ASSIGN_OR_RETURN(std::vector<ItemId> ids, engine_->AddItems(items));
+  if (!ids.empty()) {
+    AMICI_RETURN_IF_ERROR(LogAddItems(&persist_, ids[0], items));
+  }
+  return ids;
 }
 
 Status LocalSearchService::AddFriendship(UserId u, UserId v) {
-  return engine_->AddFriendship(u, v);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  AMICI_RETURN_IF_ERROR(engine_->AddFriendship(u, v));
+  return LogFriendship(&persist_, /*adding=*/true, u, v);
 }
 
 Status LocalSearchService::RemoveFriendship(UserId u, UserId v) {
-  return engine_->RemoveFriendship(u, v);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  AMICI_RETURN_IF_ERROR(engine_->RemoveFriendship(u, v));
+  return LogFriendship(&persist_, /*adding=*/false, u, v);
+}
+
+Result<persist::SnapshotSaveReport> LocalSearchService::SaveSnapshot(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  SocialSearchEngine* const shard = engine_.get();
+  return SaveServiceSnapshot(
+      dir, std::span<SocialSearchEngine* const>(&shard, 1),
+      *engine_->shared_proximity(), engine_->store().num_items(),
+      persist::SnapshotSaveOptions(), &persist_);
+}
+
+Result<std::unique_ptr<LocalSearchService>> LocalSearchService::OpenSnapshot(
+    const std::string& dir, Options options,
+    const persist::SnapshotOpenOptions& open_options,
+    persist::WalReplayStats* replay_stats) {
+  ServicePersistState state;
+  AMICI_ASSIGN_OR_RETURN(
+      LoadedServiceSnapshot loaded,
+      OpenServiceSnapshot(dir, options.engine, open_options, &state));
+  if (loaded.root.num_shards != 1) {
+    return Status::InvalidArgument(
+        dir + " holds a " + std::to_string(loaded.root.num_shards) +
+        "-shard snapshot; open it with ShardedSearchService::OpenSnapshot");
+  }
+  auto service = std::make_unique<LocalSearchService>(
+      std::move(loaded.shards[0]), options.batch_threads);
+  service->persist_ = std::move(state);
+
+  // Replay the acknowledged ingest tail through the NORMAL mutators
+  // (the WAL is not attached yet, so nothing is re-logged).
+  LocalSearchService* raw = service.get();
+  persist::WalReplayHandlers handlers;
+  handlers.add_items = [raw](uint64_t first_item_id,
+                             std::vector<Item>&& items) -> Status {
+    if (first_item_id != raw->num_items()) {
+      return Status::Corruption(
+          "WAL batch starts at item " + std::to_string(first_item_id) +
+          ", catalogue has " + std::to_string(raw->num_items()) +
+          " (wrong base snapshot?)");
+    }
+    return raw->AddItems(items).status();
+  };
+  handlers.add_friendship = [raw](UserId u, UserId v) {
+    return raw->AddFriendship(u, v);
+  };
+  handlers.remove_friendship = [raw](UserId u, UserId v) {
+    return raw->RemoveFriendship(u, v);
+  };
+  AMICI_ASSIGN_OR_RETURN(const persist::WalReplayStats stats,
+                         ReplayAndAttachWal(&service->persist_, handlers));
+  if (replay_stats != nullptr) *replay_stats = stats;
+  return service;
 }
 
 Status LocalSearchService::Compact() { return engine_->Compact(); }

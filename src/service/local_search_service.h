@@ -2,9 +2,11 @@
 #define AMICI_SERVICE_LOCAL_SEARCH_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "service/search_service.h"
+#include "service/service_persistence.h"
 #include "util/thread_pool.h"
 
 namespace amici {
@@ -28,6 +30,18 @@ class LocalSearchService final : public SearchService {
       SocialGraph graph, ItemStore store, Options options);
   static Result<std::unique_ptr<LocalSearchService>> Build(SocialGraph graph,
                                                            ItemStore store);
+
+  /// Reopens a service from a snapshot directory written by
+  /// SaveSnapshot: maps the shard-0 segments, restores the graph from
+  /// the root segment, replays the WAL's committed tail through the
+  /// normal mutators, and attaches the WAL so new mutations keep being
+  /// logged. `replay_stats`, when non-null, receives what the replay did
+  /// (records applied, torn tail dropped).
+  static Result<std::unique_ptr<LocalSearchService>> OpenSnapshot(
+      const std::string& dir, Options options,
+      const persist::SnapshotOpenOptions& open_options =
+          persist::SnapshotOpenOptions(),
+      persist::WalReplayStats* replay_stats = nullptr);
 
   /// Wraps an already-built engine — the migration path for callers that
   /// construct engines directly (custom proximity models, ablation
@@ -63,6 +77,8 @@ class LocalSearchService final : public SearchService {
   Status AddFriendship(UserId u, UserId v) override;
   Status RemoveFriendship(UserId u, UserId v) override;
   Status Compact() override;
+  Result<persist::SnapshotSaveReport> SaveSnapshot(
+      const std::string& dir) override;
 
   size_t num_users() const override;
   size_t num_items() const override;
@@ -78,6 +94,13 @@ class LocalSearchService final : public SearchService {
  private:
   std::unique_ptr<SocialSearchEngine> engine_;
   std::unique_ptr<ThreadPool> batch_pool_;  // null = inline batches
+
+  /// Serializes mutators at the SERVICE level so WAL order always equals
+  /// apply order (the engine's own writer mutex cannot order the log
+  /// appends that happen after it is released).
+  std::mutex writer_mutex_;
+  /// Snapshot attachment + WAL; guarded by writer_mutex_.
+  ServicePersistState persist_;
 };
 
 }  // namespace amici

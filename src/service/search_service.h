@@ -160,6 +160,16 @@ class SearchService : public IngestSink, public CompactionTarget {
   /// Folds every un-indexed tail into fresh indexes (all shards).
   virtual Status Compact() = 0;
 
+  /// Persists the full service state into `dir` and commits it
+  /// atomically (see src/service/service_persistence.h for the layout
+  /// and protocol), then attaches a fresh ingest WAL: every subsequent
+  /// mutation is logged and fdatasync-flushed before it is acknowledged,
+  /// so reopening the directory replays exactly the acknowledged tail.
+  /// Incremental when `dir` already holds a compatible snapshot.
+  /// Serializes with the other mutators; queries are unaffected.
+  virtual Result<persist::SnapshotSaveReport> SaveSnapshot(
+      const std::string& dir) = 0;
+
   // --- Asynchronous ingest (MPSC queue + writer thread) ----------------
   // The decoupled write path: producers enqueue and immediately return
   // with a ticket; a dedicated writer thread coalesces queued batches

@@ -1,0 +1,270 @@
+#include "service/service_persistence.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "persist/fs_util.h"
+#include "persist/segment.h"
+#include "persist/snapshot.h"
+#include "util/hash.h"
+
+namespace amici {
+
+std::string ShardDirPath(const std::string& dir, size_t shard) {
+  return persist::JoinPath(dir, "shard-" + std::to_string(shard));
+}
+
+Result<persist::SnapshotSaveReport> SaveServiceSnapshot(
+    const std::string& dir, std::span<SocialSearchEngine* const> shards,
+    ProximityProvider& provider, uint64_t num_items,
+    persist::SnapshotSaveOptions options, ServicePersistState* state) {
+  AMICI_RETURN_IF_ERROR(persist::EnsureDir(dir));
+
+  // Previous committed root, if any. Generation numbering always
+  // continues from it (even when it is incompatible and forces full
+  // shard saves) so new files never collide with files the still-live
+  // old snapshot references.
+  std::optional<persist::Manifest> prev;
+  if (persist::FileExists(persist::JoinPath(dir, "CURRENT"))) {
+    AMICI_ASSIGN_OR_RETURN(persist::Manifest loaded,
+                           persist::LoadCurrentManifest(dir));
+    if (loaded.num_shards == 0) {
+      return Status::InvalidArgument(
+          dir + " holds a bare engine snapshot; save through "
+                "SocialSearchEngine::SaveSnapshot");
+    }
+    prev = std::move(loaded);
+  }
+  const bool prev_compatible =
+      prev.has_value() && prev->num_shards == shards.size();
+  if (!prev_compatible &&
+      options.mode == persist::SnapshotSaveOptions::Mode::kIncremental) {
+    return Status::FailedPrecondition(
+        "incremental save impossible: no compatible previous service "
+        "snapshot in " + dir);
+  }
+  const uint64_t generation = prev.has_value() ? prev->generation + 1 : 1;
+
+  persist::SnapshotSaveReport report;
+  report.generation = generation;
+  report.incremental = prev_compatible;
+
+  // Shards first: each writes its segments + MANIFEST-<generation> into
+  // shard-<i>/ (no CURRENT there — the root manifest pins the
+  // generation). Incremental against the previous root's generation
+  // when available.
+  std::vector<persist::Manifest> shard_manifests;
+  shard_manifests.reserve(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const std::string shard_dir = ShardDirPath(dir, s);
+    std::optional<persist::Manifest> shard_prev;
+    if (prev_compatible) {
+      const std::string prev_path = persist::JoinPath(
+          shard_dir, persist::ManifestFileName(prev->generation));
+      if (persist::FileExists(prev_path)) {
+        AMICI_ASSIGN_OR_RETURN(persist::Manifest loaded,
+                               persist::ReadManifestFile(prev_path));
+        shard_prev = std::move(loaded);
+      }
+    }
+    persist::SnapshotSaveOptions shard_options = options;
+    shard_options.include_graph = false;  // ONE graph, at the root
+    shard_options.graph_unchanged_since_prev = false;
+    persist::SnapshotSaveReport shard_report;
+    AMICI_ASSIGN_OR_RETURN(
+        persist::Manifest manifest,
+        shards[s]->WriteSnapshotFiles(
+            shard_dir, generation, shard_prev ? &*shard_prev : nullptr,
+            shard_options, &shard_report));
+    report.segments_written += shard_report.segments_written;
+    report.lists_written += shard_report.lists_written;
+    report.bytes_written += shard_report.bytes_written;
+    report.incremental = report.incremental && shard_report.incremental;
+    shard_manifests.push_back(std::move(manifest));
+  }
+
+  // The one shared graph, at the root. Skipped (segment carried over)
+  // when this process knows the committed segment already holds the
+  // current generation's bytes.
+  const ProximityProvider::GraphView view = provider.Acquire();
+  const bool graph_unchanged =
+      prev_compatible && state->attached && state->dir == dir &&
+      state->root.generation == prev->generation &&
+      state->saved_graph_version == view.generation;
+  persist::SegmentInfo graph_info;
+  bool have_graph_info = false;
+  if (graph_unchanged) {
+    for (const persist::SegmentInfo& info : prev->segments) {
+      if (info.kind == persist::SegmentKind::kGraph) {
+        graph_info = info;
+        have_graph_info = true;
+        break;
+      }
+    }
+  }
+  if (!have_graph_info) {
+    const std::string payload = persist::BuildGraphSegmentPayload(*view.graph);
+    graph_info.kind = persist::SegmentKind::kGraph;
+    graph_info.generation = generation;
+    char name[32];
+    std::snprintf(name, sizeof(name), "graph-%06llu.seg",
+                  static_cast<unsigned long long>(generation));
+    graph_info.file = name;
+    graph_info.payload_bytes = payload.size();
+    graph_info.checksum = Fnv1a64(payload);
+    graph_info.entries = view.graph->num_edges();
+    AMICI_RETURN_IF_ERROR(persist::WriteSegmentFile(
+        persist::JoinPath(dir, graph_info.file), persist::SegmentKind::kGraph,
+        payload, graph_info.checksum));
+    ++report.segments_written;
+    report.bytes_written += payload.size() + persist::kSegmentHeaderSize;
+  }
+
+  // Fresh (empty) WAL for the new snapshot, durable BEFORE the commit
+  // names it.
+  const std::string wal_name = persist::WalFileName(generation);
+  AMICI_ASSIGN_OR_RETURN(
+      std::unique_ptr<persist::WalWriter> wal,
+      persist::WalWriter::Create(persist::JoinPath(dir, wal_name),
+                                 generation));
+
+  persist::Manifest root;
+  root.generation = generation;
+  root.num_users = provider.num_users();
+  root.num_items = num_items;
+  root.graph_version = view.generation;
+  root.num_shards = static_cast<uint32_t>(shards.size());
+  root.wal_file = wal_name;
+  root.segments.push_back(graph_info);
+  AMICI_RETURN_IF_ERROR(persist::WriteManifestFile(dir, root));
+  AMICI_RETURN_IF_ERROR(persist::SyncDir(dir));
+  // THE commit point: everything above is durable, now make it live.
+  AMICI_RETURN_IF_ERROR(persist::CommitCurrent(dir, generation));
+
+  // Post-commit cleanup of superseded files (best-effort for
+  // correctness, but surface IO errors).
+  AMICI_RETURN_IF_ERROR(persist::RemoveRetiredFiles(dir, root));
+  for (size_t s = 0; s < shards.size(); ++s) {
+    AMICI_RETURN_IF_ERROR(
+        persist::RemoveRetiredFiles(ShardDirPath(dir, s), shard_manifests[s]));
+  }
+
+  state->dir = dir;
+  state->root = std::move(root);
+  state->wal = std::move(wal);
+  state->saved_graph_version = view.generation;
+  state->attached = true;
+  return report;
+}
+
+Result<LoadedServiceSnapshot> OpenServiceSnapshot(
+    const std::string& dir, const SocialSearchEngine::Options& engine_options,
+    const persist::SnapshotOpenOptions& open_options,
+    ServicePersistState* state) {
+  LoadedServiceSnapshot out;
+  if (open_options.manifest_name.empty()) {
+    AMICI_ASSIGN_OR_RETURN(out.root, persist::LoadCurrentManifest(dir));
+  } else {
+    AMICI_ASSIGN_OR_RETURN(
+        out.root, persist::ReadManifestFile(
+                      persist::JoinPath(dir, open_options.manifest_name)));
+  }
+  if (out.root.num_shards == 0) {
+    return Status::InvalidArgument(
+        dir + " holds a bare engine snapshot; open it through "
+              "SocialSearchEngine::OpenSnapshot");
+  }
+
+  // The shared graph from the root segment.
+  const persist::SegmentInfo* graph_info = nullptr;
+  for (const persist::SegmentInfo& info : out.root.segments) {
+    if (info.kind == persist::SegmentKind::kGraph) graph_info = &info;
+  }
+  if (graph_info == nullptr) {
+    return Status::Corruption(dir + ": root manifest has no graph segment");
+  }
+  AMICI_ASSIGN_OR_RETURN(
+      std::shared_ptr<const persist::MappedSegment> seg,
+      persist::MappedSegment::Open(persist::JoinPath(dir, graph_info->file),
+                                   persist::SegmentKind::kGraph,
+                                   open_options.verify_checksums));
+  if (seg->payload_checksum() != graph_info->checksum ||
+      seg->payload().size() != graph_info->payload_bytes) {
+    return Status::Corruption(graph_info->file +
+                              ": segment does not match root manifest");
+  }
+  auto graph = persist::ParseGraphSegmentPayload(seg->payload());
+  if (!graph.ok()) {
+    return Status::Corruption(graph_info->file + ": " +
+                              graph.status().message());
+  }
+  if (graph.value().num_users() != out.root.num_users) {
+    return Status::Corruption(graph_info->file +
+                              ": graph user count does not match manifest");
+  }
+  out.provider = SocialSearchEngine::MakeProximityProvider(
+      std::move(graph).value(), engine_options);
+
+  // Every shard engine against its pinned manifest generation, all
+  // consuming the one provider.
+  out.shards.reserve(out.root.num_shards);
+  uint64_t total_items = 0;
+  for (size_t s = 0; s < out.root.num_shards; ++s) {
+    SocialSearchEngine::Options shard_options = engine_options;
+    shard_options.proximity_provider = out.provider;
+    persist::SnapshotOpenOptions shard_open = open_options;
+    shard_open.manifest_name = persist::ManifestFileName(out.root.generation);
+    AMICI_ASSIGN_OR_RETURN(
+        std::unique_ptr<SocialSearchEngine> engine,
+        SocialSearchEngine::OpenSnapshot(ShardDirPath(dir, s), shard_options,
+                                         shard_open));
+    total_items += engine->store().num_items();
+    out.shards.push_back(std::move(engine));
+  }
+  if (total_items != out.root.num_items) {
+    return Status::Corruption(
+        dir + ": shards reconstruct " + std::to_string(total_items) +
+        " items, root manifest records " + std::to_string(out.root.num_items));
+  }
+
+  state->dir = dir;
+  state->root = out.root;
+  state->wal = nullptr;
+  state->saved_graph_version = out.provider->Acquire().generation;
+  state->attached = false;
+  return out;
+}
+
+Result<persist::WalReplayStats> ReplayAndAttachWal(
+    ServicePersistState* state, const persist::WalReplayHandlers& handlers) {
+  if (state->root.wal_file.empty()) return persist::WalReplayStats{};
+  const std::string path =
+      persist::JoinPath(state->dir, state->root.wal_file);
+  AMICI_ASSIGN_OR_RETURN(
+      persist::WalReplayStats stats,
+      persist::ReplayWal(path, state->root.generation, handlers));
+  AMICI_ASSIGN_OR_RETURN(
+      state->wal, persist::WalWriter::OpenForAppend(path,
+                                                    stats.committed_bytes));
+  state->attached = true;
+  return stats;
+}
+
+Status LogAddItems(ServicePersistState* state, uint64_t first_item_id,
+                   std::span<const Item> items) {
+  if (!state->attached) return Status::Ok();
+  AMICI_RETURN_IF_ERROR(state->wal->AppendAddItems(first_item_id, items));
+  return state->wal->Flush();
+}
+
+Status LogFriendship(ServicePersistState* state, bool adding, UserId u,
+                     UserId v) {
+  if (!state->attached) return Status::Ok();
+  AMICI_RETURN_IF_ERROR(adding ? state->wal->AppendAddFriendship(u, v)
+                               : state->wal->AppendRemoveFriendship(u, v));
+  return state->wal->Flush();
+}
+
+}  // namespace amici

@@ -527,6 +527,9 @@ Result<std::vector<ItemId>> ShardedSearchService::AddItems(
     // loudly.
     AMICI_CHECK(added.ok()) << added.status().ToString();
   }
+  if (!items.empty()) {
+    AMICI_RETURN_IF_ERROR(LogAddItems(&persist_, start, items));
+  }
   return ids;
 }
 
@@ -538,7 +541,7 @@ Status ShardedSearchService::AddFriendship(UserId u, UserId v) {
   for (const auto& shard : shards_) {
     AMICI_CHECK_OK(shard->SyncGraph());
   }
-  return Status::Ok();
+  return LogFriendship(&persist_, /*adding=*/true, u, v);
 }
 
 Status ShardedSearchService::RemoveFriendship(UserId u, UserId v) {
@@ -547,7 +550,99 @@ Status ShardedSearchService::RemoveFriendship(UserId u, UserId v) {
   for (const auto& shard : shards_) {
     AMICI_CHECK_OK(shard->SyncGraph());
   }
-  return Status::Ok();
+  return LogFriendship(&persist_, /*adding=*/false, u, v);
+}
+
+Result<persist::SnapshotSaveReport> ShardedSearchService::SaveSnapshot(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::vector<SocialSearchEngine*> engines;
+  engines.reserve(shards_.size());
+  for (const auto& shard : shards_) engines.push_back(shard.get());
+  return SaveServiceSnapshot(dir, engines, *provider_,
+                             num_items_.load(std::memory_order_acquire),
+                             persist::SnapshotSaveOptions(), &persist_);
+}
+
+Result<std::unique_ptr<ShardedSearchService>>
+ShardedSearchService::OpenSnapshot(
+    const std::string& dir, Options options,
+    const persist::SnapshotOpenOptions& open_options,
+    persist::WalReplayStats* replay_stats) {
+  if (options.engine.proximity_provider != nullptr) {
+    return Status::InvalidArgument(
+        "engine.proximity_provider must be null: ShardedSearchService "
+        "restores the one shared provider from the snapshot");
+  }
+  ServicePersistState state;
+  AMICI_ASSIGN_OR_RETURN(
+      LoadedServiceSnapshot loaded,
+      OpenServiceSnapshot(dir, options.engine, open_options, &state));
+  options.num_shards = loaded.root.num_shards;
+
+  std::unique_ptr<ShardedSearchService> service(
+      new ShardedSearchService(std::move(options)));
+  const size_t num_shards = service->options_.num_shards;
+  service->provider_ = std::move(loaded.provider);
+  service->shards_ = std::move(loaded.shards);
+  service->persist_ = std::move(state);
+
+  // The id maps are NOT persisted: placement is ShardOf(global), a pure
+  // function of the global id and the shard count, so replaying global
+  // ids 0..num_items-1 reconstructs both directions exactly as ingest
+  // built them.
+  service->local_to_global_.resize(num_shards);
+  std::vector<size_t> counts(num_shards, 0);
+  for (uint64_t g = 0; g < loaded.root.num_items; ++g) {
+    const ItemId global = static_cast<ItemId>(g);
+    const uint32_t shard = service->ShardOf(global);
+    service->RecordPlacementLocked(global, shard,
+                                   static_cast<ItemId>(counts[shard]));
+    ++counts[shard];
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (counts[s] != service->shards_[s]->store().num_items()) {
+      return Status::Corruption(
+          "shard " + std::to_string(s) + " holds " +
+          std::to_string(service->shards_[s]->store().num_items()) +
+          " items, placement expects " + std::to_string(counts[s]));
+    }
+  }
+  service->num_items_.store(loaded.root.num_items,
+                            std::memory_order_release);
+
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t threads =
+      service->options_.fanout_threads > 0
+          ? service->options_.fanout_threads
+          : std::max<size_t>(1, std::min(num_shards, hardware));
+  service->pool_ = std::make_unique<ThreadPool>(threads);
+
+  // Replay the acknowledged ingest tail through the NORMAL mutators
+  // (the WAL is not attached yet, so nothing is re-logged).
+  ShardedSearchService* raw = service.get();
+  persist::WalReplayHandlers handlers;
+  handlers.add_items = [raw](uint64_t first_item_id,
+                             std::vector<Item>&& items) -> Status {
+    if (first_item_id != raw->num_items()) {
+      return Status::Corruption(
+          "WAL batch starts at item " + std::to_string(first_item_id) +
+          ", catalogue has " + std::to_string(raw->num_items()) +
+          " (wrong base snapshot?)");
+    }
+    return raw->AddItems(items).status();
+  };
+  handlers.add_friendship = [raw](UserId u, UserId v) {
+    return raw->AddFriendship(u, v);
+  };
+  handlers.remove_friendship = [raw](UserId u, UserId v) {
+    return raw->RemoveFriendship(u, v);
+  };
+  AMICI_ASSIGN_OR_RETURN(const persist::WalReplayStats stats,
+                         ReplayAndAttachWal(&service->persist_, handlers));
+  if (replay_stats != nullptr) *replay_stats = stats;
+  return service;
 }
 
 Status ShardedSearchService::Compact() {

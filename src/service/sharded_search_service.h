@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "service/search_service.h"
+#include "service/service_persistence.h"
 #include "storage/stable_column.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +74,20 @@ class ShardedSearchService final : public SearchService {
   static Result<std::unique_ptr<ShardedSearchService>> Build(
       SocialGraph graph, ItemStore store, Options options);
 
+  /// Reopens a service from a snapshot directory written by
+  /// SaveSnapshot: restores the one shared graph from the root segment,
+  /// maps every shard's segments, deterministically rebuilds the global
+  /// <-> local id maps (placement is a pure function of the global id
+  /// and the shard count), replays the WAL's committed tail through the
+  /// normal mutators, and attaches the WAL. The shard count comes from
+  /// the root manifest; options.num_shards is ignored. `replay_stats`,
+  /// when non-null, receives what the replay did.
+  static Result<std::unique_ptr<ShardedSearchService>> OpenSnapshot(
+      const std::string& dir, Options options,
+      const persist::SnapshotOpenOptions& open_options =
+          persist::SnapshotOpenOptions(),
+      persist::WalReplayStats* replay_stats = nullptr);
+
   /// Joins the background ingest/compaction threads before the shards go
   /// away (they drain through this object's mutators).
   ~ShardedSearchService() override;
@@ -111,6 +126,8 @@ class ShardedSearchService final : public SearchService {
   Status AddFriendship(UserId u, UserId v) override;
   Status RemoveFriendship(UserId u, UserId v) override;
   Status Compact() override;
+  Result<persist::SnapshotSaveReport> SaveSnapshot(
+      const std::string& dir) override;
 
   size_t num_users() const override;
   /// Ids admitted so far. May briefly LEAD query visibility while an
@@ -180,6 +197,8 @@ class ShardedSearchService final : public SearchService {
   /// Serializes mutators (item ingest, friendship edits).
   std::mutex writer_mutex_;
   std::atomic<size_t> num_items_{0};
+  /// Snapshot attachment + WAL; guarded by writer_mutex_.
+  ServicePersistState persist_;
 };
 
 }  // namespace amici

@@ -103,6 +103,105 @@ Result<ItemId> ItemStore::Add(const Item& item) {
   return static_cast<ItemId>(id);
 }
 
+Status ItemStore::AppendColumnarBlock(
+    size_t count, const UserId* owner, const float* quality,
+    const uint8_t* has_geo, const float* latitude, const float* longitude,
+    const uint32_t* tag_counts, const TagId* tag_data, size_t total_tags) {
+  // Validate the whole block up front so it appends entirely or not at
+  // all (the all-or-nothing contract Add gives per row). The checks run
+  // branchless — violation bits accumulate over whole columns, which the
+  // compiler vectorizes — and only on failure does the precise per-row
+  // loop rerun to name the offending row (restart-latency hot path).
+  size_t universe = tag_universe_.load(std::memory_order_relaxed);
+  bool bad_row = false;
+  for (size_t i = 0; i < count; ++i) {
+    bad_row |= owner[i] == kInvalidUserId;
+    bad_row |= !(quality[i] >= 0.0f && quality[i] <= 1.0f);
+    bad_row |= tag_counts[i] - 1 >= StableColumn<TagId>::kMaxRun;  // run==0 too
+  }
+  // Tag runs: each must be strictly ascending. Equivalent global form —
+  // every adjacent descent in the concatenated tag data must coincide
+  // with a run boundary, and the runs must cover total_tags exactly.
+  // The same pass tracks the block's max tag (runs are ascending, so
+  // the max anywhere is the max of some run's last element).
+  size_t descents = 0;
+  TagId max_tag = total_tags > 0 ? tag_data[0] : 0;
+  for (size_t t = 1; t < total_tags; ++t) {
+    descents += tag_data[t] <= tag_data[t - 1];
+    max_tag = std::max(max_tag, tag_data[t]);
+  }
+  if (total_tags > 0) {
+    universe = std::max(universe, static_cast<size_t>(max_tag) + 1);
+  }
+  size_t boundary_descents = 0;
+  size_t tags_seen = 0;
+  bool bad_cover = bad_row;
+  for (size_t i = 0; i < count && !bad_cover; ++i) {
+    tags_seen += tag_counts[i];
+    bad_cover = tags_seen > total_tags;
+    boundary_descents += tags_seen < total_tags &&
+                         tag_data[tags_seen] <= tag_data[tags_seen - 1];
+  }
+  if (bad_cover || tags_seen != total_tags || descents != boundary_descents) {
+    // Precise pass, cold: name the first offending row.
+    tags_seen = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (owner[i] == kInvalidUserId) {
+        return Status::InvalidArgument(
+            StringPrintf("block row %zu: owner must be a valid user", i));
+      }
+      if (quality[i] < 0.0f || quality[i] > 1.0f) {
+        return Status::InvalidArgument(StringPrintf(
+            "block row %zu: quality %.3f outside [0, 1]", i, quality[i]));
+      }
+      const size_t run = tag_counts[i];
+      if (run == 0) {
+        return Status::InvalidArgument(
+            StringPrintf("block row %zu: item must carry at least one tag", i));
+      }
+      if (run > StableColumn<TagId>::kMaxRun) {
+        return Status::InvalidArgument(
+            StringPrintf("block row %zu: item carries too many tags", i));
+      }
+      if (run > total_tags - tags_seen) {
+        return Status::InvalidArgument("block tag runs overflow the tag data");
+      }
+      const TagId* tags = tag_data + tags_seen;
+      for (size_t t = 1; t < run; ++t) {
+        if (tags[t] <= tags[t - 1]) {
+          return Status::InvalidArgument(StringPrintf(
+              "block row %zu: tags are not sorted and unique", i));
+        }
+      }
+      tags_seen += run;
+    }
+    return Status::InvalidArgument("block tag runs underflow the tag data");
+  }
+  // Capacity: 2x per-run length conservatively covers AppendRun padding
+  // (see ValidateForAddAll), plus CanAppend's full-chunk slack.
+  if (!owner_.CanAppendAll(count + StableColumn<UserId>::kChunkSize) ||
+      !tag_data_.CanAppendAll(2 * total_tags +
+                              StableColumn<TagId>::kChunkSize)) {
+    return Status::ResourceExhausted(
+        "block does not fit: item store is near capacity");
+  }
+
+  const size_t id = num_items_.load(std::memory_order_relaxed);
+  owner_.AppendAll(owner, count);
+  quality_.AppendAll(quality, count);
+  has_geo_.AppendAll(has_geo, count);
+  latitude_.AppendAll(latitude, count);
+  longitude_.AppendAll(longitude, count);
+  tag_counts_.AppendAll(tag_counts, count);
+  std::vector<uint64_t> starts(count);
+  tag_data_.AppendRuns(tag_data, tag_counts, count, starts.data());
+  tag_starts_.AppendAll(starts.data(), count);
+  tag_universe_.store(universe, std::memory_order_release);
+  // Publish last, as in Add: the release store covers every column.
+  num_items_.store(id + count, std::memory_order_release);
+  return Status::Ok();
+}
+
 bool ItemStore::HasTag(ItemId item, TagId tag) const {
   const auto item_tags = tags(item);
   return std::binary_search(item_tags.begin(), item_tags.end(), tag);

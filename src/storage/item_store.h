@@ -71,6 +71,19 @@ class ItemStore {
   /// name the offending batch position.
   Status ValidateForAddAll(std::span<const Item> items) const;
 
+  /// Bulk-appends `count` rows given as parallel columns, bypassing the
+  /// per-row Add path — the snapshot loader's fast lane (plain columns
+  /// land via chunk-sized memcpys). Tag storage arrives CSR-style:
+  /// `tag_counts[i]` tags for row i, runs concatenated in `tag_data`
+  /// (`total_tags` in all), each run already sorted and unique. The
+  /// whole block is validated (same admission rules as Add) BEFORE
+  /// anything is written, so on error the store is untouched.
+  Status AppendColumnarBlock(size_t count, const UserId* owner,
+                             const float* quality, const uint8_t* has_geo,
+                             const float* latitude, const float* longitude,
+                             const uint32_t* tag_counts, const TagId* tag_data,
+                             size_t total_tags);
+
   /// Items fully written so far (acquire load: everything below the
   /// returned bound is safe to read concurrently with the writer).
   size_t num_items() const {

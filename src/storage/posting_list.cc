@@ -41,6 +41,57 @@ uint8_t QuantizeUp(float score, float max_score) {
 
 }  // namespace
 
+PostingList::PostingList(const PostingList& other)
+    : data_(other.data_),
+      keepalive_(other.keepalive_),
+      skips_(other.skips_),
+      count_(other.count_),
+      max_score_(other.max_score_),
+      options_(other.options_) {
+  payload_ = keepalive_ ? other.payload_ : std::string_view(data_);
+}
+
+PostingList& PostingList::operator=(const PostingList& other) {
+  if (this == &other) return *this;
+  data_ = other.data_;
+  keepalive_ = other.keepalive_;
+  skips_ = other.skips_;
+  count_ = other.count_;
+  max_score_ = other.max_score_;
+  options_ = other.options_;
+  payload_ = keepalive_ ? other.payload_ : std::string_view(data_);
+  return *this;
+}
+
+PostingList::PostingList(PostingList&& other) noexcept
+    : data_(std::move(other.data_)),
+      keepalive_(std::move(other.keepalive_)),
+      skips_(std::move(other.skips_)),
+      count_(other.count_),
+      max_score_(other.max_score_),
+      options_(other.options_) {
+  // SSO means a moved std::string may live at a new address; re-point.
+  payload_ = keepalive_ ? other.payload_ : std::string_view(data_);
+  other.payload_ = {};
+  other.count_ = 0;
+  other.max_score_ = 0.0f;
+}
+
+PostingList& PostingList::operator=(PostingList&& other) noexcept {
+  if (this == &other) return *this;
+  data_ = std::move(other.data_);
+  keepalive_ = std::move(other.keepalive_);
+  skips_ = std::move(other.skips_);
+  count_ = other.count_;
+  max_score_ = other.max_score_;
+  options_ = other.options_;
+  payload_ = keepalive_ ? other.payload_ : std::string_view(data_);
+  other.payload_ = {};
+  other.count_ = 0;
+  other.max_score_ = 0.0f;
+  return *this;
+}
+
 Result<PostingList> PostingList::Build(
     const std::vector<ScoredItem>& postings) {
   return Build(postings, Options());
@@ -92,6 +143,7 @@ Result<PostingList> PostingList::Build(const std::vector<ScoredItem>& postings,
                           : static_cast<uint8_t>(kQuantLevels);
     list.skips_.push_back(skip);
   }
+  list.payload_ = list.data_;
   return list;
 }
 
@@ -126,7 +178,7 @@ Result<PostingList> PostingList::MergeFrom(
 }
 
 size_t PostingList::SizeBytes() const {
-  return data_.size() +
+  return payload_.size() +
          (options_.enable_skips ? skips_.size() * sizeof(SkipEntry) : 0) +
          sizeof(PostingList);
 }
@@ -148,12 +200,13 @@ void PostingList::SerializeTo(std::string* out) const {
     PutVarint32(skip.num_postings, out);
     out->push_back(static_cast<char>(skip.max_impact));
   }
-  PutVarint64(data_.size(), out);
-  out->append(data_);
+  PutVarint64(payload_.size(), out);
+  out->append(payload_);
 }
 
-Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
-                                                 size_t* offset) {
+Result<PostingList> PostingList::ParseImage(std::string_view data,
+                                            size_t* offset,
+                                            uint64_t* payload_size) {
   if (*offset >= data.size()) {
     return Status::Corruption("truncated posting-list version");
   }
@@ -206,28 +259,27 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
     skip.max_impact = static_cast<uint8_t>(data[(*offset)++]);
     list.skips_.push_back(skip);
   }
-  uint64_t payload_size = 0;
-  if (!GetVarint64(data, offset, &payload_size) ||
-      *offset + payload_size > data.size()) {
+  if (!GetVarint64(data, offset, payload_size) ||
+      *offset + *payload_size > data.size()) {
     return Status::Corruption("truncated posting payload");
   }
-  list.data_ = data.substr(*offset, payload_size);
-  *offset += payload_size;
+  return list;
+}
 
+Status PostingList::ValidatePayload() const {
   // Structural sanity: blocks must tile the payload in order, each block
   // must be large enough to hold its trailing impact bytes, no block may
   // exceed block_size (the iterator's decode buffers are sized to it),
   // and posting counts must add up.
   uint64_t total = 0;
-  for (size_t i = 0; i < list.skips_.size(); ++i) {
-    const SkipEntry& skip = list.skips_[i];
-    const uint64_t block_end = i + 1 < list.skips_.size()
-                                   ? list.skips_[i + 1].offset
-                                   : list.data_.size();
-    if (skip.offset > block_end || block_end > list.data_.size()) {
+  for (size_t i = 0; i < skips_.size(); ++i) {
+    const SkipEntry& skip = skips_[i];
+    const uint64_t block_end =
+        i + 1 < skips_.size() ? skips_[i + 1].offset : payload_.size();
+    if (skip.offset > block_end || block_end > payload_.size()) {
       return Status::Corruption("skip offsets out of order");
     }
-    if (skip.num_postings == 0 || skip.num_postings > list.options_.block_size) {
+    if (skip.num_postings == 0 || skip.num_postings > options_.block_size) {
       return Status::Corruption("block posting count out of range");
     }
     if (block_end - skip.offset < skip.num_postings) {
@@ -235,9 +287,39 @@ Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
     }
     total += skip.num_postings;
   }
-  if (total != list.count_) {
+  if (total != count_) {
     return Status::Corruption("posting count mismatch");
   }
+  return Status::Ok();
+}
+
+Result<PostingList> PostingList::DeserializeFrom(const std::string& data,
+                                                 size_t* offset) {
+  uint64_t payload_size = 0;
+  AMICI_ASSIGN_OR_RETURN(PostingList list,
+                         ParseImage(data, offset, &payload_size));
+  list.data_ = data.substr(*offset, payload_size);
+  list.payload_ = list.data_;
+  *offset += payload_size;
+  AMICI_RETURN_IF_ERROR(list.ValidatePayload());
+  return list;
+}
+
+Result<PostingList> PostingList::DeserializeView(
+    std::string_view data, size_t* offset,
+    std::shared_ptr<const void> keepalive) {
+  uint64_t payload_size = 0;
+  AMICI_ASSIGN_OR_RETURN(PostingList list,
+                         ParseImage(data, offset, &payload_size));
+  list.payload_ = data.substr(*offset, payload_size);
+  list.keepalive_ = std::move(keepalive);
+  if (list.keepalive_ == nullptr) {
+    // No pin to hold the bytes alive — degrade to the owning form.
+    list.data_.assign(list.payload_.data(), list.payload_.size());
+    list.payload_ = list.data_;
+  }
+  *offset += payload_size;
+  AMICI_RETURN_IF_ERROR(list.ValidatePayload());
   return list;
 }
 
@@ -273,17 +355,18 @@ void PostingList::Iterator::LoadBlock(size_t block) {
   const size_t block_end =
       block + 1 < list_->skips_.size()
           ? static_cast<size_t>(list_->skips_[block + 1].offset)
-          : list_->data_.size();
-  AMICI_CHECK(block_end <= list_->data_.size() &&
+          : list_->payload_.size();
+  AMICI_CHECK(block_end <= list_->payload_.size() &&
               skip.offset + block_count_ <= block_end);
   // The impacts are the block's trailing num_postings bytes; the delta
   // stream fills [offset, impacts_offset) and is decoded in one batch.
   const size_t impacts_offset = block_end - block_count_;
   size_t offset = static_cast<size_t>(skip.offset);
-  const bool ok = DecodeDeltaBlock(list_->data_.data(), impacts_offset,
-                                   &offset, block_count_, block_docs_.data());
+  const bool ok =
+      DecodeDeltaBlock(list_->payload_.data(), impacts_offset, &offset,
+                       block_count_, block_docs_.data());
   AMICI_CHECK(ok) << "corrupt posting block";
-  std::memcpy(block_impacts_.data(), list_->data_.data() + impacts_offset,
+  std::memcpy(block_impacts_.data(), list_->payload_.data() + impacts_offset,
               block_count_);
   ++blocks_decoded_;
 }

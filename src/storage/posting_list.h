@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/ids.h"
@@ -140,6 +142,13 @@ class PostingList {
   };
 
   PostingList() = default;
+  // The payload may be a view into data_ (owning form) or into bytes
+  // pinned by keepalive_ (mapped form); copies and moves re-point the
+  // view, so both forms stay valid across container reshuffles.
+  PostingList(const PostingList& other);
+  PostingList& operator=(const PostingList& other);
+  PostingList(PostingList&& other) noexcept;
+  PostingList& operator=(PostingList&& other) noexcept;
 
   /// Builds a list from postings sorted strictly ascending by item id with
   /// non-negative scores; violations yield InvalidArgument.
@@ -184,9 +193,20 @@ class PostingList {
   void SerializeTo(std::string* out) const;
 
   /// Parses a list written by SerializeTo starting at data[*offset];
-  /// advances *offset past it. Corruption on malformed input.
+  /// advances *offset past it. Corruption on malformed input. The result
+  /// owns a copy of the block payload.
   static Result<PostingList> DeserializeFrom(const std::string& data,
                                              size_t* offset);
+
+  /// Zero-copy variant for mmap-ed segments: parses the same image but
+  /// the returned list VIEWS the block payload in place instead of
+  /// copying it, holding `keepalive` so the backing bytes (typically a
+  /// mapped segment file) outlive the list. The skip table is small and
+  /// is materialized as usual, so traversal — block-max pruning, SIMD
+  /// batched decode — runs unchanged over the mapped bytes.
+  static Result<PostingList> DeserializeView(
+      std::string_view data, size_t* offset,
+      std::shared_ptr<const void> keepalive);
 
  private:
   friend class Iterator;
@@ -203,7 +223,18 @@ class PostingList {
   /// so a block's max_impact decodes to a bound covering every posting.
   float DecodeImpactBound(uint8_t impact) const;
 
-  std::string data_;
+  /// Shared image parser: header, flags, and skip table. On success the
+  /// payload occupies data[*offset, *offset + *payload_size) and *offset
+  /// points at its first byte; the caller decides whether to copy
+  /// (DeserializeFrom) or view (DeserializeView) it.
+  static Result<PostingList> ParseImage(std::string_view data, size_t* offset,
+                                        uint64_t* payload_size);
+  /// Validates skip offsets/counts against the attached payload.
+  Status ValidatePayload() const;
+
+  std::string data_;          // owned payload bytes; empty in mapped form
+  std::string_view payload_;  // the payload: ==data_ or mapped bytes
+  std::shared_ptr<const void> keepalive_;  // pins mapped bytes; null = owning
   std::vector<SkipEntry> skips_;
   size_t count_ = 0;
   float max_score_ = 0.0f;

@@ -1,7 +1,9 @@
 #ifndef AMICI_STORAGE_STABLE_COLUMN_H_
 #define AMICI_STORAGE_STABLE_COLUMN_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <type_traits>
@@ -105,6 +107,48 @@ class StableColumn {
     return start;
   }
 
+  /// Appends `count` elements with NO run-contiguity guarantee: the data
+  /// is split across chunk boundaries without padding. The bulk path for
+  /// plain (non-CSR) columns — one memcpy per touched chunk instead of a
+  /// branch per element. Writer only; callers pre-check CanAppendAll.
+  void AppendAll(const T* data, size_t count) {
+    CopyAt(size_, data, count);
+    size_ += count;
+  }
+
+  /// Appends `n` runs (lengths in `counts`, concatenated in `data`)
+  /// under AppendRun's padding rule, recording each run's start index in
+  /// `starts_out`. Equivalent to n AppendRun calls, but because padding
+  /// happens at most once per chunk the data lands in a handful of
+  /// chunk-wise memcpys — the CSR bulk-load path.
+  void AppendRuns(const T* data, const uint32_t* counts, size_t n,
+                  uint64_t* starts_out) {
+    size_t src = 0;
+    size_t span_src = 0;
+    size_t span_dst = size_;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t len = counts[i];
+      AMICI_CHECK(len <= kMaxRun);
+      const size_t used = size_ & (kChunkSize - 1);
+      if (used != 0 && used + len > kChunkSize) {
+        CopyAt(span_dst, data + span_src, src - span_src);
+        size_ += kChunkSize - used;  // skip the chunk remainder (padding)
+        span_dst = size_;
+        span_src = src;
+      }
+      starts_out[i] = size_;
+      size_ += len;
+      src += len;
+    }
+    CopyAt(span_dst, data + span_src, src - span_src);
+  }
+
+  /// True when AppendAll(_, count) fits (no per-run padding to account
+  /// for, unlike CanAppend).
+  bool CanAppendAll(size_t count) const {
+    return count <= kMaxElements - size_;
+  }
+
   /// Element access. Readers must only pass indexes covered by a bound
   /// published after the write (see class comment).
   const T& operator[](size_t index) const {
@@ -132,7 +176,24 @@ class StableColumn {
   }
 
  private:
-  void EnsureChunkFor(size_t index) {
+  /// Copies `count` elements to column indexes [pos, pos + count),
+  /// chunk-wise; does NOT advance size_ (callers account for it).
+  void CopyAt(size_t pos, const T* data, size_t count) {
+    while (count > 0) {
+      const size_t used = pos & (kChunkSize - 1);
+      const size_t n = std::min(kChunkSize - used, count);
+      // A brand-new chunk the copy covers end to end can skip the
+      // zero fill — every slot is about to be overwritten (the bulk
+      // restore path writes most chunks exactly this way).
+      EnsureChunkFor(pos, /*zero_init=*/used != 0 || n != kChunkSize);
+      std::memcpy(&chunks_[pos >> kChunkBits][used], data, n * sizeof(T));
+      pos += n;
+      data += n;
+      count -= n;
+    }
+  }
+
+  void EnsureChunkFor(size_t index, bool zero_init = true) {
     const size_t chunk = index >> kChunkBits;
     AMICI_CHECK(chunk < kMaxChunks) << "StableColumn capacity exceeded";
     if (chunks_ == nullptr) {
@@ -140,10 +201,14 @@ class StableColumn {
       std::memset(chunks_.get(), 0, kMaxChunks * sizeof(T*));
     }
     while (num_chunks_ <= chunk) {
-      // Value-initialized: padding slots (AppendRun) and the unwritten
-      // chunk remainder hold zeros, so copies never read indeterminate
-      // values (keeps MemorySanitizer quiet).
-      chunks_[num_chunks_] = new T[kChunkSize]();
+      // Value-initialized by default: padding slots (AppendRun) and the
+      // unwritten chunk remainder hold zeros, so copies never read
+      // indeterminate values (keeps MemorySanitizer quiet). zero_init
+      // may only be false when the caller overwrites the WHOLE chunk
+      // it asked for — earlier chunks in the loop still get zeros.
+      chunks_[num_chunks_] = (zero_init || num_chunks_ < chunk)
+                                 ? new T[kChunkSize]()
+                                 : new T[kChunkSize];
       ++num_chunks_;
     }
   }

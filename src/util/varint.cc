@@ -177,7 +177,7 @@ void PutVarint64(uint64_t value, std::string* out) {
   out->push_back(static_cast<char>(value));
 }
 
-bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
+bool GetVarint64(std::string_view data, size_t* offset, uint64_t* value) {
   uint64_t result = 0;
   int shift = 0;
   size_t pos = *offset;
@@ -194,7 +194,7 @@ bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
   return false;  // Truncated or over-long encoding.
 }
 
-bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
+bool GetVarint32(std::string_view data, size_t* offset, uint32_t* value) {
   uint64_t wide = 0;
   if (!GetVarint64(data, offset, &wide)) return false;
   if (wide > UINT32_MAX) return false;

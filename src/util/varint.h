@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace amici {
@@ -19,9 +20,11 @@ void PutVarint64(uint64_t value, std::string* out);
 
 /// Decodes a varint starting at data[*offset]; advances *offset past it.
 /// Returns false (leaving *offset unspecified) on truncated or >max-width
-/// input.
-bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value);
-bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value);
+/// input. Accepts any contiguous bytes (std::string converts implicitly);
+/// the view form is what lets the persist layer parse mmap-ed segments
+/// without copying them into strings first.
+bool GetVarint32(std::string_view data, size_t* offset, uint32_t* value);
+bool GetVarint64(std::string_view data, size_t* offset, uint64_t* value);
 
 /// Number of bytes PutVarint64 would write for `value`.
 size_t VarintLength(uint64_t value);

@@ -1,0 +1,210 @@
+// Segment + manifest layer: byte-exact round trips, the atomic CURRENT
+// commit, and — the property everything above relies on — that NO
+// corrupted byte (payload, header, or manifest) goes undetected.
+
+#include "persist/segment.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "persist/fs_util.h"
+#include "persist/manifest.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace persist {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = "/tmp/amici_segment_test_" + name;
+  std::string cleanup = "rm -rf " + dir;
+  (void)std::system(cleanup.c_str());
+  EXPECT_TRUE(EnsureDir(dir).ok());
+  return dir;
+}
+
+std::string RandomPayload(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::string payload(size, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.UniformIndex(256));
+  return payload;
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TEST(SegmentTest, RoundTripsPayload) {
+  const std::string dir = TempDir("roundtrip");
+  const std::string path = JoinPath(dir, "postings-000001.seg");
+  const std::string payload = RandomPayload(10000, 1);
+  ASSERT_TRUE(WriteSegmentFile(path, SegmentKind::kPostings, payload).ok());
+
+  const auto segment = MappedSegment::Open(path, SegmentKind::kPostings);
+  ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+  EXPECT_EQ(segment.value()->kind(), SegmentKind::kPostings);
+  EXPECT_EQ(segment.value()->payload(), payload);
+}
+
+TEST(SegmentTest, RejectsKindMismatch) {
+  const std::string dir = TempDir("kind");
+  const std::string path = JoinPath(dir, "items-000001.seg");
+  ASSERT_TRUE(
+      WriteSegmentFile(path, SegmentKind::kItems, RandomPayload(64, 2)).ok());
+  const auto segment = MappedSegment::Open(path, SegmentKind::kGraph);
+  EXPECT_FALSE(segment.ok());
+}
+
+TEST(SegmentTest, DetectsEveryPayloadBitFlip) {
+  const std::string dir = TempDir("payload_flip");
+  const std::string payload = RandomPayload(512, 3);
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::string path =
+        JoinPath(dir, "social-" + std::to_string(trial) + ".seg");
+    ASSERT_TRUE(WriteSegmentFile(path, SegmentKind::kSocial, payload).ok());
+    FlipByte(path, kSegmentHeaderSize + rng.UniformIndex(payload.size()));
+    const auto segment = MappedSegment::Open(path, SegmentKind::kSocial);
+    ASSERT_FALSE(segment.ok()) << "trial " << trial;
+    EXPECT_EQ(segment.status().code(), StatusCode::kCorruption)
+        << segment.status().ToString();
+  }
+}
+
+TEST(SegmentTest, DetectsHeaderBitFlip) {
+  const std::string dir = TempDir("header_flip");
+  for (size_t offset = 0; offset < kSegmentHeaderSize; ++offset) {
+    const std::string path =
+        JoinPath(dir, "grid-" + std::to_string(offset) + ".seg");
+    ASSERT_TRUE(
+        WriteSegmentFile(path, SegmentKind::kGrid, RandomPayload(100, 5))
+            .ok());
+    FlipByte(path, offset);
+    EXPECT_FALSE(MappedSegment::Open(path, SegmentKind::kGrid).ok())
+        << "header byte " << offset << " flipped undetected";
+  }
+}
+
+TEST(SegmentTest, SkippingChecksumStillValidatesHeader) {
+  const std::string dir = TempDir("lazy");
+  const std::string path = JoinPath(dir, "items-000001.seg");
+  const std::string payload = RandomPayload(256, 6);
+  ASSERT_TRUE(WriteSegmentFile(path, SegmentKind::kItems, payload).ok());
+  const auto lazy =
+      MappedSegment::Open(path, SegmentKind::kItems, /*verify_checksum=*/false);
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ(lazy.value()->payload(), payload);
+}
+
+Manifest SampleManifest() {
+  Manifest manifest;
+  manifest.generation = 7;
+  manifest.num_users = 1000;
+  manifest.num_items = 4096;
+  manifest.index_horizon = 4000;
+  manifest.num_tags = 200;
+  manifest.graph_version = 12;
+  manifest.has_impact_ordered = 1;
+  manifest.has_grid = 1;
+  manifest.grid_cell_size_deg = 0.25;
+  manifest.num_shards = 0;
+  SegmentInfo info;
+  info.kind = SegmentKind::kPostings;
+  info.generation = 7;
+  info.file = "postings-000007.seg";
+  info.payload_bytes = 12345;
+  info.checksum = 0xdeadbeefcafef00dULL;
+  info.entries = 200;
+  manifest.segments.push_back(info);
+  info.kind = SegmentKind::kItems;
+  info.file = "items-000003.seg";
+  info.generation = 3;
+  manifest.segments.push_back(info);
+  return manifest;
+}
+
+void ExpectManifestsEqual(const Manifest& a, const Manifest& b) {
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_EQ(a.num_items, b.num_items);
+  EXPECT_EQ(a.index_horizon, b.index_horizon);
+  EXPECT_EQ(a.num_tags, b.num_tags);
+  EXPECT_EQ(a.graph_version, b.graph_version);
+  EXPECT_EQ(a.has_impact_ordered, b.has_impact_ordered);
+  EXPECT_EQ(a.has_grid, b.has_grid);
+  EXPECT_EQ(a.grid_cell_size_deg, b.grid_cell_size_deg);
+  EXPECT_EQ(a.num_shards, b.num_shards);
+  EXPECT_EQ(a.wal_file, b.wal_file);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].kind, b.segments[i].kind);
+    EXPECT_EQ(a.segments[i].generation, b.segments[i].generation);
+    EXPECT_EQ(a.segments[i].file, b.segments[i].file);
+    EXPECT_EQ(a.segments[i].payload_bytes, b.segments[i].payload_bytes);
+    EXPECT_EQ(a.segments[i].checksum, b.segments[i].checksum);
+    EXPECT_EQ(a.segments[i].entries, b.segments[i].entries);
+  }
+}
+
+TEST(ManifestTest, SerializeParseRoundTrips) {
+  const Manifest manifest = SampleManifest();
+  const auto parsed = Manifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectManifestsEqual(manifest, parsed.value());
+}
+
+TEST(ManifestTest, CommitCurrentIsTheCommitPoint) {
+  const std::string dir = TempDir("commit");
+  Manifest manifest = SampleManifest();
+  ASSERT_TRUE(WriteManifestFile(dir, manifest).ok());
+  // Written but not committed: the directory has no current snapshot.
+  EXPECT_FALSE(LoadCurrentManifest(dir).ok());
+
+  ASSERT_TRUE(CommitCurrent(dir, manifest.generation).ok());
+  const auto loaded = LoadCurrentManifest(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectManifestsEqual(manifest, loaded.value());
+
+  // A newer generation replaces it atomically; the old manifest file is
+  // still readable (retirement is a separate, post-commit step).
+  manifest.generation = 8;
+  manifest.num_items = 5000;
+  ASSERT_TRUE(WriteManifestFile(dir, manifest).ok());
+  ASSERT_TRUE(CommitCurrent(dir, 8).ok());
+  const auto reloaded = LoadCurrentManifest(dir);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().generation, 8u);
+  EXPECT_TRUE(FileExists(JoinPath(dir, ManifestFileName(7))));
+}
+
+TEST(ManifestTest, DetectsManifestBitFlips) {
+  const std::string dir = TempDir("manifest_flip");
+  const Manifest manifest = SampleManifest();
+  ASSERT_TRUE(WriteManifestFile(dir, manifest).ok());
+  ASSERT_TRUE(CommitCurrent(dir, manifest.generation).ok());
+  const std::string path =
+      JoinPath(dir, ManifestFileName(manifest.generation));
+  const size_t size = manifest.Serialize().size();
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    ASSERT_TRUE(WriteManifestFile(dir, manifest).ok());
+    FlipByte(path, rng.UniformIndex(size));
+    const auto loaded = LoadCurrentManifest(dir);
+    ASSERT_FALSE(loaded.ok()) << "trial " << trial;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+        << loaded.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace amici

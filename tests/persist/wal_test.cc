@@ -1,0 +1,258 @@
+// Ingest WAL: append/replay round trips, the committed-prefix recovery
+// contract for torn and bit-flipped tails, and the generation binding
+// that stops a WAL from replaying against the wrong snapshot.
+
+#include "persist/wal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/fs_util.h"
+#include "util/rng.h"
+
+namespace amici {
+namespace persist {
+namespace {
+
+std::string TempWalPath(const std::string& name) {
+  const std::string path = "/tmp/amici_wal_test_" + name + ".log";
+  std::remove(path.c_str());
+  return path;
+}
+
+Item RandomItem(Rng* rng) {
+  Item item;
+  item.owner = static_cast<UserId>(rng->UniformIndex(100));
+  const size_t tag_count = 1 + rng->UniformIndex(4);
+  for (size_t t = 0; t < tag_count; ++t) {
+    item.tags.push_back(static_cast<TagId>(rng->UniformIndex(300)));
+  }
+  item.quality = static_cast<float>(rng->UniformDouble());
+  if (rng->Bernoulli(0.5)) {
+    item.has_geo = true;
+    item.latitude = static_cast<float>(rng->UniformDouble(-80, 80));
+    item.longitude = static_cast<float>(rng->UniformDouble(-170, 170));
+  }
+  return item;
+}
+
+/// Replayed mutation trace: one entry per record, in order.
+struct Op {
+  uint8_t type;  // 1 add items, 2 add friendship, 3 remove friendship
+  uint64_t first_item_id = 0;
+  std::vector<Item> items;
+  UserId u = 0;
+  UserId v = 0;
+};
+
+WalReplayHandlers Collect(std::vector<Op>* ops) {
+  WalReplayHandlers handlers;
+  handlers.add_items = [ops](uint64_t first,
+                             std::vector<Item>&& items) -> Status {
+    ops->push_back({1, first, std::move(items), 0, 0});
+    return Status::Ok();
+  };
+  handlers.add_friendship = [ops](UserId u, UserId v) -> Status {
+    ops->push_back({2, 0, {}, u, v});
+    return Status::Ok();
+  };
+  handlers.remove_friendship = [ops](UserId u, UserId v) -> Status {
+    ops->push_back({3, 0, {}, u, v});
+    return Status::Ok();
+  };
+  return handlers;
+}
+
+void ExpectItemsEqual(const Item& a, const Item& b) {
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.tags, b.tags);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.has_geo, b.has_geo);
+  if (a.has_geo) {
+    EXPECT_EQ(a.latitude, b.latitude);
+    EXPECT_EQ(a.longitude, b.longitude);
+  }
+}
+
+TEST(WalTest, RoundTripsMixedRecords) {
+  const std::string path = TempWalPath("roundtrip");
+  Rng rng(1);
+  std::vector<Op> written;
+  {
+    auto wal = WalWriter::Create(path, 3);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    uint64_t next_id = 500;
+    for (int i = 0; i < 30; ++i) {
+      const double dice = rng.UniformDouble();
+      if (dice < 0.5) {
+        std::vector<Item> items;
+        const size_t count = 1 + rng.UniformIndex(5);
+        for (size_t j = 0; j < count; ++j) items.push_back(RandomItem(&rng));
+        ASSERT_TRUE(wal.value()->AppendAddItems(next_id, items).ok());
+        written.push_back({1, next_id, items, 0, 0});
+        next_id += count;
+      } else {
+        const UserId u = static_cast<UserId>(rng.UniformIndex(100));
+        const UserId v = static_cast<UserId>(rng.UniformIndex(100));
+        if (dice < 0.8) {
+          ASSERT_TRUE(wal.value()->AppendAddFriendship(u, v).ok());
+          written.push_back({2, 0, {}, u, v});
+        } else {
+          ASSERT_TRUE(wal.value()->AppendRemoveFriendship(u, v).ok());
+          written.push_back({3, 0, {}, u, v});
+        }
+      }
+    }
+    ASSERT_TRUE(wal.value()->Flush().ok());
+  }
+
+  std::vector<Op> replayed;
+  const auto stats = ReplayWal(path, 3, Collect(&replayed));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().records_applied, written.size());
+  EXPECT_FALSE(stats.value().torn_tail);
+  EXPECT_EQ(stats.value().snapshot_generation, 3u);
+  ASSERT_EQ(replayed.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replayed[i].type, written[i].type) << "record " << i;
+    EXPECT_EQ(replayed[i].first_item_id, written[i].first_item_id);
+    EXPECT_EQ(replayed[i].u, written[i].u);
+    EXPECT_EQ(replayed[i].v, written[i].v);
+    ASSERT_EQ(replayed[i].items.size(), written[i].items.size());
+    for (size_t j = 0; j < written[i].items.size(); ++j) {
+      ExpectItemsEqual(written[i].items[j], replayed[i].items[j]);
+    }
+  }
+}
+
+TEST(WalTest, RejectsGenerationMismatch) {
+  const std::string path = TempWalPath("generation");
+  {
+    auto wal = WalWriter::Create(path, 5);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->AppendAddFriendship(1, 2).ok());
+  }
+  std::vector<Op> ops;
+  const auto stats = ReplayWal(path, 6, Collect(&ops));
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE(ops.empty());
+}
+
+TEST(WalTest, TruncatedTailRecoversCommittedPrefix) {
+  const std::string path = TempWalPath("torn");
+  {
+    auto wal = WalWriter::Create(path, 1);
+    ASSERT_TRUE(wal.ok());
+    for (UserId u = 0; u < 20; ++u) {
+      ASSERT_TRUE(wal.value()->AppendAddFriendship(u, u + 1).ok());
+    }
+    ASSERT_TRUE(wal.value()->Flush().ok());
+  }
+  // Baseline: committed extent of the intact log.
+  const auto intact = ScanWal(path, 1);
+  ASSERT_TRUE(intact.ok());
+  const uint64_t full_bytes = intact.value().committed_bytes;
+
+  // Chop at EVERY byte position: replay must deliver exactly the records
+  // whose frames survived in full, flag a tear iff the cut fell inside a
+  // frame, and never error (tail damage is recovery, not corruption).
+  const uint64_t record_bytes = (full_bytes - kWalHeaderSize) / 20;
+  for (uint64_t cut = full_bytes - 1; cut > kWalHeaderSize; --cut) {
+    ASSERT_TRUE(::truncate(path.c_str(), static_cast<off_t>(cut)) == 0);
+    std::vector<Op> ops;
+    const auto stats = ReplayWal(path, 1, Collect(&ops));
+    ASSERT_TRUE(stats.ok())
+        << "cut at " << cut << ": " << stats.status().ToString();
+    const uint64_t whole = (cut - kWalHeaderSize) / record_bytes;
+    EXPECT_EQ(stats.value().torn_tail,
+              (cut - kWalHeaderSize) % record_bytes != 0)
+        << "cut at " << cut;
+    EXPECT_EQ(stats.value().committed_bytes,
+              kWalHeaderSize + whole * record_bytes)
+        << "cut at " << cut;
+    ASSERT_EQ(ops.size(), whole);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i].u, static_cast<UserId>(i)) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(WalTest, BitFlippedRecordStopsReplayAtFlip) {
+  const std::string path = TempWalPath("flip");
+  {
+    auto wal = WalWriter::Create(path, 2);
+    ASSERT_TRUE(wal.ok());
+    for (UserId u = 0; u < 10; ++u) {
+      ASSERT_TRUE(wal.value()->AppendAddFriendship(u, u + 1).ok());
+    }
+  }
+  const auto intact = ScanWal(path, 2);
+  ASSERT_TRUE(intact.ok());
+  const uint64_t full_bytes = intact.value().committed_bytes;
+  const uint64_t record_bytes = (full_bytes - kWalHeaderSize) / 10;
+
+  // Flip a byte inside record 6: records 0..5 replay, the rest drop.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff offset =
+        static_cast<std::streamoff>(kWalHeaderSize + 6 * record_bytes + 3);
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(offset);
+    file.write(&byte, 1);
+  }
+  std::vector<Op> ops;
+  const auto stats = ReplayWal(path, 2, Collect(&ops));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().torn_tail);
+  EXPECT_EQ(stats.value().records_applied, 6u);
+  EXPECT_EQ(stats.value().committed_bytes,
+            kWalHeaderSize + 6 * record_bytes);
+}
+
+TEST(WalTest, OpenForAppendTruncatesTornTailAndContinues) {
+  const std::string path = TempWalPath("reopen");
+  {
+    auto wal = WalWriter::Create(path, 4);
+    ASSERT_TRUE(wal.ok());
+    for (UserId u = 0; u < 5; ++u) {
+      ASSERT_TRUE(wal.value()->AppendAddFriendship(u, 50).ok());
+    }
+  }
+  const auto before = ScanWal(path, 4);
+  ASSERT_TRUE(before.ok());
+  // Tear the last record, reopen at the committed prefix, keep writing.
+  ASSERT_TRUE(::truncate(path.c_str(),
+                         static_cast<off_t>(before.value().committed_bytes) -
+                             2) == 0);
+  const auto recovered = ScanWal(path, 4);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().records_applied, 4u);
+  {
+    auto wal =
+        WalWriter::OpenForAppend(path, recovered.value().committed_bytes);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(wal.value()->AppendRemoveFriendship(9, 50).ok());
+    ASSERT_TRUE(wal.value()->Flush().ok());
+  }
+  std::vector<Op> ops;
+  const auto after = ReplayWal(path, 4, Collect(&ops));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().torn_tail);
+  ASSERT_EQ(ops.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(ops[i].type, 2);
+  EXPECT_EQ(ops[4].type, 3);
+  EXPECT_EQ(ops[4].u, 9u);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace amici
