@@ -22,6 +22,12 @@
 // restart-tail sizes, plus the first-query latency each path pays right
 // after coming up.
 //
+// Part 5 (friendship edits): per-edit latency of the delta-overlay edit
+// path (replace the two endpoint rows, publish base + patch) vs the O(E)
+// full-CSR splice it replaced, across graph sizes. The overlay p50 must
+// stay flat in |E| while the splice grows linearly; the overlay max
+// column shows the amortized fold spikes.
+//
 //   --smoke   small dataset / reduced volumes (CI smoke run)
 
 #include <atomic>
@@ -32,7 +38,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "graph/graph_generators.h"
 #include "graph/graph_io.h"
+#include "proximity/shared_proximity_provider.h"
 #include "ingest/compaction_policy.h"
 #include "service/local_search_service.h"
 #include "storage/item_store_io.h"
@@ -69,6 +77,39 @@ LatencySummary QueryUntil(SocialSearchEngine* engine,
     }
   }
   return recorder.Summarize();
+}
+
+/// The O(E) baseline part 5 compares against: the full-CSR splice the
+/// provider performed per edit before the delta-overlay representation —
+/// copy both arrays, inserting/removing v in u's row and u in v's row.
+SocialGraph RebuildCsrWithEdge(const SocialGraph& graph, UserId u, UserId v,
+                               bool insert) {
+  const size_t num_users = graph.num_users();
+  std::vector<uint64_t> offsets;
+  offsets.reserve(num_users + 1);
+  offsets.push_back(0);
+  std::vector<UserId> neighbors;
+  neighbors.reserve(graph.total_adjacency_slots() + (insert ? 2 : 0));
+  for (UserId row = 0; row < num_users; ++row) {
+    const auto friends = graph.Friends(row);
+    if (row != u && row != v) {
+      neighbors.insert(neighbors.end(), friends.begin(), friends.end());
+    } else {
+      const UserId other = row == u ? v : u;
+      bool placed = !insert;
+      for (const UserId f : friends) {
+        if (insert && !placed && f > other) {
+          neighbors.push_back(other);
+          placed = true;
+        }
+        if (!insert && f == other) continue;
+        neighbors.push_back(f);
+      }
+      if (!placed) neighbors.push_back(other);
+    }
+    offsets.push_back(neighbors.size());
+  }
+  return SocialGraph(std::move(offsets), std::move(neighbors));
 }
 
 }  // namespace
@@ -450,5 +491,77 @@ int main(int argc, char** argv) {
     const std::string cleanup = "rm -rf " + snapshot_dir;
     (void)std::system(cleanup.c_str());
   }
+
+  // ---- Part 5: per-edit latency — delta overlay vs O(E) CSR splice -----
+  bench::PrintBanner(
+      "Fig 11e (extension): friendship-edit latency — delta-overlay edit "
+      "path vs the O(E) full-CSR splice it replaced, per graph size",
+      "the overlay edit replaces two endpoint rows (O(deg u + deg v)) and "
+      "stays flat as |E| grows; the splice copies the whole CSR per edit; "
+      "'overlay max' includes the amortized fold spikes");
+
+  TablePrinter edits({"edges", "users", "overlay p50 us", "overlay max us",
+                      "splice p50 us", "splice max us", "p50 speedup"});
+  const std::vector<size_t> edge_targets =
+      smoke ? std::vector<size_t>{10000, 100000}
+            : std::vector<size_t>{10000, 100000, 1000000};
+  const int kEdits = smoke ? 100 : 200;
+  for (const size_t target_edges : edge_targets) {
+    // ER graph with mean degree ~10 hits the edge target with
+    // users = edges / 5.
+    const size_t users = target_edges / 5;
+    Rng graph_rng(target_edges);
+    SocialGraph graph = GenerateErdosRenyi(users, 10.0, &graph_rng);
+
+    // Product edit path: the provider (1-partition router) — validate,
+    // two row replacements, publish, fold when the policy fires.
+    SharedProximityProvider::Options provider_options;
+    provider_options.warm_top_n = 0;
+    SharedProximityProvider provider(graph, provider_options);
+    Rng edit_rng(target_edges + 1);
+    LatencyRecorder overlay_us;
+    for (int i = 0; i < kEdits; ++i) {
+      const UserId u = static_cast<UserId>(edit_rng.UniformIndex(users));
+      UserId v = static_cast<UserId>(edit_rng.UniformIndex(users));
+      if (u == v) v = static_cast<UserId>((v + 1) % users);
+      const bool adding = !provider.Acquire().graph->HasEdge(u, v);
+      Stopwatch watch;
+      const Status status = adding ? provider.AddFriendship(u, v)
+                                   : provider.RemoveFriendship(u, v);
+      AMICI_CHECK_OK(status);
+      overlay_us.Record(watch.ElapsedMillis() * 1000.0);
+    }
+
+    // Baseline: the same edit stream as full-CSR splices (what every
+    // edit cost before the overlay representation).
+    Rng splice_rng(target_edges + 1);
+    SocialGraph spliced = graph;
+    LatencyRecorder splice_us;
+    for (int i = 0; i < kEdits; ++i) {
+      const UserId u = static_cast<UserId>(splice_rng.UniformIndex(users));
+      UserId v = static_cast<UserId>(splice_rng.UniformIndex(users));
+      if (u == v) v = static_cast<UserId>((v + 1) % users);
+      const bool adding = !spliced.HasEdge(u, v);
+      Stopwatch watch;
+      spliced = RebuildCsrWithEdge(spliced, u, v, adding);
+      splice_us.Record(watch.ElapsedMillis() * 1000.0);
+    }
+    AMICI_CHECK(spliced.num_edges() ==
+                provider.Acquire().graph->num_edges());
+
+    const LatencySummary overlay = overlay_us.Summarize();
+    const LatencySummary splice = splice_us.Summarize();
+    edits.AddRow({WithThousandsSeparators(graph.num_edges()),
+                  WithThousandsSeparators(users),
+                  StringPrintf("%.1f", overlay.p50),
+                  StringPrintf("%.1f", overlay.max),
+                  StringPrintf("%.1f", splice.p50),
+                  StringPrintf("%.1f", splice.max),
+                  StringPrintf("%.0fx", splice.p50 /
+                                            std::max(overlay.p50, 1e-3))});
+    std::fprintf(stderr, "[bench] edit-latency edges=%zu done\n",
+                 target_edges);
+  }
+  std::printf("%s", edits.ToString().c_str());
   return 0;
 }

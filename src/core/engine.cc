@@ -15,6 +15,7 @@
 #include "geo/geo_social.h"
 #include "persist/fs_util.h"
 #include "proximity/shared_proximity_provider.h"
+#include "proximity_service/proximity_router.h"
 #include "topk/topk_heap.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -49,11 +50,23 @@ SocialSearchEngine::SocialSearchEngine(ItemStore store, Options options)
 
 std::shared_ptr<ProximityProvider> SocialSearchEngine::MakeProximityProvider(
     SocialGraph graph, const Options& options) {
+  if (options.proximity_partitions > 1) {
+    ProximityServiceRouter::Options router_options;
+    router_options.num_partitions = options.proximity_partitions;
+    router_options.model = options.proximity_model;
+    router_options.cache_capacity =
+        std::max<size_t>(1, options.proximity_cache_capacity);
+    router_options.warm_top_n = options.proximity_warm_top_n;
+    router_options.fold_policy = options.proximity_fold_policy;
+    return std::make_shared<ProximityServiceRouter>(
+        std::move(graph), std::move(router_options));
+  }
   SharedProximityProvider::Options provider_options;
   provider_options.model = options.proximity_model;
   provider_options.cache_capacity =
       std::max<size_t>(1, options.proximity_cache_capacity);
   provider_options.warm_top_n = options.proximity_warm_top_n;
+  provider_options.fold_policy = options.proximity_fold_policy;
   return std::make_shared<SharedProximityProvider>(
       std::move(graph), std::move(provider_options));
 }

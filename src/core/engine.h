@@ -19,6 +19,7 @@
 #include "persist/snapshot.h"
 #include "proximity/proximity_model.h"
 #include "proximity/proximity_provider.h"
+#include "proximity_service/overlay_fold_policy.h"
 #include "storage/item_store.h"
 #include "storage/tag_dictionary.h"
 #include "util/atomic_shared_ptr.h"
@@ -122,6 +123,17 @@ class SocialSearchEngine {
     /// generation bump (0 disables). Ignored when proximity_provider is
     /// set.
     size_t proximity_warm_top_n = 16;
+    /// User partitions of the private provider: 1 builds the single
+    /// SharedProximityProvider; > 1 builds a ProximityServiceRouter that
+    /// hash-partitions users across that many serving units (each with
+    /// its own cache / single-flight / warm-over, cross-partition edits
+    /// through the partition boundary). Ignored when proximity_provider
+    /// is set.
+    size_t proximity_partitions = 1;
+    /// When the private provider folds its delta-overlay patch into a
+    /// fresh base CSR; null selects AdaptiveOverlayFoldPolicy defaults.
+    /// Ignored when proximity_provider is set.
+    std::shared_ptr<const OverlayFoldPolicy> proximity_fold_policy;
     /// Posting-list / impact-list knobs (ablation surface).
     InvertedIndex::Options index_options;
     /// Geo grid cell size in degrees (used when the store has geo items).

@@ -56,7 +56,10 @@ std::string SerializeGraph(const SocialGraph& graph) {
   out.append(kMagic, sizeof(kMagic));
   PutFixed32(kVersion, &out);
   PutFixed64(graph.num_users(), &out);
-  PutFixed64(graph.neighbors().size(), &out);
+  // Rows are written through Friends(), so a delta-overlay graph exports
+  // flattened — the slot count must match (neighbors() would undercount
+  // or overcount the base arrays when an overlay is present).
+  PutFixed64(graph.total_adjacency_slots(), &out);
   for (size_t u = 0; u < graph.num_users(); ++u) {
     const auto friends = graph.Friends(static_cast<UserId>(u));
     PutVarint64(friends.size(), &out);

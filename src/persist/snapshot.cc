@@ -569,6 +569,16 @@ std::string BuildGraphSegmentPayload(const SocialGraph& graph) {
                  offsets.size() * sizeof(uint64_t));
   payload.append(reinterpret_cast<const char*>(neighbors.data()),
                  neighbors.size() * sizeof(UserId));
+  if (graph.has_overlay() && graph.overlay()->num_rows() > 0) {
+    const GraphOverlay& overlay = *graph.overlay();
+    PutRaw<uint64_t>(overlay.num_rows(), &payload);
+    overlay.ForEachRow([&](UserId user, const GraphOverlay::Row& row) {
+      PutRaw<uint64_t>(user, &payload);
+      PutRaw<uint64_t>(row.size(), &payload);
+      payload.append(reinterpret_cast<const char*>(row.data()),
+                     row.size() * sizeof(UserId));
+    });
+  }
   return payload;
 }
 
@@ -582,7 +592,7 @@ Result<SocialGraph> ParseGraphSegmentPayload(std::string_view payload) {
   }
   if (num_users > (payload.size() - offset) / sizeof(uint64_t) ||
       slots > payload.size() / sizeof(UserId) ||
-      offset + (num_users + 1) * sizeof(uint64_t) + slots * sizeof(UserId) !=
+      offset + (num_users + 1) * sizeof(uint64_t) + slots * sizeof(UserId) >
           payload.size()) {
     return Status::Corruption("graph payload size mismatch");
   }
@@ -593,6 +603,7 @@ Result<SocialGraph> ParseGraphSegmentPayload(std::string_view payload) {
   std::vector<UserId> neighbors(slots);
   std::memcpy(neighbors.data(), payload.data() + offset,
               slots * sizeof(UserId));
+  offset += slots * sizeof(UserId);
   // Shape check before the CSR arrays are trusted by O(1) accessors:
   // monotone offsets bounded by the neighbor array, rows sorted/unique,
   // endpoints in range.
@@ -611,7 +622,53 @@ Result<SocialGraph> ParseGraphSegmentPayload(std::string_view payload) {
       }
     }
   }
-  return SocialGraph(std::move(offsets), std::move(neighbors));
+  SocialGraph base(std::move(offsets), std::move(neighbors));
+  if (offset == payload.size()) return base;  // legacy pure-CSR image
+
+  // Overlay tail: replacement rows replayed over the base (see the codec
+  // comment in snapshot.h). Validated with the same rigor as the CSR —
+  // these rows are what Friends() serves for the patched users.
+  uint64_t num_rows = 0;
+  if (!GetRaw(payload, &offset, &num_rows)) {
+    return Status::Corruption("truncated graph overlay tail");
+  }
+  auto rows = std::make_shared<GraphOverlay::RowMap>();
+  int64_t slot_delta = 0;
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    uint64_t user = 0;
+    uint64_t len = 0;
+    if (!GetRaw(payload, &offset, &user) || !GetRaw(payload, &offset, &len)) {
+      return Status::Corruption("truncated graph overlay row header");
+    }
+    if (user >= num_users || rows->count(static_cast<UserId>(user)) > 0) {
+      return Status::Corruption("graph overlay row user invalid or repeated");
+    }
+    if (len > (payload.size() - offset) / sizeof(UserId)) {
+      return Status::Corruption("graph overlay row overruns the payload");
+    }
+    std::vector<UserId> row(len);
+    std::memcpy(row.data(), payload.data() + offset, len * sizeof(UserId));
+    offset += len * sizeof(UserId);
+    for (uint64_t e = 0; e < len; ++e) {
+      if (row[e] >= num_users || row[e] == user ||
+          (e > 0 && row[e] <= row[e - 1])) {
+        return Status::Corruption("graph overlay row is not a sorted set "
+                                  "of valid users");
+      }
+    }
+    slot_delta += static_cast<int64_t>(len) -
+                  static_cast<int64_t>(base.Degree(static_cast<UserId>(user)));
+    rows->emplace(static_cast<UserId>(user),
+                  std::make_shared<const GraphOverlay::Row>(std::move(row)));
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("graph overlay tail has trailing bytes");
+  }
+  if (rows->empty()) return base;
+  std::vector<std::shared_ptr<const GraphOverlay::RowMap>> buckets;
+  buckets.push_back(std::move(rows));
+  return SocialGraph(base, std::make_shared<const GraphOverlay>(
+                               std::move(buckets), slot_delta));
 }
 
 Result<LoadedEngineState> LoadEngineSnapshot(

@@ -120,6 +120,15 @@ Result<Manifest> WriteEngineSnapshot(const std::string& dir,
 /// shape check, not a varint decode of every edge (graph_io's "AMIG"
 /// wire format stays for export/import paths where bytes matter more
 /// than restart latency).
+///
+/// A delta-overlay graph (base CSR + replacement-row patch; see
+/// src/proximity_service/) appends its patch as a replayable tail after
+/// the base arrays:
+///   u64 num_rows | num_rows * (u64 user | u64 len | u32*len row)
+/// — each entry replays as "replace user's row", exactly the operation
+/// edits perform, so the restored provider adopts the patch unfolded.
+/// A patch-free graph writes no tail and the payload is byte-identical
+/// to the legacy pure-CSR image (old snapshots parse unchanged).
 std::string BuildGraphSegmentPayload(const SocialGraph& graph);
 Result<SocialGraph> ParseGraphSegmentPayload(std::string_view payload);
 

@@ -40,9 +40,24 @@ struct ProximityProviderStats {
   /// bump (a subset of `computations`).
   uint64_t warmed = 0;
   /// Graph generations published by friendship edits (0 = initial graph).
+  /// Folds do NOT bump this — a fold changes the representation, not the
+  /// graph.
   uint64_t generations_published = 0;
-  /// Vectors currently resident in the cache.
+  /// Vectors currently resident in the cache (summed across partitions).
   size_t cache_entries = 0;
+
+  // Delta-overlay / partitioned-service counters (all 0 for providers
+  // without an overlay or partitions).
+  /// User partitions behind this provider (1 = unpartitioned).
+  size_t partitions = 1;
+  /// Replacement rows currently overlaying the base CSR.
+  size_t overlay_rows = 0;
+  /// Folds performed (patch merged into a fresh base CSR).
+  uint64_t overlay_folds = 0;
+  /// Cross-partition edit halves routed through the partition boundary.
+  uint64_t boundary_crossings = 0;
+  /// Remote endpoints materialized as partition frontiers (summed).
+  size_t frontier_users = 0;
 };
 
 /// The one shared graph + proximity surface behind every engine and
@@ -107,6 +122,17 @@ class ProximityProvider {
   /// Counter snapshot (internally consistent enough for tests: counters
   /// are monotone and quiesced reads are exact).
   virtual ProximityProviderStats stats() const = 0;
+
+  /// Blocks until every background warm-over round queued so far has
+  /// been applied or superseded. No-op for providers without warm-over.
+  virtual void WaitForWarmup() {}
+
+  /// Forces the delta-overlay patch (if any) to fold into a fresh base
+  /// CSR, regardless of the fold policy; returns the number of patch
+  /// rows folded away. Representation-only: the published graph content
+  /// and generation are unchanged. No-op (0) for providers without an
+  /// overlay.
+  virtual size_t FoldOverlay() { return 0; }
 
   /// Users in the current graph generation (graphs never change their
   /// vertex set — edits rewire edges only).

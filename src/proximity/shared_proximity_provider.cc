@@ -1,273 +1,27 @@
 #include "proximity/shared_proximity_provider.h"
 
-#include <algorithm>
 #include <utility>
-
-#include "graph/graph_builder.h"
-#include "proximity/ppr_forward_push.h"
-#include "util/logging.h"
 
 namespace amici {
 
 namespace {
 
-/// Rebuilds a CSR graph with one edge toggled. `insert` adds {u, v};
-/// otherwise the edge is dropped. O(E) — adequate for the low edge churn
-/// of social workloads (the delta-overlay graph remains a ROADMAP item).
-SocialGraph RebuildWithEdge(const SocialGraph& graph, UserId u, UserId v,
-                            bool insert) {
-  GraphBuilder builder(graph.num_users());
-  for (size_t a = 0; a < graph.num_users(); ++a) {
-    for (const UserId b : graph.Friends(static_cast<UserId>(a))) {
-      if (b <= a) continue;  // each undirected edge once
-      if (!insert && ((a == u && b == v) || (a == v && b == u))) continue;
-      AMICI_CHECK_OK(builder.AddEdge(static_cast<UserId>(a), b));
-    }
-  }
-  if (insert) AMICI_CHECK_OK(builder.AddEdge(u, v));
-  return builder.Build();
+ProximityServiceRouter::Options AsRouterOptions(
+    SharedProximityProvider::Options options) {
+  ProximityServiceRouter::Options router_options;
+  router_options.num_partitions = 1;
+  router_options.model = std::move(options.model);
+  router_options.cache_capacity = options.cache_capacity;
+  router_options.warm_top_n = options.warm_top_n;
+  router_options.fold_policy = std::move(options.fold_policy);
+  return router_options;
 }
 
 }  // namespace
 
 SharedProximityProvider::SharedProximityProvider(SocialGraph graph,
                                                  Options options)
-    : model_(options.model != nullptr
-                 ? options.model
-                 : std::make_shared<PprForwardPush>(/*restart_prob=*/0.15,
-                                                    /*epsilon=*/1e-4)),
-      options_(std::move(options)),
-      cache_(model_.get(), std::max<size_t>(1, options_.cache_capacity)) {
-  auto initial = std::make_shared<const GraphView>(
-      GraphView{std::make_shared<const SocialGraph>(std::move(graph)), 0});
-  state_.store(std::move(initial));
-  if (options_.warm_top_n > 0) {
-    warm_thread_ = std::thread(&SharedProximityProvider::WarmLoop, this);
-  }
-}
-
-SharedProximityProvider::~SharedProximityProvider() {
-  if (warm_thread_.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(warm_mutex_);
-      warm_stop_ = true;
-    }
-    warm_cv_.notify_all();
-    warm_thread_.join();
-  }
-}
-
-ProximityProvider::GraphView SharedProximityProvider::Acquire() const {
-  return *state_.load();
-}
-
-std::shared_ptr<const ProximityVector> SharedProximityProvider::GetProximity(
-    const SocialGraph& graph, UserId source, uint64_t generation,
-    ProximityOutcome* outcome) {
-  if (auto cached = cache_.TryGet(source, generation)) {
-    if (outcome != nullptr) *outcome = ProximityOutcome::kCacheHit;
-    return cached;
-  }
-
-  // Single-flight: one computation per (generation, user) no matter how
-  // many shards miss concurrently. The winner computes and publishes;
-  // losers wait on the winner's flight instead of duplicating the work.
-  const std::pair<uint64_t, UserId> key{generation, source};
-  std::shared_ptr<Flight> flight;
-  bool leader = false;
-  {
-    std::lock_guard<std::mutex> lock(flights_mutex_);
-    auto it = flights_.find(key);
-    if (it != flights_.end()) {
-      flight = it->second;
-    } else {
-      // Re-check the cache before becoming leader: a previous leader
-      // publishes to the cache BEFORE retiring its flight, so a miss
-      // that raced into that window would otherwise recompute — and
-      // "exactly one computation per (user, generation)" is the
-      // provider's defining guarantee.
-      if (auto cached = cache_.TryGet(source, generation)) {
-        if (outcome != nullptr) *outcome = ProximityOutcome::kCacheHit;
-        return cached;
-      }
-      flight = std::make_shared<Flight>();
-      flights_.emplace(key, flight);
-      leader = true;
-    }
-  }
-
-  if (!leader) {
-    {
-      std::unique_lock<std::mutex> lock(flight->mutex);
-      flight->cv.wait(lock, [&] { return flight->done; });
-    }
-    if (flight->vector == nullptr) {
-      // The leader unwound on an exception without producing a vector
-      // (the model is user-implementable; Compute may throw). The flight
-      // is already retired, so retry from the top — some caller becomes
-      // the new leader.
-      return GetProximity(graph, source, generation, outcome);
-    }
-    inflight_joins_.fetch_add(1, std::memory_order_relaxed);
-    if (outcome != nullptr) *outcome = ProximityOutcome::kJoinedInFlight;
-    return flight->vector;
-  }
-
-  // RAII flight retirement: on EVERY leader exit — success or exception —
-  // remove the flight from the table and wake the waiters. Without this,
-  // a throwing Compute would strand the flight and every future call for
-  // this (user, generation) would block on it forever. `flight->vector`
-  // stays null on failure, which is the waiters' retry signal.
-  struct FlightRetirer {
-    SharedProximityProvider* provider;
-    const std::pair<uint64_t, UserId>& key;
-    const std::shared_ptr<Flight>& flight;
-    ~FlightRetirer() {
-      {
-        std::lock_guard<std::mutex> lock(provider->flights_mutex_);
-        provider->flights_.erase(key);
-      }
-      {
-        std::lock_guard<std::mutex> lock(flight->mutex);
-        flight->done = true;
-      }
-      flight->cv.notify_all();
-    }
-  } retirer{this, key, flight};
-
-  // Compute OFF every lock: a long PPR run must block neither cache hits
-  // for other users nor the edit path.
-  auto vector =
-      std::make_shared<const ProximityVector>(model_->Compute(graph, source));
-  computations_.fetch_add(1, std::memory_order_relaxed);
-  cache_.Put(source, generation, vector);
-  {
-    std::lock_guard<std::mutex> lock(flight->mutex);
-    flight->vector = vector;  // done is set by the retirer, same mutex
-  }
-  if (outcome != nullptr) *outcome = ProximityOutcome::kComputed;
-  return vector;
-}
-
-namespace {
-
-/// The one statement of the edit-validation rules; EditEdge and the
-/// ValidateEdit preview both apply exactly this.
-Status ValidateEditAgainst(const SocialGraph& graph, UserId u, UserId v,
-                           bool adding, bool check_existence) {
-  if (u >= graph.num_users() || v >= graph.num_users()) {
-    return Status::InvalidArgument("friendship endpoint outside the graph");
-  }
-  if (u == v) return Status::InvalidArgument("self-friendship is not a thing");
-  if (!check_existence) return Status::Ok();
-  if (adding && graph.HasEdge(u, v)) {
-    return Status::AlreadyExists("friendship already present");
-  }
-  if (!adding && !graph.HasEdge(u, v)) {
-    return Status::NotFound("no such friendship");
-  }
-  return Status::Ok();
-}
-
-}  // namespace
-
-Status SharedProximityProvider::ValidateEdit(UserId u, UserId v, bool adding,
-                                             bool check_existence) const {
-  const std::shared_ptr<const GraphView> cur = state_.load();
-  return ValidateEditAgainst(*cur->graph, u, v, adding, check_existence);
-}
-
-Status SharedProximityProvider::EditEdge(UserId u, UserId v, bool insert) {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  const std::shared_ptr<const GraphView> cur = state_.load();
-  AMICI_RETURN_IF_ERROR(ValidateEditAgainst(*cur->graph, u, v, insert,
-                                            /*check_existence=*/true));
-
-  // Snapshot the warm-over candidates BEFORE publishing: the hottest
-  // users of the RETIRING generation are exactly the ones worth paying
-  // for against the new graph.
-  std::vector<UserId> hottest;
-  if (options_.warm_top_n > 0) {
-    hottest = cache_.HottestUsers(options_.warm_top_n);
-  }
-
-  auto next = std::make_shared<const GraphView>(GraphView{
-      std::make_shared<const SocialGraph>(
-          RebuildWithEdge(*cur->graph, u, v, insert)),
-      cur->generation + 1});
-  state_.store(next);
-  generations_.fetch_add(1, std::memory_order_relaxed);
-  // No cache flush: entries are keyed by generation, so stale vectors can
-  // neither hit nor survive the first new-generation access.
-
-  if (!hottest.empty()) {
-    auto task = std::make_unique<WarmTask>();
-    task->view = *next;
-    task->users = std::move(hottest);
-    {
-      std::lock_guard<std::mutex> warm_lock(warm_mutex_);
-      // Supersede any queued round: warming a generation that is no
-      // longer current would be wasted model runs.
-      warm_pending_ = std::move(task);
-    }
-    warm_cv_.notify_all();
-  }
-  return Status::Ok();
-}
-
-Status SharedProximityProvider::AddFriendship(UserId u, UserId v) {
-  return EditEdge(u, v, /*insert=*/true);
-}
-
-Status SharedProximityProvider::RemoveFriendship(UserId u, UserId v) {
-  return EditEdge(u, v, /*insert=*/false);
-}
-
-ProximityProviderStats SharedProximityProvider::stats() const {
-  ProximityProviderStats stats;
-  stats.computations = computations_.load(std::memory_order_relaxed);
-  stats.cache_hits = cache_.hits();
-  stats.inflight_joins = inflight_joins_.load(std::memory_order_relaxed);
-  stats.warmed = warmed_.load(std::memory_order_relaxed);
-  stats.generations_published =
-      generations_.load(std::memory_order_relaxed);
-  stats.cache_entries = cache_.size();
-  return stats;
-}
-
-void SharedProximityProvider::WaitForWarmup() {
-  std::unique_lock<std::mutex> lock(warm_mutex_);
-  warm_cv_.wait(lock,
-                [&] { return warm_pending_ == nullptr && !warm_busy_; });
-}
-
-void SharedProximityProvider::WarmLoop() {
-  while (true) {
-    std::unique_ptr<WarmTask> task;
-    {
-      std::unique_lock<std::mutex> lock(warm_mutex_);
-      warm_busy_ = false;
-      warm_cv_.notify_all();  // wake WaitForWarmup watchers
-      warm_cv_.wait(lock,
-                    [&] { return warm_stop_ || warm_pending_ != nullptr; });
-      if (warm_stop_) return;
-      task = std::move(warm_pending_);
-      warm_busy_ = true;
-    }
-    for (const UserId user : task->users) {
-      {
-        // A newer generation superseded this round mid-way: abandon it.
-        std::lock_guard<std::mutex> lock(warm_mutex_);
-        if (warm_stop_ || warm_pending_ != nullptr) break;
-      }
-      ProximityOutcome outcome;
-      (void)GetProximity(*task->view.graph, user, task->view.generation,
-                         &outcome);
-      if (outcome == ProximityOutcome::kComputed) {
-        warmed_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-  }
-}
+    : ProximityServiceRouter(std::move(graph),
+                             AsRouterOptions(std::move(options))) {}
 
 }  // namespace amici

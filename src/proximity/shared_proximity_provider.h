@@ -1,39 +1,36 @@
 #ifndef AMICI_PROXIMITY_SHARED_PROXIMITY_PROVIDER_H_
 #define AMICI_PROXIMITY_SHARED_PROXIMITY_PROVIDER_H_
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <map>
+#include <cstddef>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <utility>
-#include <vector>
 
-#include "proximity/proximity_cache.h"
+#include "graph/social_graph.h"
 #include "proximity/proximity_model.h"
-#include "proximity/proximity_provider.h"
-#include "util/atomic_shared_ptr.h"
+#include "proximity_service/overlay_fold_policy.h"
+#include "proximity_service/proximity_router.h"
 
 namespace amici {
 
-/// The in-process ProximityProvider: one graph, one model, one
+/// The single-node ProximityProvider: one graph, one model, one
 /// generation-keyed LRU cache — shared by every engine that consumes it.
 /// An N-shard service constructs exactly one of these, which is what
 /// collapses N graph replicas into one and N cache-miss proximity
 /// computations into 1 per (user, generation).
 ///
-/// On top of the plain cache it adds:
+/// Implemented as a one-partition ProximityServiceRouter, so it is the
+/// same machinery the partitioned proximity service runs per partition:
 ///  * single-flight: concurrent GetProximity misses for the same (user,
-///    generation) share ONE model computation — the losers wait on the
-///    winner instead of redundantly recomputing (without this, an N-shard
-///    fan-out would compute the same vector N times on a cold user);
+///    generation) share ONE model computation;
 ///  * warm-over: after a friendship edit publishes a new generation, a
 ///    background thread recomputes the top-`warm_top_n` hottest users
-///    against the new graph, so the cache does not restart cold on every
-///    edge churn (the ROADMAP "proximity cache warm-over" item).
-class SharedProximityProvider final : public ProximityProvider {
+///    against the new graph;
+///  * delta-overlay edits: AddFriendship/RemoveFriendship replace the two
+///    endpoint adjacency rows in a patch over the immutable base CSR —
+///    O(deg(u) + deg(v)) per edit, where this provider historically
+///    rebuilt the whole CSR in O(E) — and the patch is folded into a
+///    fresh base off-lock when the fold policy triggers (amortizing the
+///    O(E) cost over many edits instead of paying it on every one).
+class SharedProximityProvider final : public ProximityServiceRouter {
  public:
   struct Options {
     /// Null selects forward-push PPR (restart 0.15, epsilon 1e-4) — the
@@ -44,79 +41,13 @@ class SharedProximityProvider final : public ProximityProvider {
     /// Hottest users recomputed in the background after a generation
     /// bump. 0 disables warm-over (useful for exact-count tests).
     size_t warm_top_n = 16;
+    /// When to fold the overlay patch into a fresh base CSR; null
+    /// selects AdaptiveOverlayFoldPolicy defaults.
+    std::shared_ptr<const OverlayFoldPolicy> fold_policy;
   };
 
   /// Takes ownership of `graph` as generation 0.
   SharedProximityProvider(SocialGraph graph, Options options);
-
-  /// Stops and joins the warm-over thread.
-  ~SharedProximityProvider() override;
-
-  SharedProximityProvider(const SharedProximityProvider&) = delete;
-  SharedProximityProvider& operator=(const SharedProximityProvider&) = delete;
-
-  GraphView Acquire() const override;
-  std::shared_ptr<const ProximityVector> GetProximity(
-      const SocialGraph& graph, UserId source, uint64_t generation,
-      ProximityOutcome* outcome = nullptr) override;
-  Status AddFriendship(UserId u, UserId v) override;
-  Status RemoveFriendship(UserId u, UserId v) override;
-  Status ValidateEdit(UserId u, UserId v, bool adding,
-                      bool check_existence) const override;
-  const ProximityModel& model() const override { return *model_; }
-  ProximityProviderStats stats() const override;
-
-  /// Blocks until every warm-over task queued so far has been applied.
-  /// Tests use it to make warm-over observable deterministically.
-  void WaitForWarmup();
-
- private:
-  /// One in-flight computation; losers of the single-flight race wait on
-  /// `cv` until the winner publishes `vector`.
-  struct Flight {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    std::shared_ptr<const ProximityVector> vector;
-  };
-
-  /// One queued warm-over round: recompute `users` against `view`.
-  struct WarmTask {
-    GraphView view;
-    std::vector<UserId> users;
-  };
-
-  /// Shared edit path: validates, rebuilds with {u, v} toggled, publishes
-  /// the next generation, and queues the warm-over round.
-  Status EditEdge(UserId u, UserId v, bool insert);
-
-  void WarmLoop();
-
-  std::shared_ptr<const ProximityModel> model_;
-  Options options_;
-  ProximityCache cache_;
-
-  /// The published (graph, generation) pair — readers load lock-free,
-  /// edits store under writer_mutex_ (RCU-style, like engine snapshots).
-  AtomicSharedPtr<const GraphView> state_;
-  std::mutex writer_mutex_;
-
-  std::mutex flights_mutex_;
-  std::map<std::pair<uint64_t, UserId>, std::shared_ptr<Flight>> flights_;
-
-  std::atomic<uint64_t> computations_{0};
-  std::atomic<uint64_t> inflight_joins_{0};
-  std::atomic<uint64_t> warmed_{0};
-  std::atomic<uint64_t> generations_{0};
-
-  // Warm-over worker. Newer tasks supersede queued ones (only the newest
-  // generation is worth warming), so the backlog is at most one task.
-  std::mutex warm_mutex_;
-  std::condition_variable warm_cv_;
-  bool warm_stop_ = false;        // guarded by warm_mutex_
-  bool warm_busy_ = false;        // guarded by warm_mutex_
-  std::unique_ptr<WarmTask> warm_pending_;  // guarded by warm_mutex_
-  std::thread warm_thread_;       // joined in the destructor
 };
 
 }  // namespace amici

@@ -1,0 +1,99 @@
+#include "proximity/single_flight_proximity.h"
+
+#include <algorithm>
+
+namespace amici {
+
+SingleFlightProximity::SingleFlightProximity(const ProximityModel* model,
+                                             size_t cache_capacity)
+    : model_(model), cache_(model, std::max<size_t>(1, cache_capacity)) {}
+
+std::shared_ptr<const ProximityVector> SingleFlightProximity::Get(
+    const SocialGraph& graph, UserId source, uint64_t generation,
+    ProximityOutcome* outcome) {
+  if (auto cached = cache_.TryGet(source, generation)) {
+    if (outcome != nullptr) *outcome = ProximityOutcome::kCacheHit;
+    return cached;
+  }
+
+  // Single-flight: one computation per (generation, user) no matter how
+  // many shards miss concurrently. The winner computes and publishes;
+  // losers wait on the winner's flight instead of duplicating the work.
+  const std::pair<uint64_t, UserId> key{generation, source};
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      // Re-check the cache before becoming leader: a previous leader
+      // publishes to the cache BEFORE retiring its flight, so a miss
+      // that raced into that window would otherwise recompute — and
+      // "exactly one computation per (user, generation)" is the
+      // defining guarantee here.
+      if (auto cached = cache_.TryGet(source, generation)) {
+        if (outcome != nullptr) *outcome = ProximityOutcome::kCacheHit;
+        return cached;
+      }
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->cv.wait(lock, [&] { return flight->done; });
+    }
+    if (flight->vector == nullptr) {
+      // The leader unwound on an exception without producing a vector
+      // (the model is user-implementable; Compute may throw). The flight
+      // is already retired, so retry from the top — some caller becomes
+      // the new leader.
+      return Get(graph, source, generation, outcome);
+    }
+    inflight_joins_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = ProximityOutcome::kJoinedInFlight;
+    return flight->vector;
+  }
+
+  // RAII flight retirement: on EVERY leader exit — success or exception —
+  // remove the flight from the table and wake the waiters. Without this,
+  // a throwing Compute would strand the flight and every future call for
+  // this (user, generation) would block on it forever. `flight->vector`
+  // stays null on failure, which is the waiters' retry signal.
+  struct FlightRetirer {
+    SingleFlightProximity* self;
+    const std::pair<uint64_t, UserId>& key;
+    const std::shared_ptr<Flight>& flight;
+    ~FlightRetirer() {
+      {
+        std::lock_guard<std::mutex> lock(self->flights_mutex_);
+        self->flights_.erase(key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->done = true;
+      }
+      flight->cv.notify_all();
+    }
+  } retirer{this, key, flight};
+
+  // Compute OFF every lock: a long PPR run must block neither cache hits
+  // for other users nor the edit path.
+  auto vector =
+      std::make_shared<const ProximityVector>(model_->Compute(graph, source));
+  computations_.fetch_add(1, std::memory_order_relaxed);
+  cache_.Put(source, generation, vector);
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->vector = vector;  // done is set by the retirer, same mutex
+  }
+  if (outcome != nullptr) *outcome = ProximityOutcome::kComputed;
+  return vector;
+}
+
+}  // namespace amici

@@ -1,0 +1,65 @@
+#ifndef AMICI_PROXIMITY_SERVICE_PARTITION_BOUNDARY_H_
+#define AMICI_PROXIMITY_SERVICE_PARTITION_BOUNDARY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/social_graph.h"
+#include "util/ids.h"
+
+namespace amici {
+
+/// Per-partition observability (ProximityServiceRouter::partition_stats).
+struct ProximityPartitionStats {
+  uint32_t partition = 0;
+  /// Users this partition owns (routing-wise).
+  size_t residents = 0;
+  /// Resident replacement rows currently overlaying the base.
+  size_t patch_rows = 0;
+  /// Distinct REMOTE users adjacent to at least one resident — the
+  /// frontier this partition materializes beyond its residents' rows.
+  size_t frontier_users = 0;
+  /// Edit halves this partition sent across the boundary (a resident
+  /// edge whose other endpoint lives elsewhere).
+  uint64_t boundary_out = 0;
+  /// Edit halves applied here on behalf of another partition.
+  uint64_t boundary_in = 0;
+  // Serving counters (the per-partition single-flight + cache + warm
+  // machinery).
+  uint64_t computations = 0;
+  uint64_t cache_hits = 0;
+  uint64_t inflight_joins = 0;
+  uint64_t warmed = 0;
+  size_t cache_entries = 0;
+};
+
+/// The one surface through which a proximity partition touches state it
+/// does not own. A partition materializes its residents' adjacency (their
+/// patch rows + base-CSR rows) plus a frontier of remote endpoints; every
+/// operation on a non-resident user goes through this interface instead
+/// of reaching into the sibling partition directly.
+///
+/// In-process today — the router implements it by forwarding to the
+/// owning ProximityPartition under the writer lock — but deliberately
+/// RPC-shaped: the methods carry plain ids and flags only, so a
+/// multi-node deployment can put a stub behind the same calls.
+class PartitionBoundary {
+ public:
+  virtual ~PartitionBoundary() = default;
+
+  virtual size_t num_partitions() const = 0;
+
+  /// The partition owning `u` (GraphPartitionOf).
+  virtual uint32_t PartitionOf(UserId u) const = 0;
+
+  /// Applies the half of an undirected edge edit that belongs to
+  /// `remote_user`'s partition: replace remote_user's row with
+  /// (row ± other). Called by the endpoint-owning partition for the
+  /// endpoint it does NOT own.
+  virtual void ApplyRemoteHalf(UserId remote_user, UserId other,
+                               bool insert) = 0;
+};
+
+}  // namespace amici
+
+#endif  // AMICI_PROXIMITY_SERVICE_PARTITION_BOUNDARY_H_

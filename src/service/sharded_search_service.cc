@@ -721,6 +721,13 @@ std::string ShardedSearchService::StatsSummary() const {
       static_cast<unsigned long long>(proximity.warmed),
       static_cast<unsigned long long>(proximity.generations_published),
       proximity.cache_entries);
+  summary += StringPrintf(
+      "[proximity_service] partitions=%zu overlay_rows=%zu folds=%llu "
+      "boundary_crossings=%llu frontier_users=%zu\n",
+      proximity.partitions, proximity.overlay_rows,
+      static_cast<unsigned long long>(proximity.overlay_folds),
+      static_cast<unsigned long long>(proximity.boundary_crossings),
+      proximity.frontier_users);
   return summary;
 }
 

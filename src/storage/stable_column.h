@@ -13,18 +13,26 @@
 namespace amici {
 
 /// An append-only columnar array with pointer-stable storage: elements
-/// live in fixed-size chunks reached through a fixed-capacity directory,
-/// so an append NEVER moves previously written elements (unlike
-/// std::vector, whose reallocation would race with concurrent readers).
+/// live in fixed-size chunks reached through a two-level directory, so an
+/// append NEVER moves previously written elements (unlike std::vector,
+/// whose reallocation would race with concurrent readers).
 ///
 /// Concurrency contract (the RCU-style snapshot substrate):
 ///  * exactly one writer appends at a time;
 ///  * any number of readers may concurrently access indexes strictly
 ///    below a bound they observed through a release/acquire edge (the
 ///    engine snapshot pointer, or ItemStore::num_items()) AFTER the
-///    elements were written. The writer only ever touches directory
-///    slots and element slots that no reader is allowed to see yet, so
-///    reader and writer never race on a memory location.
+///    elements were written. The writer only ever touches root slots,
+///    directory-block slots, and element slots that no reader is allowed
+///    to see yet, so reader and writer never race on a memory location.
+///
+/// The directory is two-level precisely so it can stay lock-free for
+/// readers WITHOUT being allocated at full capacity up front: the root
+/// (64 block pointers, 512 bytes) is fixed-size and never moves, and each
+/// directory block (512 chunk pointers, 4KB) is allocated only when the
+/// column grows into it. The previous single-level design paid a 256KB
+/// directory on the first append — ~2MB of fixed overhead per non-empty
+/// ItemStore across its 8 columns.
 ///
 /// Copy/move are writer-side operations (serial set-up only).
 template <typename T>
@@ -36,13 +44,16 @@ class StableColumn {
   static constexpr size_t kChunkBits = 13;
   /// Elements per chunk (8192).
   static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
-  /// Directory capacity: 2^15 chunks * 2^13 elements = 268M elements.
-  /// The directory is allocated at full capacity on first append (256KB
-  /// of pointers for 8-byte T) because readers index into it without
-  /// synchronization — growing it in place would reallocate the very
-  /// array concurrent readers are traversing. A two-level directory
-  /// could cut the fixed overhead; see ROADMAP open items.
-  static constexpr size_t kMaxChunks = size_t{1} << 15;
+  /// Chunk pointers per directory block (a 4KB allocation for 8-byte
+  /// pointers — the unit of directory growth).
+  static constexpr size_t kDirBlockBits = 9;
+  static constexpr size_t kDirBlockSize = size_t{1} << kDirBlockBits;
+  /// Root capacity: 64 block pointers cover 2^15 chunks * 2^13 elements
+  /// = 268M elements. The root is allocated whole on first append (512
+  /// bytes) because readers index it without synchronization — it must
+  /// never move; blocks and chunks are allocated as the column grows.
+  static constexpr size_t kMaxDirBlocks = size_t{1} << 6;
+  static constexpr size_t kMaxChunks = kMaxDirBlocks * kDirBlockSize;
   /// Longest run AppendRun can keep contiguous (one chunk).
   static constexpr size_t kMaxRun = kChunkSize;
   /// Total element capacity. Writers should check CanAppend() and fail
@@ -62,18 +73,22 @@ class StableColumn {
   }
 
   StableColumn(StableColumn&& other) noexcept
-      : chunks_(std::move(other.chunks_)),
+      : root_(std::move(other.root_)),
+        num_blocks_(other.num_blocks_),
         num_chunks_(other.num_chunks_),
         size_(other.size_) {
+    other.num_blocks_ = 0;
     other.num_chunks_ = 0;
     other.size_ = 0;
   }
   StableColumn& operator=(StableColumn&& other) noexcept {
     if (this != &other) {
       Reset();
-      chunks_ = std::move(other.chunks_);
+      root_ = std::move(other.root_);
+      num_blocks_ = other.num_blocks_;
       num_chunks_ = other.num_chunks_;
       size_ = other.size_;
+      other.num_blocks_ = 0;
       other.num_chunks_ = 0;
       other.size_ = 0;
     }
@@ -83,7 +98,7 @@ class StableColumn {
   /// Appends one element (writer only).
   void push_back(const T& value) {
     EnsureChunkFor(size_);
-    chunks_[size_ >> kChunkBits][size_ & (kChunkSize - 1)] = value;
+    Chunk(size_ >> kChunkBits)[size_ & (kChunkSize - 1)] = value;
     ++size_;
   }
 
@@ -100,7 +115,7 @@ class StableColumn {
     const size_t start = size_;
     if (count > 0) {
       EnsureChunkFor(start + count - 1);
-      std::memcpy(&chunks_[start >> kChunkBits][start & (kChunkSize - 1)],
+      std::memcpy(&Chunk(start >> kChunkBits)[start & (kChunkSize - 1)],
                   data, count * sizeof(T));
       size_ = start + count;
     }
@@ -152,13 +167,13 @@ class StableColumn {
   /// Element access. Readers must only pass indexes covered by a bound
   /// published after the write (see class comment).
   const T& operator[](size_t index) const {
-    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+    return Chunk(index >> kChunkBits)[index & (kChunkSize - 1)];
   }
 
   /// Pointer to the run starting at `start` (an AppendRun return value);
   /// contiguous for that run's length.
   const T* RunData(size_t start) const {
-    return &chunks_[start >> kChunkBits][start & (kChunkSize - 1)];
+    return &Chunk(start >> kChunkBits)[start & (kChunkSize - 1)];
   }
 
   /// Writer-side element count (includes AppendRun padding).
@@ -172,10 +187,16 @@ class StableColumn {
 
   size_t AllocatedBytes() const {
     return num_chunks_ * kChunkSize * sizeof(T) +
-           (chunks_ ? kMaxChunks * sizeof(T*) : 0);
+           num_blocks_ * kDirBlockSize * sizeof(T*) +
+           (root_ ? kMaxDirBlocks * sizeof(T**) : 0);
   }
 
  private:
+  /// The chunk holding elements [c << kChunkBits, (c+1) << kChunkBits).
+  T* Chunk(size_t c) const {
+    return root_[c >> kDirBlockBits][c & (kDirBlockSize - 1)];
+  }
+
   /// Copies `count` elements to column indexes [pos, pos + count),
   /// chunk-wise; does NOT advance size_ (callers account for it).
   void CopyAt(size_t pos, const T* data, size_t count) {
@@ -186,7 +207,7 @@ class StableColumn {
       // zero fill — every slot is about to be overwritten (the bulk
       // restore path writes most chunks exactly this way).
       EnsureChunkFor(pos, /*zero_init=*/used != 0 || n != kChunkSize);
-      std::memcpy(&chunks_[pos >> kChunkBits][used], data, n * sizeof(T));
+      std::memcpy(&Chunk(pos >> kChunkBits)[used], data, n * sizeof(T));
       pos += n;
       data += n;
       count -= n;
@@ -196,9 +217,19 @@ class StableColumn {
   void EnsureChunkFor(size_t index, bool zero_init = true) {
     const size_t chunk = index >> kChunkBits;
     AMICI_CHECK(chunk < kMaxChunks) << "StableColumn capacity exceeded";
-    if (chunks_ == nullptr) {
-      chunks_ = std::make_unique<T*[]>(kMaxChunks);
-      std::memset(chunks_.get(), 0, kMaxChunks * sizeof(T*));
+    if (root_ == nullptr) {
+      root_ = std::make_unique<T**[]>(kMaxDirBlocks);
+      std::memset(root_.get(), 0, kMaxDirBlocks * sizeof(T**));
+    }
+    // Directory blocks, then chunks, are published bottom-up: a block
+    // pointer is stored before any chunk pointer inside it, and chunk
+    // contents before the reader-visible bound — the same happens-before
+    // chain readers already rely on for elements.
+    while (num_blocks_ <= (chunk >> kDirBlockBits)) {
+      T** block = new T*[kDirBlockSize];
+      std::memset(block, 0, kDirBlockSize * sizeof(T*));
+      root_[num_blocks_] = block;
+      ++num_blocks_;
     }
     while (num_chunks_ <= chunk) {
       // Value-initialized by default: padding slots (AppendRun) and the
@@ -206,16 +237,18 @@ class StableColumn {
       // indeterminate values (keeps MemorySanitizer quiet). zero_init
       // may only be false when the caller overwrites the WHOLE chunk
       // it asked for — earlier chunks in the loop still get zeros.
-      chunks_[num_chunks_] = (zero_init || num_chunks_ < chunk)
-                                 ? new T[kChunkSize]()
-                                 : new T[kChunkSize];
+      root_[num_chunks_ >> kDirBlockBits][num_chunks_ & (kDirBlockSize - 1)] =
+          (zero_init || num_chunks_ < chunk) ? new T[kChunkSize]()
+                                             : new T[kChunkSize];
       ++num_chunks_;
     }
   }
 
   void Reset() {
-    for (size_t i = 0; i < num_chunks_; ++i) delete[] chunks_[i];
-    chunks_.reset();
+    for (size_t i = 0; i < num_chunks_; ++i) delete[] Chunk(i);
+    for (size_t b = 0; b < num_blocks_; ++b) delete[] root_[b];
+    root_.reset();
+    num_blocks_ = 0;
     num_chunks_ = 0;
     size_ = 0;
   }
@@ -224,13 +257,16 @@ class StableColumn {
     if (other.num_chunks_ > 0) {
       EnsureChunkFor(other.num_chunks_ * kChunkSize - 1);
       for (size_t i = 0; i < other.num_chunks_; ++i) {
-        std::memcpy(chunks_[i], other.chunks_[i], kChunkSize * sizeof(T));
+        std::memcpy(Chunk(i), other.Chunk(i), kChunkSize * sizeof(T));
       }
     }
     size_ = other.size_;
   }
 
-  std::unique_ptr<T*[]> chunks_;
+  /// Root of the two-level directory: kMaxDirBlocks pointers to
+  /// directory blocks of kDirBlockSize chunk pointers each.
+  std::unique_ptr<T**[]> root_;
+  size_t num_blocks_ = 0;
   size_t num_chunks_ = 0;
   size_t size_ = 0;
 };

@@ -1,10 +1,20 @@
 // Randomized friendship-churn invariance: a stream of interleaved
 // Add/RemoveFriendship edits and queries applied identically to a serial
-// single-engine reference and to 1/2/4-shard services must keep every
-// backend bit-identical at every step — including across the graph
+// single-engine reference and to a fleet of variant backends must keep
+// every backend bit-identical at every step — including across the graph
 // generation bumps the edits cause (each edit publishes a new generation
-// through the shared ProximityProvider, and every shard must adopt it
-// before the next query).
+// through the ProximityProvider, and every shard must adopt it before the
+// next query).
+//
+// The fleet covers both axes of the serving topology:
+//  * 1/2/4-SHARD services over the single shared provider (the item
+//    corpus is partitioned; the graph is one provider);
+//  * 1/2/4-PARTITION proximity routers (the graph itself is partitioned
+//    across delta-overlay partitions behind the routing boundary), with
+//    an aggressive fold policy AND explicit mid-run FoldOverlay calls on
+//    some backends only — folds are representation changes, so a backend
+//    that folds constantly must stay bit-identical to one that never
+//    does, at the same published generations.
 
 #include <memory>
 #include <string>
@@ -12,6 +22,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "proximity_service/overlay_fold_policy.h"
 #include "service/local_search_service.h"
 #include "service/sharded_search_service.h"
 #include "util/rng.h"
@@ -21,6 +32,7 @@ namespace amici {
 namespace {
 
 constexpr size_t kShardCounts[] = {1, 2, 4};
+constexpr size_t kPartitionCounts[] = {1, 2, 4};
 
 DatasetConfig TestConfig(uint64_t seed) {
   DatasetConfig config = SmallDataset();
@@ -31,7 +43,18 @@ DatasetConfig TestConfig(uint64_t seed) {
   return config;
 }
 
-std::unique_ptr<SearchService> BuildBackend(const DatasetConfig& config,
+/// One backend under test plus how the run should exercise its folds.
+struct Backend {
+  std::unique_ptr<SearchService> service;
+  std::string label;
+  /// Call FoldOverlay explicitly during the run (only meaningful for
+  /// overlay-backed providers — i.e. all of them, post delta-overlay).
+  bool fold_midrun = false;
+  /// Assert the backend actually folded by the end.
+  bool expect_folds = false;
+};
+
+std::unique_ptr<SearchService> BuildSharded(const DatasetConfig& config,
                                             size_t shards) {
   // The generator is deterministic: every backend consumes the identical
   // corpus and graph.
@@ -49,6 +72,50 @@ std::unique_ptr<SearchService> BuildBackend(const DatasetConfig& config,
                                              std::move(options));
   EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
   return std::move(sharded).value();
+}
+
+std::unique_ptr<SearchService> BuildPartitioned(const DatasetConfig& config,
+                                                size_t partitions,
+                                                bool aggressive_folds) {
+  Dataset dataset = GenerateDataset(config).value();
+  LocalSearchService::Options options;
+  options.engine.proximity_partitions = partitions;
+  if (aggressive_folds) {
+    // Fold after a handful of patched rows, so the run folds many times
+    // mid-churn instead of once at the end.
+    AdaptiveOverlayFoldPolicy::Options fold;
+    fold.max_patch_rows = 6;
+    options.engine.proximity_fold_policy =
+        std::make_shared<AdaptiveOverlayFoldPolicy>(fold);
+  }
+  auto local = LocalSearchService::Build(std::move(dataset.graph),
+                                         std::move(dataset.store),
+                                         std::move(options));
+  EXPECT_TRUE(local.ok()) << local.status().ToString();
+  return std::move(local).value();
+}
+
+std::vector<Backend> BuildFleet(const DatasetConfig& config) {
+  std::vector<Backend> fleet;
+  for (const size_t shards : kShardCounts) {
+    Backend b;
+    b.service = BuildSharded(config, shards);
+    b.label = std::to_string(shards) + "-shard";
+    fleet.push_back(std::move(b));
+  }
+  for (const size_t partitions : kPartitionCounts) {
+    // Partitioned routers run the aggressive policy + explicit mid-run
+    // folds on the multi-partition variants; the 1-partition router keeps
+    // the default policy (folds rarely if ever) as the contrast.
+    Backend b;
+    const bool aggressive = partitions > 1;
+    b.service = BuildPartitioned(config, partitions, aggressive);
+    b.label = std::to_string(partitions) + "-partition";
+    b.fold_midrun = aggressive;
+    b.expect_folds = aggressive;
+    fleet.push_back(std::move(b));
+  }
+  return fleet;
 }
 
 std::vector<SearchRequest> ProbeRequests(uint64_t seed, size_t num_users) {
@@ -106,13 +173,10 @@ TEST(FriendshipChurnInvarianceTest, InterleavedEditsAndQueriesStayIdentical) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const DatasetConfig config = TestConfig(seed);
 
-    // Reference: the serial single-engine replay (local backend). The
-    // sharded services must track it through every edit.
-    auto reference = BuildBackend(config, 0);
-    std::vector<std::unique_ptr<SearchService>> services;
-    for (const size_t shards : kShardCounts) {
-      services.push_back(BuildBackend(config, shards));
-    }
+    // Reference: the serial single-engine replay (local backend). Every
+    // fleet variant must track it through every edit.
+    auto reference = BuildSharded(config, 0);
+    std::vector<Backend> fleet = BuildFleet(config);
     const size_t num_users = reference->num_users();
 
     Rng rng(seed * 31 + 7);
@@ -138,13 +202,24 @@ TEST(FriendshipChurnInvarianceTest, InterleavedEditsAndQueriesStayIdentical) {
       const Status expected_status = remove
                                          ? reference->RemoveFriendship(u, v)
                                          : reference->AddFriendship(u, v);
-      for (const auto& service : services) {
-        const Status status = remove ? service->RemoveFriendship(u, v)
-                                     : service->AddFriendship(u, v);
+      for (const auto& backend : fleet) {
+        const Status status = remove ? backend.service->RemoveFriendship(u, v)
+                                     : backend.service->AddFriendship(u, v);
         EXPECT_EQ(expected_status.code(), status.code())
-            << service->backend_name() << " step " << step;
+            << backend.label << " step " << step;
       }
       if (!remove && expected_status.ok()) added.push_back({u, v});
+
+      // Fold mid-run on the designated backends only: a fold is a
+      // representation change, so folding/never-folding backends must
+      // stay indistinguishable query-by-query.
+      if (step % 8 == 3) {
+        for (const auto& backend : fleet) {
+          if (backend.fold_midrun) {
+            (void)backend.service->proximity_provider()->FoldOverlay();
+          }
+        }
+      }
 
       // Probe after every few edits (every edit would be slow: each one
       // recomputes proximity for the probed users on every backend).
@@ -153,23 +228,29 @@ TEST(FriendshipChurnInvarianceTest, InterleavedEditsAndQueriesStayIdentical) {
           ProbeRequests(seed * 131 + static_cast<uint64_t>(step), num_users);
       for (size_t i = 0; i < requests.size(); ++i) {
         const auto want = reference->Search(requests[i]);
-        for (const auto& service : services) {
+        for (const auto& backend : fleet) {
           ExpectSameResponse(
-              want, service->Search(requests[i]),
-              std::string(service->backend_name()) + " step " +
-                  std::to_string(step) + " request " + std::to_string(i));
+              want, backend.service->Search(requests[i]),
+              backend.label + " step " + std::to_string(step) + " request " +
+                  std::to_string(i));
         }
       }
     }
 
-    // Quiesced: all backends converged to the same final graph.
-    for (const auto& service : services) {
+    // Quiesced: all backends converged to the same final graph at the
+    // same published generation count (folds must NOT have bumped it).
+    for (const auto& backend : fleet) {
+      const ProximityProviderStats stats =
+          backend.service->proximity_stats();
       EXPECT_EQ(reference->proximity_stats().generations_published,
-                service->proximity_stats().generations_published)
-          << service->backend_name();
+                stats.generations_published)
+          << backend.label;
+      if (backend.expect_folds) {
+        EXPECT_GT(stats.overlay_folds, 0u) << backend.label;
+      }
       for (UserId user = 0; user < 10; ++user) {
-        EXPECT_EQ(reference->FriendsOf(user), service->FriendsOf(user))
-            << service->backend_name() << " user " << user;
+        EXPECT_EQ(reference->FriendsOf(user), backend.service->FriendsOf(user))
+            << backend.label << " user " << user;
       }
     }
   }

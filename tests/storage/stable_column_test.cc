@@ -1,0 +1,185 @@
+#include "storage/stable_column.h"
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace amici {
+namespace {
+
+using Column = StableColumn<uint32_t>;
+
+TEST(StableColumnTest, EmptyColumnAllocatesNothing) {
+  Column col;
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(col.AllocatedBytes(), 0u);
+}
+
+TEST(StableColumnTest, FirstAppendPaysRootPlusOneBlockPlusOneChunk) {
+  Column col;
+  col.push_back(7);
+  EXPECT_EQ(col.size(), 1u);
+  EXPECT_EQ(col[0], 7u);
+  const size_t expected = Column::kChunkSize * sizeof(uint32_t)   // 1 chunk
+                          + Column::kDirBlockSize * sizeof(void*)  // 1 block
+                          + Column::kMaxDirBlocks * sizeof(void*);  // root
+  EXPECT_EQ(col.AllocatedBytes(), expected);
+  // The whole point of the two-level directory: a near-empty column costs
+  // ~37KB, not the 256KB flat directory plus chunk it used to.
+  EXPECT_LT(col.AllocatedBytes(), 64u * 1024);
+}
+
+TEST(StableColumnTest, PushBackReadBackAcrossManyChunks) {
+  Column col;
+  const size_t n = 3 * Column::kChunkSize + 123;
+  for (size_t i = 0; i < n; ++i) col.push_back(static_cast<uint32_t>(i * 3));
+  ASSERT_EQ(col.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(col[i], static_cast<uint32_t>(i * 3)) << "index " << i;
+  }
+}
+
+TEST(StableColumnTest, PointersStableAcrossGrowth) {
+  Column col;
+  col.push_back(42);
+  const uint32_t* first = &col[0];
+  for (size_t i = 0; i < 4 * Column::kChunkSize; ++i) {
+    col.push_back(static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(&col[0], first);
+  EXPECT_EQ(*first, 42u);
+}
+
+TEST(StableColumnTest, AppendRunPadsToChunkBoundary) {
+  Column col;
+  std::vector<uint32_t> run(Column::kChunkSize - 10);
+  std::iota(run.begin(), run.end(), 1000u);
+  const size_t a = col.AppendRun(run.data(), run.size());
+  EXPECT_EQ(a, 0u);
+
+  // 10 slots remain in the chunk; a 20-element run must skip them so it
+  // stays contiguous.
+  std::vector<uint32_t> run2(20);
+  std::iota(run2.begin(), run2.end(), 5000u);
+  const size_t b = col.AppendRun(run2.data(), run2.size());
+  EXPECT_EQ(b, Column::kChunkSize);
+  const uint32_t* p = col.RunData(b);
+  for (size_t i = 0; i < run2.size(); ++i) EXPECT_EQ(p[i], run2[i]);
+  // Padding slots read as zero (value-initialized chunks).
+  EXPECT_EQ(col[Column::kChunkSize - 1], 0u);
+}
+
+TEST(StableColumnTest, AppendRunsMatchesIndividualAppendRuns) {
+  std::vector<uint32_t> data;
+  std::vector<uint32_t> counts;
+  uint32_t next = 1;
+  // Row sizes chosen to force several padding events.
+  for (uint32_t len : {5u, 4000u, 4000u, 1u, 8192u, 0u, 300u, 8000u, 17u}) {
+    counts.push_back(len);
+    for (uint32_t i = 0; i < len; ++i) data.push_back(next++);
+  }
+
+  Column bulk;
+  std::vector<uint64_t> starts(counts.size());
+  bulk.AppendRuns(data.data(), counts.data(), counts.size(), starts.data());
+
+  Column serial;
+  const uint32_t* src = data.data();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const size_t start = serial.AppendRun(src, counts[i]);
+    EXPECT_EQ(starts[i], start) << "run " << i;
+    src += counts[i];
+  }
+  ASSERT_EQ(bulk.size(), serial.size());
+
+  src = data.data();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint32_t* run = bulk.RunData(starts[i]);
+    for (uint32_t j = 0; j < counts[i]; ++j) {
+      ASSERT_EQ(run[j], src[j]) << "run " << i << " element " << j;
+    }
+    src += counts[i];
+  }
+}
+
+TEST(StableColumnTest, AppendAllSplitsAcrossChunksWithoutPadding) {
+  Column col;
+  col.push_back(99);
+  std::vector<uint32_t> data(2 * Column::kChunkSize + 77);
+  std::iota(data.begin(), data.end(), 0u);
+  ASSERT_TRUE(col.CanAppendAll(data.size()));
+  col.AppendAll(data.data(), data.size());
+  ASSERT_EQ(col.size(), 1 + data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(col[1 + i], data[i]) << "index " << i;
+  }
+}
+
+TEST(StableColumnTest, GrowthCrossesDirectoryBlockBoundary) {
+  // Fill past the first directory block (512 chunks) so the root's second
+  // block slot comes into play; use AppendRun to cover the bulk path.
+  Column col;
+  std::vector<uint32_t> chunk(Column::kChunkSize);
+  const size_t chunks = Column::kDirBlockSize + 3;
+  for (size_t c = 0; c < chunks; ++c) {
+    std::iota(chunk.begin(), chunk.end(), static_cast<uint32_t>(c));
+    const size_t start = col.AppendRun(chunk.data(), chunk.size());
+    EXPECT_EQ(start, c * Column::kChunkSize);
+  }
+  ASSERT_EQ(col.size(), chunks * Column::kChunkSize);
+  // Spot-check one element per chunk, including across the boundary.
+  for (size_t c = 0; c < chunks; ++c) {
+    ASSERT_EQ(col[c * Column::kChunkSize + 5], static_cast<uint32_t>(c + 5));
+  }
+  const size_t expected =
+      chunks * Column::kChunkSize * sizeof(uint32_t)     // chunks
+      + 2 * Column::kDirBlockSize * sizeof(void*)        // 2 dir blocks
+      + Column::kMaxDirBlocks * sizeof(void*);           // root
+  EXPECT_EQ(col.AllocatedBytes(), expected);
+}
+
+TEST(StableColumnTest, CopyPreservesContentAndIndependence) {
+  Column col;
+  for (uint32_t i = 0; i < 10000; ++i) col.push_back(i * 7);
+  Column copy(col);
+  ASSERT_EQ(copy.size(), col.size());
+  for (size_t i = 0; i < copy.size(); ++i) ASSERT_EQ(copy[i], col[i]);
+  copy.push_back(1);
+  EXPECT_EQ(copy.size(), col.size() + 1);
+  EXPECT_NE(&copy[0], &col[0]);
+
+  Column assigned;
+  assigned.push_back(5);
+  assigned = col;
+  ASSERT_EQ(assigned.size(), col.size());
+  EXPECT_EQ(assigned[9999], col[9999]);
+}
+
+TEST(StableColumnTest, MoveTransfersStorage) {
+  Column col;
+  for (uint32_t i = 0; i < 20000; ++i) col.push_back(i);
+  const uint32_t* stable = &col[12345];
+  Column moved(std::move(col));
+  EXPECT_EQ(moved.size(), 20000u);
+  EXPECT_EQ(&moved[12345], stable);
+  EXPECT_EQ(moved[12345], 12345u);
+
+  Column target;
+  target.push_back(1);
+  target = std::move(moved);
+  EXPECT_EQ(target.size(), 20000u);
+  EXPECT_EQ(&target[12345], stable);
+}
+
+TEST(StableColumnTest, CanAppendBounds) {
+  Column col;
+  EXPECT_TRUE(col.CanAppend(0));
+  EXPECT_TRUE(col.CanAppend(Column::kMaxRun));
+  EXPECT_FALSE(col.CanAppend(Column::kMaxRun + 1));
+}
+
+}  // namespace
+}  // namespace amici
