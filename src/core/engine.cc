@@ -244,7 +244,8 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query) {
 }
 
 Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
-                                              AlgorithmId algorithm) {
+                                              AlgorithmId algorithm,
+                                              const CancellationToken* cancel) {
   // Pin one generation: everything below executes against `snap`, immune
   // to concurrent AddItem / Compact / friendship publishes.
   const std::shared_ptr<const EngineSnapshot> snap = snapshot();
@@ -270,6 +271,7 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
   ctx.proximity = proximity.get();
   ctx.query = &query;
   ctx.index_horizon = snap->index_horizon;
+  ctx.cancel = cancel;
   if (query.has_geo_filter) {
     const GeoPoint center{query.latitude, query.longitude};
     const ItemStoreView store = snap->store;
@@ -312,8 +314,13 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
     for (const ScoredItem& item : result.items) {
       heap.Push(item.item, item.score);
     }
+    CancellationTicker tail_ticker(cancel);
     for (ItemId item = snap->index_horizon;
          item < static_cast<ItemId>(snap->store.num_items()); ++item) {
+      if (tail_ticker.Check()) {
+        result.stats.truncated = true;
+        break;
+      }
       ++result.stats.items_considered;
       if (!scorer.Eligible(item)) continue;
       if (ctx.filter != nullptr && !ctx.filter(item)) continue;
@@ -333,7 +340,8 @@ Result<QueryResult> SocialSearchEngine::Query(const SocialQuery& query,
 }
 
 Result<QueryResult> SocialSearchEngine::QueryDiverse(
-    const SocialQuery& query, size_t max_per_owner, AlgorithmId algorithm) {
+    const SocialQuery& query, size_t max_per_owner, AlgorithmId algorithm,
+    const CancellationToken* cancel) {
   if (max_per_owner == 0) {
     return Status::InvalidArgument("max_per_owner must be >= 1");
   }
@@ -347,7 +355,7 @@ Result<QueryResult> SocialSearchEngine::QueryDiverse(
   while (true) {
     fetch_query.k = fetch_k;
     AMICI_ASSIGN_OR_RETURN(QueryResult fetched,
-                           Query(fetch_query, algorithm));
+                           Query(fetch_query, algorithm, cancel));
     std::unordered_map<UserId, size_t> taken;
     std::vector<ScoredItem> diverse;
     for (const ScoredItem& entry : fetched.items) {
@@ -358,7 +366,11 @@ Result<QueryResult> SocialSearchEngine::QueryDiverse(
       if (diverse.size() == query.k) break;
     }
     const bool corpus_exhausted = fetched.items.size() < fetch_k;
-    if (diverse.size() == query.k || corpus_exhausted) {
+    // A truncated fetch ends the deepening: the token has expired, so a
+    // deeper re-fetch would only redo partial work. Return the best-
+    // effort diversified prefix.
+    if (diverse.size() == query.k || corpus_exhausted ||
+        fetched.stats.truncated) {
       fetched.items = std::move(diverse);
       return fetched;
     }

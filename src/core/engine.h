@@ -196,7 +196,14 @@ class SocialSearchEngine {
 
   /// Executes `query` with a specific strategy. kGeoGrid requires a geo
   /// filter on the query and geo items covered by the current indexes.
-  Result<QueryResult> Query(const SocialQuery& query, AlgorithmId algorithm);
+  ///
+  /// `cancel` (optional, null = never cancels) is probed cooperatively
+  /// inside the algorithm (per posting-list block / candidate batch) and
+  /// in the tail fold; once expired the query returns promptly with the
+  /// best-effort partial and stats.truncated set. A token that never
+  /// fires leaves results bit-identical to passing null.
+  Result<QueryResult> Query(const SocialQuery& query, AlgorithmId algorithm,
+                            const CancellationToken* cancel = nullptr);
 
   /// Executes a batch concurrently on `pool` (inline when pool is null).
   /// Results are positionally aligned with `queries`. Queries are
@@ -209,9 +216,10 @@ class SocialSearchEngine {
   /// single owner, selected greedily in score order over the whole
   /// eligible corpus (exact — implemented by iterative deepening of the
   /// fetch size, so a feed cannot be monopolized by one prolific friend).
+  /// `cancel` stops the deepening between rounds as well as inside them.
   Result<QueryResult> QueryDiverse(const SocialQuery& query,
-                                   size_t max_per_owner,
-                                   AlgorithmId algorithm);
+                                   size_t max_per_owner, AlgorithmId algorithm,
+                                   const CancellationToken* cancel = nullptr);
 
   /// Suggests expansion tags for `seed_tags` (sorted, unique) from the
   /// user's social neighbourhood — the personalized-thesaurus feature

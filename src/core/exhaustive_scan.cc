@@ -12,6 +12,7 @@ Result<std::vector<ScoredItem>> ExhaustiveScan::Search(
   Scorer scorer(ctx.store, ctx.proximity, &query);
   TopKHeap heap(query.k);
   SearchStats local;
+  CancellationTicker ticker(ctx.cancel);
 
   if (query.mode == MatchMode::kAll && !query.tags.empty()) {
     // Conjunctive queries: every eligible item carries every query tag,
@@ -31,6 +32,10 @@ Result<std::vector<ScoredItem>> ExhaustiveScan::Search(
     const double content_weight = 1.0 - alpha;
     auto it = ctx.inverted->Postings(rarest).NewIterator();
     while (it.Valid()) {
+      if (ticker.Check()) {
+        local.truncated = true;
+        break;
+      }
       // An eligible item scores at most alpha * 1 + (1 - alpha) * block
       // quality bound; see kBlockMaxPruneSlack for why this is exact.
       if (content_weight > 0.0 && heap.full()) {
@@ -51,6 +56,10 @@ Result<std::vector<ScoredItem>> ExhaustiveScan::Search(
     local.aggregation.blocks_skipped += it.blocks_skipped();
   } else {
     for (ItemId item = 0; item < ctx.index_horizon; ++item) {
+      if (ticker.Check()) {
+        local.truncated = true;
+        break;
+      }
       ++local.items_considered;
       if (!scorer.Eligible(item)) continue;
       if (ctx.filter != nullptr && !ctx.filter(item)) continue;

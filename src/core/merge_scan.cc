@@ -25,6 +25,7 @@ void IntersectAndScore(const QueryContext& ctx, const Scorer& scorer,
   const SocialQuery& query = *ctx.query;
   const double alpha = query.alpha;
   const double content_weight = 1.0 - alpha;
+  CancellationTicker ticker(ctx.cancel);
   std::vector<PostingList::Iterator> iters;
   iters.reserve(query.tags.size());
   std::vector<size_t> order(query.tags.size());
@@ -41,6 +42,10 @@ void IntersectAndScore(const QueryContext& ctx, const Scorer& scorer,
 
   const auto leapfrog = [&]() {
     while (true) {
+      if (ticker.Check()) {
+        stats->truncated = true;
+        return;
+      }
       // Block-max prune on the driver list. An intersection result in a
       // driver block scores at most alpha * 1 + (1 - alpha) * block
       // quality bound, so blocks whose bound stays strictly below the
@@ -86,14 +91,20 @@ void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
   const SocialQuery& query = *ctx.query;
   const double content_weight = 1.0 - query.alpha;
   std::unordered_set<ItemId> seen;
+  CancellationTicker ticker(ctx.cancel);
 
   auto consider = [&](ItemId item) {
-    if (item >= ctx.index_horizon) return;
-    if (!seen.insert(item).second) return;
+    if (ticker.Check()) {
+      stats->truncated = true;
+      return false;
+    }
+    if (item >= ctx.index_horizon) return true;
+    if (!seen.insert(item).second) return true;
     ++stats->items_considered;
-    if (ctx.filter != nullptr && !ctx.filter(item)) return;
+    if (ctx.filter != nullptr && !ctx.filter(item)) return true;
     const double score = scorer.Score(item);
     if (score > 0.0) heap->Push(item, score);
+    return true;
   };
 
   // Social candidates first — the querying user's own items, then every
@@ -104,27 +115,32 @@ void UnionAndScore(const QueryContext& ctx, const Scorer& scorer,
   // item first met in a pruned tag block scores at most
   // (1 - alpha) * block quality bound < floor.
   for (const ScoredItem& own : ctx.social->ItemsOf(query.user)) {
-    consider(own.item);
+    if (!consider(own.item)) return;
   }
   for (const ProximityEntry& entry : ctx.proximity->ranked()) {
     if (entry.user == query.user) continue;
     for (const ScoredItem& item : ctx.social->ItemsOf(entry.user)) {
-      consider(item.item);
+      if (!consider(item.item)) return;
     }
   }
 
   for (const TagId tag : query.tags) {
     auto it = ctx.inverted->Postings(tag).NewIterator();
+    bool cancelled = false;
     while (it.Valid()) {
       if (content_weight > 0.0 && heap->full()) {
         const double quality_needed =
             (heap->KthScore() - kBlockMaxPruneSlack) / content_weight;
         if (!it.SkipToBlockWithBoundAbove(quality_needed)) break;
       }
-      consider(it.Doc());
+      if (!consider(it.Doc())) {
+        cancelled = true;
+        break;
+      }
       it.Next();
     }
     FlushTraversalCounters(it, stats);
+    if (cancelled) return;
   }
 }
 

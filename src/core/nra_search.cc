@@ -62,7 +62,7 @@ Result<std::vector<ScoredItem>> NraSearch::Search(const QueryContext& ctx,
   AMICI_ASSIGN_OR_RETURN(
       std::vector<ScoredItem> members,
       RunNra(std::span<SortedSource* const>(sources.data(), sources.size()),
-             query.k, &local.aggregation));
+             query.k, &local.aggregation, ctx.cancel, &local.truncated));
 
   // Exact rescore of the members; drop zero scores per the engine-wide
   // contract, order best-first with the deterministic tie-break.

@@ -13,6 +13,7 @@
 #include "storage/item_store.h"
 #include "storage/posting_list.h"
 #include "topk/threshold_algorithm.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace amici {
@@ -38,6 +39,11 @@ struct QueryContext {
   /// Items with id >= index_horizon are not covered by the indexes (they
   /// arrived after the last compaction); the engine scores them separately.
   ItemId index_horizon = 0;
+  /// Cooperative cancellation for this query; null = never cancels.
+  /// Algorithms probe it per posting-list block / candidate batch (via
+  /// CancellationTicker) and, once expired, return their best-effort
+  /// partial with SearchStats::truncated set instead of an error.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Work counters one query execution produces.
@@ -67,6 +73,10 @@ struct SearchStats {
   uint64_t compactions_rebuild = 0;
   uint64_t compaction_items_merged = 0;
   uint64_t compaction_lists_touched = 0;
+  /// True when cancellation (deadline or external cancel) stopped the
+  /// query before it examined every eligible candidate: the results are a
+  /// best-effort partial, not the exact top-k. OR-merged across shards.
+  bool truncated = false;
 };
 
 /// A top-k retrieval strategy. Implementations must be stateless and
@@ -78,6 +88,13 @@ struct SearchStats {
 /// Scorer::Score bit-for-bit. Items with zero blended score are never
 /// returned — the result may therefore hold fewer than k entries when the
 /// corpus has fewer than k positive-score matches.
+///
+/// When ctx.cancel expires mid-run the exactness contract is relaxed:
+/// the algorithm stops promptly (within one posting-list block / candidate
+/// batch), sets stats->truncated, and returns the best-effort top-k of the
+/// candidates it DID score — every returned score still equals
+/// Scorer::Score bit-for-bit. A token that never expires must leave
+/// results bit-identical to a null token.
 class SearchAlgorithm {
  public:
   virtual ~SearchAlgorithm() = default;

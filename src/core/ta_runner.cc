@@ -99,7 +99,8 @@ Result<std::vector<ScoredItem>> RunBlendedTa(const QueryContext& ctx,
   SearchStats local;
   auto result = RunThresholdAlgorithm(
       std::span<SortedSource* const>(sources.data(), sources.size()),
-      score_of, query.k, policy, filter, &local.aggregation);
+      score_of, query.k, policy, filter, &local.aggregation, ctx.cancel,
+      &local.truncated);
   if (stats != nullptr) *stats = local;
   return result;
 }

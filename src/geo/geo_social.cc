@@ -20,9 +20,16 @@ Result<std::vector<ScoredItem>> GeoGridScan::Search(const QueryContext& ctx,
   Scorer scorer(ctx.store, ctx.proximity, &query);
   TopKHeap heap(query.k);
   SearchStats local;
+  CancellationTicker ticker(ctx.cancel);
 
   const GeoPoint center{query.latitude, query.longitude};
+  // ForEachInRadius offers no early exit; once cancelled we skip the
+  // scoring work per item (the residual cell iteration is cheap).
   ctx.grid->ForEachInRadius(center, query.radius_km, [&](ItemId item) {
+    if (ticker.Check()) {
+      local.truncated = true;
+      return;
+    }
     if (item >= ctx.index_horizon) return;
     ++local.items_considered;
     if (!scorer.Eligible(item)) return;

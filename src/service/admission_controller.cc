@@ -1,0 +1,103 @@
+#include "service/admission_controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace amici {
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(Options options)
+    : options_(std::move(options)) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+  options_.burst = std::max(1.0, options_.burst);
+  if (options_.clock == nullptr) options_.clock = SteadySeconds;
+}
+
+bool AdmissionController::TakeRateToken() {
+  if (options_.max_admitted_per_sec <= 0.0) return true;
+  std::lock_guard<std::mutex> lock(bucket_mutex_);
+  const double now = options_.clock();
+  if (!bucket_primed_) {
+    // A full bucket at first sight: bursts up to `burst` pass before the
+    // steady-state rate applies.
+    tokens_ = options_.burst;
+    last_refill_s_ = now;
+    bucket_primed_ = true;
+  }
+  const double elapsed = std::max(0.0, now - last_refill_s_);
+  tokens_ = std::min(options_.burst,
+                     tokens_ + elapsed * options_.max_admitted_per_sec);
+  last_refill_s_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::Ticket AdmissionController::Admit(
+    uint64_t estimated_cost) {
+  Ticket ticket;
+  // Reserve the slot optimistically; every shed path returns it. Doing
+  // the increment first makes the gate exact under concurrent Admits —
+  // two racing requests cannot both slip under max_inflight.
+  const size_t occupied =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const auto shed = [&](const char* reason) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    ticket.decision = Decision::kShed;
+    ticket.reason = reason;
+    return ticket;
+  };
+
+  if (occupied > options_.max_inflight) return shed("inflight");
+  if (!TakeRateToken()) return shed("rate");
+  if (options_.shed_cost > 0 && estimated_cost > options_.shed_cost) {
+    return shed("cost");
+  }
+
+  // Track the high-water mark only for requests that actually run.
+  uint64_t peak = peak_inflight_.load(std::memory_order_relaxed);
+  while (peak < occupied &&
+         !peak_inflight_.compare_exchange_weak(peak, occupied,
+                                               std::memory_order_relaxed)) {
+  }
+
+  if (options_.degrade_inflight > 0 && occupied > options_.degrade_inflight) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    ticket.decision = Decision::kDegrade;
+    ticket.reason = "pressure";
+    return ticket;
+  }
+  if (options_.degrade_cost > 0 && estimated_cost > options_.degrade_cost) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    ticket.decision = Decision::kDegrade;
+    ticket.reason = "cost";
+    return ticket;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+void AdmissionController::Release() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  Counters counters;
+  counters.admitted = admitted_.load(std::memory_order_relaxed);
+  counters.degraded = degraded_.load(std::memory_order_relaxed);
+  counters.shed = shed_.load(std::memory_order_relaxed);
+  counters.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace amici

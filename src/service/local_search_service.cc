@@ -1,5 +1,6 @@
 #include "service/local_search_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -51,16 +52,22 @@ Status LocalSearchService::CompactShard(size_t shard,
   return engine_->Compact(outcome);
 }
 
-Result<SearchResponse> LocalSearchService::Search(
+Result<SearchResponse> LocalSearchService::SearchImpl(
     const SearchRequest& request) {
   Stopwatch watch;
   const AlgorithmId algorithm =
       request.algorithm.value_or(AlgorithmId::kHybrid);
+  // The cooperative deadline: algorithms probe the token per posting-list
+  // block / candidate batch, so expiry stops work mid-run instead of
+  // being noticed post-hoc. timeout_ms <= 0 arms nothing.
+  const CancellationToken token = CancellationToken::FromTimeout(
+      request.timeout_ms, CancellationToken::Clock::now());
+  const CancellationToken* cancel = token.armed() ? &token : nullptr;
   Result<QueryResult> result =
       request.max_per_owner > 0
           ? engine_->QueryDiverse(request.query, request.max_per_owner,
-                                  algorithm)
-          : engine_->Query(request.query, algorithm);
+                                  algorithm, cancel)
+          : engine_->Query(request.query, algorithm, cancel);
   if (!result.ok()) return result.status();
 
   SearchResponse response;
@@ -71,25 +78,48 @@ Result<SearchResponse> LocalSearchService::Search(
   response.shards_touched = 1;
   response.elapsed_ms = watch.ElapsedMillis();
   response.deadline_exceeded =
-      request.timeout_ms > 0.0 && response.elapsed_ms > request.timeout_ms;
+      response.stats.truncated ||
+      (request.timeout_ms > 0.0 && response.elapsed_ms > request.timeout_ms);
   return response;
 }
 
-std::vector<Result<SearchResponse>> LocalSearchService::SearchBatch(
+std::vector<Result<SearchResponse>> LocalSearchService::SearchBatchImpl(
     std::span<const SearchRequest> requests) {
   std::vector<Result<SearchResponse>> responses(
       requests.size(), Status::Internal("batch slot never executed"));
+  // Each row runs SearchImpl and derives its own token from its own
+  // timeout_ms, so one batch can mix zero / tight / generous deadlines
+  // and each row degrades (or not) independently.
   if (batch_pool_ == nullptr) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      responses[i] = Search(requests[i]);
+      responses[i] = SearchImpl(requests[i]);
     }
     return responses;
   }
   // Per-call completion (not ParallelFor/WaitIdle): concurrent batches
   // sharing this pool must not serialize on pool-wide idleness.
   FanOutOnPool(batch_pool_.get(), requests.size(),
-               [&](size_t i) { responses[i] = Search(requests[i]); });
+               [&](size_t i) { responses[i] = SearchImpl(requests[i]); });
   return responses;
+}
+
+uint64_t LocalSearchService::EstimateQueryCost(
+    const SocialQuery& query) const {
+  const auto snap = engine_->snapshot();
+  const InvertedIndex& inverted = snap->indexes->inverted;
+  uint64_t postings = 0;
+  bool first = true;
+  for (const TagId tag : query.tags) {
+    const uint64_t df = inverted.DocumentFrequency(tag);
+    if (query.mode == MatchMode::kAll) {
+      // Conjunctive traversal is driven by the rarest list.
+      postings = first ? df : std::min(postings, df);
+      first = false;
+    } else {
+      postings += df;
+    }
+  }
+  return postings + snap->unindexed_items();
 }
 
 Result<std::vector<TagSuggestion>> LocalSearchService::SuggestTags(
@@ -214,7 +244,7 @@ std::vector<UserId> LocalSearchService::FriendsOf(UserId user) const {
 }
 
 std::string LocalSearchService::StatsSummary() const {
-  return engine_->stats().ToString();
+  return engine_->stats().ToString() + QosSummaryLine();
 }
 
 }  // namespace amici

@@ -59,12 +59,13 @@ class LocalSearchService final : public SearchService {
   Status CompactShard(size_t shard,
                       CompactionOutcome* outcome = nullptr) override;
 
-  Result<SearchResponse> Search(const SearchRequest& request) override;
-  std::vector<Result<SearchResponse>> SearchBatch(
-      std::span<const SearchRequest> requests) override;
   Result<std::vector<TagSuggestion>> SuggestTags(
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options) override;
+
+  /// Per-tag document frequencies (min for kAll, sum for kAny) + the
+  /// un-indexed tail every query scans.
+  uint64_t EstimateQueryCost(const SocialQuery& query) const override;
 
   /// The engine's provider (created by Build, or adopted from a wrapped
   /// engine).
@@ -90,6 +91,17 @@ class LocalSearchService final : public SearchService {
 
   /// Escape hatch for engine-level tooling (benches reading build stats).
   SocialSearchEngine* engine() { return engine_.get(); }
+
+ protected:
+  /// Derives a CancellationToken from request.timeout_ms and runs the
+  /// engine query under it: an expired deadline stops the algorithm
+  /// mid-run (stats.truncated); deadline_exceeded also reports post-hoc
+  /// overruns the token was too late to prevent.
+  Result<SearchResponse> SearchImpl(const SearchRequest& request) override;
+  /// Fans SearchImpl per row — each row derives its OWN token, so a
+  /// batch with mixed timeouts degrades per row.
+  std::vector<Result<SearchResponse>> SearchBatchImpl(
+      std::span<const SearchRequest> requests) override;
 
  private:
   std::unique_ptr<SocialSearchEngine> engine_;

@@ -22,6 +22,198 @@ void MergeSearchStats(const SearchStats& from, SearchStats* into) {
   into->compactions_rebuild += from.compactions_rebuild;
   into->compaction_items_merged += from.compaction_items_merged;
   into->compaction_lists_touched += from.compaction_lists_touched;
+  // Any truncated shard makes the merged result best-effort.
+  into->truncated = into->truncated || from.truncated;
+}
+
+// --- Query QoS edge ----------------------------------------------------
+
+std::shared_ptr<AdmissionController> SearchService::admission() const {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  return admission_;
+}
+
+void SearchService::EnableAdmissionControl(
+    AdmissionController::Options options) {
+  auto controller = std::make_shared<AdmissionController>(std::move(options));
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  admission_ = std::move(controller);
+}
+
+void SearchService::DisableAdmissionControl() {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  admission_ = nullptr;
+}
+
+SearchResponse SearchService::MakeShedResponse(
+    const SearchRequest& request) const {
+  SearchResponse response;
+  response.shed = true;
+  response.backend = backend_name();
+  response.algorithm =
+      AlgorithmName(request.algorithm.value_or(AlgorithmId::kHybrid));
+  response.shards_touched = 0;
+  return response;
+}
+
+SearchRequest SearchService::ApplyDegrade(
+    const SearchRequest& request, const AdmissionController::Options& opts) {
+  SearchRequest degraded = request;
+  degraded.algorithm = opts.degrade_algorithm;
+  if (opts.degrade_k_cap > 0 && degraded.query.k > opts.degrade_k_cap) {
+    degraded.query.k = opts.degrade_k_cap;
+  }
+  if (opts.degrade_timeout_ms > 0.0 &&
+      (degraded.timeout_ms <= 0.0 ||
+       degraded.timeout_ms > opts.degrade_timeout_ms)) {
+    degraded.timeout_ms = opts.degrade_timeout_ms;
+  }
+  return degraded;
+}
+
+void SearchService::AccountResponse(const Result<SearchResponse>& response) {
+  if (!response.ok()) return;
+  const SearchResponse& r = response.value();
+  if (r.stats.truncated) {
+    qos_truncated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.deadline_exceeded) {
+    qos_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  qos_shards_abandoned_.fetch_add(r.shards_abandoned,
+                                  std::memory_order_relaxed);
+  qos_shards_failed_.fetch_add(r.shards_failed, std::memory_order_relaxed);
+}
+
+Result<SearchResponse> SearchService::RunOneRequest(
+    const SearchRequest& request,
+    const std::shared_ptr<AdmissionController>& admission) {
+  if (admission == nullptr) {
+    // QoS edge disabled: pure pass-through, bit-identical to the
+    // pre-admission behaviour (only the cumulative counters observe).
+    qos_admitted_.fetch_add(1, std::memory_order_relaxed);
+    Result<SearchResponse> response = SearchImpl(request);
+    AccountResponse(response);
+    return response;
+  }
+  const AdmissionController::Ticket ticket =
+      admission->Admit(EstimateQueryCost(request.query));
+  if (ticket.decision == AdmissionController::Decision::kShed) {
+    qos_shed_.fetch_add(1, std::memory_order_relaxed);
+    return MakeShedResponse(request);
+  }
+  const bool degrade =
+      ticket.decision == AdmissionController::Decision::kDegrade;
+  Result<SearchResponse> response =
+      degrade ? SearchImpl(ApplyDegrade(request, admission->options()))
+              : SearchImpl(request);
+  admission->Release();
+  if (degrade) {
+    qos_degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (response.ok()) response.value().degraded = true;
+  } else {
+    qos_admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  AccountResponse(response);
+  return response;
+}
+
+Result<SearchResponse> SearchService::Search(const SearchRequest& request) {
+  return RunOneRequest(request, admission());
+}
+
+std::vector<Result<SearchResponse>> SearchService::SearchBatch(
+    std::span<const SearchRequest> requests) {
+  const std::shared_ptr<AdmissionController> controller = admission();
+  if (controller == nullptr) {
+    // Pass-through: hand the whole batch to the backend (it parallelizes
+    // internally); account each row.
+    qos_admitted_.fetch_add(requests.size(), std::memory_order_relaxed);
+    std::vector<Result<SearchResponse>> responses =
+        SearchBatchImpl(requests);
+    for (const auto& response : responses) AccountResponse(response);
+    return responses;
+  }
+
+  // Per-row admission BEFORE dispatch: shed rows answer immediately
+  // (their slot in the batch is a well-formed shed response), the rest
+  // run as one backend batch with degrade overrides already applied.
+  std::vector<Result<SearchResponse>> responses(
+      requests.size(), Status::Internal("batch slot never executed"));
+  std::vector<SearchRequest> to_run;
+  std::vector<size_t> to_run_slot;
+  std::vector<char> row_degraded;
+  size_t slots_held = 0;
+  to_run.reserve(requests.size());
+  to_run_slot.reserve(requests.size());
+  row_degraded.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AdmissionController::Ticket ticket =
+        controller->Admit(EstimateQueryCost(requests[i].query));
+    if (ticket.decision == AdmissionController::Decision::kShed) {
+      qos_shed_.fetch_add(1, std::memory_order_relaxed);
+      responses[i] = MakeShedResponse(requests[i]);
+      continue;
+    }
+    ++slots_held;
+    const bool degrade =
+        ticket.decision == AdmissionController::Decision::kDegrade;
+    to_run.push_back(degrade
+                         ? ApplyDegrade(requests[i], controller->options())
+                         : requests[i]);
+    to_run_slot.push_back(i);
+    row_degraded.push_back(degrade ? 1 : 0);
+  }
+  if (!to_run.empty()) {
+    std::vector<Result<SearchResponse>> ran = SearchBatchImpl(to_run);
+    for (size_t j = 0; j < ran.size(); ++j) {
+      if (row_degraded[j]) {
+        qos_degraded_.fetch_add(1, std::memory_order_relaxed);
+        if (ran[j].ok()) ran[j].value().degraded = true;
+      } else {
+        qos_admitted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      AccountResponse(ran[j]);
+      responses[to_run_slot[j]] = std::move(ran[j]);
+    }
+  }
+  for (size_t s = 0; s < slots_held; ++s) controller->Release();
+  return responses;
+}
+
+SearchService::QosCounters SearchService::qos_counters() const {
+  QosCounters counters;
+  counters.admitted = qos_admitted_.load(std::memory_order_relaxed);
+  counters.degraded = qos_degraded_.load(std::memory_order_relaxed);
+  counters.shed = qos_shed_.load(std::memory_order_relaxed);
+  counters.truncated = qos_truncated_.load(std::memory_order_relaxed);
+  counters.deadline_exceeded =
+      qos_deadline_exceeded_.load(std::memory_order_relaxed);
+  counters.shards_abandoned =
+      qos_shards_abandoned_.load(std::memory_order_relaxed);
+  counters.shards_failed =
+      qos_shards_failed_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::string SearchService::QosSummaryLine() const {
+  const QosCounters c = qos_counters();
+  const std::shared_ptr<AdmissionController> controller = admission();
+  std::string line =
+      "[qos] admitted=" + std::to_string(c.admitted) +
+      " degraded=" + std::to_string(c.degraded) +
+      " shed=" + std::to_string(c.shed) +
+      " truncated=" + std::to_string(c.truncated) +
+      " deadline_exceeded=" + std::to_string(c.deadline_exceeded) +
+      " shards_abandoned=" + std::to_string(c.shards_abandoned) +
+      " shards_failed=" + std::to_string(c.shards_failed);
+  if (controller != nullptr) {
+    const AdmissionController::Counters a = controller->counters();
+    line += " inflight=" + std::to_string(controller->inflight()) +
+            " peak_inflight=" + std::to_string(a.peak_inflight);
+  }
+  line += "\n";
+  return line;
 }
 
 // --- Background ingest / compaction plumbing ---------------------------

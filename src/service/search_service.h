@@ -19,7 +19,9 @@
 #include "ingest/ingest_pipeline.h"
 #include "ingest/ingest_sink.h"
 #include "proximity/proximity_provider.h"
+#include "service/admission_controller.h"
 #include "storage/item_store.h"
+#include "util/cancellation.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -40,13 +42,15 @@ struct SearchRequest {
   /// Owner-diversified top-k: at most this many results from any single
   /// owner (0 = unconstrained). Exact — see SocialSearchEngine::QueryDiverse.
   size_t max_per_owner = 0;
-  /// Deadline in milliseconds from request start; 0 disables. The sharded
-  /// backend checks it between per-shard completions: shards that miss it
-  /// are abandoned and the response is the exact merge of the shards that
-  /// DID complete (deadline_exceeded = true, shards_touched = how many) —
-  /// partial, possibly missing items held by the abandoned shards. The
-  /// local backend has no fan-out to cut short; it reports overruns
-  /// post-hoc via deadline_exceeded.
+  /// Deadline in milliseconds from request start; 0 disables. Enforced
+  /// COOPERATIVELY: the service derives a CancellationToken from it that
+  /// the search algorithms probe per posting-list block / candidate
+  /// batch, so an expired deadline stops work *inside* a shard (stats.
+  /// truncated marks the best-effort partial). The sharded backend
+  /// additionally abandons whole shards at the fan-out barrier and
+  /// cancels their stragglers (deadline_exceeded = true, shards_touched /
+  /// shards_abandoned = how the fan-out split); the response is the
+  /// exact-over-completed merge of whatever the deadline allowed.
   double timeout_ms = 0.0;
 };
 
@@ -71,12 +75,34 @@ struct SearchResponse {
   std::string_view backend;
   /// How many partitions contributed results. Normally the backend's
   /// shard count (1 for local); fewer when a deadline abandoned slow
-  /// shards mid-fan-out (see SearchRequest::timeout_ms).
+  /// shards mid-fan-out or a shard failed (see shards_abandoned /
+  /// shards_failed).
   size_t shards_touched = 1;
-  /// True when a timeout_ms was set and the request overran it — either
-  /// cut short at the fan-out barrier (shards_touched < num_shards, items
-  /// possibly partial) or detected post-hoc (results still complete).
+  /// Shards the deadline abandoned before they reported: their stragglers
+  /// were cancelled (cooperatively) and their items are missing from this
+  /// response by design. Counted even on paths the token cannot reach
+  /// (e.g. a shard stuck in an un-cancellable proximity computation).
+  size_t shards_abandoned = 0;
+  /// Shards that completed with an error. Their items are missing; the
+  /// merge is exact over the healthy shards. First error in shard_error.
+  size_t shards_failed = 0;
+  /// Message of the first failed shard's status ("" when none failed) —
+  /// the honest-response contract surfaces partial failures here instead
+  /// of discarding the healthy shards' results.
+  std::string shard_error;
+  /// True when a timeout_ms was set and the request overran it — cut
+  /// short inside a shard (stats.truncated), at the fan-out barrier
+  /// (shards_abandoned > 0, items possibly partial), or detected post-hoc
+  /// (results still complete).
   bool deadline_exceeded = false;
+  /// True when admission control ran this request cheaper than asked
+  /// (substituted algorithm / capped k / clamped deadline — see
+  /// AdmissionController::Options). Results are exact for WHAT RAN, but
+  /// not what was requested.
+  bool degraded = false;
+  /// True when admission control refused to run this request: a
+  /// well-formed empty response, not an error and never a silent drop.
+  bool shed = false;
 };
 
 /// The backend-agnostic query surface: everything callers (examples,
@@ -118,13 +144,63 @@ class SearchService : public IngestSink, public CompactionTarget {
   // CompactShard(), the per-shard compaction surface the background
   // scheduler drives.
 
-  /// Executes one request (plain or owner-diversified top-k).
-  virtual Result<SearchResponse> Search(const SearchRequest& request) = 0;
+  /// Executes one request (plain or owner-diversified top-k) through the
+  /// QoS edge: admission control first (when enabled — may shed or
+  /// degrade, reported honestly in the response), then the backend.
+  /// Non-virtual on purpose: the edge is the ONE place every query
+  /// passes, whatever the backend (template method over SearchImpl).
+  Result<SearchResponse> Search(const SearchRequest& request);
 
   /// Executes a batch; results are positionally aligned with `requests`.
-  /// Backends parallelize internally where they can.
-  virtual std::vector<Result<SearchResponse>> SearchBatch(
-      std::span<const SearchRequest> requests) = 0;
+  /// Backends parallelize internally where they can. Admission is
+  /// per-request: some rows of one batch may run while others shed.
+  std::vector<Result<SearchResponse>> SearchBatch(
+      std::span<const SearchRequest> requests);
+
+  /// Estimated work for `query` on this backend, in candidate units
+  /// (posting entries the tag lists would feed the algorithm + un-indexed
+  /// tail items scanned per query). Reads the current snapshot(s); cheap
+  /// (per-tag document frequencies, no traversal). The admission
+  /// controller's cost gates compare against this number.
+  virtual uint64_t EstimateQueryCost(const SocialQuery& query) const = 0;
+
+  // --- Query QoS: admission control + honest shedding -------------------
+  // Disabled by default: without a controller the edge is a pass-through
+  // and responses are bit-identical to the pre-QoS behaviour.
+
+  /// Installs (or replaces) the admission controller at this service's
+  /// query edge. Safe alongside in-flight queries: they finish under the
+  /// controller they entered with.
+  void EnableAdmissionControl(AdmissionController::Options options);
+
+  /// Removes the controller; queries pass through unconditionally again.
+  void DisableAdmissionControl();
+
+  bool admission_enabled() const { return admission() != nullptr; }
+
+  /// The live controller (null when disabled) — stats surface for benches
+  /// and tests.
+  std::shared_ptr<AdmissionController> admission() const;
+
+  /// Cumulative QoS counters at this service's edge (all zero until the
+  /// relevant feature fires): every Search/SearchBatch row lands in
+  /// exactly one of admitted/degraded/shed.
+  struct QosCounters {
+    uint64_t admitted = 0;
+    uint64_t degraded = 0;
+    uint64_t shed = 0;
+    /// Responses whose stats.truncated was set (mid-shard cancellation).
+    uint64_t truncated = 0;
+    uint64_t deadline_exceeded = 0;
+    /// Sum of SearchResponse::shards_abandoned over all responses.
+    uint64_t shards_abandoned = 0;
+    /// Sum of SearchResponse::shards_failed over all responses.
+    uint64_t shards_failed = 0;
+  };
+  QosCounters qos_counters() const;
+
+  /// One "[qos] ..." line for StatsSummary (ends with '\n').
+  std::string QosSummaryLine() const;
 
   /// Suggests expansion tags for `seed_tags` (sorted, unique) from the
   /// user's social neighbourhood (see query_expansion.h). Partitioned
@@ -234,6 +310,14 @@ class SearchService : public IngestSink, public CompactionTarget {
   uint64_t auto_compactions() const;
 
  protected:
+  /// Backend execution of one request / one batch, AFTER the QoS edge
+  /// decided the request runs (possibly with degrade overrides already
+  /// applied to `request`). Implementations must not call the public
+  /// Search/SearchBatch from inside these (double admission).
+  virtual Result<SearchResponse> SearchImpl(const SearchRequest& request) = 0;
+  virtual std::vector<Result<SearchResponse>> SearchBatchImpl(
+      std::span<const SearchRequest> requests) = 0;
+
   /// Stops the background threads (scheduler first, then the ingest
   /// drain). EVERY concrete backend's destructor must call this before
   /// tearing anything else down — see the class comment.
@@ -256,6 +340,23 @@ class SearchService : public IngestSink, public CompactionTarget {
   virtual std::string StatsSummary() const = 0;
 
  private:
+  /// The QoS edge shared by Search and SearchBatch: admission verdict,
+  /// degrade overrides, honest shed response, per-response accounting.
+  /// `admission` may be null (pass-through).
+  Result<SearchResponse> RunOneRequest(
+      const SearchRequest& request,
+      const std::shared_ptr<AdmissionController>& admission);
+
+  /// Builds the well-formed empty response for a shed request.
+  SearchResponse MakeShedResponse(const SearchRequest& request) const;
+
+  /// Applies the controller's degrade overrides to `request`.
+  static SearchRequest ApplyDegrade(const SearchRequest& request,
+                                    const AdmissionController::Options& opts);
+
+  /// Folds one finished response into the cumulative QoS counters.
+  void AccountResponse(const Result<SearchResponse>& response);
+
   /// Shared edge-of-API path behind EnqueueAdd/RemoveFriendship:
   /// validates through the provider (see the contract above) and
   /// dispatches to the pipeline or the synchronous fallback under ONE
@@ -272,6 +373,19 @@ class SearchService : public IngestSink, public CompactionTarget {
   mutable std::mutex background_mutex_;
   std::shared_ptr<IngestPipeline> pipeline_;
   std::shared_ptr<CompactionScheduler> scheduler_;
+  /// Admission controller; null = QoS edge disabled. Guarded by
+  /// background_mutex_ (the pointer, not the object — queries copy the
+  /// shared_ptr and run outside the lock).
+  std::shared_ptr<AdmissionController> admission_;
+  /// Cumulative QoS accounting (see QosCounters). Plain relaxed atomics:
+  /// monotone counters, no cross-field consistency needed.
+  std::atomic<uint64_t> qos_admitted_{0};
+  std::atomic<uint64_t> qos_degraded_{0};
+  std::atomic<uint64_t> qos_shed_{0};
+  std::atomic<uint64_t> qos_truncated_{0};
+  std::atomic<uint64_t> qos_deadline_exceeded_{0};
+  std::atomic<uint64_t> qos_shards_abandoned_{0};
+  std::atomic<uint64_t> qos_shards_failed_{0};
   /// Compactions triggered by schedulers that have since been stopped;
   /// guarded by background_mutex_ and updated in the SAME critical
   /// section that unregisters the scheduler, so auto_compactions() is

@@ -125,9 +125,9 @@ bool ShardedSearchService::AnyShardHasGeoItems() const {
 
 Result<QueryResult> ShardedSearchService::QueryShard(
     size_t s, const SocialQuery& query, std::optional<AlgorithmId> hint,
-    bool geo_fallback_allowed) const {
+    bool geo_fallback_allowed, const CancellationToken* cancel) const {
   const AlgorithmId algorithm = hint.value_or(AlgorithmId::kHybrid);
-  Result<QueryResult> result = shards_[s]->Query(query, algorithm);
+  Result<QueryResult> result = shards_[s]->Query(query, algorithm, cancel);
   if (!result.ok() && algorithm == AlgorithmId::kGeoGrid &&
       result.status().code() == StatusCode::kFailedPrecondition &&
       query.has_geo_filter && geo_fallback_allowed) {
@@ -137,7 +137,7 @@ Result<QueryResult> ShardedSearchService::QueryShard(
     // hint, so substitute hybrid (exact, only the work profile differs).
     // When no shard has geo items (fallback not allowed) the whole corpus
     // has none, and the hint must fail exactly like the local backend.
-    result = shards_[s]->Query(query, AlgorithmId::kHybrid);
+    result = shards_[s]->Query(query, AlgorithmId::kHybrid, cancel);
   }
   if (!result.ok()) return result;
   for (ScoredItem& item : result.value().items) {
@@ -146,14 +146,14 @@ Result<QueryResult> ShardedSearchService::QueryShard(
   return result;
 }
 
-Result<SearchResponse> ShardedSearchService::Search(
+Result<SearchResponse> ShardedSearchService::SearchImpl(
     const SearchRequest& request) {
   std::vector<Result<SearchResponse>> responses =
       ExecuteRequests(std::span<const SearchRequest>(&request, 1));
   return std::move(responses[0]);
 }
 
-std::vector<Result<SearchResponse>> ShardedSearchService::SearchBatch(
+std::vector<Result<SearchResponse>> ShardedSearchService::SearchBatchImpl(
     std::span<const SearchRequest> requests) {
   return ExecuteRequests(requests);
 }
@@ -208,6 +208,11 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
     std::condition_variable cv;
     std::vector<SocialQuery> queries;                // per row
     std::vector<std::optional<AlgorithmId>> hints;   // per row
+    /// Per row: the cooperative deadline token the shard queries probe.
+    /// Unarmed for rows without a timeout. Lives here (not on the
+    /// caller's stack) because an abandoned row's stragglers keep
+    /// dereferencing it until they exit.
+    std::vector<CancellationToken> tokens;
     std::vector<std::vector<Result<QueryResult>>> results;  // [row][shard]
     std::vector<std::vector<char>> done;             // [row][shard]
     std::vector<size_t> remaining;                   // per row
@@ -218,6 +223,7 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
     auto state = std::make_shared<RoundState>();
     state->queries.reserve(rows);
     state->hints.reserve(rows);
+    state->tokens.reserve(rows);
     bool any_deadline = false;
     for (const Pending& p : pending) {
       const SearchRequest& request = requests[p.request];
@@ -225,6 +231,12 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
       query.k = p.fetch_k;
       state->queries.push_back(std::move(query));
       state->hints.push_back(request.algorithm);
+      // The token carries the request's ABSOLUTE deadline (anchored at
+      // fan-out start, so deepening rounds share it): shards stop
+      // mid-algorithm when it passes, whether or not this thread has
+      // abandoned the row yet.
+      state->tokens.push_back(
+          CancellationToken::FromTimeout(request.timeout_ms, start));
       if (request.timeout_ms > 0.0) any_deadline = true;
     }
     state->results.assign(
@@ -242,20 +254,22 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
         const size_t s = job % num_shards;
         state->results[r][s] = QueryShard(s, state->queries[r],
                                           state->hints[r],
-                                          geo_fallback_allowed);
+                                          geo_fallback_allowed,
+                                          /*cancel=*/nullptr);
         state->done[r][s] = 1;
       });
       for (size_t r = 0; r < rows; ++r) state->remaining[r] = 0;
     } else {
       // Deadline path: every job goes to the pool; this thread checks
       // the deadline between per-shard completions and abandons rows
-      // that overrun (their merge below uses whatever completed).
+      // that overrun (their merge below uses whatever completed, and
+      // their stragglers exit early through the row token).
       for (size_t r = 0; r < rows; ++r) {
         for (size_t s = 0; s < num_shards; ++s) {
           pool_->Submit([this, state, r, s, geo_fallback_allowed] {
             Result<QueryResult> result =
                 QueryShard(s, state->queries[r], state->hints[r],
-                           geo_fallback_allowed);
+                           geo_fallback_allowed, &state->tokens[r]);
             std::lock_guard<std::mutex> lock(state->mutex);
             state->results[r][s] = std::move(result);
             state->done[r][s] = 1;
@@ -274,8 +288,16 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
               start + std::chrono::duration_cast<Clock::duration>(
                           std::chrono::duration<double, std::milli>(
                               timeout_ms));
-          state->cv.wait_until(lock, deadline,
-                               [&] { return state->remaining[r] == 0; });
+          const bool all_done = state->cv.wait_until(
+              lock, deadline, [&] { return state->remaining[r] == 0; });
+          if (!all_done) {
+            // Row abandoned. The token's own deadline already expired,
+            // but cancel explicitly anyway: it is the only signal on
+            // paths a clock probe cannot reach promptly, and it makes
+            // abandonment visible to stragglers the instant WE stop
+            // waiting rather than whenever they next read the clock.
+            state->tokens[r].RequestCancel();
+          }
         }
       }
     }
@@ -291,7 +313,8 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
       // storage was sized up front and never reallocates, so pointers to
       // completed slots stay valid after the lock is released.
       std::vector<const QueryResult*> shard_results(num_shards, nullptr);
-      size_t completed = 0;
+      size_t completed = 0;  // shards that reported, ok or errored
+      size_t healthy = 0;    // shards that reported ok
       Status error = Status::Ok();
       {
         std::lock_guard<std::mutex> lock(state->mutex);
@@ -302,21 +325,30 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
             if (error.ok()) error = state->results[r][s].status();
           } else {
             shard_results[s] = &state->results[r][s].value();
+            ++healthy;
           }
         }
       }
-      if (!error.ok()) {
+      if (healthy == 0 && !error.ok()) {
+        // Nothing to merge over — every shard that reported failed.
         responses[i] = std::move(error);
         continue;
       }
-      // Partial: the deadline passed before every shard reported. The
-      // merge below is exact over the shards that DID complete; items
-      // held by the abandoned shards are missing by design.
-      const bool partial = completed < num_shards;
+      const size_t failed = completed - healthy;
+      // Partial: some shard did not contribute — either the deadline
+      // passed before it reported (abandoned) or it reported an error.
+      // The merge below is exact over the HEALTHY shards; items held by
+      // the missing shards are absent by design, and the response says
+      // so (shards_failed / shards_abandoned / shard_error) instead of
+      // discarding the healthy work.
+      const bool partial = healthy < num_shards;
 
       SearchResponse response;
       response.backend = backend_label_;
-      response.shards_touched = completed;
+      response.shards_touched = healthy;
+      response.shards_abandoned = num_shards - completed;
+      response.shards_failed = failed;
+      if (failed > 0) response.shard_error = error.ToString();
       // Label with what actually executed when the (completed) shards
       // agree (e.g. every shard fell back to hybrid); a mixed fan-out
       // keeps the hint's name — see the SearchResponse::algorithm
@@ -346,12 +378,16 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
       }
       std::sort(merged.begin(), merged.end(), ScoreOrder);
 
+      // Abandonment (a shard never reported before the deadline) is a
+      // deadline symptom; a shard ERROR is not — it must not masquerade
+      // as a timeout.
+      const bool abandoned = completed < num_shards;
       auto finalize = [&](std::vector<ScoredItem> items) {
         response.items = std::move(items);
         response.elapsed_ms = watches[i].ElapsedMillis();
         response.deadline_exceeded =
-            partial || (request.timeout_ms > 0.0 &&
-                        response.elapsed_ms > request.timeout_ms);
+            abandoned || (request.timeout_ms > 0.0 &&
+                          response.elapsed_ms > request.timeout_ms);
         responses[i] = std::move(response);
       };
 
@@ -389,7 +425,9 @@ std::vector<Result<SearchResponse>> ShardedSearchService::ExecuteRequests(
         continue;
       }
       // Deepening past an already-blown deadline only digs the overrun
-      // deeper; return the best prefix in hand instead.
+      // deeper; return the best prefix in hand instead. A partial row
+      // (abandoned or errored shards) is likewise terminal — re-fanning
+      // deeper would just repeat the miss.
       const bool deadline_passed =
           request.timeout_ms > 0.0 &&
           watches[i].ElapsedMillis() > request.timeout_ms;
@@ -686,6 +724,31 @@ size_t ShardedSearchService::unindexed_items() const {
   return total;
 }
 
+uint64_t ShardedSearchService::EstimateQueryCost(
+    const SocialQuery& query) const {
+  // Every shard runs the query against its own lists and tail, so the
+  // fan-out's work is the SUM of the per-shard estimates (each shard's
+  // conjunctive walk is driven by its own rarest list).
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const auto snap = shard->snapshot();
+    const InvertedIndex& inverted = snap->indexes->inverted;
+    uint64_t postings = 0;
+    bool first = true;
+    for (const TagId tag : query.tags) {
+      const uint64_t df = inverted.DocumentFrequency(tag);
+      if (query.mode == MatchMode::kAll) {
+        postings = first ? df : std::min(postings, df);
+        first = false;
+      } else {
+        postings += df;
+      }
+    }
+    total += postings + snap->unindexed_items();
+  }
+  return total;
+}
+
 UserId ShardedSearchService::OwnerOf(ItemId item) const {
   const ShardRef ref = global_to_shard_[item];
   return shards_[ref.shard]->store().owner(ref.local);
@@ -728,6 +791,7 @@ std::string ShardedSearchService::StatsSummary() const {
       static_cast<unsigned long long>(proximity.overlay_folds),
       static_cast<unsigned long long>(proximity.boundary_crossings),
       proximity.frontier_users);
+  summary += QosSummaryLine();
   return summary;
 }
 

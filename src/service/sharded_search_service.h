@@ -103,12 +103,13 @@ class ShardedSearchService final : public SearchService {
   Status CompactShard(size_t shard,
                       CompactionOutcome* outcome = nullptr) override;
 
-  Result<SearchResponse> Search(const SearchRequest& request) override;
-  std::vector<Result<SearchResponse>> SearchBatch(
-      std::span<const SearchRequest> requests) override;
   Result<std::vector<TagSuggestion>> SuggestTags(
       UserId user, std::span<const TagId> seed_tags,
       const QueryExpansionOptions& options) override;
+
+  /// Sum of the per-shard estimates (each shard runs the query against
+  /// its own lists and tail).
+  uint64_t EstimateQueryCost(const SocialQuery& query) const override;
 
   /// The one provider shared by every shard engine.
   std::shared_ptr<ProximityProvider> proximity_provider() const override {
@@ -146,6 +147,11 @@ class ShardedSearchService final : public SearchService {
   std::vector<UserId> FriendsOf(UserId user) const override;
   std::string StatsSummary() const override;
 
+ protected:
+  Result<SearchResponse> SearchImpl(const SearchRequest& request) override;
+  std::vector<Result<SearchResponse>> SearchBatchImpl(
+      std::span<const SearchRequest> requests) override;
+
  private:
   /// Where a global item lives. Trivially copyable: stored in a
   /// StableColumn read concurrently with ingest.
@@ -169,10 +175,14 @@ class ShardedSearchService final : public SearchService {
   /// Executes `query` on shard `s` (honouring the algorithm hint, with an
   /// exact hybrid fallback where the hint cannot apply locally —
   /// `geo_fallback_allowed` is AnyShardHasGeoItems() computed once per
-  /// request) and translates result ids to the global space.
+  /// request) and translates result ids to the global space. `cancel`
+  /// (null = never) is the row's deadline/abandonment token, probed
+  /// cooperatively inside the shard's algorithm — an abandoned row's
+  /// stragglers exit early instead of occupying pool slots.
   Result<QueryResult> QueryShard(size_t s, const SocialQuery& query,
                                  std::optional<AlgorithmId> hint,
-                                 bool geo_fallback_allowed) const;
+                                 bool geo_fallback_allowed,
+                                 const CancellationToken* cancel) const;
 
   /// Shared fan-out/merge loop behind Search and SearchBatch.
   std::vector<Result<SearchResponse>> ExecuteRequests(

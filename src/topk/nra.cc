@@ -15,7 +15,9 @@ struct Candidate {
 }  // namespace
 
 Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
-                                       size_t k, AggregationStats* stats) {
+                                       size_t k, AggregationStats* stats,
+                                       const CancellationToken* cancel,
+                                       bool* truncated) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (sources.size() > 32) {
     return Status::InvalidArgument("RunNra supports at most 32 sources");
@@ -23,6 +25,8 @@ Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
   AggregationStats local_stats;
   std::unordered_map<ItemId, Candidate> candidates;
   std::vector<double> bounds(sources.size(), 0.0);
+  CancellationTicker ticker(cancel);
+  bool cancelled = false;
 
   const size_t check_interval = 32 * std::max<size_t>(1, sources.size());
   size_t pulls_since_check = 0;
@@ -92,9 +96,13 @@ Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
   };
 
   std::vector<ScoredItem> result;
-  while (refresh_bounds()) {
+  while (!cancelled && refresh_bounds()) {
     // One round-robin sweep over the valid sources.
     for (size_t i = 0; i < sources.size(); ++i) {
+      if (ticker.Check()) {
+        cancelled = true;
+        break;
+      }
       if (!sources[i]->Valid()) continue;
       const ScoredItem entry = sources[i]->Current();
       sources[i]->Next();
@@ -114,10 +122,14 @@ Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
     }
   }
 
-  // Streams exhausted: all lower bounds are exact totals.
+  // Streams exhausted (all lower bounds are exact totals) — or the run
+  // was cancelled, in which case the dominance test below may still
+  // certify the interim set; only a failed certification is a partial.
   refresh_bounds();
   if (!try_terminate(&result)) {
-    // Fewer than k distinct items exist; return them all, best first.
+    if (cancelled && truncated != nullptr) *truncated = true;
+    // Fewer than k distinct items exist (or cancelled early); return the
+    // best of what was accumulated, best first.
     std::vector<std::pair<double, ItemId>> lowers;
     for (const auto& [item, c] : candidates) lowers.push_back({c.lower, item});
     std::sort(lowers.begin(), lowers.end(), [](const auto& a, const auto& b) {

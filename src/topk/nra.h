@@ -26,8 +26,14 @@ namespace amici {
 /// the classical baseline operator (micro benches; DESIGN.md §4).
 ///
 /// Supports at most 32 sources.
+///
+/// `cancel` (optional): once expired, pulling stops at the next sweep
+/// step and the best-k by accumulated lower bounds is returned; if that
+/// interim set cannot be proven exact, *truncated (when given) is set.
 Result<std::vector<ScoredItem>> RunNra(std::span<SortedSource* const> sources,
-                                       size_t k, AggregationStats* stats);
+                                       size_t k, AggregationStats* stats,
+                                       const CancellationToken* cancel = nullptr,
+                                       bool* truncated = nullptr);
 
 }  // namespace amici
 

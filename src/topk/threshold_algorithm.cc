@@ -102,7 +102,8 @@ Result<std::vector<ScoredItem>> RunThresholdAlgorithm(
     std::span<SortedSource* const> sources,
     const std::function<double(ItemId)>& score_of, size_t k,
     const PullPolicy& pull_policy, const std::function<bool(ItemId)>& filter,
-    AggregationStats* stats) {
+    AggregationStats* stats, const CancellationToken* cancel,
+    bool* truncated) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (score_of == nullptr) {
     return Status::InvalidArgument("score_of must be provided");
@@ -111,8 +112,13 @@ Result<std::vector<ScoredItem>> RunThresholdAlgorithm(
   TopKHeap heap(k);
   std::unordered_set<ItemId> seen;
   std::vector<double> bounds(sources.size(), 0.0);
+  CancellationTicker ticker(cancel);
 
   while (true) {
+    if (ticker.Check()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     // Refresh bounds and the termination threshold.
     double threshold = 0.0;
     bool any_valid = false;

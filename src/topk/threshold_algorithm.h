@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/posting_list.h"
+#include "util/cancellation.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -65,11 +66,16 @@ using PullPolicy = std::function<size_t(std::span<const double> bounds)>;
 ///
 /// `filter` (optional) drops items before scoring — used for geo
 /// restriction; exactness then holds w.r.t. the filtered corpus.
+///
+/// `cancel` (optional): once expired, the run stops at the next sorted
+/// access, sets *truncated (when given), and returns the best-effort
+/// top-k of the candidates scored so far.
 Result<std::vector<ScoredItem>> RunThresholdAlgorithm(
     std::span<SortedSource* const> sources,
     const std::function<double(ItemId)>& score_of, size_t k,
     const PullPolicy& pull_policy, const std::function<bool(ItemId)>& filter,
-    AggregationStats* stats);
+    AggregationStats* stats, const CancellationToken* cancel = nullptr,
+    bool* truncated = nullptr);
 
 /// Ready-made pull policies.
 

@@ -41,11 +41,19 @@ PASSED=$((TOTAL - FAILED))
 # Per-suite timing (slowest first) so the cost of the heavyweight suites
 # — the randomized compaction-invariance and concurrency runs — stays
 # visible as they grow. Parsed from ctest's per-test summary lines.
+# Non-Passed statuses (***Timeout, ***Failed, Failed, ...) are flagged
+# next to the suite name — a timeout burns its whole budget, so it
+# always sorts into the slowest-15 and would otherwise hide in plain
+# sight as "just a slow suite".
 echo "[tier1] per-suite timing (slowest 15):"
-sed -n 's/^ *[0-9]\+\/[0-9]\+ Test *#[0-9]\+: \([^ ]\+\) .*\(Passed\|Failed\|\*\*\*[A-Za-z]*\) \+\([0-9.]\+\) sec.*/\3 \1/p' \
+sed -n 's/^ *[0-9]\+\/[0-9]\+ Test *#[0-9]\+: \([^ ]\+\) .*\(Passed\|Failed\|\*\*\*[A-Za-z]*\) \+\([0-9.]\+\) sec.*/\3 \1 \2/p' \
     "$CTEST_LOG" | sort -rn | head -15 |
-  while read -r secs name; do
-    printf '[tier1]   %8ss  %s\n' "$secs" "$name"
+  while read -r secs name status; do
+    if [[ "$status" == "Passed" ]]; then
+      printf '[tier1]   %8ss  %s\n' "$secs" "$name"
+    else
+      printf '[tier1]   %8ss  %s  <-- %s\n' "$secs" "$name" "$status"
+    fi
   done
 if [[ "$CTEST_STATUS" -eq 0 && "$TOTAL" -gt 0 ]]; then
   echo "[tier1] PASS: ${PASSED}/${TOTAL} tests (${BUILD_DIR})"
